@@ -1,0 +1,179 @@
+"""Ablation: GassyFS design choices (DESIGN.md).
+
+Quantifies the two knobs the FS exposes that the paper's mount-option
+discussion motivates: the block-placement policy and the block size.
+Shape expectations: striping (round-robin/hash) beats local-first for a
+remote-heavy parallel workload at scale, and pathologically small blocks
+pay per-message latency.
+"""
+
+import pytest
+
+from conftest import save_figure_data
+
+from repro.common.rng import SeedSequenceFactory
+from repro.common.tables import MetricsTable
+from repro.gassyfs import (
+    GassyFS,
+    GasnetCluster,
+    MountOptions,
+    SequentialIO,
+    make_policy,
+)
+from repro.gassyfs.experiment import ScalabilityConfig, run_point
+from repro.gassyfs.workloads import CompileWorkload
+from repro.platform.sites import default_sites
+
+WORKLOAD = CompileWorkload(
+    name="ablation", files=60, source_kib=128, object_kib=128,
+    compile_ops=3e8, configure_ops=5e8, link_ops=1e9,
+)
+POLICIES = ("round-robin", "local-first", "hash", "least-used")
+BLOCK_SIZES = (1 << 12, 1 << 16, 1 << 20, 1 << 22)
+
+
+def _policy_table() -> MetricsTable:
+    table = MetricsTable(["policy", "nodes", "time"])
+    for policy in POLICIES:
+        for nodes in (2, 4, 8):
+            sites = default_sites(42)
+            config = ScalabilityConfig(
+                node_counts=(nodes,), sites=("cloudlab-wisc",),
+                workloads=(WORKLOAD,), placement=policy, seed=42,
+            )
+            elapsed = run_point(
+                sites["cloudlab-wisc"], nodes, WORKLOAD, config,
+                SeedSequenceFactory(42),
+            )
+            table.append({"policy": policy, "nodes": nodes, "time": elapsed})
+    return table
+
+
+def _blocksize_table() -> MetricsTable:
+    table = MetricsTable(["block_size", "write_s", "read_s"])
+    for block_size in BLOCK_SIZES:
+        sites = default_sites(42)
+        with sites["cloudlab-wisc"].allocate(4) as allocation:
+            fs = GassyFS(
+                GasnetCluster(allocation),
+                options=MountOptions(block_size=block_size),
+                policy=make_policy("round-robin"),
+            )
+            write_s, read_s = SequentialIO(total_bytes=1 << 26).run(
+                fs, SeedSequenceFactory(42)
+            )
+        table.append(
+            {"block_size": block_size, "write_s": write_s, "read_s": read_s}
+        )
+    return table
+
+
+@pytest.fixture(scope="module")
+def policy_table():
+    return _policy_table()
+
+
+@pytest.fixture(scope="module")
+def blocksize_table():
+    return _blocksize_table()
+
+
+class TestPlacementAblation:
+    def test_striping_beats_local_first_at_scale(self, policy_table):
+        rr = policy_table.where_equals(policy="round-robin", nodes=8)
+        lf = policy_table.where_equals(policy="local-first", nodes=8)
+        assert rr.column("time")[0] < lf.column("time")[0]
+
+    def test_all_policies_complete(self, policy_table):
+        assert len(policy_table) == len(POLICIES) * 3
+        assert all(t > 0 for t in policy_table.column("time"))
+
+
+class TestBlockSizeAblation:
+    def test_tiny_blocks_pay_latency(self, blocksize_table):
+        ordered = blocksize_table.sort_by("block_size")
+        reads = ordered.column("read_s")
+        assert reads[0] > 1.5 * reads[-1]
+
+    def test_diminishing_returns_past_1mib(self, blocksize_table):
+        one_mib = blocksize_table.where_equals(block_size=1 << 20).column("read_s")[0]
+        four_mib = blocksize_table.where_equals(block_size=1 << 22).column("read_s")[0]
+        assert abs(one_mib - four_mib) / one_mib < 0.25
+
+
+def test_bench_placement_ablation(benchmark, output_dir):
+    table = benchmark.pedantic(_policy_table, rounds=1, iterations=1)
+    save_figure_data(table, "ablation_gassyfs_placement")
+    at8 = {
+        r["policy"]: round(r["time"], 3)
+        for r in table.where_equals(nodes=8)
+    }
+    benchmark.extra_info["time_at_8_nodes"] = at8
+
+
+def test_bench_blocksize_ablation(benchmark, output_dir):
+    table = benchmark.pedantic(_blocksize_table, rounds=1, iterations=1)
+    save_figure_data(table, "ablation_gassyfs_blocksize")
+    benchmark.extra_info["read_s_by_block"] = {
+        str(r["block_size"]): round(r["read_s"], 4) for r in table
+    }
+
+
+def _replication_table() -> MetricsTable:
+    """Write cost and fault-survival across replication factors."""
+    from repro.common.errors import FSError
+
+    table = MetricsTable(["replicas", "write_s", "survives_one_failure"])
+    for replicas in (1, 2, 3):
+        sites = default_sites(42)
+        with sites["cloudlab-wisc"].allocate(4) as allocation:
+            fs = GassyFS(
+                GasnetCluster(allocation),
+                options=MountOptions(block_size=1 << 20, replicas=replicas),
+                policy=make_policy("round-robin"),
+            )
+            payload = b"x" * (1 << 24)
+            fs.create("/data")
+            fs.write("/data", payload)
+            write_s = fs.last_op_elapsed
+            fs.fail_node(1)
+            try:
+                fs.read("/data")
+                survives = True
+            except FSError:
+                survives = False
+        table.append(
+            {
+                "replicas": replicas,
+                "write_s": write_s,
+                "survives_one_failure": survives,
+            }
+        )
+    return table
+
+
+@pytest.fixture(scope="module")
+def replication_table():
+    return _replication_table()
+
+
+class TestReplicationAblation:
+    def test_durability_costs_write_bandwidth(self, replication_table):
+        ordered = replication_table.sort_by("replicas")
+        writes = ordered.column("write_s")
+        assert writes[0] < writes[1] < writes[2]
+
+    def test_single_copy_is_fragile(self, replication_table):
+        by_replicas = {
+            r["replicas"]: r["survives_one_failure"] for r in replication_table
+        }
+        assert by_replicas[1] is False
+        assert by_replicas[2] is True and by_replicas[3] is True
+
+
+def test_bench_replication_ablation(benchmark, output_dir):
+    table = benchmark.pedantic(_replication_table, rounds=1, iterations=1)
+    save_figure_data(table, "ablation_gassyfs_replication")
+    benchmark.extra_info["write_s_by_replicas"] = {
+        str(r["replicas"]): round(r["write_s"], 4) for r in table
+    }

@@ -1,0 +1,84 @@
+"""Automated performance-regression testing (§"Automated Validation").
+
+Measures the regression gate's operating characteristics under realistic
+run-to-run noise: recall on injected slowdowns of various magnitudes and
+false-positive rate on clean commits — the numbers that justify wiring
+the gate into CI.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import save_figure_data
+
+from repro.common.rng import derive_rng
+from repro.common.tables import MetricsTable
+from repro.ci.regression import RegressionGate
+
+NOISE_COV = 0.03
+SAMPLES = 10
+TRIALS = 60
+
+
+def _trial_series(rng, mean):
+    return mean * (1.0 + NOISE_COV * rng.standard_normal(SAMPLES))
+
+
+def _characterize() -> MetricsTable:
+    gate = RegressionGate(threshold=0.10, alpha=0.05)
+    table = MetricsTable(["slowdown_pct", "detection_rate"])
+    for slowdown in (0.0, 0.05, 0.10, 0.15, 0.20, 0.30, 0.50):
+        rng = derive_rng(99, "gate", str(slowdown))
+        hits = 0
+        for _ in range(TRIALS):
+            baseline = _trial_series(rng, 10.0)
+            current = _trial_series(rng, 10.0 * (1.0 + slowdown))
+            if gate.check(baseline, current).regressed:
+                hits += 1
+        table.append(
+            {"slowdown_pct": 100 * slowdown, "detection_rate": hits / TRIALS}
+        )
+    return table
+
+
+@pytest.fixture(scope="module")
+def roc_table():
+    return _characterize()
+
+
+class TestGateCharacteristics:
+    def test_low_false_positive_rate(self, roc_table):
+        clean = roc_table.where_equals(slowdown_pct=0.0)[0]
+        assert clean["detection_rate"] < 0.05
+
+    def test_high_recall_on_large_regressions(self, roc_table):
+        big = roc_table.where_equals(slowdown_pct=30.0)[0]
+        assert big["detection_rate"] > 0.95
+
+    def test_monotone_detection_curve(self, roc_table):
+        rates = roc_table.sort_by("slowdown_pct").column("detection_rate")
+        assert all(b >= a - 0.05 for a, b in zip(rates, rates[1:]))
+
+    def test_threshold_region_soft(self, roc_table):
+        """Right at the threshold, detection is genuinely uncertain —
+        noise at cov=3% straddles a 10% cut."""
+        edge = roc_table.where_equals(slowdown_pct=10.0)[0]
+        assert 0.05 < edge["detection_rate"] <= 1.0
+
+
+def test_bench_regression_gate(benchmark, output_dir):
+    table = benchmark.pedantic(_characterize, rounds=1, iterations=1)
+    path = save_figure_data(table, "table_ci_regression_roc")
+    benchmark.extra_info["series_csv"] = str(path)
+    benchmark.extra_info["roc"] = {
+        f"{r['slowdown_pct']:.0f}%": r["detection_rate"] for r in table
+    }
+
+
+def test_bench_single_gate_check(benchmark):
+    """Latency of one gate decision (runs on every CI build)."""
+    rng = derive_rng(1, "latency")
+    baseline = _trial_series(rng, 10.0)
+    current = _trial_series(rng, 10.5)
+    gate = RegressionGate()
+    benchmark(lambda: gate.check(baseline, current))

@@ -1,0 +1,50 @@
+"""Fig. `bww-airtemp` — Big-Weather-Web air-temperature analysis.
+
+Shape: seasonal zonal-mean temperature shows the equator-to-pole
+gradient; the hemispheres' seasonal cycles are anti-phased (NH warm in
+JJA, SH warm in DJF); the seasonal amplitude grows poleward.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import save_figure_data
+
+from repro.weather import analyze_air_temperature, generate_air_temperature
+
+
+def _analysis():
+    air = generate_air_temperature(seed=42, years=1, lat_step=5.0, lon_step=5.0)
+    return analyze_air_temperature(air)
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return _analysis()
+
+
+class TestFigureShape:
+    def test_equator_to_pole_gradient(self, analysis):
+        assert analysis.equator_minus_pole_k > 30
+
+    def test_antiphased_hemispheres(self, analysis):
+        lats, jja = analysis.zonal_series("JJA")
+        _, djf = analysis.zonal_series("DJF")
+        assert np.all(jja[lats > 30] > djf[lats > 30])
+        assert np.all(djf[lats < -30] > jja[lats < -30])
+
+    def test_amplitude_grows_poleward(self, analysis):
+        table = analysis.seasonal_amplitude_by_lat
+        tropics = np.mean([r["amplitude"] for r in table if abs(r["lat"]) < 15])
+        poles = np.mean([r["amplitude"] for r in table if abs(r["lat"]) > 60])
+        assert poles > 3 * tropics
+
+    def test_global_mean_earthlike(self, analysis):
+        assert 270 < analysis.global_mean_k < 295
+
+
+def test_bench_bww_analysis(benchmark, output_dir):
+    analysis = benchmark.pedantic(_analysis, rounds=1, iterations=1)
+    path = save_figure_data(analysis.seasonal_zonal, "fig_bww_airtemp")
+    benchmark.extra_info["global_mean_k"] = round(analysis.global_mean_k, 2)
+    benchmark.extra_info["series_csv"] = str(path)

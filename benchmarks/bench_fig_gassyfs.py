@@ -1,0 +1,69 @@
+"""Fig. `gassyfs-git` — GassyFS scalability compiling Git.
+
+Paper: runtime decreases with GASNet cluster size, sublinearly, on every
+platform; the Listing 3 Aver assertion holds on the results.  The bench
+regenerates the full sweep, checks that shape, and times one sweep.
+"""
+
+import pytest
+
+from conftest import save_figure_data
+
+from repro.aver import check
+from repro.gassyfs import ScalabilityConfig, run_scalability_experiment
+
+NODE_COUNTS = (1, 2, 4, 8, 16)
+SITES = ("cloudlab-wisc", "ec2")
+
+
+def _sweep():
+    config = ScalabilityConfig(
+        node_counts=NODE_COUNTS, sites=SITES, placement="round-robin", seed=42
+    )
+    return run_scalability_experiment(config)
+
+
+@pytest.fixture(scope="module")
+def figure_table():
+    return _sweep()
+
+
+class TestFigureShape:
+    """Shape assertions for the regenerated figure."""
+
+    def test_monotone_decreasing_on_every_platform(self, figure_table):
+        for machine in SITES:
+            series = figure_table.where_equals(machine=machine).sort_by("nodes")
+            times = series.column("time")
+            assert all(a > b for a, b in zip(times, times[1:])), machine
+
+    def test_sublinear_listing3_assertion(self, figure_table):
+        result = check(
+            "when workload=* and machine=* expect sublinear(nodes, time)",
+            figure_table,
+        )
+        assert result.passed
+
+    def test_curve_flattens(self, figure_table):
+        series = figure_table.where_equals(machine="cloudlab-wisc").sort_by("nodes")
+        times = series.column("time")
+        first_gain = times[0] / times[1]
+        last_gain = times[-2] / times[-1]
+        assert first_gain > last_gain
+
+    def test_virtualized_platform_slower(self, figure_table):
+        for nodes in NODE_COUNTS:
+            cl = figure_table.where_equals(machine="cloudlab-wisc", nodes=nodes)
+            ec2 = figure_table.where_equals(machine="ec2", nodes=nodes)
+            assert ec2.column("time")[0] > cl.column("time")[0]
+
+
+def test_bench_gassyfs_sweep(benchmark, output_dir):
+    """Time the full figure regeneration and export the series."""
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    path = save_figure_data(table, "fig_gassyfs_git")
+    one = table.where_equals(machine="cloudlab-wisc", nodes=1).column("time")[0]
+    sixteen = table.where_equals(machine="cloudlab-wisc", nodes=16).column("time")[0]
+    benchmark.extra_info["speedup_at_16_nodes"] = round(one / sixteen, 2)
+    benchmark.extra_info["series_csv"] = str(path)
+    assert one / sixteen > 4  # scaling pays off, but far from 16x (sublinear)

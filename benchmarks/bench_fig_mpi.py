@@ -1,0 +1,56 @@
+"""ASPLOS §5.3 figure (promised for the final version) — MPI
+communication variability under noisy neighbors.
+
+Shape: with noise injection the run-to-run coefficient of variation of
+wall time is several times the quiet baseline, the MPI share of
+aggregate time rises sharply, and mpiP pins the increase on the global
+dt-reduction Allreduce.
+"""
+
+import pytest
+
+from conftest import save_figure_data
+
+from repro.aver import check
+from repro.mpicomm import LuleshConfig, run_noise_experiment, variability_stats
+
+CONFIG = LuleshConfig(side=3, iterations=40)
+
+
+def _experiment():
+    return run_noise_experiment(CONFIG, runs=10, seed=42)
+
+
+@pytest.fixture(scope="module")
+def noise_table():
+    return _experiment()
+
+
+class TestFigureShape:
+    def test_noise_amplifies_cov(self, noise_table):
+        clean = variability_stats(noise_table, noise=False)
+        noisy = variability_stats(noise_table, noise=True)
+        assert noisy.cov_wall > 3 * clean.cov_wall
+
+    def test_mpi_fraction_rises(self, noise_table):
+        clean = variability_stats(noise_table, noise=False)
+        noisy = variability_stats(noise_table, noise=True)
+        assert noisy.mean_mpi_fraction > 2 * clean.mean_mpi_fraction
+
+    def test_blame_lands_on_allreduce(self, noise_table):
+        noisy = noise_table.where_equals(noise=True)
+        assert all("dtcourant" in c for c in noisy.column("dominant_callsite"))
+
+    def test_aver_assertions_on_results(self, noise_table):
+        assert check("when noise=* expect count() >= 5", noise_table).passed
+        assert check("expect wall_time > 0", noise_table).passed
+
+
+def test_bench_mpi_noise_experiment(benchmark, output_dir):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    path = save_figure_data(table, "fig_mpi_variability")
+    clean = variability_stats(table, noise=False)
+    noisy = variability_stats(table, noise=True)
+    benchmark.extra_info["cov_clean"] = round(clean.cov_wall, 5)
+    benchmark.extra_info["cov_noisy"] = round(noisy.cov_wall, 5)
+    benchmark.extra_info["series_csv"] = str(path)

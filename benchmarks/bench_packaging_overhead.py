@@ -1,0 +1,76 @@
+"""The "hypervisor tax" claim (§"Common Experimental Practices").
+
+Paper: VMs carry performance and management overheads that "can be high
+and, in some cases, cannot be accounted for easily", while OS-level
+virtualization (containers) has essentially none — the reason Popper
+templates package experiments in containers.  The bench reproduces the
+comparison: the same workload under bare-metal, container and VM
+packaging.
+"""
+
+import pytest
+
+from conftest import save_figure_data
+
+from repro.common.tables import MetricsTable
+from repro.container import BARE_METAL, CONTAINER, VIRTUAL_MACHINE, packaged_time
+from repro.platform import KernelDemand, execution_time, get_machine
+
+MODES = (BARE_METAL, CONTAINER, VIRTUAL_MACHINE)
+
+
+def _table() -> MetricsTable:
+    machine = get_machine("cloudlab-c220g1")
+    workload = KernelDemand(
+        ops=2e10, mem_bytes=6e9, working_set_kib=1 << 18, parallel_fraction=0.9
+    )
+    native = execution_time(workload, machine, threads=8)
+    table = MetricsTable(
+        ["mode", "startup_s", "runtime_s", "total_s", "overhead_pct", "image_weight"]
+    )
+    for mode in MODES:
+        runtime = packaged_time(native, mode, include_startup=False)
+        total = packaged_time(native, mode, include_startup=True)
+        table.append(
+            {
+                "mode": mode.name,
+                "startup_s": mode.startup_s,
+                "runtime_s": runtime,
+                "total_s": total,
+                "overhead_pct": 100 * (runtime / native - 1),
+                "image_weight": mode.image_size_factor,
+            }
+        )
+    return table
+
+
+@pytest.fixture(scope="module")
+def overhead_table():
+    return _table()
+
+
+class TestHypervisorTax:
+    def test_container_tax_negligible(self, overhead_table):
+        row = overhead_table.where_equals(mode="container")[0]
+        assert row["overhead_pct"] < 2.0
+
+    def test_vm_tax_significant(self, overhead_table):
+        row = overhead_table.where_equals(mode="vm")[0]
+        assert row["overhead_pct"] > 5.0
+
+    def test_vm_startup_dominates_short_runs(self, overhead_table):
+        vm = overhead_table.where_equals(mode="vm")[0]
+        container = overhead_table.where_equals(mode="container")[0]
+        assert vm["startup_s"] > 50 * container["startup_s"]
+
+    def test_image_weight_ordering(self, overhead_table):
+        weights = {r["mode"]: r["image_weight"] for r in overhead_table}
+        assert weights["bare"] < weights["container"] < weights["vm"]
+
+
+def test_bench_packaging_overhead(benchmark, output_dir):
+    table = benchmark.pedantic(_table, rounds=3, iterations=1)
+    path = save_figure_data(table, "table_packaging_overhead")
+    rows = {r["mode"]: round(r["overhead_pct"], 2) for r in table}
+    benchmark.extra_info["overhead_pct"] = rows
+    benchmark.extra_info["series_csv"] = str(path)

@@ -1,0 +1,60 @@
+"""End-to-end Popper pipeline cost (Listings 1-3 combined).
+
+Times the full author loop — init repository, bootstrap an experiment
+from a template, run it, validate — the "overhead of following the
+convention" that the paper's practicality claim is about.
+"""
+
+import pytest
+
+from repro.common.fsutil import write_text
+from repro.core import ExperimentPipeline, PopperRepository
+from repro.core.check import check_repository
+
+FAST_VARS = "runner: torpor-variability\nruns: 2\nseed: 7\n"
+
+
+def test_bench_popper_init(benchmark, tmp_path):
+    counter = [0]
+
+    def init():
+        counter[0] += 1
+        return PopperRepository.init(tmp_path / f"repo-{counter[0]}")
+
+    repo = benchmark.pedantic(init, rounds=10, iterations=1)
+    assert (repo.root / ".popper.yml").is_file()
+
+
+def test_bench_popper_add_template(benchmark, tmp_path):
+    repo = PopperRepository.init(tmp_path / "repo")
+    counter = [0]
+
+    def add():
+        counter[0] += 1
+        return repo.add_experiment("gassyfs", f"exp{counter[0]}")
+
+    target = benchmark.pedantic(add, rounds=10, iterations=1)
+    assert (target / "vars.yml").is_file()
+
+
+def test_bench_popper_full_pipeline(benchmark, tmp_path):
+    """init -> add -> shrink -> run -> validate, timed as one unit."""
+    counter = [0]
+
+    def full():
+        counter[0] += 1
+        repo = PopperRepository.init(tmp_path / f"paper-{counter[0]}")
+        repo.add_experiment("torpor", "myexp")
+        write_text(repo.experiment_dir("myexp") / "vars.yml", FAST_VARS)
+        return ExperimentPipeline(repo, "myexp").run()
+
+    result = benchmark.pedantic(full, rounds=3, iterations=1)
+    assert result.validated
+
+
+def test_bench_popper_check(benchmark, tmp_path):
+    repo = PopperRepository.init(tmp_path / "repo")
+    for i, template in enumerate(("gassyfs", "torpor", "jupyter-bww")):
+        repo.add_experiment(template, f"exp{i}")
+    report = benchmark(check_repository, repo)
+    assert report.compliant

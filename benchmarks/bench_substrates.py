@@ -1,0 +1,209 @@
+"""Substrate micro-benchmarks: the fixed costs of the toolchain itself.
+
+The paper's practicality argument rests on the DevOps plumbing being
+cheap relative to experiments.  These benches keep that claim honest for
+this implementation: Aver evaluation, VCS snapshot/commit, container
+image builds and playbook fan-out.
+"""
+
+import pytest
+
+from repro.aver import check, parse_statement
+from repro.common.tables import MetricsTable
+from repro.container import ImageBuilder, Registry
+from repro.orchestration import (
+    ContainerConnection,
+    Inventory,
+    Playbook,
+    PlaybookRunner,
+)
+from repro.vcs import Repository
+
+
+# --- Aver ------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def big_results_table():
+    table = MetricsTable(["workload", "machine", "nodes", "time"])
+    for workload in range(4):
+        for machine in range(8):
+            for nodes in (1, 2, 4, 8, 16):
+                for run in range(5):
+                    table.append(
+                        {
+                            "workload": f"w{workload}",
+                            "machine": f"m{machine}",
+                            "nodes": nodes,
+                            "time": 100.0 / nodes**0.6 + run * 0.01,
+                        }
+                    )
+    return table
+
+
+def test_bench_aver_parse(benchmark):
+    benchmark(
+        parse_statement,
+        "when workload=* and machine=* expect sublinear(nodes, time) "
+        "and within(time, 0, 1000) and count() >= 5",
+    )
+
+
+def test_bench_aver_eval_wildcard_groups(benchmark, big_results_table):
+    """Evaluate Listing 3 over 32 wildcard groups x 25 rows."""
+    result = benchmark(
+        check,
+        "when workload=* and machine=* expect sublinear(nodes, time)",
+        big_results_table,
+    )
+    assert result.passed
+    assert len(result.groups) == 32
+
+
+# --- VCS ----------------------------------------------------------------------
+
+def test_bench_vcs_snapshot_commit(benchmark, tmp_path):
+    """Stage-and-commit a 100-file tree (the per-iteration cost of
+    keeping every experiment artifact versioned)."""
+    repo = Repository.init(tmp_path / "repo")
+    for i in range(100):
+        path = repo.root / f"dir{i % 10}" / f"file{i}.txt"
+        path.parent.mkdir(exist_ok=True)
+        path.write_text(f"content {i}\n")
+
+    counter = [0]
+
+    def snapshot():
+        counter[0] += 1
+        (repo.root / "dir0" / "file0.txt").write_text(f"rev {counter[0]}\n")
+        repo.add_all()
+        return repo.commit(f"rev {counter[0]}")
+
+    oid = benchmark.pedantic(snapshot, rounds=20, iterations=1)
+    assert len(oid) == 64
+
+
+def test_bench_vcs_log_walk(benchmark, tmp_path):
+    repo = Repository.init(tmp_path / "repo")
+    for i in range(50):
+        (repo.root / "f.txt").write_text(f"v{i}")
+        repo.add("f.txt")
+        repo.commit(f"v{i}")
+    entries = benchmark(repo.log)
+    assert len(entries) == 50
+
+
+# --- container builds ------------------------------------------------------------
+
+CONTAINERFILE = """\
+FROM scratch
+RUN pkg install gassyfs stress-ng openmpi
+ENV MODE=experiment
+WORKDIR /exp
+RUN echo ready > /exp/status
+LABEL popper=true
+"""
+
+
+def test_bench_image_build(benchmark):
+    def build():
+        return ImageBuilder(Registry()).build(CONTAINERFILE)
+
+    image = benchmark(build)
+    assert "/exp/status" in image.flatten()
+
+
+# --- orchestration fan-out ----------------------------------------------------------
+
+PLAYBOOK = """\
+- hosts: all
+  gather_facts: false
+  tasks:
+    - name: install
+      package: {name: [git, make]}
+    - name: configure
+      copy: {dest: /etc/exp.conf, content: 'nodes={{ n }}'}
+    - name: verify
+      command: {cmd: cat /etc/exp.conf}
+"""
+
+
+@pytest.mark.parametrize("hosts", [4, 16])
+def test_bench_playbook_fanout(benchmark, hosts):
+    playbook = Playbook.from_yaml(PLAYBOOK)
+
+    def run():
+        inventory = Inventory()
+        for i in range(hosts):
+            inventory.add_host(
+                f"node{i}", connection=ContainerConnection(name=f"node{i}")
+            )
+        return PlaybookRunner(inventory, extra_vars={"n": hosts}).run(playbook)
+
+    recap = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert recap.ok
+
+
+# --- minyaml ----------------------------------------------------------------------
+
+_BIG_PLAYBOOK = "\n".join(
+    (
+        "- name: play {i}\n"
+        "  hosts: all\n"
+        "  vars: {{n: {i}, flag: true}}\n"
+        "  tasks:\n"
+        "    - name: install\n"
+        "      package: {{name: [git, make, gcc]}}\n"
+        "    - name: write\n"
+        "      copy: {{dest: /etc/conf{i}, content: 'value={i}'}}\n"
+    ).format(i=i)
+    for i in range(40)
+)
+
+
+def test_bench_minyaml_parse_playbook(benchmark):
+    from repro.common import minyaml
+
+    doc = benchmark(minyaml.loads, _BIG_PLAYBOOK)
+    assert len(doc) == 40
+
+
+# --- GassyFS op latency --------------------------------------------------------------
+
+def test_bench_gassyfs_small_file_ops(benchmark):
+    """Create/write/read/unlink of a small file (metadata-path cost)."""
+    from repro.common.rng import SeedSequenceFactory
+    from repro.gassyfs import GassyFS, GasnetCluster
+    from repro.platform.sites import Site
+
+    site = Site("bench", "cloudlab-c220g1", capacity=4,
+                seeds=SeedSequenceFactory(1))
+    fs = GassyFS(GasnetCluster(site.allocate(4)))
+    payload = b"x" * 4096
+    counter = [0]
+
+    def op_cycle():
+        counter[0] += 1
+        path = f"/f{counter[0]}"
+        fs.create(path)
+        fs.write(path, payload)
+        data = fs.read(path)
+        fs.unlink(path)
+        return data
+
+    data = benchmark(op_cycle)
+    assert data == payload
+
+
+# --- statistical comparison -------------------------------------------------------------
+
+def test_bench_bootstrap_comparison(benchmark):
+    from repro.common.rng import derive_rng
+    from repro.stats import statistical_comparison
+
+    rng = derive_rng(3, "bench")
+    a = 10.0 * (1 + 0.05 * rng.standard_normal(20))
+    b = 8.0 * (1 + 0.05 * rng.standard_normal(20))
+    estimate = benchmark(
+        statistical_comparison, a, b, 0.95, 2000, 1
+    )
+    assert estimate.significant

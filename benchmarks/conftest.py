@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_fig_*`` module regenerates one of the paper's figures:
+it runs the experiment, asserts the figure's *shape* (who wins, by what
+rough factor, where the curve bends — absolute numbers are simulator
+outputs), saves the underlying series to ``benchmarks/output/*.csv``
+and registers headline numbers in the pytest-benchmark ``extra_info``
+so they appear in ``--benchmark-json`` exports.
+"""
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def save_figure_data(table, name: str) -> Path:
+    """Persist a figure's underlying rows as a CSV artifact."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.csv"
+    table.save_csv(path)
+    return path

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The MPI use case (ASPLOS §5.3): LULESH noise characterization.
+
+Runs the LULESH proxy app repeatedly on a simulated HPC allocation with
+and without noisy-neighbor injection, prints the run-to-run variability
+of wall time, and shows the mpiP call-site breakdown that pins the blame
+on collective wait time.
+
+Run with::
+
+    python examples/mpi_variability.py
+"""
+
+from repro.common.rng import SeedSequenceFactory
+from repro.mpicomm import (
+    LuleshConfig,
+    run_lulesh,
+    run_noise_experiment,
+    variability_stats,
+)
+from repro.platform.sites import default_sites
+
+
+def main() -> None:
+    config = LuleshConfig(side=3, iterations=50)
+    print(
+        f"LULESH proxy: {config.ranks} ranks "
+        f"({config.side}^3 domain), {config.iterations} timesteps"
+    )
+
+    print("\nRunning 10 executions per noise setting...")
+    table = run_noise_experiment(config, runs=10, seed=42)
+
+    clean = variability_stats(table, noise=False)
+    noisy = variability_stats(table, noise=True)
+    print(f"\n  {clean}")
+    print(f"  {noisy}")
+    print(
+        f"\nnoise multiplies run-to-run spread by "
+        f"{noisy.cov_wall / max(clean.cov_wall, 1e-9):.0f}x "
+        f"and stretches the worst run to "
+        f"{noisy.max_over_min:.2f}x the best"
+    )
+
+    print("\nmpiP attribution for one noisy run:")
+    site = default_sites(42)["hpc"]
+    with site.allocate(config.ranks) as allocation:
+        run = run_lulesh(
+            config, list(allocation), SeedSequenceFactory(7), noise_injection=True
+        )
+    print(f"  wall time: {run.wall_time:.3f}s, MPI fraction: {run.mpi_fraction:.1%}")
+    for stats in run.report.top_callsites(4):
+        print(f"    {stats}")
+    print(
+        "\nthe dominant site is the dt-reduction Allreduce: noise on a few"
+        "\nranks becomes *global* wait time at every collective — the"
+        "\nphenomenon the original mpiP study chased."
+    )
+
+
+if __name__ == "__main__":
+    main()

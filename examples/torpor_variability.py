@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The Torpor use case: regenerate the variability-profile figure.
+
+Runs the stress-ng-style baseliner battery on a simulated CloudLab node
+and on the authors' "10 year old Xeon", histograms the per-stressor
+speedups (the ASPLOS paper's Fig. torpor-variability, whose mode the
+paper calls out as 7 stressors in the (2.2, 2.3] bucket), and then uses
+the profile to (a) predict an unseen application's speedup range and
+(b) compute the CPU quota that recreates the old machine on the new one.
+
+Run with::
+
+    python examples/torpor_variability.py
+"""
+
+from repro.torpor import (
+    predict_speedup,
+    recreation_error,
+    run_torpor_experiment,
+    throttle_for,
+)
+
+
+def main() -> None:
+    print("Profiling base (lab-xeon-2006) and target (cloudlab-c220g1)...")
+    result = run_torpor_experiment(seed=42, runs=3)
+
+    print("\nVariability profile (speedup of CloudLab node vs 2006 Xeon):\n")
+    histogram = result.speedups.histogram(bin_width=0.1)
+    peak = max(count for _, _, count in histogram)
+    for lo, hi, count in histogram:
+        if count == 0:
+            continue
+        bar = "#" * int(round(30 * count / peak))
+        print(f"  ({lo:6.1f}, {hi:6.1f}] | {bar} {count}")
+
+    mode_lo, mode_hi, mode_count = result.speedups.mode_bucket(0.1)
+    print(
+        f"\nmode bucket: ({mode_lo}, {mode_hi}] holds {mode_count} stressors "
+        "(the paper: 7 stressors in (2.2, 2.3])"
+    )
+
+    print("\nper-class speedup ranges:")
+    for r in result.variability.ranges:
+        print(f"  {r.klass:<8} [{r.low:6.2f}, {r.high:6.2f}]")
+
+    mix = {"cpu": 0.6, "memory": 0.3, "storage": 0.1}
+    prediction = predict_speedup(result.variability, mix)
+    print(
+        f"\npredicted speedup for an app that is {mix} of base runtime: "
+        f"[{prediction.low:.2f}, {prediction.high:.2f}]"
+    )
+
+    throttle = throttle_for(result.variability, "cpu")
+    print(
+        f"\nto recreate the 2006 Xeon on the CloudLab node, cap CPU at "
+        f"{throttle.cpu_quota:.1%} quota"
+    )
+    print(
+        "  recreation error, cpu-bound app: "
+        f"{recreation_error(result.variability, {'cpu': 1.0}, throttle):.1%}"
+    )
+    print(
+        "  recreation error, memory-bound app: "
+        f"{recreation_error(result.variability, {'memory': 1.0}, throttle):.1%}"
+        "  (CPU quotas cannot slow DRAM — a documented Torpor limitation)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro — a from-scratch reproduction of *The Popper Convention: Making
+Reproducible Systems Evaluation Practical* (Jimenez et al.).
+
+The package builds the Popper toolchain itself (convention engine, CLI,
+Aver validation language, CI, templates) plus every DevOps substrate it
+composes (version control, containers, orchestration, dataset
+management, monitoring, baseline fingerprinting) and the systems under
+study in the paper's use cases (GassyFS, Torpor, the LULESH/mpiP
+experiment, the Big-Weather-Web analysis) — all runnable on a laptop
+with no network, no Docker daemon and no cluster.
+
+Quickstart::
+
+    from repro.core import PopperRepository, ExperimentPipeline
+
+    repo = PopperRepository.init("/tmp/mypaper-repo")
+    repo.add_experiment("gassyfs", "myexp")
+    result = ExperimentPipeline(repo, "myexp").run()
+    assert result.validated
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,31 @@
+"""The Aver validation language (the paper's domain-specific result
+validation): lexer, parser, trend/aggregate functions, evaluator with
+wildcard-group semantics, and a CLI for CI pipelines.
+"""
+
+from repro.aver.ast import Statement, WhenClause, WILDCARD
+from repro.aver.evaluator import (
+    GroupResult,
+    ValidationResult,
+    check,
+    check_all,
+    evaluate_statement,
+)
+from repro.aver.functions import FUNCTIONS, register_function, scaling_exponent
+from repro.aver.parser import parse_file_text, parse_statement
+
+__all__ = [
+    "Statement",
+    "WhenClause",
+    "WILDCARD",
+    "parse_statement",
+    "parse_file_text",
+    "check",
+    "check_all",
+    "evaluate_statement",
+    "ValidationResult",
+    "GroupResult",
+    "FUNCTIONS",
+    "register_function",
+    "scaling_exponent",
+]

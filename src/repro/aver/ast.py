@@ -1,0 +1,124 @@
+"""Abstract syntax tree for the Aver assertion language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+__all__ = [
+    "Number",
+    "String",
+    "Boolean",
+    "Column",
+    "FuncCall",
+    "Arith",
+    "Compare",
+    "BoolOp",
+    "Not",
+    "WhenClause",
+    "WILDCARD",
+    "Statement",
+    "Expr",
+]
+
+
+class _Wildcard:
+    """The ``*`` in ``when machine=*`` — "for every distinct value"."""
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+WILDCARD = _Wildcard()
+
+
+@dataclass(frozen=True)
+class Number:
+    value: float
+
+
+@dataclass(frozen=True)
+class String:
+    value: str
+
+
+@dataclass(frozen=True)
+class Boolean:
+    value: bool
+
+
+@dataclass(frozen=True)
+class Column:
+    """A reference to a column of the results table."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """A builtin validation/aggregate function applied to arguments."""
+
+    name: str
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Arith:
+    """Arithmetic: ``+ - * / %`` over scalars and column vectors."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Compare:
+    """Comparison producing row-wise (then universally quantified) truth."""
+
+    op: str  # = == != < <= > >=
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    op: str  # and | or
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Expr"
+
+
+Expr = Union[Number, String, Boolean, Column, FuncCall, Arith, Compare, BoolOp, Not]
+
+
+@dataclass(frozen=True)
+class WhenClause:
+    """One condition term: ``column=value`` or ``column=*``."""
+
+    column: str
+    value: Any  # literal or WILDCARD
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.value is WILDCARD
+
+
+@dataclass(frozen=True)
+class Statement:
+    """``[when <clauses>] expect <expression>``."""
+
+    when: tuple[WhenClause, ...]
+    expectation: Expr
+    source: str = ""
+
+    @property
+    def wildcard_columns(self) -> tuple[str, ...]:
+        return tuple(c.column for c in self.when if c.is_wildcard)
+
+    @property
+    def filter_clauses(self) -> tuple[WhenClause, ...]:
+        return tuple(c for c in self.when if not c.is_wildcard)

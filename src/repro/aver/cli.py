@@ -1,0 +1,77 @@
+"""``aver`` command-line tool.
+
+Usage::
+
+    aver --input results.csv "when machine=* expect sublinear(nodes, time)"
+    aver --input results.csv --file validations.aver
+
+Exit status 0 when every assertion holds, 1 otherwise — which is what
+lets a CI ``script:`` line gate a build on domain-specific validation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.aver.evaluator import check_all
+from repro.common.errors import AverError
+from repro.common.tables import MetricsTable
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="aver",
+        description="Validate experiment results with Aver assertions.",
+    )
+    parser.add_argument(
+        "--input", "-i", required=True, help="results CSV file to validate"
+    )
+    parser.add_argument(
+        "--file", "-f", help="file of Aver statements (validations.aver)"
+    )
+    parser.add_argument(
+        "statements", nargs="*", help="inline Aver statements"
+    )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true", help="suppress per-group detail"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    sources: list[str] = list(args.statements)
+    try:
+        table = MetricsTable.load_csv(args.input)
+    except (OSError, ValueError) as exc:
+        print(f"aver: cannot read {args.input}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        results = []
+        if args.file:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                results.extend(check_all(handle.read(), table))
+        if sources:
+            results.extend(check_all(sources, table))
+    except AverError as exc:
+        print(f"aver: {exc}", file=sys.stderr)
+        return 2
+    if not results:
+        print("aver: no statements given", file=sys.stderr)
+        return 2
+    all_passed = True
+    for result in results:
+        all_passed &= result.passed
+        if args.quiet:
+            status = "PASS" if result.passed else "FAIL"
+            print(f"{status}: {result.statement.source}")
+        else:
+            print(result.describe())
+    return 0 if all_passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

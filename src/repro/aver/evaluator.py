@@ -1,0 +1,297 @@
+"""Evaluating Aver statements against experiment results.
+
+Semantics:
+
+* ``when`` clauses with concrete values **filter** the results table.
+* ``when column=*`` clauses **quantify**: the expectation must hold inside
+  every distinct-value group of that column (the Cartesian product across
+  several wildcard columns).  This is what
+  ``when workload=* and machine=*`` in the paper's Listing 3 means.
+* Inside a group, a :class:`~repro.aver.ast.Column` evaluates to the
+  column's vector; comparisons between vectors/scalars are evaluated
+  row-wise and then **universally quantified** ("every row satisfies").
+* Aggregates and trend validators reduce vectors before comparison.
+
+The entry point is :func:`check`, returning a :class:`ValidationResult`
+per statement with per-group detail — the report a Popper pipeline stores
+next to ``results.csv``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.aver.ast import (
+    Arith,
+    Boolean,
+    BoolOp,
+    Column,
+    Compare,
+    Expr,
+    FuncCall,
+    Not,
+    Number,
+    Statement,
+    String,
+)
+from repro.aver.functions import FUNCTIONS
+from repro.aver.parser import parse_statement
+from repro.common.errors import AverEvalError
+from repro.common.tables import MetricsTable
+
+__all__ = ["GroupResult", "ValidationResult", "evaluate_statement", "check", "check_all"]
+
+
+@dataclass(frozen=True)
+class GroupResult:
+    """Verdict for one wildcard-group binding."""
+
+    binding: tuple[tuple[str, Any], ...]
+    passed: bool
+    detail: str = ""
+
+    def describe(self) -> str:
+        if not self.binding:
+            scope = "<all rows>"
+        else:
+            scope = ", ".join(f"{k}={v}" for k, v in self.binding)
+        status = "PASS" if self.passed else "FAIL"
+        extra = f" ({self.detail})" if self.detail else ""
+        return f"[{status}] {scope}{extra}"
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Verdict for one statement across all its groups."""
+
+    statement: Statement
+    groups: tuple[GroupResult, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(g.passed for g in self.groups)
+
+    def describe(self) -> str:
+        head = f"{'PASS' if self.passed else 'FAIL'}: {self.statement.source}"
+        lines = [head] + ["  " + g.describe() for g in self.groups]
+        return "\n".join(lines)
+
+
+class _Evaluator:
+    """Evaluates one expression against one group of rows."""
+
+    def __init__(self, group: MetricsTable) -> None:
+        self.group = group
+
+    def eval(self, node: Expr) -> Any:
+        method = getattr(self, f"_eval_{type(node).__name__.lower()}", None)
+        if method is None:  # pragma: no cover - exhaustive over AST
+            raise AverEvalError(f"cannot evaluate node {node!r}")
+        return method(node)
+
+    # -- leaves ---------------------------------------------------------------
+    def _eval_number(self, node: Number) -> float:
+        return node.value
+
+    def _eval_string(self, node: String) -> str:
+        return node.value
+
+    def _eval_boolean(self, node: Boolean) -> bool:
+        return node.value
+
+    def _eval_column(self, node: Column) -> Any:
+        if node.name not in self.group.columns:
+            raise AverEvalError(
+                f"no column {node.name!r} in results "
+                f"(have {self.group.columns})"
+            )
+        values = self.group.column(node.name)
+        if all(isinstance(v, (int, float, bool)) or v is None for v in values):
+            return self.group.numeric(node.name)
+        return values  # string column: list of values
+
+    # -- function calls -----------------------------------------------------------
+    def _eval_funccall(self, node: FuncCall) -> Any:
+        if node.name == "count" and not node.args:
+            return float(len(self.group))
+        fn = FUNCTIONS.get(node.name)
+        if fn is None:
+            raise AverEvalError(
+                f"unknown function {node.name!r} "
+                f"(known: {sorted(FUNCTIONS)})"
+            )
+        args = [self.eval(arg) for arg in node.args]
+        return fn(node.name, args)
+
+    # -- arithmetic ------------------------------------------------------------------
+    def _eval_arith(self, node: Arith) -> Any:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        for side, value in (("left", left), ("right", right)):
+            if isinstance(value, (str, list)):
+                raise AverEvalError(
+                    f"arithmetic on non-numeric {side} operand of {node.op!r}"
+                )
+        try:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                if node.op == "+":
+                    return left + right
+                if node.op == "-":
+                    return left - right
+                if node.op == "*":
+                    return left * right
+                if node.op == "/":
+                    return left / right
+                if node.op == "%":
+                    return left % right
+        except ZeroDivisionError as exc:
+            raise AverEvalError("division by zero") from exc
+        raise AverEvalError(f"unknown arithmetic operator {node.op!r}")
+
+    # -- comparisons --------------------------------------------------------------------
+    def _eval_compare(self, node: Compare) -> bool:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        op = "==" if node.op == "=" else node.op
+        # String comparison (column of strings vs literal, or two strings).
+        if isinstance(left, list) or isinstance(right, list) or isinstance(
+            left, str
+        ) or isinstance(right, str):
+            if op not in ("==", "!="):
+                raise AverEvalError(
+                    f"ordering comparison {op!r} on non-numeric values"
+                )
+            lvals = left if isinstance(left, list) else [left]
+            rvals = right if isinstance(right, list) else [right]
+            if len(lvals) != len(rvals) and 1 not in (len(lvals), len(rvals)):
+                raise AverEvalError("comparison of unequal-length columns")
+            if len(lvals) == 1:
+                lvals = lvals * len(rvals)
+            if len(rvals) == 1:
+                rvals = rvals * len(lvals)
+            results = [
+                (a == b) if op == "==" else (a != b)
+                for a, b in zip(lvals, rvals)
+            ]
+            return all(results)
+        larr = np.asarray(left, dtype=np.float64)
+        rarr = np.asarray(right, dtype=np.float64)
+        if larr.ndim and rarr.ndim and larr.size != rarr.size:
+            raise AverEvalError(
+                f"comparison of unequal-length vectors ({larr.size} vs {rarr.size})"
+            )
+        if np.any(~np.isfinite(larr)) or np.any(~np.isfinite(rarr)):
+            raise AverEvalError("comparison over NaN/inf values")
+        ops = {
+            "==": np.equal,
+            "!=": np.not_equal,
+            "<": np.less,
+            "<=": np.less_equal,
+            ">": np.greater,
+            ">=": np.greater_equal,
+        }
+        result = ops[op](larr, rarr)
+        return bool(np.all(result))
+
+    # -- boolean -----------------------------------------------------------------------------
+    def _eval_boolop(self, node: BoolOp) -> bool:
+        left = self._as_bool(self.eval(node.left), node.op)
+        if node.op == "and":
+            return left and self._as_bool(self.eval(node.right), node.op)
+        if node.op == "or":
+            return left or self._as_bool(self.eval(node.right), node.op)
+        raise AverEvalError(f"unknown boolean operator {node.op!r}")
+
+    def _eval_not(self, node: Not) -> bool:
+        return not self._as_bool(self.eval(node.operand), "not")
+
+    @staticmethod
+    def _as_bool(value: Any, context: str) -> bool:
+        if isinstance(value, (bool, np.bool_)):
+            return bool(value)
+        raise AverEvalError(
+            f"operand of {context!r} is not boolean (got {type(value).__name__}); "
+            "use a comparison or validator function"
+        )
+
+
+def _groups_for(
+    statement: Statement, table: MetricsTable
+) -> list[tuple[tuple[tuple[str, Any], ...], MetricsTable]]:
+    filtered = table
+    for clause in statement.filter_clauses:
+        if clause.column not in table.columns:
+            raise AverEvalError(
+                f"when-clause column {clause.column!r} not in results"
+            )
+        filtered = filtered.where_equals(**{clause.column: clause.value})
+    if len(filtered) == 0:
+        raise AverEvalError("when-clauses matched no rows")
+    wildcards = statement.wildcard_columns
+    for column in wildcards:
+        if column not in table.columns:
+            raise AverEvalError(
+                f"when-clause column {column!r} not in results"
+            )
+    if not wildcards:
+        return [((), filtered)]
+    groups = filtered.group_by(*wildcards)
+    return [
+        (tuple(zip(wildcards, key)), group)
+        for key, group in sorted(groups.items(), key=lambda kv: str(kv[0]))
+    ]
+
+
+def evaluate_statement(
+    statement: Statement, table: MetricsTable
+) -> ValidationResult:
+    """Evaluate a parsed statement against a results table."""
+    if len(table) == 0:
+        raise AverEvalError("results table is empty")
+    group_results: list[GroupResult] = []
+    groups = _groups_for(statement, table)
+    if not groups:
+        raise AverEvalError("when-clauses matched no rows")
+    for binding, group in groups:
+        if len(group) == 0:
+            group_results.append(
+                GroupResult(binding=binding, passed=False, detail="empty group")
+            )
+            continue
+        try:
+            verdict = _Evaluator(group).eval(statement.expectation)
+        except AverEvalError as exc:
+            group_results.append(
+                GroupResult(binding=binding, passed=False, detail=str(exc))
+            )
+            continue
+        if not isinstance(verdict, (bool, np.bool_)):
+            group_results.append(
+                GroupResult(
+                    binding=binding,
+                    passed=False,
+                    detail="expectation did not reduce to a boolean",
+                )
+            )
+            continue
+        group_results.append(GroupResult(binding=binding, passed=bool(verdict)))
+    return ValidationResult(statement=statement, groups=tuple(group_results))
+
+
+def check(source: str, table: MetricsTable) -> ValidationResult:
+    """Parse and evaluate one statement."""
+    return evaluate_statement(parse_statement(source), table)
+
+
+def check_all(sources: list[str] | str, table: MetricsTable) -> list[ValidationResult]:
+    """Evaluate many statements (a ``validations.aver`` file's worth)."""
+    from repro.aver.parser import parse_file_text
+
+    if isinstance(sources, str):
+        statements = parse_file_text(sources)
+    else:
+        statements = [parse_statement(s) for s in sources]
+    return [evaluate_statement(s, table) for s in statements]

@@ -1,0 +1,204 @@
+"""Builtin functions of the Aver language.
+
+Two families:
+
+* **Trend validators** (``sublinear``, ``superlinear``, ``linear``,
+  ``monotonic_inc``, ``monotonic_dec``, ``constant``, ``within``) — take
+  column vectors and return a boolean verdict about the relationship.
+  Scaling verdicts fit ``y = c * x^b`` by least squares in log-log space;
+  ``b`` is the scaling exponent (sublinear: ``b < 1``, matching the
+  published Aver semantics where a decreasing curve is also sublinear).
+* **Aggregates** (``min``, ``max``, ``avg``, ``sum``, ``count``,
+  ``stddev``, ``median``, ``percentile``) — reduce a column vector to a
+  scalar usable in comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.common.errors import AverEvalError
+
+__all__ = ["FUNCTIONS", "scaling_exponent", "register_function"]
+
+#: Tolerance band around an exponent of exactly 1 ("linear").
+_LINEAR_EPS = 0.08
+
+
+def _as_vector(value: Any, name: str, arg_index: int) -> np.ndarray:
+    array = np.asarray(value, dtype=np.float64)
+    if array.ndim == 0:
+        array = array.reshape(1)
+    if array.size == 0:
+        raise AverEvalError(f"{name}(): argument {arg_index} is empty")
+    if np.any(~np.isfinite(array)):
+        raise AverEvalError(f"{name}(): argument {arg_index} has NaN/inf values")
+    return array
+
+
+def _as_scalar(value: Any, name: str, arg_index: int) -> float:
+    array = np.asarray(value, dtype=np.float64)
+    if array.ndim != 0 and array.size != 1:
+        raise AverEvalError(
+            f"{name}(): argument {arg_index} must be a scalar, got a vector"
+        )
+    return float(array.reshape(-1)[0])
+
+
+def scaling_exponent(x: np.ndarray, y: np.ndarray) -> float:
+    """Least-squares exponent ``b`` of ``y = c * x^b`` (log-log fit)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size:
+        raise AverEvalError(
+            f"scaling fit needs equal-length vectors ({x.size} vs {y.size})"
+        )
+    if x.size < 2:
+        raise AverEvalError("scaling fit needs at least 2 points")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise AverEvalError("scaling fit needs positive values")
+    if np.unique(x).size < 2:
+        raise AverEvalError("scaling fit needs at least 2 distinct x values")
+    lx, ly = np.log(x), np.log(y)
+    slope, _intercept = np.polyfit(lx, ly, 1)
+    return float(slope)
+
+
+def _fn_sublinear(name: str, args: list[Any]) -> bool:
+    _need(name, args, 2)
+    x = _as_vector(args[0], name, 0)
+    y = _as_vector(args[1], name, 1)
+    return scaling_exponent(x, y) < 1.0 - _LINEAR_EPS
+
+
+def _fn_superlinear(name: str, args: list[Any]) -> bool:
+    _need(name, args, 2)
+    x = _as_vector(args[0], name, 0)
+    y = _as_vector(args[1], name, 1)
+    return scaling_exponent(x, y) > 1.0 + _LINEAR_EPS
+
+
+def _fn_linear(name: str, args: list[Any]) -> bool:
+    _need(name, args, 2)
+    x = _as_vector(args[0], name, 0)
+    y = _as_vector(args[1], name, 1)
+    return abs(scaling_exponent(x, y) - 1.0) <= _LINEAR_EPS
+
+
+def _sorted_by_x(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    order = np.argsort(x, kind="stable")
+    return y[order]
+
+
+def _fn_monotonic_inc(name: str, args: list[Any]) -> bool:
+    _need(name, args, 2)
+    x = _as_vector(args[0], name, 0)
+    y = _as_vector(args[1], name, 1)
+    if x.size != y.size:
+        raise AverEvalError(f"{name}(): vectors differ in length")
+    ordered = _sorted_by_x(x, y)
+    return bool(np.all(np.diff(ordered) >= -1e-12))
+
+
+def _fn_monotonic_dec(name: str, args: list[Any]) -> bool:
+    _need(name, args, 2)
+    x = _as_vector(args[0], name, 0)
+    y = _as_vector(args[1], name, 1)
+    if x.size != y.size:
+        raise AverEvalError(f"{name}(): vectors differ in length")
+    ordered = _sorted_by_x(x, y)
+    return bool(np.all(np.diff(ordered) <= 1e-12))
+
+
+def _fn_constant(name: str, args: list[Any]) -> bool:
+    """``constant(y [, tol])``: max relative deviation from the mean <= tol."""
+    if len(args) not in (1, 2):
+        raise AverEvalError(f"{name}() takes 1 or 2 arguments, got {len(args)}")
+    y = _as_vector(args[0], name, 0)
+    tol = _as_scalar(args[1], name, 1) if len(args) == 2 else 0.05
+    mean = float(np.mean(y))
+    if mean == 0.0:
+        return bool(np.all(np.abs(y) <= tol))
+    return bool(np.max(np.abs(y - mean)) <= abs(mean) * tol)
+
+
+def _fn_within(name: str, args: list[Any]) -> bool:
+    """``within(y, lo, hi)``: every value in [lo, hi]."""
+    _need(name, args, 3)
+    y = _as_vector(args[0], name, 0)
+    lo = _as_scalar(args[1], name, 1)
+    hi = _as_scalar(args[2], name, 2)
+    if lo > hi:
+        raise AverEvalError(f"{name}(): lo > hi")
+    return bool(np.all((y >= lo) & (y <= hi)))
+
+
+def _need(name: str, args: list[Any], count: int) -> None:
+    if len(args) != count:
+        raise AverEvalError(f"{name}() takes {count} arguments, got {len(args)}")
+
+
+def _agg(fn: Callable[[np.ndarray], float]) -> Callable[[str, list[Any]], float]:
+    def wrapper(name: str, args: list[Any]) -> float:
+        _need(name, args, 1)
+        return float(fn(_as_vector(args[0], name, 0)))
+
+    return wrapper
+
+
+def _fn_count(name: str, args: list[Any]) -> float:
+    if len(args) == 0:
+        raise AverEvalError(
+            "count() with no arguments is resolved by the evaluator"
+        )
+    _need(name, args, 1)
+    return float(_as_vector(args[0], name, 0).size)
+
+
+def _fn_percentile(name: str, args: list[Any]) -> float:
+    _need(name, args, 2)
+    y = _as_vector(args[0], name, 0)
+    q = _as_scalar(args[1], name, 1)
+    if not 0 <= q <= 100:
+        raise AverEvalError(f"{name}(): percentile must be in [0, 100]")
+    return float(np.percentile(y, q))
+
+
+def _fn_scaling_exp(name: str, args: list[Any]) -> float:
+    """``scaling_exp(x, y)``: the fitted exponent itself, as a scalar —
+    lets assertions bound it directly (``expect scaling_exp(nodes, time)
+    < -0.5``)."""
+    _need(name, args, 2)
+    x = _as_vector(args[0], name, 0)
+    y = _as_vector(args[1], name, 1)
+    return scaling_exponent(x, y)
+
+
+FUNCTIONS: dict[str, Callable[[str, list[Any]], Any]] = {
+    "scaling_exp": _fn_scaling_exp,
+    "sublinear": _fn_sublinear,
+    "superlinear": _fn_superlinear,
+    "linear": _fn_linear,
+    "monotonic_inc": _fn_monotonic_inc,
+    "monotonic_dec": _fn_monotonic_dec,
+    "constant": _fn_constant,
+    "within": _fn_within,
+    "min": _agg(np.min),
+    "max": _agg(np.max),
+    "avg": _agg(np.mean),
+    "mean": _agg(np.mean),
+    "sum": _agg(np.sum),
+    "stddev": _agg(lambda v: np.std(v, ddof=1) if v.size > 1 else 0.0),
+    "median": _agg(np.median),
+    "count": _fn_count,
+    "percentile": _fn_percentile,
+}
+
+
+def register_function(name: str, fn: Callable[[str, list[Any]], Any]) -> None:
+    """Register a domain-specific validation function."""
+    if name in FUNCTIONS:
+        raise AverEvalError(f"function already registered: {name!r}")
+    FUNCTIONS[name] = fn

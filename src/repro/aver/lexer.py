@@ -1,0 +1,93 @@
+"""Tokenizer for the Aver assertion language.
+
+Aver statements look like::
+
+    when workload=* and machine=* expect sublinear(nodes, time)
+    expect time < 100 and count() >= 10
+    when nodes=4 expect avg(throughput) > 2.5 * avg(baseline)
+
+Tokens: keywords (``when``, ``expect``, ``and``, ``or``, ``not``),
+identifiers, numbers, quoted strings, ``*`` (wildcard/multiplication —
+disambiguated by the parser), comparison operators, arithmetic operators,
+parentheses and commas.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.common.errors import AverSyntaxError
+
+__all__ = ["TokenKind", "Token", "tokenize", "KEYWORDS"]
+
+
+class TokenKind(str, Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"           # comparison: = == != < <= > >=
+    ARITH = "arith"     # + - / %
+    STAR = "star"       # '*': wildcard or multiplication
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    COMMA = "comma"
+    END = "end"
+
+
+KEYWORDS = {"when", "expect", "and", "or", "not", "true", "false"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.value}, {self.text!r}@{self.position})"
+
+
+_SPEC = [
+    (TokenKind.NUMBER, re.compile(r"\d+\.\d+([eE][-+]?\d+)?|\d+([eE][-+]?\d+)?")),
+    (TokenKind.OP, re.compile(r"==|!=|<=|>=|=|<|>")),
+    (TokenKind.ARITH, re.compile(r"[-+/%]")),
+    (TokenKind.STAR, re.compile(r"\*")),
+    (TokenKind.LPAREN, re.compile(r"\(")),
+    (TokenKind.RPAREN, re.compile(r"\)")),
+    (TokenKind.COMMA, re.compile(r",")),
+    (TokenKind.STRING, re.compile(r"'[^']*'|\"[^\"]*\"")),
+    (TokenKind.IDENT, re.compile(r"[A-Za-z_][A-Za-z_0-9.]*")),
+]
+
+_WS = re.compile(r"\s+")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert source text to a token list ending with an END token."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(source)
+    while pos < length:
+        ws = _WS.match(source, pos)
+        if ws:
+            pos = ws.end()
+            continue
+        for kind, pattern in _SPEC:
+            match = pattern.match(source, pos)
+            if match:
+                text = match.group(0)
+                if kind == TokenKind.IDENT and text.lower() in KEYWORDS:
+                    tokens.append(Token(TokenKind.KEYWORD, text.lower(), pos))
+                else:
+                    tokens.append(Token(kind, text, pos))
+                pos = match.end()
+                break
+        else:
+            raise AverSyntaxError(
+                f"unexpected character {source[pos]!r}", position=pos
+            )
+    tokens.append(Token(TokenKind.END, "", length))
+    return tokens

@@ -1,0 +1,260 @@
+"""Recursive-descent parser for Aver statements.
+
+Grammar (each statement on its own line; ``--`` comments allowed)::
+
+    statement   := [ 'when' when_list ] 'expect' or_expr
+    when_list   := when_clause ( 'and' when_clause )*
+    when_clause := IDENT '=' ( '*' | literal )
+    or_expr     := and_expr ( 'or' and_expr )*
+    and_expr    := not_expr ( 'and' not_expr )*
+    not_expr    := 'not' not_expr | comparison
+    comparison  := sum ( ('=', '==', '!=', '<', '<=', '>', '>=') sum )?
+    sum         := term ( ('+' | '-') term )*
+    term        := unary ( ('*' | '/' | '%') unary )*
+    unary       := '-' unary | atom
+    atom        := NUMBER | STRING | 'true' | 'false'
+                 | IDENT '(' [ or_expr (',' or_expr)* ] ')'   -- function
+                 | IDENT                                      -- column
+                 | '(' or_expr ')'
+"""
+
+from __future__ import annotations
+
+from repro.aver.ast import (
+    WILDCARD,
+    Arith,
+    Boolean,
+    BoolOp,
+    Column,
+    Compare,
+    Expr,
+    FuncCall,
+    Not,
+    Number,
+    Statement,
+    String,
+    WhenClause,
+)
+from repro.aver.lexer import Token, TokenKind, tokenize
+from repro.common.errors import AverSyntaxError
+
+__all__ = ["parse_statement", "parse_file_text"]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], source: str) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.source = source
+
+    # -- token helpers -----------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def take(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != TokenKind.END:
+            self.pos += 1
+        return token
+
+    def accept(self, kind: TokenKind, text: str | None = None) -> Token | None:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.take()
+        return None
+
+    def expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            got = self.peek()
+            want = text or kind.value
+            raise AverSyntaxError(
+                f"expected {want!r}, got {got.text or '<end>'!r}",
+                position=got.position,
+            )
+        return token
+
+    # -- grammar --------------------------------------------------------------------
+    def statement(self) -> Statement:
+        when: tuple[WhenClause, ...] = ()
+        if self.accept(TokenKind.KEYWORD, "when"):
+            when = self.when_list()
+        self.expect(TokenKind.KEYWORD, "expect")
+        expectation = self.or_expr()
+        end = self.peek()
+        if end.kind != TokenKind.END:
+            raise AverSyntaxError(
+                f"trailing input: {end.text!r}", position=end.position
+            )
+        return Statement(when=when, expectation=expectation, source=self.source)
+
+    def when_list(self) -> tuple[WhenClause, ...]:
+        clauses = [self.when_clause()]
+        while True:
+            save = self.pos
+            if not self.accept(TokenKind.KEYWORD, "and"):
+                break
+            # 'and' may belong to the expectation only after 'expect';
+            # inside 'when' it always chains clauses.
+            try:
+                clauses.append(self.when_clause())
+            except AverSyntaxError:
+                self.pos = save
+                break
+        seen = set()
+        for clause in clauses:
+            if clause.column in seen:
+                raise AverSyntaxError(
+                    f"duplicate when-column {clause.column!r}"
+                )
+            seen.add(clause.column)
+        return tuple(clauses)
+
+    def when_clause(self) -> WhenClause:
+        ident = self.expect(TokenKind.IDENT)
+        self.expect(TokenKind.OP, "=")
+        token = self.peek()
+        if token.kind == TokenKind.STAR:
+            self.take()
+            return WhenClause(column=ident.text, value=WILDCARD)
+        if token.kind == TokenKind.NUMBER:
+            self.take()
+            value = float(token.text)
+            return WhenClause(
+                column=ident.text,
+                value=int(value) if value.is_integer() else value,
+            )
+        if token.kind == TokenKind.STRING:
+            self.take()
+            return WhenClause(column=ident.text, value=token.text[1:-1])
+        if token.kind == TokenKind.IDENT:
+            self.take()
+            return WhenClause(column=ident.text, value=token.text)
+        if token.kind == TokenKind.KEYWORD and token.text in ("true", "false"):
+            self.take()
+            return WhenClause(column=ident.text, value=token.text == "true")
+        raise AverSyntaxError(
+            f"bad when-clause value {token.text!r}", position=token.position
+        )
+
+    def or_expr(self) -> Expr:
+        left = self.and_expr()
+        while self.accept(TokenKind.KEYWORD, "or"):
+            left = BoolOp(op="or", left=left, right=self.and_expr())
+        return left
+
+    def and_expr(self) -> Expr:
+        left = self.not_expr()
+        while self.accept(TokenKind.KEYWORD, "and"):
+            left = BoolOp(op="and", left=left, right=self.not_expr())
+        return left
+
+    def not_expr(self) -> Expr:
+        if self.accept(TokenKind.KEYWORD, "not"):
+            return Not(operand=self.not_expr())
+        return self.comparison()
+
+    def comparison(self) -> Expr:
+        left = self.sum()
+        token = self.peek()
+        if token.kind == TokenKind.OP:
+            self.take()
+            right = self.sum()
+            return Compare(op=token.text, left=left, right=right)
+        return left
+
+    def sum(self) -> Expr:
+        left = self.term()
+        while True:
+            token = self.peek()
+            if token.kind == TokenKind.ARITH and token.text in "+-":
+                self.take()
+                left = Arith(op=token.text, left=left, right=self.term())
+            else:
+                return left
+
+    def term(self) -> Expr:
+        left = self.unary()
+        while True:
+            token = self.peek()
+            if token.kind == TokenKind.STAR:
+                self.take()
+                left = Arith(op="*", left=left, right=self.unary())
+            elif token.kind == TokenKind.ARITH and token.text in "/%":
+                self.take()
+                left = Arith(op=token.text, left=left, right=self.unary())
+            else:
+                return left
+
+    def unary(self) -> Expr:
+        token = self.peek()
+        if token.kind == TokenKind.ARITH and token.text == "-":
+            self.take()
+            return Arith(op="-", left=Number(0.0), right=self.unary())
+        return self.atom()
+
+    def atom(self) -> Expr:
+        token = self.take()
+        if token.kind == TokenKind.NUMBER:
+            return Number(float(token.text))
+        if token.kind == TokenKind.STRING:
+            return String(token.text[1:-1])
+        if token.kind == TokenKind.KEYWORD and token.text in ("true", "false"):
+            return Boolean(token.text == "true")
+        if token.kind == TokenKind.LPAREN:
+            inner = self.or_expr()
+            self.expect(TokenKind.RPAREN)
+            return inner
+        if token.kind == TokenKind.IDENT:
+            if self.peek().kind == TokenKind.LPAREN:
+                self.take()
+                args: list[Expr] = []
+                if self.peek().kind != TokenKind.RPAREN:
+                    args.append(self.or_expr())
+                    while self.accept(TokenKind.COMMA):
+                        args.append(self.or_expr())
+                self.expect(TokenKind.RPAREN)
+                return FuncCall(name=token.text, args=tuple(args))
+            return Column(name=token.text)
+        raise AverSyntaxError(
+            f"unexpected token {token.text or '<end>'!r}", position=token.position
+        )
+
+
+def parse_statement(source: str) -> Statement:
+    """Parse one Aver statement."""
+    text = source.strip()
+    if not text:
+        raise AverSyntaxError("empty statement")
+    tokens = tokenize(text)
+    return _Parser(tokens, text).statement()
+
+
+def parse_file_text(text: str) -> list[Statement]:
+    """Parse a ``validations.aver`` file.
+
+    Statements may span multiple lines; a new statement starts at a line
+    beginning with ``when`` or ``expect``.  ``--`` and ``#`` start comments.
+    """
+    chunks: list[list[str]] = []
+    for raw in text.splitlines():
+        line = raw.split("--", 1)[0].split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        starts_new = line.lstrip().startswith(("when ", "expect ")) or line.strip() in (
+            "when",
+            "expect",
+        )
+        if starts_new and (not chunks or _complete(chunks[-1])):
+            chunks.append([line])
+        elif chunks:
+            chunks[-1].append(line)
+        else:
+            chunks.append([line])
+    return [parse_statement(" ".join(chunk)) for chunk in chunks]
+
+
+def _complete(chunk: list[str]) -> bool:
+    """A chunk is complete if it already contains 'expect'."""
+    joined = " ".join(chunk)
+    return " expect " in f" {joined} " or joined.strip().startswith("expect")

@@ -1,0 +1,23 @@
+"""Baseline-performance fingerprinting (the baseliner/stress-ng
+substitution): a stressor battery, machine profiles and cross-platform
+speedup comparison.
+"""
+
+from repro.baseliner.fingerprint import (
+    BaselineProfile,
+    SpeedupProfile,
+    compare,
+    run_battery,
+)
+from repro.baseliner.stressors import STRESSORS, Stressor, get_stressor, run_stressor
+
+__all__ = [
+    "Stressor",
+    "STRESSORS",
+    "get_stressor",
+    "run_stressor",
+    "BaselineProfile",
+    "SpeedupProfile",
+    "run_battery",
+    "compare",
+]

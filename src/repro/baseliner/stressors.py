@@ -1,0 +1,145 @@
+"""The stress-ng-style microbenchmark catalog.
+
+Each :class:`Stressor` models one stress-ng "stressor": a tight kernel
+with a characteristic resource demand per bogo-iteration.  Running a
+stressor on a simulated node yields a bogo-ops/s rate; the full battery's
+rates form a machine's *baseline profile* — the fingerprint the paper's
+``baseliner`` tool captures before any experiment is allowed to run.
+
+The catalog spans the classes whose cross-generation speedups differ
+most: integer-ALU kernels (speedups track IPC x clock), floating-point
+kernels (wider SIMD on newer parts), cache-resident kernels, DRAM
+bandwidth/latency kernels, and storage kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import PlatformError
+from repro.platform.perfmodel import KernelDemand, execution_time
+from repro.platform.sites import Node
+
+__all__ = ["Stressor", "STRESSORS", "get_stressor", "run_stressor"]
+
+
+@dataclass(frozen=True)
+class Stressor:
+    """One microbenchmark: a name, class label and per-iteration demand."""
+
+    name: str
+    klass: str  # cpu | fp | cache | memory | storage | branch
+    demand: KernelDemand
+    iterations: int = 100
+
+    def modeled_time(self, node: Node) -> float:
+        """Noise-free modeled runtime of the full iteration count."""
+        return (
+            execution_time(self.demand.scaled(self.iterations), node.spec)
+            / node.speed_factor
+        )
+
+
+def _cpu(name: str, ops: float = 2e7, fp: float = 0.0, ws: float = 24.0) -> Stressor:
+    return Stressor(
+        name=name,
+        klass="fp" if fp > 0.5 else "cpu",
+        demand=KernelDemand(
+            ops=ops, fp_fraction=fp, mem_bytes=ops * 0.05, working_set_kib=ws
+        ),
+    )
+
+
+def _cache(name: str, ws_kib: float) -> Stressor:
+    return Stressor(
+        name=name,
+        klass="cache",
+        demand=KernelDemand(
+            ops=6e6, mem_bytes=4e7, working_set_kib=ws_kib
+        ),
+    )
+
+
+def _memory(name: str, mem_bytes: float = 4e8, ops: float = 2e6) -> Stressor:
+    return Stressor(
+        name=name,
+        klass="memory",
+        demand=KernelDemand(
+            ops=ops, mem_bytes=mem_bytes, working_set_kib=1 << 18
+        ),
+    )
+
+
+def _storage(name: str, read_b: float, write_b: float, io_ops: float) -> Stressor:
+    return Stressor(
+        name=name,
+        klass="storage",
+        demand=KernelDemand(
+            ops=1e6,
+            storage_read_bytes=read_b,
+            storage_write_bytes=write_b,
+            storage_ops=io_ops,
+        ),
+        iterations=10,
+    )
+
+
+#: The battery.  Names follow stress-ng's stressor names.
+STRESSORS: dict[str, Stressor] = {
+    s.name: s
+    for s in [
+        # Integer ALU class: these track IPC x clock and should cluster
+        # tightly (the paper's "(2.2, 2.3]" band of 7 stressors).
+        _cpu("int64"),
+        _cpu("bitops"),
+        _cpu("crc16"),
+        _cpu("hash"),
+        _cpu("queens"),
+        _cpu("ackermann"),
+        _cpu("fibonacci"),
+        _cpu("gray"),           # 8 int-ALU stressors
+        # Branch-heavy integer work: slightly different mix.
+        _cpu("jmp", ops=1.5e7, ws=48.0),
+        _cpu("loop", ops=2.5e7, ws=32.0),
+        # Floating point: rides the FP pipes (bigger generational jump).
+        _cpu("double", fp=1.0),
+        _cpu("float", fp=1.0),
+        _cpu("matrixprod", fp=0.95, ws=192.0),
+        _cpu("fft", fp=0.9, ws=256.0),
+        _cpu("trig", fp=1.0),
+        # Cache-resident working sets.
+        _cache("cache-l2", ws_kib=1536.0),
+        _cache("cache-llc", ws_kib=8192.0),
+        # DRAM class.
+        _memory("stream-copy"),
+        _memory("stream-triad", mem_bytes=6e8),
+        _memory("memrate", mem_bytes=8e8),
+        _memory("vm-rw", mem_bytes=3e8, ops=4e6),
+        # Storage class.
+        _storage("hdd-seq", read_b=2e7, write_b=2e7, io_ops=20.0),
+        _storage("hdd-rnd", read_b=2e6, write_b=2e6, io_ops=400.0),
+        _storage("sync-io", read_b=1e6, write_b=8e6, io_ops=150.0),
+    ]
+}
+
+
+def get_stressor(name: str) -> Stressor:
+    try:
+        return STRESSORS[name]
+    except KeyError:
+        raise PlatformError(
+            f"unknown stressor {name!r}; known: {sorted(STRESSORS)}"
+        ) from None
+
+
+def run_stressor(
+    stressor: Stressor, node: Node, rng: np.random.Generator
+) -> float:
+    """One observed run; returns the bogo-ops rate (iterations/second)."""
+    nominal = stressor.modeled_time(node) * node.speed_factor  # modeled_time pre-divides
+    observed = node.observed_time(nominal, rng)
+    if observed <= 0:
+        raise PlatformError(f"non-positive runtime for {stressor.name}")
+    return stressor.iterations / observed

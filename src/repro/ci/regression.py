@@ -1,0 +1,150 @@
+"""Automated performance-regression testing.
+
+The paper calls out that performance regression testing "is usually an
+ad-hoc activity but can be automated ... using statistical techniques".
+This module implements the statistical gate: compare the current commit's
+runtime samples against a baseline window using a robust effect-size
+estimate (median ratio) plus a Mann-Whitney U significance test, so that
+ordinary run-to-run noise does not page anyone but a genuine slowdown
+does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.common.errors import CIError
+
+__all__ = ["RegressionReport", "RegressionGate", "PerformanceHistory"]
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """Verdict on one metric comparison."""
+
+    metric: str
+    regressed: bool
+    ratio: float          # current median / baseline median
+    p_value: float
+    baseline_median: float
+    current_median: float
+    threshold: float
+
+    def __str__(self) -> str:
+        verdict = "REGRESSION" if self.regressed else "ok"
+        return (
+            f"{self.metric}: {verdict} ratio={self.ratio:.3f} "
+            f"(p={self.p_value:.4f}, threshold=+{self.threshold:.0%})"
+        )
+
+
+class RegressionGate:
+    """Detects slowdowns beyond *threshold* with significance *alpha*.
+
+    A regression is flagged only when BOTH hold: the median slowdown
+    exceeds the threshold, and the distribution shift is statistically
+    significant — protecting against both "tiny but significant" and
+    "large but noise" false alarms.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.10,
+        alpha: float = 0.05,
+        higher_is_worse: bool = True,
+        min_samples: int = 3,
+    ) -> None:
+        if threshold <= 0:
+            raise CIError("regression threshold must be positive")
+        if not 0 < alpha < 1:
+            raise CIError("alpha must be in (0, 1)")
+        self.threshold = threshold
+        self.alpha = alpha
+        self.higher_is_worse = higher_is_worse
+        self.min_samples = min_samples
+
+    def check(
+        self,
+        baseline: np.ndarray | list[float],
+        current: np.ndarray | list[float],
+        metric: str = "runtime",
+    ) -> RegressionReport:
+        """Compare *current* samples against *baseline* samples."""
+        baseline = np.asarray(baseline, dtype=np.float64)
+        current = np.asarray(current, dtype=np.float64)
+        if baseline.size < self.min_samples or current.size < self.min_samples:
+            raise CIError(
+                f"need >= {self.min_samples} samples on each side "
+                f"(got {baseline.size}/{current.size})"
+            )
+        if np.any(baseline <= 0) or np.any(current <= 0):
+            raise CIError("runtime samples must be positive")
+
+        baseline_median = float(np.median(baseline))
+        current_median = float(np.median(current))
+        ratio = current_median / baseline_median
+
+        if self.higher_is_worse:
+            effect = ratio - 1.0
+            alternative = "greater"
+        else:
+            effect = 1.0 - ratio
+            alternative = "less"
+
+        if np.all(baseline == baseline[0]) and np.all(current == current[0]):
+            # Degenerate zero-variance case: decide on effect size alone.
+            p_value = 0.0 if effect > 0 else 1.0
+        else:
+            _, p_value = sps.mannwhitneyu(
+                current, baseline, alternative=alternative
+            )
+            p_value = float(p_value)
+
+        regressed = effect > self.threshold and p_value < self.alpha
+        return RegressionReport(
+            metric=metric,
+            regressed=bool(regressed),
+            ratio=ratio,
+            p_value=p_value,
+            baseline_median=baseline_median,
+            current_median=current_median,
+            threshold=self.threshold,
+        )
+
+
+@dataclass
+class PerformanceHistory:
+    """Per-commit metric samples, the stream the gate watches.
+
+    Keeps a rolling baseline window of the last *window* healthy commits;
+    a new commit is judged against the pooled baseline samples.
+    """
+
+    metric: str = "runtime"
+    window: int = 5
+    gate: RegressionGate = field(default_factory=RegressionGate)
+    _commits: list[tuple[str, np.ndarray]] = field(default_factory=list)
+
+    def record(self, commit: str, samples: np.ndarray | list[float]) -> None:
+        """Accept a healthy commit's samples into the baseline window."""
+        self._commits.append((commit, np.asarray(samples, dtype=np.float64)))
+        if len(self._commits) > self.window:
+            self._commits.pop(0)
+
+    @property
+    def baseline(self) -> np.ndarray:
+        if not self._commits:
+            raise CIError("no baseline recorded yet")
+        return np.concatenate([s for _, s in self._commits])
+
+    def judge(
+        self, commit: str, samples: np.ndarray | list[float]
+    ) -> RegressionReport:
+        """Gate a candidate commit; record it as baseline iff it passes."""
+        report = self.gate.check(self.baseline, samples, metric=self.metric)
+        if not report.regressed:
+            self.record(commit, samples)
+        return report

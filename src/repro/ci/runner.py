@@ -1,0 +1,250 @@
+"""The CI service: builds, jobs, steps and build history.
+
+A :class:`CIServer` watches a :class:`~repro.vcs.Repository`; triggering a
+build checks out the commit into a scratch workspace, parses the repo's
+``.travis.yml``, expands the env matrix into jobs, and runs each job's
+steps through a command executor (a container by default).  Build records
+accumulate into a history that answers "is this repository currently
+passing?" — the integrity half of the paper's automated-validation story.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Callable
+
+from repro.common.errors import CIError
+from repro.common.fsutil import rmtree_quiet
+from repro.container.image import Image, scratch
+from repro.container.runtime import BinaryRegistry, Container, ExecResult
+from repro.ci.config import CIConfig
+from repro.vcs.repository import Repository
+
+__all__ = [
+    "StepResult",
+    "JobResult",
+    "BuildRecord",
+    "BuildStatus",
+    "ContainerExecutor",
+    "CIServer",
+]
+
+
+class BuildStatus(str, Enum):
+    PASSED = "passed"
+    FAILED = "failed"
+    ERRORED = "errored"
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """One executed step."""
+
+    phase: str
+    command: str
+    exit_code: int
+    stdout: str = ""
+    stderr: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code == 0
+
+
+@dataclass
+class JobResult:
+    """One matrix job's outcome."""
+
+    env: dict[str, str]
+    steps: list[StepResult] = field(default_factory=list)
+    status: BuildStatus = BuildStatus.PASSED
+
+    @property
+    def ok(self) -> bool:
+        return self.status == BuildStatus.PASSED
+
+
+@dataclass
+class BuildRecord:
+    """One triggered build (all matrix jobs for one commit)."""
+
+    number: int
+    commit: str
+    status: BuildStatus
+    jobs: list[JobResult]
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == BuildStatus.PASSED
+
+
+Executor = Callable[[str, dict[str, str], Path], ExecResult]
+
+
+class ContainerExecutor:
+    """Runs CI steps inside a fresh container with the workspace mounted.
+
+    The container starts from *image* (so ``install`` steps can assume a
+    base toolchain) and sees the checked-out repository at ``/build``.
+    """
+
+    def __init__(
+        self,
+        image: Image | None = None,
+        binaries: BinaryRegistry | None = None,
+    ) -> None:
+        self.image = image if image is not None else scratch()
+        self.binaries = binaries
+        self._container: Container | None = None
+
+    def reset(self, workspace: Path) -> None:
+        """Fresh container per job (CI's clean-environment guarantee)."""
+        self._container = Container(
+            self.image,
+            binaries=self.binaries,
+            name="ci",
+            mounts={"/build": workspace},
+        )
+        self._container.workdir = "/build"
+
+    def __call__(self, command: str, env: dict[str, str], workspace: Path) -> ExecResult:
+        if self._container is None:
+            self.reset(workspace)
+        assert self._container is not None
+        self._container.env.update(env)
+        return self._container.run(command)
+
+
+class CIServer:
+    """A hosted-CI stand-in bound to one repository."""
+
+    def __init__(
+        self,
+        repo: Repository,
+        executor: Executor | ContainerExecutor | None = None,
+        config_path: str = ".travis.yml",
+        workspace_root: Path | None = None,
+    ) -> None:
+        self.repo = repo
+        self.executor = executor if executor is not None else ContainerExecutor()
+        self.config_path = config_path
+        self.workspace_root = workspace_root or (repo.root / ".pvcs" / "ci-workspaces")
+        self.history: list[BuildRecord] = []
+
+    # -- build orchestration ------------------------------------------------------
+    def trigger(self, ref: str = "HEAD") -> BuildRecord:
+        """Run a build for *ref*; appends to and returns from history."""
+        commit = self.repo.resolve(ref)
+        number = len(self.history) + 1
+        started = time.perf_counter()
+        try:
+            config_text = self.repo.cat(commit, self.config_path).decode("utf-8")
+        except Exception as exc:
+            record = BuildRecord(
+                number=number,
+                commit=commit,
+                status=BuildStatus.ERRORED,
+                jobs=[],
+            )
+            record.duration_s = time.perf_counter() - started
+            self.history.append(record)
+            raise CIError(
+                f"build #{number}: cannot read {self.config_path}: {exc}"
+            ) from exc
+        config = CIConfig.from_yaml(config_text)
+
+        workspace = self._checkout(commit, number)
+        jobs = []
+        try:
+            for env in config.expand_matrix():
+                jobs.append(self._run_job(config, env, workspace))
+        finally:
+            rmtree_quiet(workspace)
+
+        status = (
+            BuildStatus.PASSED
+            if all(j.ok for j in jobs)
+            else BuildStatus.FAILED
+        )
+        record = BuildRecord(
+            number=number,
+            commit=commit,
+            status=status,
+            jobs=jobs,
+            duration_s=time.perf_counter() - started,
+        )
+        self.history.append(record)
+        return record
+
+    def _checkout(self, commit: str, number: int) -> Path:
+        workspace = Path(self.workspace_root) / f"build-{number}"
+        rmtree_quiet(workspace)
+        workspace.mkdir(parents=True)
+        commit_obj = self.repo.store.get_commit(commit)
+        for rel, oid in self.repo.store.walk_tree(commit_obj.tree):
+            target = workspace / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_bytes(self.repo.store.get_blob(oid).data)
+        return workspace
+
+    def _run_job(
+        self, config: CIConfig, env: dict[str, str], workspace: Path
+    ) -> JobResult:
+        job = JobResult(env=env)
+        if isinstance(self.executor, ContainerExecutor):
+            self.executor.reset(workspace)
+        phases = [
+            ("install", config.install, True),
+            ("before_script", config.before_script, True),
+            ("script", config.script, True),
+        ]
+        failed = False
+        for phase, commands, fatal in phases:
+            if failed:
+                break
+            for command in commands:
+                result = self.executor(command, env, workspace)
+                job.steps.append(
+                    StepResult(
+                        phase=phase,
+                        command=command,
+                        exit_code=result.exit_code,
+                        stdout=result.stdout,
+                        stderr=result.stderr,
+                    )
+                )
+                if not result.ok:
+                    failed = True
+                    break
+        tail = config.after_failure if failed else config.after_script
+        for command in tail:
+            result = self.executor(command, env, workspace)
+            job.steps.append(
+                StepResult(
+                    phase="after_failure" if failed else "after_script",
+                    command=command,
+                    exit_code=result.exit_code,
+                    stdout=result.stdout,
+                    stderr=result.stderr,
+                )
+            )
+        job.status = BuildStatus.FAILED if failed else BuildStatus.PASSED
+        return job
+
+    # -- queries --------------------------------------------------------------------
+    def latest(self) -> BuildRecord | None:
+        return self.history[-1] if self.history else None
+
+    def badge(self) -> str:
+        """``build: passing`` / ``build: failing`` / ``build: unknown``."""
+        latest = self.latest()
+        if latest is None:
+            return "build: unknown"
+        return "build: passing" if latest.ok else "build: failing"
+
+    def builds_for(self, commit_prefix: str) -> list[BuildRecord]:
+        return [b for b in self.history if b.commit.startswith(commit_prefix)]

@@ -1,0 +1,30 @@
+"""Shared substrate-free utilities: YAML subset, hashing, tables, units, RNG."""
+
+from repro.common.errors import ReproError
+from repro.common.hashing import sha256_bytes, sha256_file, sha256_text, short_id
+from repro.common.rng import SeedSequenceFactory, derive_rng, derive_seed
+from repro.common.tables import MetricsTable
+from repro.common.units import (
+    format_duration,
+    format_size,
+    parse_duration,
+    parse_rate,
+    parse_size,
+)
+
+__all__ = [
+    "ReproError",
+    "MetricsTable",
+    "SeedSequenceFactory",
+    "derive_rng",
+    "derive_seed",
+    "sha256_bytes",
+    "sha256_file",
+    "sha256_text",
+    "short_id",
+    "parse_size",
+    "parse_duration",
+    "parse_rate",
+    "format_size",
+    "format_duration",
+]

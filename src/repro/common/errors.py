@@ -1,0 +1,171 @@
+"""Exception hierarchy shared by every :mod:`repro` subsystem.
+
+All errors raised by this library derive from :class:`ReproError` so callers
+can catch a single base class at API boundaries.  Each substrate defines its
+own subclass here rather than in its own package so that low-level packages
+(e.g. :mod:`repro.common.minyaml`) never import high-level ones.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "YamlError",
+    "VcsError",
+    "ObjectNotFound",
+    "ContainerError",
+    "ImageNotFound",
+    "BuildError",
+    "OrchestrationError",
+    "ModuleFailure",
+    "CIError",
+    "DataPackageError",
+    "IntegrityError",
+    "AverError",
+    "AverSyntaxError",
+    "AverEvalError",
+    "PlatformError",
+    "AllocationError",
+    "MonitorError",
+    "GassyFSError",
+    "FSError",
+    "MPIError",
+    "PopperError",
+    "ComplianceError",
+    "TemplateNotFound",
+    "ValidationFailure",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+# --- common -----------------------------------------------------------------
+class YamlError(ReproError):
+    """Malformed document handed to the built-in YAML-subset parser."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+# --- vcs --------------------------------------------------------------------
+class VcsError(ReproError):
+    """Version-control substrate failure (bad ref, dirty tree, ...)."""
+
+
+class ObjectNotFound(VcsError):
+    """A content-addressed object id does not exist in the store."""
+
+
+# --- container --------------------------------------------------------------
+class ContainerError(ReproError):
+    """Container-engine substrate failure."""
+
+
+class ImageNotFound(ContainerError):
+    """The requested image tag/digest is not in the registry."""
+
+
+class BuildError(ContainerError):
+    """A Containerfile instruction failed during image build."""
+
+
+# --- orchestration ----------------------------------------------------------
+class OrchestrationError(ReproError):
+    """Playbook-level failure (unreachable host, undefined variable, ...)."""
+
+
+class ModuleFailure(OrchestrationError):
+    """A task module reported failure on a host."""
+
+    def __init__(self, host: str, module: str, msg: str) -> None:
+        self.host = host
+        self.module = module
+        super().__init__(f"[{host}] {module}: {msg}")
+
+
+# --- ci ---------------------------------------------------------------------
+class CIError(ReproError):
+    """Continuous-integration substrate failure."""
+
+
+# --- datapkg ----------------------------------------------------------------
+class DataPackageError(ReproError):
+    """Dataset-management substrate failure."""
+
+
+class IntegrityError(DataPackageError):
+    """A resource's content hash does not match its descriptor."""
+
+
+# --- aver -------------------------------------------------------------------
+class AverError(ReproError):
+    """Base class for the Aver validation language."""
+
+
+class AverSyntaxError(AverError):
+    """The assertion source does not parse."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"at offset {position}: {message}"
+        super().__init__(message)
+
+
+class AverEvalError(AverError):
+    """The assertion parsed but cannot be evaluated against the data."""
+
+
+# --- platform ---------------------------------------------------------------
+class PlatformError(ReproError):
+    """Simulated-hardware substrate failure."""
+
+
+class AllocationError(PlatformError):
+    """A site cannot satisfy a node-allocation request."""
+
+
+# --- monitor ----------------------------------------------------------------
+class MonitorError(ReproError):
+    """Metric collection / time-series failure."""
+
+
+# --- gassyfs ----------------------------------------------------------------
+class GassyFSError(ReproError):
+    """GassyFS distributed file-system failure."""
+
+
+class FSError(GassyFSError):
+    """POSIX-style file-system error (ENOENT, EEXIST, ENOSPC...)."""
+
+    def __init__(self, errno_name: str, path: str, msg: str = "") -> None:
+        self.errno_name = errno_name
+        self.path = path
+        super().__init__(f"{errno_name}: {path}" + (f" ({msg})" if msg else ""))
+
+
+# --- mpicomm ----------------------------------------------------------------
+class MPIError(ReproError):
+    """Simulated-MPI failure (rank mismatch, truncation, deadlock...)."""
+
+
+# --- core (popper) ----------------------------------------------------------
+class PopperError(ReproError):
+    """Popper convention engine failure."""
+
+
+class ComplianceError(PopperError):
+    """A repository or experiment violates the Popper convention."""
+
+
+class TemplateNotFound(PopperError):
+    """`popper add` requested a template that is not registered."""
+
+
+class ValidationFailure(PopperError):
+    """A domain-specific (Aver) validation did not hold on the results."""

@@ -1,0 +1,60 @@
+"""Small filesystem helpers shared by the substrates that touch disk."""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "ensure_dir",
+    "write_text",
+    "read_text",
+    "atomic_write",
+    "walk_files",
+    "rmtree_quiet",
+]
+
+
+def ensure_dir(path: str | os.PathLike) -> Path:
+    """Create *path* (and parents) if needed; return it as a Path."""
+    target = Path(path)
+    target.mkdir(parents=True, exist_ok=True)
+    return target
+
+
+def write_text(path: str | os.PathLike, text: str) -> Path:
+    """Write *text* to *path*, creating parent directories."""
+    target = Path(path)
+    ensure_dir(target.parent)
+    target.write_text(text, encoding="utf-8")
+    return target
+
+
+def read_text(path: str | os.PathLike) -> str:
+    """Read a UTF-8 text file."""
+    return Path(path).read_text(encoding="utf-8")
+
+
+def atomic_write(path: str | os.PathLike, data: bytes) -> None:
+    """Write *data* so readers never observe a partial file."""
+    target = Path(path)
+    ensure_dir(target.parent)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, target)
+
+
+def walk_files(root: str | os.PathLike) -> Iterator[Path]:
+    """Yield every regular file under *root*, sorted for determinism."""
+    base = Path(root)
+    for dirpath, dirnames, filenames in os.walk(base):
+        dirnames.sort()
+        for name in sorted(filenames):
+            yield Path(dirpath) / name
+
+
+def rmtree_quiet(path: str | os.PathLike) -> None:
+    """Remove a tree if it exists; missing targets are not an error."""
+    shutil.rmtree(path, ignore_errors=True)

@@ -1,0 +1,75 @@
+"""Content hashing used across the version-control, container and dataset
+substrates.
+
+Everything that the Popper convention references "by identifier" —
+commits, image layers, dataset resources — is content-addressed with
+SHA-256.  This module centralizes the hashing so every substrate derives
+identifiers the same way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Iterable
+
+__all__ = [
+    "sha256_bytes",
+    "sha256_text",
+    "sha256_file",
+    "sha256_stream",
+    "short_id",
+    "combine_digests",
+]
+
+_CHUNK = 1 << 20
+
+
+def sha256_bytes(data: bytes) -> str:
+    """Hex digest of a bytes payload."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_text(text: str) -> str:
+    """Hex digest of a text payload (UTF-8 encoded)."""
+    return sha256_bytes(text.encode("utf-8"))
+
+
+def sha256_file(path: str | os.PathLike) -> str:
+    """Hex digest of a file's contents, streamed in 1 MiB chunks."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def sha256_stream(chunks: Iterable[bytes]) -> str:
+    """Hex digest of an iterable of byte chunks."""
+    digest = hashlib.sha256()
+    for chunk in chunks:
+        digest.update(chunk)
+    return digest.hexdigest()
+
+
+def short_id(digest: str, length: int = 12) -> str:
+    """Abbreviated identifier, the way ``git log --oneline`` abbreviates."""
+    if length < 4:
+        raise ValueError("short ids below 4 characters are too ambiguous")
+    return digest[:length]
+
+
+def combine_digests(digests: Iterable[str]) -> str:
+    """Order-sensitive combination of several digests into one.
+
+    Used for image identities (hash of the layer-digest chain) and tree
+    objects (hash of sorted entries).
+    """
+    digest = hashlib.sha256()
+    for item in digests:
+        digest.update(item.encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()

@@ -1,0 +1,130 @@
+"""Unit parsing and formatting for sizes, durations and rates.
+
+Experiment parametrizations (``vars.yml``) express quantities the way
+operators write them — ``"4GiB"``, ``"250us"``, ``"10Gbit/s"`` — and the
+simulators need them as plain floats in base units (bytes, seconds,
+bytes/second).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "parse_size",
+    "parse_duration",
+    "parse_rate",
+    "format_size",
+    "format_duration",
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+]
+
+KiB = 1024
+MiB = 1024**2
+GiB = 1024**3
+TiB = 1024**4
+
+_SIZE_UNITS = {
+    "": 1,
+    "b": 1,
+    "k": 1000,
+    "kb": 1000,
+    "kib": KiB,
+    "m": 1000**2,
+    "mb": 1000**2,
+    "mib": MiB,
+    "g": 1000**3,
+    "gb": 1000**3,
+    "gib": GiB,
+    "t": 1000**4,
+    "tb": 1000**4,
+    "tib": TiB,
+}
+
+_DURATION_UNITS = {
+    "ns": 1e-9,
+    "us": 1e-6,
+    "ms": 1e-3,
+    "s": 1.0,
+    "sec": 1.0,
+    "m": 60.0,
+    "min": 60.0,
+    "h": 3600.0,
+    "hr": 3600.0,
+}
+
+_NUMBER = re.compile(r"^\s*([0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)\s*([a-zA-Z/]*)\s*$")
+
+
+def _split(text: str | int | float) -> tuple[float, str]:
+    if isinstance(text, (int, float)):
+        return float(text), ""
+    match = _NUMBER.match(text)
+    if not match:
+        raise ValueError(f"cannot parse quantity: {text!r}")
+    return float(match.group(1)), match.group(2).lower()
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse ``"4GiB"`` / ``"512MB"`` / ``4096`` into bytes."""
+    value, unit = _split(text)
+    if unit not in _SIZE_UNITS:
+        raise ValueError(f"unknown size unit {unit!r} in {text!r}")
+    return int(round(value * _SIZE_UNITS[unit]))
+
+
+def parse_duration(text: str | int | float) -> float:
+    """Parse ``"250us"`` / ``"1.5h"`` / ``3.0`` into seconds."""
+    value, unit = _split(text)
+    if unit not in _DURATION_UNITS and unit != "":
+        raise ValueError(f"unknown duration unit {unit!r} in {text!r}")
+    return value * _DURATION_UNITS.get(unit, 1.0)
+
+
+def parse_rate(text: str | int | float) -> float:
+    """Parse a bandwidth like ``"10Gbit/s"`` / ``"1.2GiB/s"`` into bytes/second."""
+    if isinstance(text, (int, float)):
+        return float(text)
+    value, unit = _split(text)
+    if unit.endswith("/s"):
+        unit = unit[:-2]
+    if unit.endswith("bit"):
+        prefix = unit[:-3]
+        scale = {"": 1, "k": 1e3, "m": 1e6, "g": 1e9, "t": 1e12}.get(prefix)
+        if scale is None:
+            raise ValueError(f"unknown bit-rate prefix {prefix!r} in {text!r}")
+        return value * scale / 8.0
+    if unit in _SIZE_UNITS:
+        return value * _SIZE_UNITS[unit]
+    raise ValueError(f"unknown rate unit {unit!r} in {text!r}")
+
+
+def format_size(n_bytes: float) -> str:
+    """Human-readable base-2 size (``"4.0GiB"``)."""
+    value = float(n_bytes)
+    for suffix, scale in (("TiB", TiB), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(value) >= scale:
+            return f"{value / scale:.1f}{suffix}"
+    return f"{int(value)}B"
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration (``"1.2ms"``, ``"3m20s"``)."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f}ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60:
+        return f"{seconds:.2f}s"
+    minutes, secs = divmod(seconds, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m{secs:.0f}s"
+    hours, minutes = divmod(minutes, 60.0)
+    return f"{int(hours)}h{int(minutes)}m"

@@ -1,0 +1,49 @@
+"""Container-engine substrate: layered images, Containerfile builds,
+registries, a copy-on-write runtime with in-process binaries, and the
+packaging-overhead cost model (the Docker substitution from DESIGN.md).
+"""
+
+from repro.container.containerfile import ImageBuilder, Instruction, parse_containerfile
+from repro.container.image import TOMBSTONE, Image, ImageConfig, Layer, scratch
+from repro.container.packaging import (
+    BARE_METAL,
+    CONTAINER,
+    VIRTUAL_MACHINE,
+    PackagingMode,
+    packaged_time,
+)
+from repro.container.registry import Registry, parse_reference
+from repro.container.runtime import (
+    PACKAGE_DB,
+    BinaryRegistry,
+    Container,
+    ExecResult,
+    default_binaries,
+)
+
+__all__ = [
+    "Image",
+    "ImageConfig",
+    "Layer",
+    "TOMBSTONE",
+    "scratch",
+    "Registry",
+    "parse_reference",
+    "Container",
+    "ExecResult",
+    "BinaryRegistry",
+    "default_binaries",
+    "PACKAGE_DB",
+    "ImageBuilder",
+    "Instruction",
+    "parse_containerfile",
+    "PackagingMode",
+    "BARE_METAL",
+    "CONTAINER",
+    "VIRTUAL_MACHINE",
+    "packaged_time",
+]
+
+from repro.container.archive import image_history, load_image, save_image  # noqa: E402
+
+__all__ += ["save_image", "load_image", "image_history"]

@@ -1,0 +1,205 @@
+"""Containerfile (Dockerfile-dialect) parsing and image building.
+
+Supported instructions: ``FROM``, ``RUN``, ``COPY``, ``ENV``, ``WORKDIR``,
+``LABEL``, ``ENTRYPOINT``, ``CMD``, ``EXPOSE``.  Each ``RUN`` executes in
+a throwaway container and commits its filesystem delta as a layer —
+the same layering discipline Docker applies, which is what makes image
+digests meaningful as reproducibility pins.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.common.errors import BuildError, ContainerError
+from repro.container.image import Image, ImageConfig, Layer
+from repro.container.registry import Registry
+from repro.container.runtime import BinaryRegistry, Container, default_binaries
+
+__all__ = ["Instruction", "parse_containerfile", "ImageBuilder"]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One parsed Containerfile instruction."""
+
+    op: str
+    args: str
+    line: int
+
+
+_KNOWN_OPS = {
+    "FROM", "RUN", "COPY", "ENV", "WORKDIR", "LABEL", "ENTRYPOINT", "CMD", "EXPOSE",
+}
+
+
+def parse_containerfile(text: str) -> list[Instruction]:
+    """Parse Containerfile text into instructions (continuations folded)."""
+    instructions: list[Instruction] = []
+    pending = ""
+    pending_line = 0
+    for number, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if not pending and (not stripped or stripped.startswith("#")):
+            continue
+        if not pending:
+            pending_line = number
+        pending += stripped[:-1].rstrip() + " " if stripped.endswith("\\") else stripped
+        if stripped.endswith("\\"):
+            continue
+        op, _, args = pending.partition(" ")
+        op = op.upper()
+        if op not in _KNOWN_OPS:
+            raise BuildError(f"line {pending_line}: unknown instruction {op!r}")
+        instructions.append(Instruction(op=op, args=args.strip(), line=pending_line))
+        pending = ""
+    if pending:
+        raise BuildError("Containerfile ends with a dangling continuation")
+    if not instructions or instructions[0].op != "FROM":
+        raise BuildError("Containerfile must start with FROM")
+    return instructions
+
+
+def _parse_kv(args: str, op: str, line: int) -> tuple[str, str]:
+    if "=" in args:
+        key, _, value = args.partition("=")
+        return key.strip(), value.strip().strip('"')
+    parts = args.split(None, 1)
+    if len(parts) != 2:
+        raise BuildError(f"line {line}: {op} needs KEY VALUE or KEY=VALUE")
+    return parts[0], parts[1].strip('"')
+
+
+class ImageBuilder:
+    """Builds images from Containerfiles against a registry and context dir."""
+
+    def __init__(
+        self,
+        registry: Registry,
+        binaries: BinaryRegistry | None = None,
+    ) -> None:
+        self.registry = registry
+        self.binaries = binaries or default_binaries()
+
+    def build(
+        self,
+        containerfile: str,
+        context: str | Path | None = None,
+        repo: str = "build",
+        tag: str = "latest",
+    ) -> Image:
+        """Build and store ``repo:tag``; returns the finished image."""
+        instructions = parse_containerfile(containerfile)
+        context_dir = Path(context) if context is not None else None
+        image = self._base(instructions[0])
+        build_log: list[str] = [f"FROM {instructions[0].args}"]
+
+        for ins in instructions[1:]:
+            handler = getattr(self, f"_op_{ins.op.lower()}", None)
+            if handler is None:  # pragma: no cover - _KNOWN_OPS guards this
+                raise BuildError(f"line {ins.line}: unhandled op {ins.op}")
+            image = handler(image, ins, context_dir)
+            build_log.append(f"{ins.op} {ins.args}")
+
+        self.registry.store(repo, image, tag)
+        return image
+
+    # -- instruction handlers -------------------------------------------------------
+    def _base(self, ins: Instruction) -> Image:
+        ref = ins.args.split()[0] if ins.args else ""
+        if not ref:
+            raise BuildError(f"line {ins.line}: FROM needs an image reference")
+        if ref == "scratch":
+            return Image(layers=())
+        try:
+            return self.registry.get(ref)
+        except ContainerError as exc:
+            raise BuildError(f"line {ins.line}: cannot resolve base {ref!r}: {exc}") from exc
+
+    def _op_run(self, image: Image, ins: Instruction, context: Path | None) -> Image:
+        container = Container(image, binaries=self.binaries, name="build")
+        result = container.run(ins.args)
+        if not result.ok:
+            raise BuildError(
+                f"line {ins.line}: RUN {ins.args!r} failed "
+                f"(exit {result.exit_code}): {result.stderr.strip()}"
+            )
+        layer = container.diff(created_by=f"RUN {ins.args}")
+        config = ImageConfig(
+            env=tuple(sorted(container.env.items())),
+            workdir=container.workdir,
+            entrypoint=image.config.entrypoint,
+            cmd=image.config.cmd,
+            labels=image.config.labels,
+            exposed_ports=image.config.exposed_ports,
+        )
+        return image.with_layer(layer, config)
+
+    def _op_copy(self, image: Image, ins: Instruction, context: Path | None) -> Image:
+        parts = shlex.split(ins.args)
+        if len(parts) != 2:
+            raise BuildError(f"line {ins.line}: COPY needs SRC DST")
+        src, dst = parts
+        if context is None:
+            raise BuildError(f"line {ins.line}: COPY requires a build context")
+        source = context / src
+        files: dict[str, bytes] = {}
+        if source.is_file():
+            target = dst if not dst.endswith("/") else dst + source.name
+            if not target.startswith("/"):
+                target = image.config.workdir.rstrip("/") + "/" + target
+            files[target] = source.read_bytes()
+        elif source.is_dir():
+            base = dst.rstrip("/")
+            for path in sorted(source.rglob("*")):
+                if path.is_file():
+                    rel = path.relative_to(source).as_posix()
+                    files[f"{base}/{rel}"] = path.read_bytes()
+        else:
+            raise BuildError(f"line {ins.line}: COPY source not found: {src}")
+        layer = Layer.from_dict(files, created_by=f"COPY {ins.args}")
+        return image.with_layer(layer)
+
+    def _op_env(self, image: Image, ins: Instruction, context: Path | None) -> Image:
+        key, value = _parse_kv(ins.args, "ENV", ins.line)
+        config = image.config.with_env(key, value)
+        return Image(image.layers, config, image.parent_digest)
+
+    def _op_label(self, image: Image, ins: Instruction, context: Path | None) -> Image:
+        key, value = _parse_kv(ins.args, "LABEL", ins.line)
+        config = image.config.with_label(key, value)
+        return Image(image.layers, config, image.parent_digest)
+
+    def _op_workdir(self, image: Image, ins: Instruction, context: Path | None) -> Image:
+        if not ins.args.startswith("/"):
+            raise BuildError(f"line {ins.line}: WORKDIR must be absolute")
+        from dataclasses import replace
+
+        config = replace(image.config, workdir=ins.args)
+        return Image(image.layers, config, image.parent_digest)
+
+    def _op_entrypoint(self, image: Image, ins: Instruction, context: Path | None) -> Image:
+        from dataclasses import replace
+
+        config = replace(image.config, entrypoint=tuple(shlex.split(ins.args)))
+        return Image(image.layers, config, image.parent_digest)
+
+    def _op_cmd(self, image: Image, ins: Instruction, context: Path | None) -> Image:
+        from dataclasses import replace
+
+        config = replace(image.config, cmd=tuple(shlex.split(ins.args)))
+        return Image(image.layers, config, image.parent_digest)
+
+    def _op_expose(self, image: Image, ins: Instruction, context: Path | None) -> Image:
+        from dataclasses import replace
+
+        try:
+            ports = tuple(int(p) for p in ins.args.split())
+        except ValueError as exc:
+            raise BuildError(f"line {ins.line}: EXPOSE needs port numbers") from exc
+        config = replace(
+            image.config, exposed_ports=image.config.exposed_ports + ports
+        )
+        return Image(image.layers, config, image.parent_digest)

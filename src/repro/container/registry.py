@@ -1,0 +1,114 @@
+"""Image registries: tag → digest naming plus digest → image storage.
+
+Mirrors Docker Hub semantics closely enough for the convention's needs:
+tags are mutable pointers, digests are immutable; ``push``/``pull`` move
+images between registries (e.g. a "local daemon" registry and a shared
+one); pulling by digest is the reproducible path and the one Popper
+templates use.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ContainerError, ImageNotFound
+from repro.container.image import Image
+
+__all__ = ["Registry", "parse_reference"]
+
+
+def parse_reference(reference: str) -> tuple[str, str]:
+    """Split ``name:tag`` / ``name@sha256:digest`` into (name, selector).
+
+    The selector is ``tag:<t>`` or ``digest:<d>``.
+    """
+    if "@" in reference:
+        name, _, digest = reference.partition("@")
+        if digest.startswith("sha256:"):
+            digest = digest[len("sha256:"):]
+        if not name or not digest:
+            raise ContainerError(f"bad image reference: {reference!r}")
+        return name, f"digest:{digest}"
+    name, sep, tag = reference.partition(":")
+    if not name:
+        raise ContainerError(f"bad image reference: {reference!r}")
+    return name, f"tag:{tag or 'latest'}"
+
+
+class Registry:
+    """A store of images addressed by repository name and tag/digest."""
+
+    def __init__(self, name: str = "local") -> None:
+        self.name = name
+        self._by_digest: dict[str, Image] = {}
+        self._tags: dict[str, dict[str, str]] = {}  # repo -> tag -> digest
+
+    # -- write ------------------------------------------------------------------
+    def store(self, repo: str, image: Image, tag: str = "latest") -> str:
+        """Store *image* under ``repo:tag``; returns the digest."""
+        if not repo:
+            raise ContainerError("repository name required")
+        digest = image.digest
+        self._by_digest[digest] = image
+        self._tags.setdefault(repo, {})[tag] = digest
+        return digest
+
+    def untag(self, repo: str, tag: str) -> None:
+        """Remove a tag (the digest-addressed image stays)."""
+        try:
+            del self._tags[repo][tag]
+        except KeyError:
+            raise ImageNotFound(f"{repo}:{tag}") from None
+
+    # -- read --------------------------------------------------------------------
+    def resolve(self, reference: str) -> str:
+        """Resolve a reference to a digest."""
+        repo, selector = parse_reference(reference)
+        kind, _, value = selector.partition(":")
+        if kind == "digest":
+            matches = [d for d in self._by_digest if d.startswith(value)]
+            if not matches:
+                raise ImageNotFound(reference)
+            if len(matches) > 1:
+                raise ContainerError(f"ambiguous digest prefix: {value!r}")
+            return matches[0]
+        digest = self._tags.get(repo, {}).get(value)
+        if digest is None:
+            raise ImageNotFound(reference)
+        return digest
+
+    def get(self, reference: str) -> Image:
+        """Fetch the image for a ``name:tag`` or ``name@sha256:...`` ref."""
+        return self._by_digest[self.resolve(reference)]
+
+    def contains(self, reference: str) -> bool:
+        try:
+            self.resolve(reference)
+            return True
+        except (ImageNotFound, ContainerError):
+            return False
+
+    def tags(self, repo: str) -> dict[str, str]:
+        """tag → digest mapping for one repository."""
+        return dict(self._tags.get(repo, {}))
+
+    def repositories(self) -> list[str]:
+        return sorted(self._tags)
+
+    # -- transfer -----------------------------------------------------------------
+    def push(self, reference: str, remote: "Registry") -> str:
+        """Copy an image (and its tag) from this registry to *remote*."""
+        repo, selector = parse_reference(reference)
+        digest = self.resolve(reference)
+        image = self._by_digest[digest]
+        kind, _, value = selector.partition(":")
+        tag = value if kind == "tag" else "latest"
+        return remote.store(repo, image, tag)
+
+    def pull(self, reference: str, remote: "Registry") -> Image:
+        """Fetch an image from *remote* into this registry."""
+        repo, selector = parse_reference(reference)
+        digest = remote.resolve(reference)
+        image = remote._by_digest[digest]
+        kind, _, value = selector.partition(":")
+        tag = value if kind == "tag" else "latest"
+        self.store(repo, image, tag)
+        return image

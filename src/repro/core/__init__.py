@@ -1,0 +1,41 @@
+"""The Popper convention engine — the paper's primary contribution.
+
+Repository layout and config (Listing 1), the template registry and CLI
+(Listing 2), the experiment pipeline with Aver validation (Listing 3),
+and the convention-compliance checker.
+"""
+
+from repro.core.check import ComplianceReport, Finding, check_repository
+from repro.core.config import CONFIG_NAME, PopperConfig
+from repro.core.pipeline import ExperimentPipeline, ExperimentResult
+from repro.core.repo import PAPER_TEMPLATES, PopperRepository
+from repro.core.runners import (
+    EXPERIMENT_RUNNERS,
+    register_runner,
+    run_experiment_runner,
+)
+from repro.core.templates import (
+    TEMPLATES,
+    ExperimentTemplate,
+    get_template,
+    list_templates,
+)
+
+__all__ = [
+    "PopperRepository",
+    "PAPER_TEMPLATES",
+    "PopperConfig",
+    "CONFIG_NAME",
+    "ExperimentPipeline",
+    "ExperimentResult",
+    "ComplianceReport",
+    "Finding",
+    "check_repository",
+    "TEMPLATES",
+    "ExperimentTemplate",
+    "get_template",
+    "list_templates",
+    "EXPERIMENT_RUNNERS",
+    "register_runner",
+    "run_experiment_runner",
+]

@@ -1,0 +1,86 @@
+"""Binder-style post-mortem notebook re-execution.
+
+Figure 3 of the paper has readers inspect results "post-mortem" through
+Jupyter/Binder without re-running experiments.  :func:`rerun_notebooks`
+is that path: for every experiment with stored results and an analysis
+notebook, execute the notebook against ``results.csv`` (regenerating
+``figure.svg``) and report per-experiment success — no experiment
+re-execution involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import PopperError
+from repro.common.tables import MetricsTable
+from repro.core.pipeline import NOTEBOOK_FILE
+from repro.core.repo import PopperRepository
+from repro.figures import bar_chart_svg, line_chart_svg, series_from_table
+from repro.notebook import Notebook, execute
+
+__all__ = ["NotebookStatus", "rerun_notebooks"]
+
+
+@dataclass(frozen=True)
+class NotebookStatus:
+    """Outcome of re-running one experiment's analysis notebook."""
+
+    experiment: str
+    ran: bool          # False when results or notebook are absent
+    ok: bool
+    detail: str = ""
+
+
+def rerun_notebooks(repo: PopperRepository) -> list[NotebookStatus]:
+    """Re-execute every experiment's ``visualize.nb.json`` on its stored
+    results (the reader's interactive-inspection path)."""
+    statuses: list[NotebookStatus] = []
+    for experiment in repo.experiments():
+        directory = repo.experiment_dir(experiment)
+        notebook_path = directory / NOTEBOOK_FILE
+        results_path = directory / "results.csv"
+        if not notebook_path.is_file():
+            statuses.append(
+                NotebookStatus(experiment, ran=False, ok=True, detail="no notebook")
+            )
+            continue
+        if not results_path.is_file():
+            statuses.append(
+                NotebookStatus(
+                    experiment, ran=False, ok=False, detail="no stored results"
+                )
+            )
+            continue
+        try:
+            table = MetricsTable.load_csv(results_path)
+            notebook = Notebook.load(notebook_path)
+        except Exception as exc:
+            statuses.append(
+                NotebookStatus(experiment, ran=False, ok=False, detail=str(exc))
+            )
+            continue
+        run = execute(
+            notebook,
+            namespace={
+                "results": table,
+                "figure_path": str(directory / "figure.svg"),
+                "MetricsTable": MetricsTable,
+                "series_from_table": series_from_table,
+                "line_chart_svg": line_chart_svg,
+                "bar_chart_svg": bar_chart_svg,
+            },
+        )
+        statuses.append(
+            NotebookStatus(
+                experiment,
+                ran=True,
+                ok=run.ok,
+                detail=(run.first_error or "").strip().splitlines()[-1]
+                if run.first_error
+                else "",
+            )
+        )
+    if not statuses:
+        raise PopperError("repository has no experiments")
+    return statuses

@@ -1,0 +1,150 @@
+"""``popper check`` — convention-compliance checking.
+
+Self-containment (§"Popper") demands that every experiment carries, in
+the repository: experiment code, orchestration code, data-dependency
+references, parametrization, validation criteria and (once run) results.
+The checker verifies each item and reports per-experiment findings; CI
+runs it on every commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common import minyaml
+from repro.common.errors import YamlError
+from repro.core.config import CONFIG_NAME
+from repro.core.repo import PopperRepository
+
+__all__ = ["Finding", "ComplianceReport", "check_repository", "check_experiment"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One compliance problem."""
+
+    scope: str      # "repository" or the experiment name
+    severity: str   # "error" | "warning"
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.scope}: {self.message}"
+
+
+@dataclass
+class ComplianceReport:
+    """All findings for one repository."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def compliant(self) -> bool:
+        return not self.errors
+
+    def describe(self) -> str:
+        if not self.findings:
+            return "repository is Popper-compliant\n"
+        lines = [str(f) for f in self.findings]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines) + "\n"
+
+
+_REQUIRED_FILES = {
+    "vars.yml": "parametrization",
+    "setup.yml": "orchestration code",
+    "run.sh": "experiment entry point",
+    "validations.aver": "validation criteria",
+}
+
+
+def check_experiment(directory: Path, name: str) -> list[Finding]:
+    """Compliance findings for one experiment folder."""
+    findings: list[Finding] = []
+    if not directory.is_dir():
+        return [
+            Finding(name, "error", "registered in .popper.yml but folder missing")
+        ]
+    for filename, role in _REQUIRED_FILES.items():
+        if not (directory / filename).is_file():
+            findings.append(
+                Finding(name, "error", f"missing {filename} ({role})")
+            )
+    vars_path = directory / "vars.yml"
+    if vars_path.is_file():
+        try:
+            doc = minyaml.load_file(vars_path)
+            if not isinstance(doc, dict) or "runner" not in doc:
+                findings.append(
+                    Finding(name, "error", "vars.yml must declare a 'runner'")
+                )
+        except YamlError as exc:
+            findings.append(Finding(name, "error", f"vars.yml unparsable: {exc}"))
+    if not (directory / "datasets").is_dir():
+        findings.append(
+            Finding(name, "warning", "no datasets/ folder (data references)")
+        )
+    if not (directory / "results.csv").is_file():
+        findings.append(
+            Finding(name, "warning", "no results.csv yet (experiment never ran)")
+        )
+    if not (directory / "README.md").is_file():
+        findings.append(Finding(name, "warning", "no README.md"))
+    return findings
+
+
+def check_repository(repo: PopperRepository) -> ComplianceReport:
+    """Compliance findings for the whole repository."""
+    report = ComplianceReport()
+    root = repo.root
+    if not (root / CONFIG_NAME).is_file():  # pragma: no cover - open() enforces
+        report.findings.append(
+            Finding("repository", "error", f"missing {CONFIG_NAME}")
+        )
+    if not (root / ".travis.yml").is_file():
+        report.findings.append(
+            Finding("repository", "error", "missing .travis.yml (CI integrity checks)")
+        )
+    if not (root / "paper").is_dir():
+        report.findings.append(
+            Finding("repository", "warning", "missing paper/ folder")
+        )
+    if not (root / "README.md").is_file():
+        report.findings.append(
+            Finding("repository", "warning", "missing README.md")
+        )
+    # experiments present on disk but not registered
+    if repo.experiments_dir.is_dir():
+        on_disk = {
+            p.name for p in repo.experiments_dir.iterdir() if p.is_dir()
+        }
+        unregistered = on_disk - set(repo.config.experiments)
+        for name in sorted(unregistered):
+            report.findings.append(
+                Finding(name, "warning", "folder exists but not in .popper.yml")
+            )
+    for name in repo.experiments():
+        report.findings.extend(
+            check_experiment(repo.experiment_dir(name), name)
+        )
+    status = repo.vcs.status()
+    if status.untracked:
+        report.findings.append(
+            Finding(
+                "repository",
+                "warning",
+                f"{len(status.untracked)} untracked file(s) — artifacts must "
+                "be versioned to be referenceable",
+            )
+        )
+    return report

@@ -1,0 +1,288 @@
+"""The ``popper`` command-line interface (Listing 2 of the paper).
+
+::
+
+    $ popper init
+    -- Initialized Popper repo
+
+    $ popper experiment list
+    -- available templates ---------------
+    ceph-rados        proteustm  mpi-comm-variability
+    cloverleaf        gassyfs    zlog
+    spark-standalone  torpor     malacology
+
+    $ popper add torpor myexp
+
+Additional verbs: ``check`` (compliance), ``run`` (pipeline),
+``paper list|add|build``, ``status``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.errors import PopperError, ReproError
+from repro.core.check import check_repository
+from repro.core.pipeline import ExperimentPipeline
+from repro.core.repo import PAPER_TEMPLATES, PopperRepository
+from repro.core.templates import list_templates
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="popper",
+        description="Bootstrap and drive Popper-convention repositories.",
+    )
+    parser.add_argument(
+        "--repo", "-C", default=".", help="repository root (default: cwd)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("init", help="initialize a Popper repository")
+
+    experiment = sub.add_parser("experiment", help="experiment template commands")
+    experiment_sub = experiment.add_subparsers(dest="subcommand", required=True)
+    experiment_sub.add_parser("list", help="list available templates")
+
+    add = sub.add_parser("add", help="instantiate a template as an experiment")
+    add.add_argument("template")
+    add.add_argument("name")
+
+    rm = sub.add_parser("rm", help="remove an experiment")
+    rm.add_argument("name")
+
+    sub.add_parser("check", help="check convention compliance")
+
+    run = sub.add_parser("run", help="run experiment pipeline(s)")
+    run.add_argument("names", nargs="*", help="experiments to run")
+    run.add_argument("--all", action="store_true", help="run every experiment")
+    run.add_argument(
+        "--strict", action="store_true", help="fail on validation failures"
+    )
+    run.add_argument(
+        "--validate-only",
+        action="store_true",
+        help="re-validate stored results.csv without re-running",
+    )
+
+    paper = sub.add_parser("paper", help="manuscript commands")
+    paper_sub = paper.add_subparsers(dest="subcommand", required=True)
+    paper_sub.add_parser("list", help="list manuscript templates")
+    paper_add = paper_sub.add_parser("add", help="add a manuscript template")
+    paper_add.add_argument("template", nargs="?", default="generic-article")
+    paper_sub.add_parser("build", help="build the manuscript")
+
+    ci = sub.add_parser("ci", help="run the repository's CI build locally")
+    ci.add_argument("--ref", default="HEAD", help="commit/branch/tag to build")
+
+    bundle = sub.add_parser(
+        "bundle", help="export the repository as a single artifact file"
+    )
+    bundle.add_argument("output", help="bundle file to write")
+    bundle.add_argument("--ref", default="HEAD")
+
+    unbundle = sub.add_parser(
+        "unbundle", help="recreate a repository from a bundle"
+    )
+    unbundle.add_argument("bundle_file")
+    unbundle.add_argument("target")
+
+    sub.add_parser(
+        "notebooks",
+        help="re-run every analysis notebook on stored results (Binder-style)",
+    )
+
+    sub.add_parser("status", help="show repository status")
+    return parser
+
+
+def _cmd_init(args) -> int:
+    PopperRepository.init(args.repo)
+    print("-- Initialized Popper repo")
+    return 0
+
+
+def _cmd_experiment_list(args) -> int:
+    print("-- available templates ---------------")
+    templates = list_templates()
+    names = [t.name for t in templates]
+    # three-column layout like the paper's listing
+    rows = (len(names) + 2) // 3
+    width = max(len(n) for n in names) + 2
+    for row in range(rows):
+        chunk = names[row::rows]
+        print("".join(name.ljust(width) for name in chunk).rstrip())
+    return 0
+
+
+def _cmd_add(args) -> int:
+    repo = PopperRepository.open(args.repo)
+    target = repo.add_experiment(args.template, args.name)
+    print(f"-- Added experiment {args.name} from template {args.template}")
+    print(f"   {target}")
+    return 0
+
+
+def _cmd_rm(args) -> int:
+    repo = PopperRepository.open(args.repo)
+    repo.remove_experiment(args.name)
+    print(f"-- Removed experiment {args.name}")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    repo = PopperRepository.open(args.repo)
+    report = check_repository(repo)
+    print(report.describe(), end="")
+    return 0 if report.compliant else 1
+
+
+def _cmd_run(args) -> int:
+    repo = PopperRepository.open(args.repo)
+    names = list(args.names)
+    if args.all:
+        names = repo.experiments()
+        if not names:
+            print("-- no experiments registered; nothing to run")
+            return 0
+    if not names:
+        print("popper run: name at least one experiment (or --all)", file=sys.stderr)
+        return 2
+    exit_code = 0
+    for name in names:
+        pipeline = ExperimentPipeline(repo, name)
+        if args.validate_only:
+            result = pipeline.validate_existing()
+        else:
+            result = pipeline.run(strict=False)
+        status = "ok" if result.validated else "VALIDATION FAILED"
+        print(f"-- {name}: {len(result.results)} result rows, {status}")
+        for validation in result.validations:
+            print("   " + validation.describe().replace("\n", "\n   "))
+        if not result.validated:
+            exit_code = 1
+        if args.strict and exit_code:
+            return exit_code
+    return exit_code
+
+
+def _cmd_paper(args) -> int:
+    repo = PopperRepository.open(args.repo)
+    if args.subcommand == "list":
+        print("-- available paper templates ---------")
+        for name in sorted(PAPER_TEMPLATES):
+            print(name)
+        return 0
+    if args.subcommand == "add":
+        repo.add_paper(args.template)
+        print(f"-- Added paper template {args.template}")
+        return 0
+    if args.subcommand == "build":
+        output = repo.build_paper()
+        print(f"-- Built {output}")
+        return 0
+    raise PopperError(f"unknown paper subcommand {args.subcommand!r}")
+
+
+def _cmd_ci(args) -> int:
+    from repro.core.ci_integration import make_ci_server
+
+    repo = PopperRepository.open(args.repo)
+    server = make_ci_server(repo)
+    record = server.trigger(args.ref)
+    print(f"-- build #{record.number} on {record.commit[:12]}: {record.status.value}")
+    for job in record.jobs:
+        env = " ".join(f"{k}={v}" for k, v in job.env.items()) or "<default env>"
+        print(f"   job [{env}]: {'ok' if job.ok else 'FAILED'}")
+        for step in job.steps:
+            marker = "ok " if step.ok else "ERR"
+            print(f"     [{marker}] {step.phase}: {step.command}")
+            if not step.ok and step.stderr.strip():
+                print("          " + step.stderr.strip().splitlines()[0])
+    print(f"-- {server.badge()}")
+    return 0 if record.ok else 1
+
+
+def _cmd_bundle(args) -> int:
+    from repro.core.bundle import create_bundle
+
+    repo = PopperRepository.open(args.repo)
+    manifest = create_bundle(repo, args.output, ref=args.ref)
+    print(
+        f"-- bundled {manifest['files']} files ({manifest['bytes']} bytes) "
+        f"at {manifest['commit'][:12]} -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_unbundle(args) -> int:
+    from repro.core.bundle import unbundle
+
+    repo = unbundle(args.bundle_file, args.target)
+    print(f"-- recreated Popper repository at {repo.root}")
+    print(f"   experiments: {', '.join(repo.experiments()) or '<none>'}")
+    return 0
+
+
+def _cmd_notebooks(args) -> int:
+    from repro.core.binder import rerun_notebooks
+
+    repo = PopperRepository.open(args.repo)
+    statuses = rerun_notebooks(repo)
+    exit_code = 0
+    for status in statuses:
+        if not status.ran:
+            marker = "--" if status.ok else "!!"
+        else:
+            marker = "ok" if status.ok else "!!"
+        detail = f" ({status.detail})" if status.detail else ""
+        print(f"[{marker}] {status.experiment}{detail}")
+        if not status.ok:
+            exit_code = 1
+    return exit_code
+
+
+def _cmd_status(args) -> int:
+    repo = PopperRepository.open(args.repo)
+    print(f"Popper repository at {repo.root}")
+    print(f"paper template: {repo.config.paper_template or '<none>'}")
+    for name in repo.experiments():
+        template = repo.config.experiments[name]
+        has_results = (repo.experiment_dir(name) / "results.csv").is_file()
+        state = "ran" if has_results else "never ran"
+        print(f"  {name}  (from {template}, {state})")
+    vcs_status = repo.vcs.status()
+    print("working tree:", "clean" if vcs_status.clean else "dirty")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "init": _cmd_init,
+        "add": _cmd_add,
+        "rm": _cmd_rm,
+        "check": _cmd_check,
+        "run": _cmd_run,
+        "paper": _cmd_paper,
+        "ci": _cmd_ci,
+        "bundle": _cmd_bundle,
+        "unbundle": _cmd_unbundle,
+        "notebooks": _cmd_notebooks,
+        "status": _cmd_status,
+    }
+    try:
+        if args.command == "experiment":
+            return _cmd_experiment_list(args)
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"popper: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,247 @@
+"""The experiment pipeline: setup → run → post-process → validate.
+
+``popper run <experiment>`` drives one experiment end to end:
+
+1. **setup** — execute the experiment's ``setup.yml`` playbook against a
+   (simulated) inventory, gathering environment facts;
+2. **baseline gate** (optional) — compare the target machine's
+   fingerprint against a stored profile before spending any time on the
+   real run ("if the baseline performance cannot be reproduced, there is
+   no point in executing the experiment");
+3. **run** — dispatch to the runner named in ``vars.yml`` and store
+   ``results.csv``;
+4. **validate** — evaluate ``validations.aver`` against the results and
+   store ``validation_report.txt``.
+
+Every stage's wall time lands in a :class:`~repro.monitor.MetricStore`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.aver.evaluator import ValidationResult, check_all
+from repro.common import minyaml
+from repro.common.errors import PopperError, ValidationFailure
+from repro.common.tables import MetricsTable
+from repro.core.baseline import check_baseline
+from repro.core.postprocess import run_postprocess
+from repro.core.repo import PopperRepository
+from repro.core.runners import run_experiment_runner
+from repro.monitor.metrics import MetricStore
+from repro.orchestration.connection import ContainerConnection
+from repro.orchestration.inventory import Inventory
+from repro.orchestration.playbook import Playbook, PlaybookRunner
+
+__all__ = ["ExperimentResult", "ExperimentPipeline", "NOTEBOOK_FILE"]
+
+#: Per-experiment analysis notebook (the Jupyter `visualize.ipynb` analog).
+NOTEBOOK_FILE = "visualize.nb.json"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a pipeline run produced."""
+
+    experiment: str
+    results: MetricsTable
+    validations: list[ValidationResult]
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    figures: dict[str, object] = field(default_factory=dict)  # name -> Path
+    baseline_message: str = ""
+
+    @property
+    def validated(self) -> bool:
+        return all(v.passed for v in self.validations)
+
+    def report_text(self) -> str:
+        lines = [f"experiment: {self.experiment}", ""]
+        for result in self.validations:
+            lines.append(result.describe())
+        lines.append("")
+        verdict = "ALL VALIDATIONS PASSED" if self.validated else "VALIDATION FAILURES"
+        lines.append(verdict)
+        return "\n".join(lines) + "\n"
+
+
+class ExperimentPipeline:
+    """Runs one experiment of a Popper repository."""
+
+    def __init__(
+        self,
+        repo: PopperRepository,
+        experiment: str,
+        metrics: MetricStore | None = None,
+        inventory: Inventory | None = None,
+    ) -> None:
+        if experiment not in repo.config.experiments:
+            raise PopperError(f"no such experiment: {experiment!r}")
+        self.repo = repo
+        self.experiment = experiment
+        self.directory = repo.experiment_dir(experiment)
+        # `or` would discard an empty store (MetricStore defines __len__).
+        self.metrics = metrics if metrics is not None else MetricStore()
+        self.inventory = inventory
+
+    # -- pieces ---------------------------------------------------------------------
+    def load_vars(self) -> dict:
+        path = self.directory / "vars.yml"
+        if not path.is_file():
+            raise PopperError(f"{self.experiment}: missing vars.yml")
+        doc = minyaml.load_file(path)
+        if not isinstance(doc, dict) or "runner" not in doc:
+            raise PopperError(
+                f"{self.experiment}: vars.yml must be a mapping with a 'runner' key"
+            )
+        return doc
+
+    def _default_inventory(self) -> Inventory:
+        inventory = Inventory()
+        inventory.add_host(
+            "driver",
+            groups=["head"],
+            connection=ContainerConnection(name="driver"),
+        )
+        return inventory
+
+    def run_setup(self) -> None:
+        """Execute ``setup.yml`` (skipped if the experiment has none)."""
+        path = self.directory / "setup.yml"
+        if not path.is_file():
+            return
+        playbook = Playbook.from_yaml(path.read_text(encoding="utf-8"))
+        inventory = self.inventory or self._default_inventory()
+        recap = PlaybookRunner(inventory, extra_vars=self.load_vars()).run(playbook)
+        if not recap.ok:
+            failures = [
+                f"{host}: {result.msg}"
+                for name, host, result in recap.task_results
+                if result.failed
+            ]
+            raise PopperError(
+                f"{self.experiment}: setup playbook failed ({'; '.join(failures)})"
+            )
+
+    def run_experiment(self, variables: dict) -> MetricsTable:
+        """Dispatch to the configured runner and persist results.csv."""
+        runner = str(variables["runner"])
+        table = run_experiment_runner(runner, variables)
+        if len(table) == 0:
+            raise PopperError(f"{self.experiment}: runner produced no rows")
+        table.save_csv(self.directory / "results.csv")
+        return table
+
+    def _run_notebook(self, table: MetricsTable) -> None:
+        """Execute the experiment's analysis notebook (``visualize.nb.json``).
+
+        The notebook sees ``results`` (the metrics table), ``figure_path``
+        (where to write its rendered figure) and the figure-rendering
+        helpers; any cell error fails the pipeline — the paper's "post-
+        processing routines can be executed without problems" CI check.
+        """
+        from repro.figures import (
+            bar_chart_svg,
+            line_chart_svg,
+            series_from_table,
+        )
+        from repro.notebook import Notebook, execute
+
+        notebook = Notebook.load(self.directory / NOTEBOOK_FILE)
+        run = execute(
+            notebook,
+            namespace={
+                "results": table,
+                "figure_path": str(self.directory / "figure.svg"),
+                "MetricsTable": MetricsTable,
+                "series_from_table": series_from_table,
+                "line_chart_svg": line_chart_svg,
+                "bar_chart_svg": bar_chart_svg,
+            },
+        )
+        if not run.ok:
+            raise PopperError(
+                f"{self.experiment}: analysis notebook failed:\n{run.first_error}"
+            )
+
+    def run_validation(self, table: MetricsTable) -> list[ValidationResult]:
+        """Evaluate ``validations.aver``; persist the report."""
+        path = self.directory / "validations.aver"
+        if not path.is_file():
+            return []
+        results = check_all(path.read_text(encoding="utf-8"), table)
+        return results
+
+    # -- the whole pipeline -------------------------------------------------------------
+    def run(self, strict: bool = False) -> ExperimentResult:
+        """Execute all stages.  With ``strict``, failed validations raise."""
+        stage_seconds: dict[str, float] = {}
+
+        start = time.perf_counter()
+        variables = self.load_vars()
+        self.run_setup()
+        stage_seconds["setup"] = time.perf_counter() - start
+
+        baseline_message = ""
+        if "baseline" in variables:
+            start = time.perf_counter()
+            _, baseline_message = check_baseline(
+                self.directory,
+                variables["baseline"],
+                seed=int(variables.get("seed", 42)),
+            )
+            stage_seconds["baseline"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        table = self.run_experiment(variables)
+        stage_seconds["run"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        figures = run_postprocess(self.directory, table)
+        stage_seconds["postprocess"] = time.perf_counter() - start
+
+        if (self.directory / NOTEBOOK_FILE).is_file():
+            start = time.perf_counter()
+            self._run_notebook(table)
+            stage_seconds["visualize"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        validations = self.run_validation(table)
+        stage_seconds["validate"] = time.perf_counter() - start
+
+        result = ExperimentResult(
+            experiment=self.experiment,
+            results=table,
+            validations=validations,
+            stage_seconds=stage_seconds,
+            figures=dict(figures),
+            baseline_message=baseline_message,
+        )
+        (self.directory / "validation_report.txt").write_text(
+            result.report_text(), encoding="utf-8"
+        )
+        for stage, seconds in stage_seconds.items():
+            self.metrics.record(
+                "popper.stage_seconds",
+                seconds,
+                labels={"experiment": self.experiment, "stage": stage},
+            )
+        if strict and not result.validated:
+            raise ValidationFailure(
+                f"{self.experiment}: domain-specific validations failed:\n"
+                + result.report_text()
+            )
+        return result
+
+    def validate_existing(self) -> ExperimentResult:
+        """Re-validate a stored ``results.csv`` without re-running."""
+        path = self.directory / "results.csv"
+        if not path.is_file():
+            raise PopperError(
+                f"{self.experiment}: no results.csv; run the experiment first"
+            )
+        table = MetricsTable.load_csv(path)
+        validations = self.run_validation(table)
+        return ExperimentResult(
+            experiment=self.experiment, results=table, validations=validations
+        )

@@ -1,0 +1,393 @@
+"""The curated experiment-template registry (Listing 2 of the paper).
+
+``popper experiment list`` prints exactly the templates the paper names::
+
+    ceph-rados        proteustm  mpi-comm-variability
+    cloverleaf        gassyfs    zlog
+    spark-standalone  torpor     malacology
+
+plus ``jupyter-bww`` from the weather use case.  Every template is fully
+executable: it carries the experiment's parametrization (``vars.yml``
+selecting a registered runner), its validation criteria
+(``validations.aver``), orchestration (``setup.yml``), an entry point
+(``run.sh``) and documentation — the artifact set self-containment
+requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import minyaml
+from repro.common.errors import TemplateNotFound
+from repro.notebook import Notebook
+
+__all__ = ["ExperimentTemplate", "TEMPLATES", "get_template", "list_templates"]
+
+
+@dataclass(frozen=True)
+class ExperimentTemplate:
+    """A reusable, Popperized experiment."""
+
+    name: str
+    description: str
+    runner: str
+    files: tuple[tuple[str, str], ...]  # (relative path, content)
+
+    def files_dict(self) -> dict[str, str]:
+        return dict(self.files)
+
+
+_PROCESS_SCALING = '''\
+"""Post-processing: aggregate the scalability figure (mean time per
+machine and node count).  Executed by the pipeline after the run; the
+returned table is written to figure.csv."""
+
+
+def process(results):
+    return results.aggregate(["machine", "nodes"], "time")
+'''
+
+_PROCESS_TORPOR = '''\
+"""Post-processing: per-class mean speedup (the variability profile's
+class bands)."""
+
+
+def process(results):
+    return results.aggregate(["class"], "speedup")
+'''
+
+_PROCESS_MPI = '''\
+"""Post-processing: mean wall time and MPI fraction per noise setting."""
+
+
+def process(results):
+    wall = results.aggregate(["noise"], "wall_time")
+    mpi = results.aggregate(["noise"], "mpi_fraction")
+    return {"figure": wall, "mpi_fraction": mpi}
+'''
+
+_PROCESS_IDENTITY = '''\
+"""Post-processing: the analysis output is already figure-shaped."""
+
+
+def process(results):
+    return results
+'''
+
+
+def _notebook_for(runner: str, name: str) -> str:
+    """The template's `visualize.nb.json`: renders figure.svg from results."""
+    nb = Notebook(metadata={"experiment": name})
+    nb.add_markdown(f"# {name}: post-mortem analysis\n\nRe-run me after "
+                    "every experiment execution; I regenerate figure.svg.")
+    if runner == "torpor-variability":
+        nb.add_code(
+            "by_class = results.aggregate(['class'], 'speedup')\n"
+            "labels = by_class.column('class')\n"
+            "values = by_class.column('speedup')\n"
+        )
+        nb.add_code(
+            "svg = bar_chart_svg(labels, [round(v, 2) for v in values],\n"
+            "                    title='mean speedup by stressor class')\n"
+            "open(figure_path, 'w').write(svg)\n"
+            "len(values)"
+        )
+    elif runner == "mpi-comm-variability":
+        nb.add_code(
+            "series = series_from_table(results, 'run', 'wall_time', group='noise')\n"
+            "svg = line_chart_svg(series, title='LULESH wall time per run',\n"
+            "                     x_label='run', y_label='wall time (s)')\n"
+            "open(figure_path, 'w').write(svg)\n"
+            "len(series)"
+        )
+    elif runner == "bww-airtemp":
+        nb.add_code(
+            "series = series_from_table(results, 'lat', 'temperature', group='season')\n"
+            "svg = line_chart_svg(series, title='seasonal zonal-mean air temperature',\n"
+            "                     x_label='latitude', y_label='K')\n"
+            "open(figure_path, 'w').write(svg)\n"
+            "len(series)"
+        )
+    else:  # scaling figure
+        nb.add_code(
+            "mean = results.aggregate(['machine', 'nodes'], 'time')\n"
+            "series = series_from_table(mean, 'nodes', 'time', group='machine')\n"
+            "svg = line_chart_svg(series, title='runtime vs cluster size',\n"
+            "                     x_label='nodes', y_label='time (s)')\n"
+            "open(figure_path, 'w').write(svg)\n"
+            "len(series)"
+        )
+    return nb.to_json()
+
+
+def _template(
+    name: str,
+    description: str,
+    runner: str,
+    variables: dict,
+    validations: str,
+    readme_extra: str = "",
+    setup_packages: tuple[str, ...] = ("git", "make"),
+    process_script: str | None = None,
+) -> ExperimentTemplate:
+    vars_doc = {"runner": runner, **variables}
+    readme = (
+        f"# {name}\n\n{description}\n\n"
+        "This experiment follows the Popper convention: `vars.yml` holds the\n"
+        "parametrization, `setup.yml` the orchestration, `validations.aver`\n"
+        "the result-integrity assertions, and `datasets/` the referenced\n"
+        "data dependencies. Run it with `popper run " + name + "` (or the\n"
+        "checked-in `run.sh`).\n"
+    )
+    if readme_extra:
+        readme += "\n" + readme_extra + "\n"
+    setup = [
+        {
+            "name": f"provision {name}",
+            "hosts": "all",
+            "tasks": [
+                {
+                    "name": "install dependencies",
+                    "package": {"name": list(setup_packages)},
+                },
+                {
+                    "name": "record environment facts",
+                    "command": {"cmd": "echo facts gathered"},
+                },
+            ],
+        }
+    ]
+    run_sh = (
+        "#!/bin/sh\n"
+        "# Popper entry point: executes the experiment and validates results.\n"
+        f"popper run {name}\n"
+    )
+    if process_script is None:
+        by_runner = {
+            "gassyfs-scaling": _PROCESS_SCALING,
+            "generic-scaling": _PROCESS_SCALING,
+            "torpor-variability": _PROCESS_TORPOR,
+            "mpi-comm-variability": _PROCESS_MPI,
+            "bww-airtemp": _PROCESS_IDENTITY,
+        }
+        process_script = by_runner.get(runner, _PROCESS_IDENTITY)
+    files = (
+        ("README.md", readme),
+        ("vars.yml", minyaml.dumps(vars_doc)),
+        ("setup.yml", minyaml.dumps(setup)),
+        ("run.sh", run_sh),
+        ("validations.aver", validations),
+        ("process-result.py", process_script),
+        ("visualize.nb.json", _notebook_for(runner, name)),
+        (
+            "datasets/README.md",
+            "Data dependencies are referenced here as data packages\n"
+            "(`dpm install <name>@<version>`), never committed directly.\n",
+        ),
+    )
+    return ExperimentTemplate(
+        name=name, description=description, runner=runner, files=files
+    )
+
+
+_SUBLINEAR = (
+    "-- the paper's Listing 3: scaling must be sublinear on every\n"
+    "-- (workload, machine) combination\n"
+    "when workload=* and machine=*\n"
+    "expect sublinear(nodes, time)\n"
+)
+
+
+TEMPLATES: dict[str, ExperimentTemplate] = {
+    t.name: t
+    for t in [
+        _template(
+            "gassyfs",
+            "Scalability of the GassyFS in-memory file system compiling Git "
+            "across multiple platforms (the paper's Fig. gassyfs-git).",
+            "gassyfs-scaling",
+            {
+                "node_counts": [1, 2, 4, 8],
+                "sites": ["cloudlab-wisc", "ec2"],
+                "workloads": ["git-compile"],
+                "placement": "round-robin",
+                "block_size": 1048576,
+                "seed": 42,
+            },
+            _SUBLINEAR
+            + "\nwhen workload=* and machine=*\nexpect monotonic_dec(nodes, time)\n",
+            setup_packages=("gassyfs", "gasnet", "fuse", "git", "make", "gcc"),
+        ),
+        _template(
+            "torpor",
+            "Cross-platform performance-variability profile: stress-ng "
+            "speedups of a CloudLab node vs a 10-year-old Xeon "
+            "(ASPLOS Fig. torpor-variability).",
+            "torpor-variability",
+            {"runs": 3, "seed": 42},
+            "-- every stressor must speed up on the newer machine\n"
+            "expect speedup > 1\n"
+            "\n-- integer-ALU stressors cluster tightly\n"
+            "when class='cpu'\nexpect constant(speedup, 0.1)\n",
+            setup_packages=("stress-ng",),
+        ),
+        _template(
+            "mpi-comm-variability",
+            "LULESH communication-time variability under noisy neighbors, "
+            "profiled with mpiP (ASPLOS use case 5.3).",
+            "mpi-comm-variability",
+            {"side": 3, "iterations": 40, "runs": 10, "seed": 42},
+            "-- sanity: both noise settings produce full run series\n"
+            "when noise=* expect count() >= 5\n"
+            "\n-- runs never complete instantaneously\nexpect wall_time > 0\n",
+            setup_packages=("openmpi", "mpip", "lulesh"),
+        ),
+        _template(
+            "jupyter-bww",
+            "Big Weather Web air-temperature analysis over a referenced "
+            "NCEP/NCAR-Reanalysis-style data package (ASPLOS use case 5.4).",
+            "bww-airtemp",
+            {"years": 1, "lat_step": 5.0, "lon_step": 5.0, "seed": 42},
+            "-- temperatures stay physical (Kelvin)\n"
+            "expect within(temperature, 180, 330)\n"
+            "\n-- every season is represented across the latitude grid\n"
+            "when season=* expect count() >= 10\n",
+            setup_packages=("python3", "jupyter", "dpm"),
+        ),
+        _template(
+            "ceph-rados",
+            "RADOS object-store style streaming benchmark: storage-heavy "
+            "scale-out workload.",
+            "generic-scaling",
+            {
+                "workload": "rados-bench",
+                "serial_ops": 5e8,
+                "parallel_ops": 2e10,
+                "mem_bytes_per_op": 0.3,
+                "net_bytes_per_node": 6e8,
+                "storage_bytes": 4e10,
+                "fp_fraction": 0.05,
+                "node_counts": [1, 2, 4, 8],
+                "sites": ["cloudlab-wisc"],
+                "seed": 42,
+            },
+            _SUBLINEAR,
+            setup_packages=("gcc", "make"),
+        ),
+        _template(
+            "cloverleaf",
+            "CloverLeaf hydrodynamics mini-app: FP-heavy stencil scaling.",
+            "generic-scaling",
+            {
+                "workload": "cloverleaf",
+                "serial_ops": 2e9,
+                "parallel_ops": 8e10,
+                "mem_bytes_per_op": 0.5,
+                "net_bytes_per_node": 3e8,
+                "fp_fraction": 0.9,
+                "node_counts": [1, 2, 4, 8, 16],
+                "sites": ["hpc"],
+                "seed": 42,
+            },
+            _SUBLINEAR,
+            setup_packages=("openmpi", "gcc", "make"),
+        ),
+        _template(
+            "spark-standalone",
+            "Spark-standalone style shuffle-heavy analytics job.",
+            "generic-scaling",
+            {
+                "workload": "spark-sort",
+                "serial_ops": 1e9,
+                "parallel_ops": 8e10,
+                "mem_bytes_per_op": 0.4,
+                "net_bytes_per_node": 2e8,
+                "fp_fraction": 0.1,
+                "node_counts": [1, 2, 4, 8],
+                "sites": ["ec2"],
+                "seed": 42,
+            },
+            _SUBLINEAR
+            + "\nwhen workload=* and machine=*\nexpect monotonic_dec(nodes, time)\n",
+            setup_packages=("python3",),
+        ),
+        _template(
+            "zlog",
+            "ZLog distributed shared-log append throughput.",
+            "generic-scaling",
+            {
+                "workload": "zlog-append",
+                "serial_ops": 2e8,
+                "parallel_ops": 1e10,
+                "mem_bytes_per_op": 0.2,
+                "net_bytes_per_node": 1.5e9,
+                "storage_bytes": 5e9,
+                "fp_fraction": 0.0,
+                "node_counts": [1, 2, 4, 8],
+                "sites": ["cloudlab-wisc"],
+                "seed": 42,
+            },
+            _SUBLINEAR,
+            setup_packages=("gcc", "make"),
+        ),
+        _template(
+            "proteustm",
+            "ProteusTM transactional-memory sensitivity study "
+            "(single-node, multi-thread).",
+            "generic-scaling",
+            {
+                "workload": "proteustm",
+                "serial_ops": 3e9,
+                "parallel_ops": 2e10,
+                "mem_bytes_per_op": 0.4,
+                "net_bytes_per_node": 0.0,
+                "fp_fraction": 0.2,
+                "node_counts": [1, 2, 4],
+                "sites": ["cloudlab-wisc"],
+                "seed": 42,
+            },
+            _SUBLINEAR,
+            setup_packages=("gcc", "make"),
+        ),
+        _template(
+            "malacology",
+            "Malacology programmable-storage interface benchmark.",
+            "generic-scaling",
+            {
+                "workload": "malacology",
+                "serial_ops": 1e9,
+                "parallel_ops": 1.5e10,
+                "mem_bytes_per_op": 0.3,
+                "net_bytes_per_node": 9e8,
+                "storage_bytes": 2e10,
+                "fp_fraction": 0.05,
+                "node_counts": [1, 2, 4, 8],
+                "sites": ["cloudlab-wisc"],
+                "seed": 42,
+            },
+            _SUBLINEAR,
+            setup_packages=("gcc", "make"),
+        ),
+    ]
+}
+
+
+def get_template(name: str) -> ExperimentTemplate:
+    try:
+        return TEMPLATES[name]
+    except KeyError:
+        raise TemplateNotFound(
+            f"no template {name!r}; available: {', '.join(sorted(TEMPLATES))}"
+        ) from None
+
+
+def list_templates() -> list[ExperimentTemplate]:
+    """Templates in the display order of the paper's Listing 2."""
+    order = [
+        "ceph-rados", "proteustm", "mpi-comm-variability",
+        "cloverleaf", "gassyfs", "zlog",
+        "spark-standalone", "torpor", "malacology",
+        "jupyter-bww",
+    ]
+    return [TEMPLATES[name] for name in order]

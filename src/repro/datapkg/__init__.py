@@ -1,0 +1,17 @@
+"""Dataset-management substrate (the datapackages/git-LFS substitution):
+descriptors with content hashes, a directory-backed registry, and
+integrity-verified installs.
+"""
+
+from repro.datapkg.descriptor import Descriptor, Resource, parse_spec
+from repro.datapkg.manager import DESCRIPTOR_NAME, PackageRegistry, install, verify_tree
+
+__all__ = [
+    "Descriptor",
+    "Resource",
+    "parse_spec",
+    "PackageRegistry",
+    "install",
+    "verify_tree",
+    "DESCRIPTOR_NAME",
+]

@@ -1,0 +1,97 @@
+"""The ``dpm`` command-line tool (paper Listing 4: ``dpm install
+datapackages/air-temperature``).
+
+Subcommands: ``publish``, ``install``, ``verify``, ``list``.  The
+registry location comes from ``--registry`` or the ``DPM_REGISTRY``
+environment variable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.common.errors import DataPackageError, IntegrityError
+from repro.datapkg.manager import PackageRegistry, verify_tree
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dpm", description="Data-package manager for Popper experiments."
+    )
+    parser.add_argument(
+        "--registry",
+        default=os.environ.get("DPM_REGISTRY", ""),
+        help="registry directory (or set DPM_REGISTRY)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    publish = sub.add_parser("publish", help="publish a directory as a package")
+    publish.add_argument("source")
+    publish.add_argument("spec", help="name@version")
+    publish.add_argument("--title", default="")
+
+    install = sub.add_parser("install", help="install a package with verification")
+    install.add_argument("spec", help="name or name@version")
+    install.add_argument("--into", default="datasets", help="target directory")
+
+    verify = sub.add_parser("verify", help="verify an installed package tree")
+    verify.add_argument("directory")
+
+    list_cmd = sub.add_parser("list", help="list packages (or one package's versions)")
+    list_cmd.add_argument("name", nargs="?")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "verify":
+            descriptor = verify_tree(args.directory)
+            print(f"ok: {descriptor.spec} ({len(descriptor.resources)} resources)")
+            return 0
+        if not args.registry:
+            print("dpm: no registry (use --registry or DPM_REGISTRY)", file=sys.stderr)
+            return 2
+        registry = PackageRegistry(args.registry)
+        if args.command == "publish":
+            from repro.datapkg.descriptor import parse_spec
+
+            name, version = parse_spec(args.spec)
+            if version is None:
+                print("dpm publish: spec must include a version", file=sys.stderr)
+                return 2
+            descriptor = registry.publish(
+                args.source, name, version, title=args.title
+            )
+            print(f"published {descriptor.spec} ({descriptor.total_bytes} bytes)")
+            return 0
+        if args.command == "install":
+            descriptor = registry.install(args.spec, args.into)
+            print(
+                f"installed {descriptor.spec} into {args.into}/{descriptor.name} "
+                "(hashes verified)"
+            )
+            return 0
+        if args.command == "list":
+            if args.name:
+                for version in registry.versions(args.name):
+                    print(f"{args.name}@{version}")
+            else:
+                for name in registry.packages():
+                    print(name)
+            return 0
+    except IntegrityError as exc:
+        print(f"dpm: INTEGRITY FAILURE: {exc}", file=sys.stderr)
+        return 1
+    except DataPackageError as exc:
+        print(f"dpm: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

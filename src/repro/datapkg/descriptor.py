@@ -1,0 +1,149 @@
+"""Data-package descriptors (``datapackage.json``).
+
+A descriptor names a dataset, its version, and every resource (file) it
+contains together with a SHA-256 integrity hash and byte size.  Popper
+experiments reference datasets *by identifier* (``name@version``) instead
+of vendoring them into the paper repository; the descriptor is what makes
+that reference verifiable.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.common.errors import DataPackageError
+from repro.common.hashing import sha256_file
+
+__all__ = ["Resource", "Descriptor", "parse_spec"]
+
+_NAME = re.compile(r"^[a-z0-9][a-z0-9._-]*$")
+_VERSION = re.compile(r"^\d+(\.\d+){0,2}$")
+
+
+def parse_spec(spec: str) -> tuple[str, str | None]:
+    """Split ``"name@version"`` (version optional) into parts."""
+    name, _, version = spec.partition("@")
+    if not _NAME.match(name):
+        raise DataPackageError(f"bad package name: {name!r}")
+    if version and not _VERSION.match(version):
+        raise DataPackageError(f"bad package version: {version!r}")
+    return name, version or None
+
+
+def version_key(version: str) -> tuple[int, ...]:
+    """Sort key for dotted versions (``"1.10" > "1.9"``)."""
+    return tuple(int(part) for part in version.split("."))
+
+
+@dataclass(frozen=True)
+class Resource:
+    """One file inside a data package."""
+
+    name: str
+    path: str
+    sha256: str
+    bytes: int
+    format: str = ""
+
+    @classmethod
+    def from_file(cls, file_path: Path, rel_path: str) -> "Resource":
+        return cls(
+            name=Path(rel_path).stem,
+            path=rel_path,
+            sha256=sha256_file(file_path),
+            bytes=file_path.stat().st_size,
+            format=Path(rel_path).suffix.lstrip("."),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "hash": f"sha256:{self.sha256}",
+            "bytes": self.bytes,
+            "format": self.format,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Resource":
+        digest = doc.get("hash", "")
+        if not digest.startswith("sha256:"):
+            raise DataPackageError(f"resource {doc.get('name')}: unsupported hash")
+        return cls(
+            name=doc["name"],
+            path=doc["path"],
+            sha256=digest[len("sha256:"):],
+            bytes=int(doc["bytes"]),
+            format=doc.get("format", ""),
+        )
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """A complete data-package descriptor."""
+
+    name: str
+    version: str
+    resources: tuple[Resource, ...]
+    title: str = ""
+    sources: tuple[str, ...] = ()
+    license: str = ""
+
+    def __post_init__(self) -> None:
+        if not _NAME.match(self.name):
+            raise DataPackageError(f"bad package name: {self.name!r}")
+        if not _VERSION.match(self.version):
+            raise DataPackageError(f"bad package version: {self.version!r}")
+        paths = [r.path for r in self.resources]
+        if len(set(paths)) != len(paths):
+            raise DataPackageError(f"duplicate resource paths in {self.name}")
+
+    @property
+    def spec(self) -> str:
+        return f"{self.name}@{self.version}"
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.bytes for r in self.resources)
+
+    def resource(self, name: str) -> Resource:
+        for res in self.resources:
+            if res.name == name:
+                return res
+        raise DataPackageError(f"{self.spec}: no resource named {name!r}")
+
+    # -- serialization ------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "version": self.version,
+                "title": self.title,
+                "sources": list(self.sources),
+                "license": self.license,
+                "resources": [r.to_dict() for r in self.resources],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Descriptor":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DataPackageError(f"bad descriptor JSON: {exc}") from exc
+        try:
+            return cls(
+                name=doc["name"],
+                version=doc["version"],
+                resources=tuple(Resource.from_dict(r) for r in doc["resources"]),
+                title=doc.get("title", ""),
+                sources=tuple(doc.get("sources", ())),
+                license=doc.get("license", ""),
+            )
+        except KeyError as exc:
+            raise DataPackageError(f"descriptor missing key: {exc}") from exc

@@ -1,0 +1,23 @@
+"""Figure rendering (the Gnuplot/visualization substitution): ASCII and
+dependency-free SVG charts from metrics tables.
+"""
+
+from repro.figures.charts import (
+    FigureError,
+    Series,
+    bar_chart_ascii,
+    bar_chart_svg,
+    line_chart_ascii,
+    line_chart_svg,
+    series_from_table,
+)
+
+__all__ = [
+    "Series",
+    "FigureError",
+    "series_from_table",
+    "line_chart_ascii",
+    "line_chart_svg",
+    "bar_chart_ascii",
+    "bar_chart_svg",
+]

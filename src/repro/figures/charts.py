@@ -1,0 +1,253 @@
+"""Figure rendering: ASCII and SVG charts from metrics tables.
+
+The last step of every Popper experiment turns results into figures.
+This module renders the two chart shapes the paper's figures use —
+line charts (scalability curves) and bar charts (the Torpor histogram) —
+as both terminal-friendly ASCII and standalone SVG documents, with no
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.common.tables import MetricsTable
+
+__all__ = ["Series", "line_chart_ascii", "line_chart_svg", "bar_chart_ascii", "bar_chart_svg", "series_from_table"]
+
+
+class FigureError(ReproError):
+    """Bad chart inputs."""
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line of (x, y) points."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise FigureError(f"series {self.label!r}: x/y length mismatch")
+        if not self.x:
+            raise FigureError(f"series {self.label!r}: empty")
+
+
+def series_from_table(
+    table: MetricsTable, x: str, y: str, group: str | None = None
+) -> list[Series]:
+    """Split a results table into chart series (one per *group* value)."""
+    if group is None:
+        ordered = table.sort_by(x)
+        return [
+            Series(label=y, x=tuple(ordered.numeric(x)), y=tuple(ordered.numeric(y)))
+        ]
+    out = []
+    for value in table.distinct(group):
+        sub = table.where_equals(**{group: value}).sort_by(x)
+        out.append(
+            Series(
+                label=str(value),
+                x=tuple(sub.numeric(x)),
+                y=tuple(sub.numeric(y)),
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# ASCII
+# ---------------------------------------------------------------------------
+
+def line_chart_ascii(
+    series: list[Series], width: int = 60, height: int = 16, title: str = ""
+) -> str:
+    """Plot series on a character grid (markers: a, b, c, ...)."""
+    if not series:
+        raise FigureError("no series to plot")
+    xs = np.concatenate([s.x for s in series])
+    ys = np.concatenate([s.y for s in series])
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for i, s in enumerate(series):
+        marker = chr(ord("a") + i % 26)
+        for px, py in zip(s.x, s.y):
+            col = int(round((px - x_lo) / x_span * (width - 1)))
+            row = int(round((py - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.3g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_lo:10.3g} +" + "-" * width)
+    lines.append(" " * 12 + f"{x_lo:<10.3g}{'':^{max(width - 20, 0)}}{x_hi:>10.3g}")
+    legend = "  ".join(
+        f"{chr(ord('a') + i % 26)}={s.label}" for i, s in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines) + "\n"
+
+
+def bar_chart_ascii(
+    labels: list[str], values: list[float], width: int = 40, title: str = ""
+) -> str:
+    """Horizontal bar chart (the histogram figure)."""
+    if len(labels) != len(values) or not labels:
+        raise FigureError("labels/values mismatch or empty")
+    peak = max(values) or 1.0
+    label_width = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"{str(label):>{label_width}} | {bar} {value:g}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# SVG
+# ---------------------------------------------------------------------------
+
+_PALETTE = ("#1b6ca8", "#d1495b", "#66a182", "#edae49", "#8d5a97", "#3a3a3a")
+
+_SVG_HEAD = (
+    '<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" '
+    'viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="11">'
+)
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, out_lo: float, out_hi: float):
+    span = (hi - lo) or 1.0
+    return out_lo + (values - lo) / span * (out_hi - out_lo)
+
+
+def line_chart_svg(
+    series: list[Series],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 520,
+    height: int = 320,
+) -> str:
+    """Render series as a standalone SVG line chart."""
+    if not series:
+        raise FigureError("no series to plot")
+    margin = 48
+    xs = np.concatenate([s.x for s in series])
+    ys = np.concatenate([s.y for s in series])
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(min(ys.min(), 0.0)), float(ys.max())
+    parts = [_SVG_HEAD.format(w=width, h=height)]
+    parts.append(
+        f'<rect x="0" y="0" width="{width}" height="{height}" fill="white"/>'
+    )
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="18" text-anchor="middle" '
+            f'font-size="14">{title}</text>'
+        )
+    # axes
+    parts.append(
+        f'<line x1="{margin}" y1="{height - margin}" x2="{width - 12}" '
+        f'y2="{height - margin}" stroke="black"/>'
+    )
+    parts.append(
+        f'<line x1="{margin}" y1="{height - margin}" x2="{margin}" y2="24" '
+        'stroke="black"/>'
+    )
+    if x_label:
+        parts.append(
+            f'<text x="{width / 2}" y="{height - 8}" text-anchor="middle">'
+            f"{x_label}</text>"
+        )
+    if y_label:
+        parts.append(
+            f'<text x="14" y="{height / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 14 {height / 2})">{y_label}</text>'
+        )
+    # ticks
+    for fraction in (0.0, 0.5, 1.0):
+        x_val = x_lo + fraction * (x_hi - x_lo)
+        px = margin + fraction * (width - 12 - margin)
+        parts.append(
+            f'<text x="{px:.1f}" y="{height - margin + 14}" '
+            f'text-anchor="middle">{x_val:g}</text>'
+        )
+        y_val = y_lo + fraction * (y_hi - y_lo)
+        py = (height - margin) - fraction * (height - margin - 24)
+        parts.append(
+            f'<text x="{margin - 6}" y="{py + 4:.1f}" '
+            f'text-anchor="end">{y_val:.3g}</text>'
+        )
+    for i, s in enumerate(series):
+        color = _PALETTE[i % len(_PALETTE)]
+        px = _scale(np.asarray(s.x), x_lo, x_hi, margin, width - 12)
+        py = _scale(np.asarray(s.y), y_lo, y_hi, height - margin, 24)
+        points = " ".join(f"{a:.1f},{b:.1f}" for a, b in zip(px, py))
+        parts.append(
+            f'<polyline fill="none" stroke="{color}" stroke-width="2" '
+            f'points="{points}"/>'
+        )
+        for a, b in zip(px, py):
+            parts.append(f'<circle cx="{a:.1f}" cy="{b:.1f}" r="3" fill="{color}"/>')
+        parts.append(
+            f'<text x="{width - 140}" y="{30 + 14 * i}" fill="{color}">'
+            f"{s.label}</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def bar_chart_svg(
+    labels: list[str],
+    values: list[float],
+    title: str = "",
+    width: int = 520,
+    height: int = 320,
+) -> str:
+    """Render a vertical-bar SVG chart (histograms)."""
+    if len(labels) != len(values) or not labels:
+        raise FigureError("labels/values mismatch or empty")
+    margin = 42
+    peak = max(values) or 1.0
+    slot = (width - margin - 12) / len(values)
+    bar_width = slot * 0.8
+    parts = [_SVG_HEAD.format(w=width, h=height)]
+    parts.append(f'<rect width="{width}" height="{height}" fill="white"/>')
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="18" text-anchor="middle" '
+            f'font-size="14">{title}</text>'
+        )
+    parts.append(
+        f'<line x1="{margin}" y1="{height - margin}" x2="{width - 12}" '
+        f'y2="{height - margin}" stroke="black"/>'
+    )
+    for i, (label, value) in enumerate(zip(labels, values)):
+        bar_height = (height - margin - 28) * value / peak
+        x = margin + i * slot + slot * 0.1
+        y = height - margin - bar_height
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_width:.1f}" '
+            f'height="{bar_height:.1f}" fill="{_PALETTE[0]}"/>'
+        )
+        parts.append(
+            f'<text x="{x + bar_width / 2:.1f}" y="{height - margin + 13}" '
+            f'text-anchor="middle" font-size="9">{label}</text>'
+        )
+        if value:
+            parts.append(
+                f'<text x="{x + bar_width / 2:.1f}" y="{y - 4:.1f}" '
+                f'text-anchor="middle" font-size="9">{value:g}</text>'
+            )
+    parts.append("</svg>")
+    return "".join(parts)

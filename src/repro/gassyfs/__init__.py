@@ -1,0 +1,46 @@
+"""GassyFS: a distributed in-memory file system over a GASNet-style
+substrate, plus the paper's scalability use case (Fig. `gassyfs-git`).
+"""
+
+from repro.gassyfs.experiment import (
+    ScalabilityConfig,
+    run_point,
+    run_scalability_experiment,
+)
+from repro.gassyfs.fs import FileStat, GassyFS, MountOptions
+from repro.gassyfs.gasnet import GasnetCluster, TransferStats
+from repro.gassyfs.placement import (
+    HashPlacement,
+    LeastUsed,
+    LocalFirst,
+    PlacementPolicy,
+    RoundRobin,
+    make_policy,
+)
+from repro.gassyfs.workloads import (
+    GIT_COMPILE,
+    KERNEL_UNTAR_BUILD,
+    CompileWorkload,
+    SequentialIO,
+)
+
+__all__ = [
+    "GassyFS",
+    "MountOptions",
+    "FileStat",
+    "GasnetCluster",
+    "TransferStats",
+    "PlacementPolicy",
+    "RoundRobin",
+    "LocalFirst",
+    "HashPlacement",
+    "LeastUsed",
+    "make_policy",
+    "CompileWorkload",
+    "SequentialIO",
+    "GIT_COMPILE",
+    "KERNEL_UNTAR_BUILD",
+    "ScalabilityConfig",
+    "run_point",
+    "run_scalability_experiment",
+]

@@ -1,0 +1,86 @@
+"""The GassyFS scalability experiment (the paper's Fig. `gassyfs-git`).
+
+Sweeps cluster size over one or more sites, runs the compile workload at
+each point, and emits the ``results.csv``-shaped table whose integrity
+the paper checks with Listing 3's Aver assertion::
+
+    when workload=* and machine=* expect sublinear(nodes, time)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import GassyFSError
+from repro.common.rng import SeedSequenceFactory
+from repro.common.tables import MetricsTable
+from repro.gassyfs.fs import GassyFS, MountOptions
+from repro.gassyfs.gasnet import GasnetCluster
+from repro.gassyfs.placement import make_policy
+from repro.gassyfs.workloads import GIT_COMPILE, CompileWorkload
+from repro.platform.sites import Site, default_sites
+
+__all__ = ["ScalabilityConfig", "run_point", "run_scalability_experiment"]
+
+
+@dataclass(frozen=True)
+class ScalabilityConfig:
+    """Parametrization of the sweep (the experiment's ``vars.yml``)."""
+
+    node_counts: tuple[int, ...] = (1, 2, 4, 8)
+    workloads: tuple[CompileWorkload, ...] = (GIT_COMPILE,)
+    sites: tuple[str, ...] = ("cloudlab-wisc", "ec2")
+    placement: str = "round-robin"
+    block_size: int = 1 << 20
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not self.node_counts or min(self.node_counts) < 1:
+            raise GassyFSError("node_counts must be positive")
+
+
+def run_point(
+    site: Site,
+    nodes: int,
+    workload: CompileWorkload,
+    config: ScalabilityConfig,
+    seeds: SeedSequenceFactory,
+) -> float:
+    """One (site, node-count, workload) measurement; returns seconds."""
+    with site.allocate(nodes) as allocation:
+        cluster = GasnetCluster(allocation)
+        fs = GassyFS(
+            cluster,
+            options=MountOptions(block_size=config.block_size),
+            policy=make_policy(config.placement),
+        )
+        setup_rng = seeds.rng("setup", site.name, workload.name, nodes)
+        workload.materialize_sources(fs, setup_rng)
+        return workload.run(fs, seeds.child(site.name, workload.name, nodes))
+
+
+def run_scalability_experiment(
+    config: ScalabilityConfig | None = None,
+    sites: dict[str, Site] | None = None,
+) -> MetricsTable:
+    """Full sweep; returns rows of (workload, machine, nodes, time)."""
+    config = config or ScalabilityConfig()
+    sites = sites or default_sites(config.seed)
+    seeds = SeedSequenceFactory(config.seed)
+    table = MetricsTable(["workload", "machine", "nodes", "time"])
+    for site_name in config.sites:
+        if site_name not in sites:
+            raise GassyFSError(f"unknown site {site_name!r}")
+        site = sites[site_name]
+        for workload in config.workloads:
+            for nodes in config.node_counts:
+                elapsed = run_point(site, nodes, workload, config, seeds)
+                table.append(
+                    {
+                        "workload": workload.name,
+                        "machine": site_name,
+                        "nodes": nodes,
+                        "time": elapsed,
+                    }
+                )
+    return table

@@ -1,0 +1,120 @@
+"""Block-placement policies for GassyFS.
+
+When a file block is allocated, a policy picks which node's memory
+segment holds it.  The choice trades local-access speed against balance —
+the ablation benchmark (`bench_ablation_gassyfs`) quantifies exactly
+this design decision.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+
+from repro.common.errors import GassyFSError
+
+__all__ = [
+    "PlacementPolicy",
+    "RoundRobin",
+    "LocalFirst",
+    "HashPlacement",
+    "LeastUsed",
+    "make_policy",
+]
+
+
+class PlacementPolicy(ABC):
+    """Strategy interface: pick a rank for a new block."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def place(
+        self,
+        block_id: int,
+        writer_rank: int,
+        used_bytes: list[int],
+        capacity_bytes: list[int],
+        block_bytes: int = 1,
+    ) -> int:
+        """Return the rank that will store a block of *block_bytes*."""
+
+    def _viable(
+        self, used: list[int], capacity: list[int], block: int
+    ) -> list[int]:
+        ranks = [i for i in range(len(used)) if used[i] + block <= capacity[i]]
+        if not ranks:
+            raise GassyFSError("ENOSPC: every memory segment is full")
+        return ranks
+
+
+class RoundRobin(PlacementPolicy):
+    """Stripe blocks across nodes in order (maximum aggregate bandwidth)."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def place(self, block_id, writer_rank, used_bytes, capacity_bytes, block_bytes=1):
+        viable = self._viable(used_bytes, capacity_bytes, block_bytes)
+        for _ in range(len(capacity_bytes)):
+            candidate = self._next % len(capacity_bytes)
+            self._next += 1
+            if candidate in viable:
+                return candidate
+        return viable[0]  # pragma: no cover - _viable guarantees non-empty
+
+
+class LocalFirst(PlacementPolicy):
+    """Fill the writer's own segment before spilling remotely."""
+
+    name = "local-first"
+
+    def place(self, block_id, writer_rank, used_bytes, capacity_bytes, block_bytes=1):
+        viable = self._viable(used_bytes, capacity_bytes, block_bytes)
+        if writer_rank in viable:
+            return writer_rank
+        return min(viable, key=lambda r: used_bytes[r])
+
+
+class HashPlacement(PlacementPolicy):
+    """Deterministic pseudo-random scatter by block id."""
+
+    name = "hash"
+
+    def place(self, block_id, writer_rank, used_bytes, capacity_bytes, block_bytes=1):
+        viable = self._viable(used_bytes, capacity_bytes, block_bytes)
+        digest = hashlib.sha256(str(block_id).encode("ascii")).digest()
+        preferred = int.from_bytes(digest[:8], "big") % len(capacity_bytes)
+        if preferred in viable:
+            return preferred
+        return viable[preferred % len(viable)]
+
+
+class LeastUsed(PlacementPolicy):
+    """Greedy capacity balancing."""
+
+    name = "least-used"
+
+    def place(self, block_id, writer_rank, used_bytes, capacity_bytes, block_bytes=1):
+        viable = self._viable(used_bytes, capacity_bytes, block_bytes)
+        return min(viable, key=lambda r: used_bytes[r] / capacity_bytes[r])
+
+
+_POLICIES = {
+    "round-robin": RoundRobin,
+    "local-first": LocalFirst,
+    "hash": HashPlacement,
+    "least-used": LeastUsed,
+}
+
+
+def make_policy(name: str) -> PlacementPolicy:
+    """Instantiate a policy by name."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise GassyFSError(
+            f"unknown placement policy {name!r}; known: {sorted(_POLICIES)}"
+        ) from None

@@ -1,0 +1,163 @@
+"""Workloads driven over a GassyFS mount.
+
+The paper's figure uses "compiling Git" as the workload; the model here
+is a parallel build: configure (serial), compile one translation unit
+per task fanned out across the cluster's nodes (each task reads its
+source from GassyFS, burns CPU, writes its object back), then link
+(serial, reads every object).  Compute runs on simulated nodes through
+the roofline model; file traffic is charged through the GASNet substrate
+— so runtime scales sublinearly with node count and flattens as the
+remote-access share grows, which is the figure's shape.
+
+A second workload (``SequentialIO``) measures raw FS streaming, used by
+unit tests and the placement ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import GassyFSError
+from repro.common.rng import SeedSequenceFactory
+from repro.gassyfs.fs import GassyFS
+from repro.platform.perfmodel import KernelDemand, execution_time
+
+__all__ = ["CompileWorkload", "SequentialIO", "GIT_COMPILE", "KERNEL_UNTAR_BUILD"]
+
+
+@dataclass(frozen=True)
+class CompileWorkload:
+    """A parallel software build over GassyFS.
+
+    Attributes mirror a real tree: number of translation units, bytes per
+    source/object, compile cost per unit and link cost.
+    """
+
+    name: str
+    files: int = 430
+    source_kib: int = 38
+    object_kib: int = 56
+    compile_ops: float = 5.5e8       # per translation unit
+    configure_ops: float = 2.0e9     # serial, before the parallel phase
+    link_ops: float = 6.0e9          # serial, after
+    compile_ws_kib: float = 4096.0
+
+    def materialize_sources(self, fs: GassyFS, rng: np.random.Generator) -> float:
+        """Write the source tree into the FS; returns elapsed model time."""
+        start = fs.clock
+        fs.mkdir("/src")
+        fs.mkdir("/obj")
+        for i in range(self.files):
+            path = f"/src/file{i:04d}.c"
+            fs.create(path)
+            payload = rng.bytes(self.source_kib * 1024)
+            fs.write(path, payload)
+        return fs.clock - start
+
+    def run(
+        self,
+        fs: GassyFS,
+        seeds: SeedSequenceFactory,
+        jobs_per_node: int = 1,
+    ) -> float:
+        """Execute the build; returns the modeled makespan in seconds.
+
+        Requires :meth:`materialize_sources` to have populated ``/src``.
+        """
+        cluster = fs.cluster
+        n = len(cluster)
+        if jobs_per_node < 1:
+            raise GassyFSError("jobs_per_node must be >= 1")
+        rng = seeds.rng("workload", self.name, "run", n)
+
+        # --- configure: serial on the client node ---------------------------
+        client = cluster.nodes[fs.client_rank]
+        configure = client.observed_time(
+            execution_time(
+                KernelDemand(ops=self.configure_ops, working_set_kib=512),
+                client.spec,
+            ),
+            rng,
+        )
+
+        # --- compile: fan tasks over nodes ----------------------------------
+        per_node_busy = [0.0] * n
+        demand = KernelDemand(
+            ops=self.compile_ops,
+            fp_fraction=0.02,
+            mem_bytes=self.compile_ops * 0.4,
+            working_set_kib=self.compile_ws_kib,
+        )
+        for i in range(self.files):
+            rank = i % n
+            node = cluster.nodes[rank]
+            src = f"/src/file{i:04d}.c"
+            fs.read(src, rank=rank)
+            io_time = fs.last_op_elapsed
+            compute = node.observed_time(
+                execution_time(demand, node.spec), rng
+            ) / jobs_per_node
+            obj = f"/obj/file{i:04d}.o"
+            if not fs.exists(obj):
+                fs.create(obj)
+            fs.write(obj, rng.bytes(self.object_kib * 1024), rank=rank)
+            io_time += fs.last_op_elapsed
+            per_node_busy[rank] += compute + io_time
+        compile_makespan = max(per_node_busy)
+
+        # --- link: serial on the client, reads every object ------------------
+        link_io = 0.0
+        for i in range(self.files):
+            fs.read(f"/obj/file{i:04d}.o")
+            link_io += fs.last_op_elapsed
+        link_compute = client.observed_time(
+            execution_time(
+                KernelDemand(
+                    ops=self.link_ops,
+                    mem_bytes=self.files * self.object_kib * 1024,
+                    working_set_kib=1 << 16,
+                ),
+                client.spec,
+            ),
+            rng,
+        )
+        return configure + compile_makespan + link_io + link_compute
+
+
+#: The paper's workload: compiling Git.
+GIT_COMPILE = CompileWorkload(name="git-compile")
+
+#: A heavier tree (kernel-ish): more files, bigger link.
+KERNEL_UNTAR_BUILD = CompileWorkload(
+    name="kernel-build",
+    files=900,
+    source_kib=24,
+    object_kib=40,
+    compile_ops=4.0e8,
+    configure_ops=4.0e9,
+    link_ops=1.6e10,
+)
+
+
+@dataclass(frozen=True)
+class SequentialIO:
+    """Stream a large file through the FS (write then read back)."""
+
+    total_bytes: int = 1 << 28
+
+    def run(self, fs: GassyFS, seeds: SeedSequenceFactory) -> tuple[float, float]:
+        """Returns (write seconds, read seconds) of modeled time."""
+        rng = seeds.rng("seqio", len(fs.cluster))
+        payload = rng.bytes(min(self.total_bytes, 1 << 22))
+        repeats = max(1, self.total_bytes // len(payload))
+        fs.create("/stream.bin")
+        start = fs.clock
+        for _ in range(repeats):
+            fs.write("/stream.bin", payload, append=True)
+        write_time = fs.clock - start
+        start = fs.clock
+        fs.read("/stream.bin")
+        read_time = fs.clock - start
+        return write_time, read_time

@@ -1,0 +1,7 @@
+"""Performance-monitoring substrate (the Nagios/CollectD substitution):
+labeled metric samples, series summaries and export to results tables.
+"""
+
+from repro.monitor.metrics import MetricStore, Sample, SeriesSummary
+
+__all__ = ["MetricStore", "Sample", "SeriesSummary"]

@@ -1,0 +1,189 @@
+"""Metric collection: counters, gauges and timers feeding time series.
+
+The paper's convention captures runtime performance metrics during every
+experiment run ("many of the graphs included in the article can come
+directly from running analysis scripts on top of this data").  A
+:class:`MetricStore` is the Nagios/CollectD stand-in: experiments emit
+samples tagged with labels; analysis pulls them out as
+:class:`~repro.common.tables.MetricsTable` rows or as per-series summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.common.errors import MonitorError
+from repro.common.tables import MetricsTable
+
+__all__ = ["Sample", "SeriesSummary", "MetricStore"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One observation of one metric."""
+
+    metric: str
+    value: float
+    timestamp: float
+    labels: tuple[tuple[str, str], ...] = ()
+
+    def labels_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Descriptive statistics for one (metric, labels) series."""
+
+    metric: str
+    labels: tuple[tuple[str, str], ...]
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+    @property
+    def cov(self) -> float:
+        """Coefficient of variation (std / mean)."""
+        return self.std / self.mean if self.mean else float("inf")
+
+
+def _freeze_labels(labels: dict[str, Any] | None) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricStore:
+    """An append-only store of metric samples."""
+
+    def __init__(self) -> None:
+        self._samples: list[Sample] = []
+        self._clock = 0.0
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    # -- recording ---------------------------------------------------------------
+    def record(
+        self,
+        metric: str,
+        value: float,
+        labels: dict[str, Any] | None = None,
+        timestamp: float | None = None,
+    ) -> Sample:
+        """Append one sample (timestamps are a logical clock if omitted)."""
+        if not metric:
+            raise MonitorError("metric name required")
+        value = float(value)
+        if not np.isfinite(value):
+            raise MonitorError(f"non-finite sample for {metric!r}: {value}")
+        if timestamp is None:
+            self._clock += 1.0
+            timestamp = self._clock
+        else:
+            self._clock = max(self._clock, float(timestamp))
+        sample = Sample(
+            metric=metric,
+            value=value,
+            timestamp=float(timestamp),
+            labels=_freeze_labels(labels),
+        )
+        self._samples.append(sample)
+        return sample
+
+    def timer(self, metric: str, labels: dict[str, Any] | None = None):
+        """Context manager measuring wall time into *metric*."""
+        store = self
+
+        class _Timer:
+            def __enter__(self):
+                import time
+
+                self._start = time.perf_counter()
+                return self
+
+            def __exit__(self, *exc):
+                import time
+
+                store.record(
+                    metric, time.perf_counter() - self._start, labels=labels
+                )
+
+        return _Timer()
+
+    # -- querying ------------------------------------------------------------------
+    def metrics(self) -> list[str]:
+        """Distinct metric names, sorted."""
+        return sorted({s.metric for s in self._samples})
+
+    def values(
+        self, metric: str, labels: dict[str, Any] | None = None
+    ) -> np.ndarray:
+        """Sample values for a metric (filtered by label subset), in order."""
+        want = dict(_freeze_labels(labels))
+        out = [
+            s.value
+            for s in self._samples
+            if s.metric == metric
+            and all(s.labels_dict().get(k) == v for k, v in want.items())
+        ]
+        return np.asarray(out, dtype=np.float64)
+
+    def summary(
+        self, metric: str, labels: dict[str, Any] | None = None
+    ) -> SeriesSummary:
+        """Descriptive statistics for one series."""
+        values = self.values(metric, labels)
+        if values.size == 0:
+            raise MonitorError(f"no samples for metric {metric!r} with {labels}")
+        return SeriesSummary(
+            metric=metric,
+            labels=_freeze_labels(labels),
+            count=int(values.size),
+            mean=float(np.mean(values)),
+            std=float(np.std(values, ddof=1)) if values.size > 1 else 0.0,
+            minimum=float(np.min(values)),
+            maximum=float(np.max(values)),
+            p50=float(np.percentile(values, 50)),
+            p95=float(np.percentile(values, 95)),
+        )
+
+    def to_table(self, metric: str | None = None) -> MetricsTable:
+        """Export samples as a results table (one row per sample).
+
+        Label keys become columns; this is the bridge from monitoring to
+        ``results.csv`` and hence to Aver validation.
+        """
+        samples = [
+            s for s in self._samples if metric is None or s.metric == metric
+        ]
+        if not samples:
+            raise MonitorError(f"no samples to export for {metric!r}")
+        label_keys: list[str] = []
+        for sample in samples:
+            for key, _ in sample.labels:
+                if key not in label_keys:
+                    label_keys.append(key)
+        table = MetricsTable(["metric", "timestamp", *label_keys, "value"])
+        for sample in samples:
+            row: dict[str, Any] = {
+                "metric": sample.metric,
+                "timestamp": sample.timestamp,
+                "value": sample.value,
+            }
+            row.update({k: sample.labels_dict().get(k) for k in label_keys})
+            table.append(row)
+        return table
+
+    def merge(self, other: "MetricStore") -> None:
+        """Fold another store's samples into this one (multi-node collection)."""
+        self._samples.extend(other._samples)
+        if other._samples:
+            self._clock = max(self._clock, max(s.timestamp for s in other._samples))

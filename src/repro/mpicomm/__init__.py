@@ -1,0 +1,27 @@
+"""Simulated MPI, the LULESH proxy app, mpiP-style profiling and the
+noisy-neighborhood variability experiment (ASPLOS use case §5.3).
+"""
+
+from repro.mpicomm.experiment import (
+    VariabilityStats,
+    run_noise_experiment,
+    variability_stats,
+)
+from repro.mpicomm.lulesh import LuleshConfig, LuleshRun, cube_neighbors, run_lulesh
+from repro.mpicomm.mpi import CommEvent, SimComm
+from repro.mpicomm.mpip import CallsiteStats, MpiPReport, profile
+
+__all__ = [
+    "SimComm",
+    "CommEvent",
+    "MpiPReport",
+    "CallsiteStats",
+    "profile",
+    "LuleshConfig",
+    "LuleshRun",
+    "cube_neighbors",
+    "run_lulesh",
+    "run_noise_experiment",
+    "variability_stats",
+    "VariabilityStats",
+]

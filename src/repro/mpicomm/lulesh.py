@@ -1,0 +1,142 @@
+"""A LULESH-like shock-hydrodynamics proxy application.
+
+LULESH decomposes a cubic domain over ``k^3`` ranks; each timestep does
+local element work (compute), exchanges halo faces with up to six
+neighbors, and runs global reductions to pick the next timestep.  The
+proxy reproduces that communication skeleton over :class:`SimComm`,
+which is all the paper's use case needs: the *variability* of the
+communication time across repeated runs under OS/neighbor noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import MPIError
+from repro.common.rng import SeedSequenceFactory
+from repro.mpicomm.mpi import SimComm
+from repro.mpicomm.mpip import MpiPReport, profile
+from repro.platform.perfmodel import KernelDemand, execution_time
+from repro.platform.sites import Node
+
+__all__ = ["LuleshConfig", "LuleshRun", "cube_neighbors", "run_lulesh"]
+
+
+def cube_neighbors(k: int) -> dict[int, list[int]]:
+    """Face-adjacency of a k x k x k rank grid."""
+    if k < 1:
+        raise MPIError("cube side must be >= 1")
+    neighbors: dict[int, list[int]] = {}
+    for z in range(k):
+        for y in range(k):
+            for x in range(k):
+                rank = (z * k + y) * k + x
+                peers = []
+                for dx, dy, dz in (
+                    (1, 0, 0), (-1, 0, 0),
+                    (0, 1, 0), (0, -1, 0),
+                    (0, 0, 1), (0, 0, -1),
+                ):
+                    nx, ny, nz = x + dx, y + dy, z + dz
+                    if 0 <= nx < k and 0 <= ny < k and 0 <= nz < k:
+                        peers.append((nz * k + ny) * k + nx)
+                neighbors[rank] = peers
+    return neighbors
+
+
+@dataclass(frozen=True)
+class LuleshConfig:
+    """Problem parametrization (the experiment's ``vars.yml``)."""
+
+    side: int = 3                 # rank grid side: ranks = side**3
+    elements_per_rank: int = 27_000  # 30^3 local problem
+    iterations: int = 60
+    ops_per_element: float = 2_500.0  # FP work per element per step
+    halo_bytes_per_face: int = 30 * 30 * 8 * 3  # doubles, 3 fields
+    dt_reductions: int = 2        # global allreduces per step
+
+    @property
+    def ranks(self) -> int:
+        return self.side**3
+
+    def __post_init__(self) -> None:
+        if self.side < 1 or self.iterations < 1:
+            raise MPIError("bad LULESH configuration")
+
+
+@dataclass(frozen=True)
+class LuleshRun:
+    """One completed run."""
+
+    config: LuleshConfig
+    wall_time: float
+    report: MpiPReport
+
+    @property
+    def mpi_fraction(self) -> float:
+        return self.report.mpi_fraction
+
+
+def run_lulesh(
+    config: LuleshConfig,
+    nodes: list[Node],
+    seeds: SeedSequenceFactory,
+    run_id: int = 0,
+    noise_injection: bool = False,
+    noisy_rank_fraction: float = 0.2,
+) -> LuleshRun:
+    """Execute the proxy app once over *nodes* (one rank per node entry).
+
+    With *noise_injection* on, a random subset of ranks suffers
+    noisy-neighbor interference: extra per-step delays that collectives
+    convert into global wait time — the phenomenon the original
+    experiment (`bhatele_there_2013`) chases.
+    """
+    if len(nodes) < config.ranks:
+        raise MPIError(
+            f"need {config.ranks} nodes for side={config.side}, got {len(nodes)}"
+        )
+    ranks = config.ranks
+    comm = SimComm(nodes[:ranks])
+    rng = seeds.rng("lulesh", run_id)
+    neighbors = cube_neighbors(config.side)
+
+    demand = KernelDemand(
+        ops=config.elements_per_rank * config.ops_per_element,
+        fp_fraction=0.85,
+        mem_bytes=config.elements_per_rank * 8 * 12,
+        working_set_kib=config.elements_per_rank * 8 * 12 / 1024,
+    )
+    base_compute = np.array(
+        [
+            execution_time(demand, node.spec) / node.speed_factor
+            for node in nodes[:ranks]
+        ]
+    )
+
+    noisy_ranks: set[int] = set()
+    if noise_injection:
+        count = max(1, int(round(noisy_rank_fraction * ranks)))
+        noisy_ranks = set(rng.choice(ranks, size=count, replace=False).tolist())
+
+    for _step in range(config.iterations):
+        jitter = 1.0 + 0.01 * rng.standard_normal(ranks)
+        step_compute = base_compute * np.clip(jitter, 0.9, 1.1)
+        comm.compute(step_compute)
+        if noise_injection:
+            for rank in noisy_ranks:
+                # Heavy-tailed interference burst.
+                if rng.random() < 0.6:
+                    burst = float(
+                        rng.gamma(shape=2.0, scale=0.35 * base_compute[rank])
+                    )
+                    comm.delay(rank, burst)
+        comm.neighbor_exchange(
+            neighbors, config.halo_bytes_per_face, callsite="lulesh.c:1520-halo"
+        )
+        for r in range(config.dt_reductions):
+            comm.allreduce(8, callsite=f"lulesh.c:23{r}0-dtcourant")
+
+    return LuleshRun(config=config, wall_time=comm.wall_time, report=profile(comm))

@@ -1,0 +1,209 @@
+"""A simulated MPI communicator with a latency/bandwidth cost model.
+
+The API follows mpi4py's shape (``Get_rank``-style spellings dropped in
+favour of properties, but the operation set — point-to-point, ``bcast``,
+``reduce``, ``allreduce``, ``allgather``, ``barrier`` — is the one the
+LULESH proxy app uses).  Rather than running P processes, the simulator
+keeps a per-rank virtual clock: compute phases advance individual
+clocks, communication operations synchronize them according to standard
+cost models (Hockney α-β for point-to-point, logarithmic trees for
+collectives).  The gap between a rank's clock and the synchronization
+point is exactly the *MPI wait time* an mpiP profile attributes to the
+call site — which is the measurement the paper's HPC use case is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import MPIError
+from repro.platform.sites import Node
+
+__all__ = ["CommEvent", "SimComm"]
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One recorded communication operation (feeds the mpiP profiler)."""
+
+    op: str
+    callsite: str
+    bytes_per_rank: int
+    start: float            # max clock at entry (sync point basis)
+    cost: float             # modeled operation cost after sync
+    waits: tuple[float, ...]  # per-rank wait (sync - own clock)
+
+
+class SimComm:
+    """``MPI_COMM_WORLD`` over a set of simulated nodes."""
+
+    def __init__(self, nodes: list[Node], seed_rng: np.random.Generator | None = None):
+        if not nodes:
+            raise MPIError("communicator needs at least one rank")
+        self.nodes = list(nodes)
+        self._clock = np.zeros(len(nodes), dtype=np.float64)
+        self.events: list[CommEvent] = []
+        self._rng = seed_rng
+        # Hockney parameters derived from the slowest member's NIC.
+        specs = [n.spec for n in nodes]
+        self.alpha = max(s.net_lat_us for s in specs) * 1e-6
+        self.beta = 1.0 / min(s.net_bytes_per_sec for s in specs)
+
+    # -- introspection -------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def clocks(self) -> np.ndarray:
+        """Per-rank virtual clocks (copy)."""
+        return self._clock.copy()
+
+    @property
+    def wall_time(self) -> float:
+        """Elapsed wall time of the simulated program so far."""
+        return float(self._clock.max())
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise MPIError(f"rank {rank} out of range (size {self.size})")
+
+    # -- compute ----------------------------------------------------------------------
+    def compute(self, per_rank_seconds: np.ndarray | list[float] | float) -> None:
+        """Advance every rank's clock by its local compute time."""
+        times = np.broadcast_to(
+            np.asarray(per_rank_seconds, dtype=np.float64), (self.size,)
+        )
+        if np.any(times < 0):
+            raise MPIError("negative compute time")
+        self._clock = self._clock + times
+
+    def delay(self, rank: int, seconds: float) -> None:
+        """Inject an external delay (noise) on one rank."""
+        self._check_rank(rank)
+        if seconds < 0:
+            raise MPIError("negative delay")
+        self._clock[rank] += seconds
+
+    # -- point-to-point ------------------------------------------------------------------
+    def send_recv(self, src: int, dst: int, nbytes: int, callsite: str = "SendRecv") -> float:
+        """A matched send/recv pair; returns the operation cost."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        if nbytes < 0:
+            raise MPIError(f"negative message size: {nbytes}")
+        if src == dst:
+            return 0.0
+        start = float(max(self._clock[src], self._clock[dst]))
+        cost = self.alpha + nbytes * self.beta
+        waits = tuple(
+            start - float(self._clock[r]) if r in (src, dst) else 0.0
+            for r in range(self.size)
+        )
+        self._clock[src] = start + cost
+        self._clock[dst] = start + cost
+        self.events.append(
+            CommEvent(
+                op="SendRecv",
+                callsite=callsite,
+                bytes_per_rank=nbytes,
+                start=start,
+                cost=cost,
+                waits=waits,
+            )
+        )
+        return cost
+
+    # -- collectives ----------------------------------------------------------------------
+    def _collective(self, op: str, callsite: str, nbytes: int, cost: float) -> float:
+        start = float(self._clock.max())
+        waits = tuple(float(start - c) for c in self._clock)
+        self._clock[:] = start + cost
+        self.events.append(
+            CommEvent(
+                op=op,
+                callsite=callsite,
+                bytes_per_rank=nbytes,
+                start=start,
+                cost=cost,
+                waits=waits,
+            )
+        )
+        return cost
+
+    def barrier(self, callsite: str = "Barrier") -> float:
+        cost = np.ceil(np.log2(max(self.size, 2))) * self.alpha
+        return self._collective("Barrier", callsite, 0, float(cost))
+
+    def bcast(self, nbytes: int, root: int = 0, callsite: str = "Bcast") -> float:
+        self._check_rank(root)
+        steps = np.ceil(np.log2(max(self.size, 2)))
+        cost = steps * (self.alpha + nbytes * self.beta)
+        return self._collective("Bcast", callsite, nbytes, float(cost))
+
+    def reduce(self, nbytes: int, root: int = 0, callsite: str = "Reduce") -> float:
+        self._check_rank(root)
+        steps = np.ceil(np.log2(max(self.size, 2)))
+        cost = steps * (self.alpha + nbytes * self.beta)
+        return self._collective("Reduce", callsite, nbytes, float(cost))
+
+    def allreduce(self, nbytes: int, callsite: str = "Allreduce") -> float:
+        # Rabenseifner-style: reduce-scatter + allgather.
+        steps = np.ceil(np.log2(max(self.size, 2)))
+        cost = 2 * steps * self.alpha + 2 * nbytes * self.beta
+        return self._collective("Allreduce", callsite, nbytes, float(cost))
+
+    def allgather(self, nbytes: int, callsite: str = "Allgather") -> float:
+        steps = np.ceil(np.log2(max(self.size, 2)))
+        cost = steps * self.alpha + (self.size - 1) * nbytes * self.beta
+        return self._collective("Allgather", callsite, nbytes, float(cost))
+
+    def neighbor_exchange(
+        self,
+        neighbors: dict[int, list[int]],
+        nbytes: int,
+        callsite: str = "HaloExchange",
+    ) -> float:
+        """Simultaneous halo exchange: each rank syncs with its neighborhood
+        then pays for its face traffic."""
+        for rank, peers in neighbors.items():
+            self._check_rank(rank)
+            for peer in peers:
+                self._check_rank(peer)
+        before = self._clock.copy()
+        sync = np.array(
+            [
+                max(
+                    [before[r]] + [before[p] for p in neighbors.get(r, [])]
+                )
+                for r in range(self.size)
+            ]
+        )
+        degree = np.array(
+            [len(neighbors.get(r, [])) for r in range(self.size)], dtype=np.float64
+        )
+        cost_vec = degree * self.alpha + degree * nbytes * self.beta
+        waits = tuple(float(s - b) for s, b in zip(sync, before))
+        self._clock = sync + cost_vec
+        self.events.append(
+            CommEvent(
+                op="HaloExchange",
+                callsite=callsite,
+                bytes_per_rank=nbytes,
+                start=float(sync.max()),
+                cost=float(cost_vec.max()),
+                waits=waits,
+            )
+        )
+        return float(cost_vec.max())
+
+    # -- accounting ---------------------------------------------------------------------------
+    def mpi_time_per_rank(self) -> np.ndarray:
+        """Total MPI time (wait + operation cost) attributed to each rank."""
+        total = np.zeros(self.size)
+        for event in self.events:
+            total += np.asarray(event.waits)
+            total += event.cost
+        return total

@@ -1,0 +1,116 @@
+"""mpiP-style communication profiling.
+
+mpiP attributes MPI time to call sites and reports, per site, the share
+of aggregate application time spent inside MPI.  :class:`MpiPReport`
+computes the same breakdown from a :class:`~repro.mpicomm.mpi.SimComm`'s
+event log — app%, MPI%, top call sites — and exports the rows the
+analysis notebook/figure consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import MPIError
+from repro.common.tables import MetricsTable
+from repro.mpicomm.mpi import SimComm
+
+__all__ = ["CallsiteStats", "MpiPReport", "profile"]
+
+
+@dataclass(frozen=True)
+class CallsiteStats:
+    """Aggregate statistics for one call site."""
+
+    callsite: str
+    op: str
+    calls: int
+    total_time: float          # sum over ranks of (wait + cost)
+    mean_bytes: float
+    share_of_mpi: float        # fraction of all MPI time
+
+    def __str__(self) -> str:
+        return (
+            f"{self.callsite:<20} {self.op:<12} calls={self.calls:<6} "
+            f"time={self.total_time:.4f}s mpi%={self.share_of_mpi * 100:.1f}"
+        )
+
+
+@dataclass(frozen=True)
+class MpiPReport:
+    """The summary mpiP prints at ``MPI_Finalize``."""
+
+    ranks: int
+    wall_time: float
+    app_time: float            # aggregate rank-seconds
+    mpi_time: float            # aggregate rank-seconds inside MPI
+    callsites: tuple[CallsiteStats, ...]
+
+    @property
+    def mpi_fraction(self) -> float:
+        """Share of aggregate time spent in MPI (mpiP's headline number)."""
+        return self.mpi_time / self.app_time if self.app_time else 0.0
+
+    def top_callsites(self, n: int = 5) -> list[CallsiteStats]:
+        return list(self.callsites[:n])
+
+    def dominant_callsite(self) -> CallsiteStats:
+        if not self.callsites:
+            raise MPIError("no MPI activity recorded")
+        return self.callsites[0]
+
+    def to_table(self) -> MetricsTable:
+        table = MetricsTable(
+            ["callsite", "op", "calls", "total_time", "mean_bytes", "share_of_mpi"]
+        )
+        for cs in self.callsites:
+            table.append(
+                {
+                    "callsite": cs.callsite,
+                    "op": cs.op,
+                    "calls": cs.calls,
+                    "total_time": cs.total_time,
+                    "mean_bytes": cs.mean_bytes,
+                    "share_of_mpi": cs.share_of_mpi,
+                }
+            )
+        return table
+
+
+def profile(comm: SimComm) -> MpiPReport:
+    """Build the report from a finished communicator."""
+    wall = comm.wall_time
+    app_aggregate = wall * comm.size
+    per_site: dict[str, dict] = {}
+    mpi_total = 0.0
+    for event in comm.events:
+        site = per_site.setdefault(
+            event.callsite,
+            {"op": event.op, "calls": 0, "time": 0.0, "bytes": []},
+        )
+        event_time = float(np.sum(event.waits)) + event.cost * comm.size
+        site["calls"] += 1
+        site["time"] += event_time
+        site["bytes"].append(event.bytes_per_rank)
+        mpi_total += event_time
+    stats = [
+        CallsiteStats(
+            callsite=name,
+            op=data["op"],
+            calls=data["calls"],
+            total_time=data["time"],
+            mean_bytes=float(np.mean(data["bytes"])) if data["bytes"] else 0.0,
+            share_of_mpi=(data["time"] / mpi_total) if mpi_total else 0.0,
+        )
+        for name, data in per_site.items()
+    ]
+    stats.sort(key=lambda s: s.total_time, reverse=True)
+    return MpiPReport(
+        ranks=comm.size,
+        wall_time=wall,
+        app_time=app_aggregate,
+        mpi_time=mpi_total,
+        callsites=tuple(stats),
+    )

@@ -1,0 +1,9 @@
+"""Executable notebooks (the Jupyter/Binder substitution): an
+ipynb-subset document model plus a run-all executor for post-mortem
+analysis that CI can re-verify.
+"""
+
+from repro.notebook.executor import CellResult, RunResult, execute
+from repro.notebook.model import Cell, Notebook, NotebookError
+
+__all__ = ["Notebook", "Cell", "NotebookError", "execute", "RunResult", "CellResult"]

@@ -1,0 +1,109 @@
+"""Notebook execution: shared namespace, captured outputs, CI-friendly.
+
+:func:`execute` runs a notebook's code cells top to bottom in one
+namespace (like "Restart & Run All"), capturing per-cell stdout and the
+value of a trailing expression.  A cell that raises stops execution and
+marks the run failed — exactly the signal a CI integrity check needs.
+"""
+
+from __future__ import annotations
+
+import ast
+import contextlib
+import io
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.notebook.model import Notebook
+
+__all__ = ["CellResult", "RunResult", "execute"]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one executed code cell."""
+
+    index: int
+    source: str
+    stdout: str
+    value: Any
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class RunResult:
+    """Outcome of a full notebook run."""
+
+    results: list[CellResult] = field(default_factory=list)
+    namespace: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def first_error(self) -> str | None:
+        for result in self.results:
+            if result.error is not None:
+                return result.error
+        return None
+
+
+def _run_cell(source: str, namespace: dict) -> tuple[str, Any, str | None]:
+    """Execute one cell; returns (stdout, value, error)."""
+    stdout = io.StringIO()
+    value: Any = None
+    try:
+        tree = ast.parse(source, mode="exec")
+    except SyntaxError:
+        return "", None, traceback.format_exc(limit=0)
+    # If the last statement is an expression, evaluate it separately so
+    # its value is captured (the notebook "Out[n]" behaviour).
+    trailing: ast.Expression | None = None
+    if tree.body and isinstance(tree.body[-1], ast.Expr):
+        trailing = ast.Expression(tree.body.pop().value)
+    try:
+        with contextlib.redirect_stdout(stdout):
+            exec(compile(tree, "<cell>", "exec"), namespace)
+            if trailing is not None:
+                value = eval(compile(trailing, "<cell>", "eval"), namespace)
+    except Exception:
+        return stdout.getvalue(), None, traceback.format_exc(limit=2)
+    return stdout.getvalue(), value, None
+
+
+def execute(
+    notebook: Notebook,
+    namespace: dict | None = None,
+    stop_on_error: bool = True,
+) -> RunResult:
+    """Run every code cell of *notebook*.
+
+    *namespace* seeds the execution environment (how the pipeline hands
+    an experiment's ``results`` table to its analysis notebook).
+    """
+    env: dict = {"__name__": "__popper_notebook__"}
+    if namespace:
+        env.update(namespace)
+    run = RunResult(namespace=env)
+    for index, cell in enumerate(notebook.cells):
+        if not cell.is_code:
+            continue
+        stdout, value, error = _run_cell(cell.source, env)
+        run.results.append(
+            CellResult(
+                index=index,
+                source=cell.source,
+                stdout=stdout,
+                value=value,
+                error=error,
+            )
+        )
+        if error is not None and stop_on_error:
+            break
+    return run

@@ -1,0 +1,37 @@
+"""Multi-node orchestration substrate (the Ansible substitution):
+inventories, host connections, task modules, templating and a parallel
+playbook executor.
+"""
+
+from repro.orchestration.connection import ContainerConnection, UnreachableConnection
+from repro.orchestration.inventory import Host, Inventory
+from repro.orchestration.modules import MODULES, TaskResult, register_module, run_module
+from repro.orchestration.playbook import (
+    HostStats,
+    Play,
+    Playbook,
+    PlaybookRunner,
+    PlayRecap,
+    Task,
+)
+from repro.orchestration.templating import evaluate, render, render_value
+
+__all__ = [
+    "Inventory",
+    "Host",
+    "ContainerConnection",
+    "UnreachableConnection",
+    "TaskResult",
+    "MODULES",
+    "register_module",
+    "run_module",
+    "Task",
+    "Play",
+    "Playbook",
+    "PlaybookRunner",
+    "PlayRecap",
+    "HostStats",
+    "render",
+    "render_value",
+    "evaluate",
+]

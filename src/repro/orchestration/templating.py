@@ -1,0 +1,258 @@
+"""Minimal templating and condition evaluation for playbooks.
+
+``render`` substitutes ``{{ expression }}`` placeholders; ``evaluate``
+drives ``when:`` conditions.  Expressions support dotted/indexed variable
+access, literals, comparisons, ``and``/``or``/``not``, ``in``,
+``is defined`` and a ``| default(x)`` filter — the subset real Ansible
+playbooks in the paper's templates rely on, implemented as a small
+recursive-descent parser (never ``eval``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.common.errors import OrchestrationError
+
+__all__ = ["render", "evaluate", "UNDEFINED"]
+
+
+class _Undefined:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<undefined>"
+
+
+UNDEFINED = _Undefined()
+
+_TOKEN = re.compile(
+    r"""
+    \s*(
+        >=|<=|==|!=|>|<
+      | \(|\)|\[|\]|,|\||\.
+      | -?\d+\.\d+ | -?\d+
+      | '[^']*' | "[^"]*"
+      | [A-Za-z_][A-Za-z_0-9]*
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "in", "is", "defined", "true", "false", "none"}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise OrchestrationError(f"bad expression near {text[pos:]!r}")
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+class _ExprParser:
+    def __init__(self, tokens: list[str], variables: dict[str, Any]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.variables = variables
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise OrchestrationError("unexpected end of expression")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.take()
+        if got != token:
+            raise OrchestrationError(f"expected {token!r}, got {got!r}")
+
+    # expr := or_expr
+    def parse(self) -> Any:
+        value = self.parse_or()
+        if self.peek() is not None:
+            raise OrchestrationError(f"trailing tokens: {self.tokens[self.pos:]}")
+        return value
+
+    def parse_or(self) -> Any:
+        left = self.parse_and()
+        while self.peek() == "or":
+            self.take()
+            right = self.parse_and()
+            left = bool(left) or bool(right)
+        return left
+
+    def parse_and(self) -> Any:
+        left = self.parse_not()
+        while self.peek() == "and":
+            self.take()
+            right = self.parse_not()
+            left = bool(left) and bool(right)
+        return left
+
+    def parse_not(self) -> Any:
+        if self.peek() == "not":
+            self.take()
+            return not bool(self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Any:
+        left = self.parse_pipe()
+        token = self.peek()
+        if token in (">=", "<=", "==", "!=", ">", "<"):
+            op = self.take()
+            right = self.parse_pipe()
+            if isinstance(left, _Undefined) or isinstance(right, _Undefined):
+                raise OrchestrationError("comparison against undefined variable")
+            return {
+                ">=": lambda a, b: a >= b,
+                "<=": lambda a, b: a <= b,
+                "==": lambda a, b: a == b,
+                "!=": lambda a, b: a != b,
+                ">": lambda a, b: a > b,
+                "<": lambda a, b: a < b,
+            }[op](left, right)
+        if token == "in":
+            self.take()
+            right = self.parse_pipe()
+            if isinstance(right, _Undefined):
+                raise OrchestrationError("'in' against undefined variable")
+            return left in right
+        if token == "is":
+            self.take()
+            negated = False
+            if self.peek() == "not":
+                self.take()
+                negated = True
+            self.expect("defined")
+            defined = not isinstance(left, _Undefined)
+            return defined != negated
+        if isinstance(left, _Undefined):
+            raise OrchestrationError("reference to undefined variable")
+        return left
+
+    def parse_pipe(self) -> Any:
+        value = self.parse_atom()
+        while self.peek() == "|":
+            self.take()
+            name = self.take()
+            if name == "default":
+                self.expect("(")
+                fallback = self.parse_or()
+                self.expect(")")
+                if isinstance(value, _Undefined):
+                    value = fallback
+            elif name == "length":
+                if isinstance(value, _Undefined):
+                    raise OrchestrationError("length of undefined variable")
+                value = len(value)
+            elif name == "int":
+                if isinstance(value, _Undefined):
+                    raise OrchestrationError("int of undefined variable")
+                value = int(value)
+            else:
+                raise OrchestrationError(f"unknown filter: {name!r}")
+        return value
+
+    def parse_atom(self) -> Any:
+        token = self.take()
+        if token == "(":
+            value = self.parse_or()
+            self.expect(")")
+            return value
+        if token.startswith(("'", '"')):
+            return token[1:-1]
+        if re.fullmatch(r"-?\d+", token):
+            return int(token)
+        if re.fullmatch(r"-?\d+\.\d+", token):
+            return float(token)
+        if token == "true":
+            return True
+        if token == "false":
+            return False
+        if token == "none":
+            return None
+        if token in _KEYWORDS:
+            raise OrchestrationError(f"misplaced keyword {token!r}")
+        # variable with optional .attr / [index] trail
+        value: Any = self.variables.get(token, UNDEFINED)
+        while self.peek() in (".", "["):
+            op = self.take()
+            if isinstance(value, _Undefined):
+                raise OrchestrationError(f"attribute access on undefined {token!r}")
+            if op == ".":
+                attr = self.take()
+                if isinstance(value, dict):
+                    value = value.get(attr, UNDEFINED)
+                else:
+                    value = getattr(value, attr, UNDEFINED)
+            else:
+                index = self.parse_or()
+                self.expect("]")
+                try:
+                    value = value[index]
+                except (KeyError, IndexError, TypeError):
+                    value = UNDEFINED
+        return value
+
+
+def evaluate(expression: str, variables: dict[str, Any]) -> Any:
+    """Evaluate one template expression against *variables*."""
+    tokens = _tokenize(expression)
+    if not tokens:
+        raise OrchestrationError("empty expression")
+    return _ExprParser(tokens, variables).parse()
+
+
+_PLACEHOLDER = re.compile(r"\{\{(.*?)\}\}")
+
+
+def render(text: str, variables: dict[str, Any]) -> str:
+    """Substitute every ``{{ expr }}`` in *text*."""
+
+    def repl(match: re.Match) -> str:
+        value = evaluate(match.group(1).strip(), variables)
+        if isinstance(value, _Undefined):
+            raise OrchestrationError(
+                f"undefined template variable in {match.group(0)!r}"
+            )
+        if value is True:
+            return "true"
+        if value is False:
+            return "false"
+        return str(value)
+
+    return _PLACEHOLDER.sub(repl, text)
+
+
+def render_value(value: Any, variables: dict[str, Any]) -> Any:
+    """Recursively render strings inside nested structures.
+
+    A string that is exactly one placeholder keeps its native type
+    (``"{{ nodes }}"`` with ``nodes=4`` renders to the int 4, not "4").
+    """
+    if isinstance(value, str):
+        stripped = value.strip()
+        match = _PLACEHOLDER.fullmatch(stripped)
+        if match:
+            result = evaluate(match.group(1).strip(), variables)
+            if isinstance(result, _Undefined):
+                raise OrchestrationError(
+                    f"undefined template variable in {value!r}"
+                )
+            return result
+        return render(value, variables)
+    if isinstance(value, dict):
+        return {k: render_value(v, variables) for k, v in value.items()}
+    if isinstance(value, list):
+        return [render_value(v, variables) for v in value]
+    return value

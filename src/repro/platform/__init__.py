@@ -1,0 +1,42 @@
+"""Simulated hardware platforms: machine models, roofline cost model,
+noise regimes and provisionable sites (the CloudLab/EC2/lab-testbed
+substitution documented in DESIGN.md).
+"""
+
+from repro.platform.machines import CATALOG, MachineSpec, get_machine, register_machine
+from repro.platform.noise import (
+    QUIET,
+    DaemonNoise,
+    JitterNoise,
+    NeighborNoise,
+    NoiseModel,
+    noisy_cloud,
+)
+from repro.platform.perfmodel import (
+    KernelDemand,
+    amdahl_speedup,
+    bottleneck,
+    execution_time,
+)
+from repro.platform.sites import Node, NodeAllocation, Site, default_sites
+
+__all__ = [
+    "MachineSpec",
+    "CATALOG",
+    "get_machine",
+    "register_machine",
+    "KernelDemand",
+    "execution_time",
+    "bottleneck",
+    "amdahl_speedup",
+    "NoiseModel",
+    "JitterNoise",
+    "DaemonNoise",
+    "NeighborNoise",
+    "QUIET",
+    "noisy_cloud",
+    "Node",
+    "NodeAllocation",
+    "Site",
+    "default_sites",
+]

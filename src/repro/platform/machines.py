@@ -1,0 +1,241 @@
+"""Machine models: the simulated hardware substrate.
+
+The paper's experiments run on real testbeds — CloudLab bare-metal nodes,
+EC2 instances, a "10 year old Xeon" in the authors' lab.  We cannot ship
+that hardware, so this module models machines as parameter vectors (clock,
+IPC, core count, cache, memory/storage/network bandwidth and latency, a
+virtualization tax) that a roofline-style cost model
+(:mod:`repro.platform.perfmodel`) consumes.  The catalog below encodes
+generationally plausible spec points so cross-platform *ratios* — the
+quantity every use-case figure is about — come out right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.errors import PlatformError
+
+__all__ = ["MachineSpec", "CATALOG", "get_machine", "register_machine"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A hardware platform as the performance model sees it.
+
+    Attributes
+    ----------
+    name:
+        Catalog identifier, e.g. ``"cloudlab-c220g1"``.
+    year:
+        Rough introduction year (documentation only).
+    cores:
+        Physical cores available to workloads.
+    freq_ghz:
+        Sustained clock in GHz.
+    ipc_int / ipc_fp:
+        Sustained instructions-per-cycle for integer and floating-point
+        heavy code on one core.
+    l2_kib / l3_mib:
+        Cache sizes; working sets past L3 pay memory-bandwidth cost.
+    mem_bw_gbs:
+        Sustained memory bandwidth (all cores), GB/s.
+    mem_lat_ns:
+        Random-access memory latency, nanoseconds.
+    storage_bw_mbs / storage_iops / storage_lat_us:
+        Storage characteristics (HDD vs SSD is the interesting contrast).
+    net_bw_gbit / net_lat_us:
+        NIC bandwidth and one-way small-message latency.
+    virt_overhead:
+        Fractional slowdown imposed by hardware virtualization (the
+        "hypervisor tax"); 0.0 for bare metal and containers.
+    smt:
+        Hardware threads per core.
+    """
+
+    name: str
+    year: int
+    cores: int
+    freq_ghz: float
+    ipc_int: float
+    ipc_fp: float
+    l2_kib: int
+    l3_mib: int
+    mem_bw_gbs: float
+    mem_lat_ns: float
+    storage_bw_mbs: float
+    storage_iops: float
+    storage_lat_us: float
+    net_bw_gbit: float
+    net_lat_us: float
+    virt_overhead: float = 0.0
+    smt: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.freq_ghz <= 0:
+            raise PlatformError(f"invalid machine spec: {self.name}")
+        if not 0.0 <= self.virt_overhead < 1.0:
+            raise PlatformError(
+                f"virt_overhead must be in [0, 1): {self.virt_overhead}"
+            )
+
+    # -- derived rates ----------------------------------------------------------
+    def core_ops_per_sec(self, fp_fraction: float = 0.0) -> float:
+        """Sustained one-core op throughput for a given int/fp mix."""
+        ipc = self.ipc_int * (1.0 - fp_fraction) + self.ipc_fp * fp_fraction
+        return self.freq_ghz * 1e9 * ipc
+
+    @property
+    def mem_bytes_per_sec(self) -> float:
+        return self.mem_bw_gbs * 1e9
+
+    @property
+    def net_bytes_per_sec(self) -> float:
+        return self.net_bw_gbit * 1e9 / 8.0
+
+    @property
+    def storage_bytes_per_sec(self) -> float:
+        return self.storage_bw_mbs * 1e6
+
+    def virtualized(self, overhead: float = 0.08, tag: str = "vm") -> "MachineSpec":
+        """This machine behind a hypervisor paying *overhead* tax."""
+        return replace(
+            self, name=f"{self.name}-{tag}", virt_overhead=overhead
+        )
+
+
+# ---------------------------------------------------------------------------
+# Catalog.  Spec points are generational approximations; what matters for the
+# reproduction is the *ratios* between platforms (see DESIGN.md).
+# ---------------------------------------------------------------------------
+
+CATALOG: dict[str, MachineSpec] = {}
+
+
+def register_machine(spec: MachineSpec) -> MachineSpec:
+    """Add a machine to the global catalog (test fixtures use this too)."""
+    if spec.name in CATALOG:
+        raise PlatformError(f"machine already registered: {spec.name}")
+    CATALOG[spec.name] = spec
+    return spec
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Catalog lookup by name."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise PlatformError(
+            f"unknown machine {name!r}; known: {sorted(CATALOG)}"
+        ) from None
+
+
+# The authors' "10 year old Xeon": a 2006-era Clovertown-class box with
+# slow FSB-attached memory and a single HDD.
+register_machine(
+    MachineSpec(
+        name="lab-xeon-2006",
+        year=2006,
+        cores=8,
+        freq_ghz=2.33,
+        ipc_int=1.18,
+        ipc_fp=0.85,
+        l2_kib=4096,
+        l3_mib=0,
+        mem_bw_gbs=9.5,
+        mem_lat_ns=110.0,
+        storage_bw_mbs=80.0,
+        storage_iops=150.0,
+        storage_lat_us=7000.0,
+        net_bw_gbit=1.0,
+        net_lat_us=55.0,
+    )
+)
+
+# CloudLab Wisconsin c220g1: Haswell bare metal with 10 GbE and SSD.
+register_machine(
+    MachineSpec(
+        name="cloudlab-c220g1",
+        year=2015,
+        cores=16,
+        freq_ghz=2.60,
+        ipc_int=2.35,
+        ipc_fp=2.6,
+        l2_kib=4096,
+        l3_mib=20,
+        mem_bw_gbs=59.0,
+        mem_lat_ns=82.0,
+        storage_bw_mbs=480.0,
+        storage_iops=60000.0,
+        storage_lat_us=120.0,
+        net_bw_gbit=10.0,
+        net_lat_us=25.0,
+        smt=2,
+    )
+)
+
+# CloudLab Utah m400: ARM-ish microserver, lower clock, modest memory.
+register_machine(
+    MachineSpec(
+        name="cloudlab-m400",
+        year=2014,
+        cores=8,
+        freq_ghz=2.40,
+        ipc_int=1.7,
+        ipc_fp=1.5,
+        l2_kib=1024,
+        l3_mib=8,
+        mem_bw_gbs=34.0,
+        mem_lat_ns=95.0,
+        storage_bw_mbs=400.0,
+        storage_iops=50000.0,
+        storage_lat_us=150.0,
+        net_bw_gbit=10.0,
+        net_lat_us=28.0,
+    )
+)
+
+# EC2 m4-class: virtualized Haswell, consolidated network.
+register_machine(
+    MachineSpec(
+        name="ec2-m4",
+        year=2015,
+        cores=8,
+        freq_ghz=2.40,
+        ipc_int=2.3,
+        ipc_fp=2.5,
+        l2_kib=2048,
+        l3_mib=30,
+        mem_bw_gbs=52.0,
+        mem_lat_ns=88.0,
+        storage_bw_mbs=250.0,
+        storage_iops=20000.0,
+        storage_lat_us=300.0,
+        net_bw_gbit=2.5,
+        net_lat_us=60.0,
+        virt_overhead=0.08,
+        smt=2,
+    )
+)
+
+# An HPC site node: high-clock cores, fast interconnect (IB-class).
+register_machine(
+    MachineSpec(
+        name="hpc-haswell-ib",
+        year=2016,
+        cores=24,
+        freq_ghz=2.90,
+        ipc_int=2.4,
+        ipc_fp=2.9,
+        l2_kib=6144,
+        l3_mib=30,
+        mem_bw_gbs=110.0,
+        mem_lat_ns=80.0,
+        storage_bw_mbs=900.0,
+        storage_iops=100000.0,
+        storage_lat_us=90.0,
+        net_bw_gbit=56.0,
+        net_lat_us=1.5,
+        smt=2,
+    )
+)

@@ -1,0 +1,115 @@
+"""Run-to-run performance noise models.
+
+Three sources the systems literature cares about, each deterministic
+under :class:`~repro.common.rng.SeedSequenceFactory` seeding:
+
+* :class:`JitterNoise` — multiplicative lognormal jitter (thermal,
+  scheduling, TLB state); present on every platform.
+* :class:`DaemonNoise` — periodic OS/background-daemon interference that
+  steals a core for short windows (classic HPC "OS noise").
+* :class:`NeighborNoise` — consolidated-infrastructure noisy neighbors
+  (EC2-style): occasional heavy slowdown intervals on shared resources.
+
+A :class:`NoiseModel` composes any subset and turns a *nominal* modeled
+runtime into a *sampled* runtime for one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import PlatformError
+
+__all__ = ["JitterNoise", "DaemonNoise", "NeighborNoise", "NoiseModel", "QUIET", "noisy_cloud"]
+
+
+@dataclass(frozen=True)
+class JitterNoise:
+    """Multiplicative lognormal jitter with coefficient-of-variation *cov*."""
+
+    cov: float = 0.01
+
+    def sample(self, nominal: float, rng: np.random.Generator) -> float:
+        if self.cov <= 0:
+            return nominal
+        sigma = float(np.sqrt(np.log1p(self.cov**2)))
+        return nominal * float(rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma))
+
+
+@dataclass(frozen=True)
+class DaemonNoise:
+    """Periodic background work stealing *steal_fraction* of time with
+    period *period_s* and duty cycle *duty*."""
+
+    steal_fraction: float = 0.02
+    period_s: float = 1.0
+    duty: float = 0.1
+
+    def sample(self, nominal: float, rng: np.random.Generator) -> float:
+        if nominal <= 0:
+            return nominal
+        # Expected number of interference windows overlapping the run,
+        # with phase randomized per run.
+        windows = nominal / self.period_s
+        hit = float(rng.poisson(max(windows * self.duty, 0.0)))
+        return nominal * (1.0 + self.steal_fraction * hit)
+
+
+@dataclass(frozen=True)
+class NeighborNoise:
+    """Noisy-neighbor slowdown: with probability *prob* per run, the run is
+    stretched by a factor drawn uniformly from [1+lo, 1+hi]."""
+
+    prob: float = 0.25
+    lo: float = 0.05
+    hi: float = 0.45
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob <= 1.0:
+            raise PlatformError(f"probability out of range: {self.prob}")
+        if self.lo > self.hi:
+            raise PlatformError("NeighborNoise lo > hi")
+
+    def sample(self, nominal: float, rng: np.random.Generator) -> float:
+        if rng.random() < self.prob:
+            return nominal * (1.0 + rng.uniform(self.lo, self.hi))
+        return nominal
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Composition of noise sources applied in sequence."""
+
+    jitter: JitterNoise = field(default_factory=JitterNoise)
+    daemon: DaemonNoise | None = None
+    neighbor: NeighborNoise | None = None
+
+    def sample(self, nominal: float, rng: np.random.Generator) -> float:
+        """One run's observed time given the nominal modeled time."""
+        value = self.jitter.sample(nominal, rng)
+        if self.daemon is not None:
+            value = self.daemon.sample(value, rng)
+        if self.neighbor is not None:
+            value = self.neighbor.sample(value, rng)
+        return value
+
+    def sample_many(
+        self, nominal: float, rng: np.random.Generator, runs: int
+    ) -> np.ndarray:
+        """Vector of *runs* independent observed times."""
+        return np.array([self.sample(nominal, rng) for _ in range(runs)])
+
+
+#: Bare-metal, well-isolated node (CloudLab-style).
+QUIET = NoiseModel(jitter=JitterNoise(cov=0.008))
+
+
+def noisy_cloud(neighbor_prob: float = 0.3) -> NoiseModel:
+    """Consolidated-cloud noise (EC2-style): jitter + daemons + neighbors."""
+    return NoiseModel(
+        jitter=JitterNoise(cov=0.02),
+        daemon=DaemonNoise(steal_fraction=0.015, period_s=0.5, duty=0.15),
+        neighbor=NeighborNoise(prob=neighbor_prob),
+    )

@@ -1,0 +1,185 @@
+"""Roofline-style execution-time model.
+
+A workload phase is summarized as a :class:`KernelDemand` — how many
+integer/floating-point operations it retires, how many bytes it streams
+through memory, how much storage and network traffic it causes, and how
+large its working set is.  A machine executes the phase at the rate of its
+binding bottleneck; overlapping resources follow the roofline convention
+(``time = max(compute, memory, storage, network)``) with a small serial
+overhead term, which captures exactly the cross-platform effects the
+paper's use cases measure (CPU-bound vs memory-bound speedup bands,
+HDD-vs-network bottleneck inversion, the hypervisor tax).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.errors import PlatformError
+from repro.platform.machines import MachineSpec
+
+__all__ = ["KernelDemand", "execution_time", "bottleneck", "amdahl_speedup"]
+
+
+@dataclass(frozen=True)
+class KernelDemand:
+    """Resource demand of one workload phase.
+
+    Attributes
+    ----------
+    ops:
+        Retired core operations (integer + fp combined).
+    fp_fraction:
+        Fraction of *ops* that is floating point (selects the IPC used).
+    mem_bytes:
+        Bytes moved between the core and DRAM (misses past LLC).
+    working_set_kib:
+        Resident working set; sets how cache-friendly the phase is.
+    storage_read_bytes / storage_write_bytes:
+        File-system traffic.
+    storage_ops:
+        Distinct storage operations (seeks for HDDs, IOPS for SSDs).
+    net_bytes:
+        Bytes crossing the NIC.
+    net_msgs:
+        Message count (pays per-message latency).
+    parallel_fraction:
+        Amdahl parallel fraction when the phase runs on many cores.
+    """
+
+    ops: float = 0.0
+    fp_fraction: float = 0.0
+    mem_bytes: float = 0.0
+    working_set_kib: float = 64.0
+    storage_read_bytes: float = 0.0
+    storage_write_bytes: float = 0.0
+    storage_ops: float = 0.0
+    net_bytes: float = 0.0
+    net_msgs: float = 0.0
+    parallel_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fp_fraction <= 1.0:
+            raise PlatformError(f"fp_fraction out of range: {self.fp_fraction}")
+        if not 0.0 <= self.parallel_fraction <= 1.0:
+            raise PlatformError(
+                f"parallel_fraction out of range: {self.parallel_fraction}"
+            )
+
+    def scaled(self, factor: float) -> "KernelDemand":
+        """The same phase with all volumes scaled by *factor*."""
+        return replace(
+            self,
+            ops=self.ops * factor,
+            mem_bytes=self.mem_bytes * factor,
+            storage_read_bytes=self.storage_read_bytes * factor,
+            storage_write_bytes=self.storage_write_bytes * factor,
+            storage_ops=self.storage_ops * factor,
+            net_bytes=self.net_bytes * factor,
+            net_msgs=self.net_msgs * factor,
+        )
+
+    def plus(self, other: "KernelDemand") -> "KernelDemand":
+        """Sequential composition of two phases (volumes add)."""
+        return KernelDemand(
+            ops=self.ops + other.ops,
+            fp_fraction=(
+                (self.ops * self.fp_fraction + other.ops * other.fp_fraction)
+                / (self.ops + other.ops)
+                if (self.ops + other.ops) > 0
+                else 0.0
+            ),
+            mem_bytes=self.mem_bytes + other.mem_bytes,
+            working_set_kib=max(self.working_set_kib, other.working_set_kib),
+            storage_read_bytes=self.storage_read_bytes + other.storage_read_bytes,
+            storage_write_bytes=self.storage_write_bytes + other.storage_write_bytes,
+            storage_ops=self.storage_ops + other.storage_ops,
+            net_bytes=self.net_bytes + other.net_bytes,
+            net_msgs=self.net_msgs + other.net_msgs,
+            parallel_fraction=min(self.parallel_fraction, other.parallel_fraction),
+        )
+
+
+def _amdahl(threads: int, parallel_fraction: float) -> float:
+    """Amdahl speedup of *threads* cores at the given parallel fraction."""
+    if threads <= 1:
+        return 1.0
+    serial = 1.0 - parallel_fraction
+    return 1.0 / (serial + parallel_fraction / threads)
+
+
+def amdahl_speedup(threads: int, parallel_fraction: float) -> float:
+    """Public alias for the Amdahl model (used in validation assertions)."""
+    return _amdahl(threads, parallel_fraction)
+
+
+def _cache_penalty(demand: KernelDemand, machine: MachineSpec) -> float:
+    """Extra memory traffic multiplier when the working set spills caches."""
+    ws_kib = demand.working_set_kib
+    l2 = machine.l2_kib
+    l3 = machine.l3_mib * 1024
+    if ws_kib <= l2:
+        return 0.15  # mostly cache-resident; trickle of traffic
+    if l3 and ws_kib <= l3:
+        return 0.55
+    return 1.0
+
+
+def _component_times(
+    demand: KernelDemand, machine: MachineSpec, threads: int
+) -> dict[str, float]:
+    threads = max(1, min(threads, machine.cores))
+    compute_rate = machine.core_ops_per_sec(demand.fp_fraction)
+    compute = demand.ops / compute_rate / _amdahl(threads, demand.parallel_fraction)
+
+    mem_traffic = demand.mem_bytes * _cache_penalty(demand, machine)
+    memory = mem_traffic / machine.mem_bytes_per_sec
+
+    storage_stream = (
+        demand.storage_read_bytes + demand.storage_write_bytes
+    ) / machine.storage_bytes_per_sec
+    storage_iops_time = (
+        demand.storage_ops / machine.storage_iops if demand.storage_ops else 0.0
+    )
+    storage = storage_stream + storage_iops_time
+
+    net_stream = demand.net_bytes / machine.net_bytes_per_sec
+    net_lat = demand.net_msgs * machine.net_lat_us * 1e-6
+    network = net_stream + net_lat
+
+    return {
+        "compute": compute,
+        "memory": memory,
+        "storage": storage,
+        "network": network,
+    }
+
+
+def execution_time(
+    demand: KernelDemand,
+    machine: MachineSpec,
+    threads: int = 1,
+    overlap: float = 0.85,
+) -> float:
+    """Seconds to execute *demand* on *machine* with *threads* workers.
+
+    ``overlap`` sets how much the non-binding components hide behind the
+    bottleneck: 1.0 is a pure roofline (perfect overlap), 0.0 is fully
+    serial resource use.  The default 0.85 matches how well-tuned systems
+    software overlaps compute with I/O.
+    """
+    if not 0.0 <= overlap <= 1.0:
+        raise PlatformError(f"overlap out of range: {overlap}")
+    parts = _component_times(demand, machine, threads)
+    dominant = max(parts.values())
+    total = sum(parts.values())
+    time = dominant + (1.0 - overlap) * (total - dominant)
+    return time * (1.0 + machine.virt_overhead)
+
+
+def bottleneck(
+    demand: KernelDemand, machine: MachineSpec, threads: int = 1
+) -> str:
+    """Name of the binding resource (``compute|memory|storage|network``)."""
+    parts = _component_times(demand, machine, threads)
+    return max(parts, key=parts.__getitem__)

@@ -1,0 +1,188 @@
+"""Bare-metal-as-a-service sites: the CloudLab/PRObE/EC2 analog.
+
+A :class:`Site` owns an inventory of machines of one catalog type plus a
+site-wide noise regime; :meth:`Site.allocate` hands out a
+:class:`NodeAllocation` of concrete :class:`Node` objects.  Each node
+carries a small persistent per-node speed multiplier (the "silicon
+lottery" plus firmware/BIOS drift) so that two allocations of the same
+type are *similar but not identical* — exactly the variability the Popper
+paper argues must be fingerprinted before validating results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import AllocationError, PlatformError
+from repro.common.rng import SeedSequenceFactory
+from repro.platform.machines import MachineSpec, get_machine
+from repro.platform.noise import QUIET, NoiseModel, noisy_cloud, DaemonNoise, JitterNoise
+
+__all__ = ["Node", "NodeAllocation", "Site", "default_sites"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """One allocated machine instance."""
+
+    hostname: str
+    spec: MachineSpec
+    speed_factor: float
+    noise: NoiseModel
+    site: str
+
+    def nominal_time(self, modeled_seconds: float) -> float:
+        """Apply this node's persistent speed factor to a modeled time."""
+        return modeled_seconds / self.speed_factor
+
+    def observed_time(
+        self, modeled_seconds: float, rng: np.random.Generator
+    ) -> float:
+        """One observed run: persistent factor plus sampled noise."""
+        return self.noise.sample(self.nominal_time(modeled_seconds), rng)
+
+
+@dataclass
+class NodeAllocation:
+    """A held set of nodes, released back to the site when done."""
+
+    site: "Site"
+    nodes: list[Node]
+    allocation_id: int
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __getitem__(self, index: int) -> Node:
+        return self.nodes[index]
+
+    def release(self) -> None:
+        """Return the nodes to the site's free pool."""
+        self.site._release(self)
+
+    def __enter__(self) -> "NodeAllocation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class Site:
+    """A provisionable pool of identical-type machines.
+
+    Parameters
+    ----------
+    name:
+        Site identifier (``"cloudlab-wisc"``).
+    machine:
+        Catalog machine name or spec for the node type.
+    capacity:
+        Number of machines in the pool.
+    noise:
+        Site noise regime applied to every node.
+    seeds:
+        Seed factory; node speed factors derive from it so the same seed
+        always produces the same "physical" machines.
+    node_cov:
+        Coefficient of variation of the persistent per-node speed factor.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        machine: str | MachineSpec,
+        capacity: int,
+        noise: NoiseModel = QUIET,
+        seeds: SeedSequenceFactory | None = None,
+        node_cov: float = 0.015,
+    ) -> None:
+        if capacity <= 0:
+            raise PlatformError(f"site {name!r} needs positive capacity")
+        self.name = name
+        self.spec = get_machine(machine) if isinstance(machine, str) else machine
+        self.capacity = capacity
+        self.noise = noise
+        seeds = seeds or SeedSequenceFactory(0)
+        rng = seeds.rng("site", name, "speed-factors")
+        factors = 1.0 + node_cov * rng.standard_normal(capacity)
+        self._nodes = [
+            Node(
+                hostname=f"{name}-n{i:03d}",
+                spec=self.spec,
+                speed_factor=float(max(factor, 0.8)),
+                noise=noise,
+                site=name,
+            )
+            for i, factor in enumerate(factors)
+        ]
+        self._free = list(range(capacity))
+        self._held: dict[int, list[int]] = {}
+        self._next_allocation = 0
+
+    # -- provisioning ------------------------------------------------------------
+    @property
+    def available(self) -> int:
+        """Machines currently free."""
+        return len(self._free)
+
+    def allocate(self, count: int) -> NodeAllocation:
+        """Provision *count* nodes (lowest-numbered free nodes first)."""
+        if count <= 0:
+            raise AllocationError(f"cannot allocate {count} nodes")
+        if count > len(self._free):
+            raise AllocationError(
+                f"site {self.name!r}: requested {count} nodes, "
+                f"{len(self._free)} available"
+            )
+        picked = sorted(self._free)[:count]
+        self._free = [i for i in self._free if i not in picked]
+        allocation_id = self._next_allocation
+        self._next_allocation += 1
+        self._held[allocation_id] = picked
+        return NodeAllocation(
+            site=self,
+            nodes=[self._nodes[i] for i in picked],
+            allocation_id=allocation_id,
+        )
+
+    def _release(self, allocation: NodeAllocation) -> None:
+        held = self._held.pop(allocation.allocation_id, None)
+        if held is None:
+            raise AllocationError("allocation already released")
+        self._free.extend(held)
+
+    def node(self, index: int) -> Node:
+        """Direct access to the site's *index*-th machine (for baselining)."""
+        return self._nodes[index]
+
+
+def default_sites(seed: int = 42) -> dict[str, Site]:
+    """The testbeds the paper's use cases run on, as simulated sites."""
+    seeds = SeedSequenceFactory(seed)
+    return {
+        "lab": Site("lab", "lab-xeon-2006", capacity=2, noise=QUIET, seeds=seeds),
+        "cloudlab-wisc": Site(
+            "cloudlab-wisc", "cloudlab-c220g1", capacity=32, noise=QUIET, seeds=seeds
+        ),
+        "cloudlab-utah": Site(
+            "cloudlab-utah", "cloudlab-m400", capacity=32, noise=QUIET, seeds=seeds
+        ),
+        "ec2": Site(
+            "ec2", "ec2-m4", capacity=64, noise=noisy_cloud(), seeds=seeds
+        ),
+        "hpc": Site(
+            "hpc",
+            "hpc-haswell-ib",
+            capacity=128,
+            noise=NoiseModel(
+                jitter=JitterNoise(cov=0.006),
+                daemon=DaemonNoise(steal_fraction=0.01, period_s=0.25, duty=0.08),
+            ),
+            seeds=seeds,
+        ),
+    }

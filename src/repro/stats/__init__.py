@@ -1,0 +1,28 @@
+"""Controlled vs statistical performance-reproducibility methods
+(§ "Numerical vs. Performance Reproducibility" of the paper).
+"""
+
+from repro.stats.comparison import (
+    ComparisonError,
+    SpeedupEstimate,
+    controlled_comparison,
+    naive_comparison,
+    required_runs,
+    statistical_comparison,
+)
+from repro.stats.environments import demand_runner, sample_across_environments
+
+__all__ = [
+    "SpeedupEstimate",
+    "ComparisonError",
+    "controlled_comparison",
+    "statistical_comparison",
+    "naive_comparison",
+    "required_runs",
+    "sample_across_environments",
+    "demand_runner",
+]
+
+from repro.stats.numerical import NumericalReport, check_numerical, digest_output  # noqa: E402
+
+__all__ += ["NumericalReport", "check_numerical", "digest_output"]

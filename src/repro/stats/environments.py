@@ -1,0 +1,64 @@
+"""Multi-environment sampling for statistical reproducibility.
+
+The statistical method "starts by first executing both systems on a
+number of distinct environments (distinct computers, OS, networks,
+etc.)".  :func:`sample_across_environments` provides exactly that
+harness over the simulated platform: it draws nodes from several sites,
+runs a workload cost function on each, and returns the per-environment
+runtime vectors for :func:`~repro.stats.comparison.statistical_comparison`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.common.rng import SeedSequenceFactory
+from repro.platform.perfmodel import KernelDemand, execution_time
+from repro.platform.sites import Site
+
+__all__ = ["sample_across_environments", "demand_runner"]
+
+
+def demand_runner(demand: KernelDemand, threads: int = 1) -> Callable:
+    """A workload function from a KernelDemand (modeled time on a node)."""
+
+    def run(node) -> float:
+        return execution_time(demand, node.spec, threads=threads) / node.speed_factor
+
+    return run
+
+
+def sample_across_environments(
+    workload: Callable,
+    sites: dict[str, Site],
+    runs_per_site: int = 4,
+    seed: int = 0,
+    site_names: list[str] | None = None,
+) -> np.ndarray:
+    """Observed runtimes of *workload* across distinct environments.
+
+    *workload* maps a node to a nominal runtime (seconds); each sampled
+    run applies the node's noise regime.  Environments rotate over the
+    selected sites' node pools so every sample sees a different machine
+    where capacity allows.
+    """
+    names = site_names or sorted(sites)
+    if not names:
+        raise ReproError("no sites selected")
+    seeds = SeedSequenceFactory(seed)
+    samples: list[float] = []
+    for site_name in names:
+        if site_name not in sites:
+            raise ReproError(f"unknown site {site_name!r}")
+        site = sites[site_name]
+        count = min(runs_per_site, site.capacity)
+        with site.allocate(count) as allocation:
+            for run_index in range(runs_per_site):
+                node = allocation[run_index % len(allocation)]
+                rng = seeds.rng("env", site_name, run_index)
+                nominal = workload(node)
+                samples.append(node.noise.sample(nominal, rng))
+    return np.asarray(samples, dtype=np.float64)

@@ -1,0 +1,95 @@
+"""Numerical reproducibility checking.
+
+The paper's other reproducibility axis: "obtaining the same numerical
+values from every run, with the same code and input, on distinct
+platforms.  For example, the result of the same simulation on two
+distinct CPU architectures should yield the same numerical values."
+
+:func:`check_numerical` runs a computation once per environment and
+compares output digests; :class:`NumericalReport` names the first
+divergent pair so the offending platform is identifiable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.common.errors import ReproError
+
+__all__ = ["NumericalReport", "check_numerical", "digest_output"]
+
+
+def digest_output(value: Any) -> str:
+    """Stable digest of a computation's output.
+
+    Supports numpy arrays (exact bytes), metrics tables (CSV form),
+    and anything else via ``repr`` — bitwise identity is the bar the
+    paper sets.
+    """
+    digest = hashlib.sha256()
+    if isinstance(value, np.ndarray):
+        digest.update(str(value.dtype).encode())
+        digest.update(str(value.shape).encode())
+        digest.update(np.ascontiguousarray(value).tobytes())
+    elif hasattr(value, "to_csv"):
+        digest.update(value.to_csv().encode("utf-8"))
+    else:
+        digest.update(repr(value).encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class NumericalReport:
+    """Outcome of a cross-environment numerical check."""
+
+    reproducible: bool
+    digests: tuple[tuple[str, str], ...]  # (environment, digest)
+
+    @property
+    def divergent_pairs(self) -> list[tuple[str, str]]:
+        """Environment names whose outputs differ from the first one."""
+        if not self.digests:
+            return []
+        reference_env, reference = self.digests[0]
+        return [
+            (reference_env, env)
+            for env, digest in self.digests[1:]
+            if digest != reference
+        ]
+
+    def describe(self) -> str:
+        if self.reproducible:
+            return (
+                f"numerically reproducible across {len(self.digests)} "
+                "environments"
+            )
+        pairs = ", ".join(f"{a} != {b}" for a, b in self.divergent_pairs)
+        return f"NUMERICAL DIVERGENCE: {pairs}"
+
+
+def check_numerical(
+    computation: Callable[[Any], Any],
+    environments: dict[str, Any],
+) -> NumericalReport:
+    """Run *computation* once per environment and compare outputs.
+
+    *environments* maps a name to whatever context object the
+    computation consumes (a node, a machine spec, a config); the
+    computation must be a pure function of its inputs for the check to
+    be meaningful.
+    """
+    if not environments:
+        raise ReproError("no environments given")
+    digests = tuple(
+        (name, digest_output(computation(env)))
+        for name, env in environments.items()
+    )
+    reference = digests[0][1]
+    return NumericalReport(
+        reproducible=all(d == reference for _, d in digests),
+        digests=digests,
+    )

@@ -1,0 +1,22 @@
+"""Torpor: cross-platform performance variability characterization,
+prediction and recreation (ASPLOS use case §5.1).
+"""
+
+from repro.torpor.experiment import TorporResult, run_torpor_experiment
+from repro.torpor.throttle import Throttle, recreation_error, throttle_for
+from repro.torpor.variability import (
+    VariabilityProfile,
+    VariabilityRange,
+    predict_speedup,
+)
+
+__all__ = [
+    "TorporResult",
+    "run_torpor_experiment",
+    "VariabilityProfile",
+    "VariabilityRange",
+    "predict_speedup",
+    "Throttle",
+    "throttle_for",
+    "recreation_error",
+]

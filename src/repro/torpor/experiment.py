@@ -1,0 +1,73 @@
+"""The end-to-end Torpor use case (ASPLOS §5.1 / Fig. torpor-variability).
+
+Runs the baseliner battery on a base node (the authors' "10 year old
+Xeon") and on a target node (a CloudLab machine), compares fingerprints,
+and emits both the per-stressor speedup table and the bucketed histogram
+series that regenerate the paper's variability-profile figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import SeedSequenceFactory
+from repro.common.tables import MetricsTable
+from repro.baseliner.fingerprint import (
+    BaselineProfile,
+    SpeedupProfile,
+    compare,
+    run_battery,
+)
+from repro.platform.sites import Site, default_sites
+from repro.torpor.variability import VariabilityProfile
+
+__all__ = ["TorporResult", "run_torpor_experiment"]
+
+
+@dataclass(frozen=True)
+class TorporResult:
+    """Everything the Torpor figure and validations need."""
+
+    base_profile: BaselineProfile
+    target_profile: BaselineProfile
+    speedups: SpeedupProfile
+    variability: VariabilityProfile
+
+    def speedup_table(self) -> MetricsTable:
+        """Per-stressor rows (the figure's underlying data)."""
+        return self.speedups.to_table()
+
+    def histogram_table(self, bin_width: float = 0.1) -> MetricsTable:
+        """Bucketed histogram rows (the figure itself)."""
+        table = MetricsTable(["bucket_low", "bucket_high", "stressors"])
+        for lo, hi, count in self.speedups.histogram(bin_width):
+            table.append({"bucket_low": lo, "bucket_high": hi, "stressors": count})
+        return table
+
+
+def run_torpor_experiment(
+    base_site: Site | None = None,
+    target_site: Site | None = None,
+    seed: int = 42,
+    runs: int = 3,
+) -> TorporResult:
+    """Run the full experiment.
+
+    Defaults to the paper's setup: the lab's 2006 Xeon as base, a
+    CloudLab c220g1 node as target.
+    """
+    seeds = SeedSequenceFactory(seed)
+    if base_site is None or target_site is None:
+        sites = default_sites(seed)
+        base_site = base_site or sites["lab"]
+        target_site = target_site or sites["cloudlab-wisc"]
+    with base_site.allocate(1) as base_alloc, target_site.allocate(1) as target_alloc:
+        base_profile = run_battery(base_alloc[0], seeds, runs=runs)
+        target_profile = run_battery(target_alloc[0], seeds, runs=runs)
+    speedups = compare(base_profile, target_profile)
+    return TorporResult(
+        base_profile=base_profile,
+        target_profile=target_profile,
+        speedups=speedups,
+        variability=VariabilityProfile.from_speedups(speedups),
+    )

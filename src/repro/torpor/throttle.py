@@ -1,0 +1,85 @@
+"""Performance recreation by CPU throttling.
+
+Torpor's second trick: given a *fast* target machine and the variability
+profile against an *old* base machine, run the old experiment on the new
+machine inside a CPU-quota'd container so its performance matches the
+original platform.  The quota for a CPU-bound workload is simply the
+inverse of the CPU-class speedup; memory-bound workloads cannot be fully
+recreated by CPU quota alone, which the API surfaces via
+:func:`recreation_error`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import PlatformError
+from repro.torpor.variability import VariabilityProfile
+
+__all__ = ["Throttle", "throttle_for", "recreation_error"]
+
+
+@dataclass(frozen=True)
+class Throttle:
+    """A CPU quota in (0, 1]: the fraction of cycles the workload may use."""
+
+    cpu_quota: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cpu_quota <= 1.0:
+            raise PlatformError(f"cpu quota out of (0, 1]: {self.cpu_quota}")
+
+    def apply(self, runtime_s: float, cpu_fraction: float = 1.0) -> float:
+        """Observed runtime under the quota.
+
+        Only the CPU-bound share of the runtime stretches; memory/storage
+        phases proceed at native speed.
+        """
+        if not 0.0 <= cpu_fraction <= 1.0:
+            raise PlatformError(f"cpu fraction out of range: {cpu_fraction}")
+        cpu_part = runtime_s * cpu_fraction / self.cpu_quota
+        other = runtime_s * (1.0 - cpu_fraction)
+        return cpu_part + other
+
+
+def throttle_for(profile: VariabilityProfile, klass: str = "cpu") -> Throttle:
+    """The quota that recreates the base machine for *klass*-bound work.
+
+    Uses the midpoint of the class speedup range; a speedup below 1
+    (target slower than base) needs no throttling.
+    """
+    r = profile.range_for(klass)
+    midpoint = (r.low + r.high) / 2.0
+    if midpoint <= 1.0:
+        return Throttle(cpu_quota=1.0)
+    return Throttle(cpu_quota=1.0 / midpoint)
+
+
+def recreation_error(
+    profile: VariabilityProfile,
+    class_mix: dict[str, float],
+    throttle: Throttle,
+) -> float:
+    """Relative error of recreating a mixed workload with a CPU quota.
+
+    Computes the workload's ideal runtime ratio (base/target per class)
+    against the ratio the throttle actually produces; returns
+    ``|achieved - 1|`` where 1.0 means a perfect recreation of base-machine
+    runtime.
+    """
+    total = sum(class_mix.values())
+    if abs(total - 1.0) > 1e-6:
+        raise PlatformError(f"class mix must sum to 1, got {total}")
+    # Target runtime fractions, per class, for one second of base runtime.
+    achieved = 0.0
+    for klass, fraction in class_mix.items():
+        if fraction == 0:
+            continue
+        r = profile.range_for(klass)
+        speedup = (r.low + r.high) / 2.0
+        native = fraction / speedup  # seconds on target, unthrottled
+        if klass in ("cpu", "fp", "branch"):
+            achieved += native / throttle.cpu_quota
+        else:
+            achieved += native
+    return abs(achieved - 1.0)

@@ -1,0 +1,112 @@
+"""Torpor: workload- and architecture-independent variability profiles.
+
+Torpor characterizes a platform with the baseliner battery, derives the
+per-class speedup *range* of a target platform with respect to a base
+platform, and uses that range to predict how an arbitrary application's
+performance will move between the two — without ever running the
+application on the target (the paper's
+``jimenez_characterizing_2016`` technique).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import PlatformError
+from repro.baseliner.fingerprint import SpeedupProfile
+from repro.baseliner.stressors import STRESSORS
+
+__all__ = ["VariabilityRange", "VariabilityProfile", "predict_speedup"]
+
+
+@dataclass(frozen=True)
+class VariabilityRange:
+    """Speedup interval of one resource class on the target platform."""
+
+    klass: str
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise PlatformError(f"inverted range for {self.klass}")
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def widened(self, fraction: float = 0.05) -> "VariabilityRange":
+        """The range widened symmetrically (safety margin for prediction)."""
+        span = self.high - self.low
+        pad = max(span, self.low * fraction) * fraction + self.low * fraction
+        return VariabilityRange(
+            klass=self.klass, low=self.low - pad, high=self.high + pad
+        )
+
+
+@dataclass(frozen=True)
+class VariabilityProfile:
+    """Per-class speedup ranges of target vs base platform."""
+
+    base: str
+    target: str
+    ranges: tuple[VariabilityRange, ...]
+
+    @classmethod
+    def from_speedups(cls, speedups: SpeedupProfile) -> "VariabilityProfile":
+        classes = sorted({s.klass for s in STRESSORS.values()})
+        ranges = []
+        for klass in classes:
+            values = [
+                value
+                for name, value in speedups.speedups
+                if STRESSORS[name].klass == klass
+            ]
+            if not values:
+                continue
+            ranges.append(
+                VariabilityRange(klass=klass, low=min(values), high=max(values))
+            )
+        return cls(base=speedups.base, target=speedups.target, ranges=tuple(ranges))
+
+    def range_for(self, klass: str) -> VariabilityRange:
+        for r in self.ranges:
+            if r.klass == klass:
+                return r
+        raise PlatformError(f"no variability range for class {klass!r}")
+
+    def classes(self) -> list[str]:
+        return [r.klass for r in self.ranges]
+
+
+def predict_speedup(
+    profile: VariabilityProfile, class_mix: dict[str, float]
+) -> VariabilityRange:
+    """Predicted speedup interval for an app with the given time mix.
+
+    *class_mix* gives the fraction of the app's base-platform runtime
+    attributable to each resource class (must sum to 1).  The prediction
+    composes per-class ranges harmonically: runtime fractions divide by
+    class speedups, so the app speedup is ``1 / sum(f_i / s_i)``.
+    """
+    total = sum(class_mix.values())
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise PlatformError(f"class mix must sum to 1, got {total}")
+    if any(f < 0 for f in class_mix.values()):
+        raise PlatformError("class-mix fractions must be non-negative")
+    low_denominator = 0.0
+    high_denominator = 0.0
+    for klass, fraction in class_mix.items():
+        if fraction == 0:
+            continue
+        r = profile.range_for(klass)
+        low_denominator += fraction / r.low    # slowest case
+        high_denominator += fraction / r.high  # fastest case
+    if low_denominator == 0:
+        raise PlatformError("class mix selected no classes")
+    return VariabilityRange(
+        klass="app",
+        low=1.0 / low_denominator,
+        high=1.0 / high_denominator,
+    )

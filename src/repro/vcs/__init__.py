@@ -1,0 +1,30 @@
+"""A from-scratch content-addressed version-control substrate.
+
+The Popper convention stores *everything* — manuscript, experiment code,
+orchestration, parametrization, validation criteria and results — in one
+versioned repository.  This package provides that substrate: a git-like
+DVCS with blobs/trees/commits/tags, branches, an index, diffs and clones,
+deterministic enough that entire experiment histories reproduce
+bit-for-bit.
+"""
+
+from repro.vcs.diff import Change, ChangeKind, tree_changes, unified_diff
+from repro.vcs.objects import Blob, Commit, Tag, Tree, TreeEntry
+from repro.vcs.repository import LogEntry, Repository, Status
+from repro.vcs.store import ObjectStore
+
+__all__ = [
+    "Repository",
+    "LogEntry",
+    "Status",
+    "ObjectStore",
+    "Blob",
+    "Tree",
+    "TreeEntry",
+    "Commit",
+    "Tag",
+    "Change",
+    "ChangeKind",
+    "tree_changes",
+    "unified_diff",
+]

@@ -1,0 +1,86 @@
+"""Diffing between tree snapshots: structural change lists and unified text
+diffs, the way reviewers inspect what changed between two versions of an
+experiment.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.vcs.store import ObjectStore
+
+__all__ = ["ChangeKind", "Change", "tree_changes", "unified_diff", "diff_commits"]
+
+
+class ChangeKind(str, Enum):
+    ADDED = "added"
+    REMOVED = "removed"
+    MODIFIED = "modified"
+
+
+@dataclass(frozen=True)
+class Change:
+    """One file-level difference between two snapshots."""
+
+    kind: ChangeKind
+    path: str
+    old_oid: str | None = None
+    new_oid: str | None = None
+
+    def __str__(self) -> str:
+        symbol = {"added": "A", "removed": "D", "modified": "M"}[self.kind.value]
+        return f"{symbol} {self.path}"
+
+
+def tree_changes(
+    store: ObjectStore, old_tree: str | None, new_tree: str | None
+) -> list[Change]:
+    """File-level changes turning *old_tree* into *new_tree* (sorted by path)."""
+    old_files = dict(store.walk_tree(old_tree)) if old_tree else {}
+    new_files = dict(store.walk_tree(new_tree)) if new_tree else {}
+    changes: list[Change] = []
+    for path in sorted(set(old_files) | set(new_files)):
+        old_oid = old_files.get(path)
+        new_oid = new_files.get(path)
+        if old_oid is None:
+            changes.append(Change(ChangeKind.ADDED, path, None, new_oid))
+        elif new_oid is None:
+            changes.append(Change(ChangeKind.REMOVED, path, old_oid, None))
+        elif old_oid != new_oid:
+            changes.append(Change(ChangeKind.MODIFIED, path, old_oid, new_oid))
+    return changes
+
+
+def _blob_lines(store: ObjectStore, oid: str | None) -> list[str]:
+    if oid is None:
+        return []
+    data = store.get_blob(oid).data
+    try:
+        return data.decode("utf-8").splitlines(keepends=True)
+    except UnicodeDecodeError:
+        return [f"<binary {len(data)} bytes>\n"]
+
+
+def unified_diff(store: ObjectStore, change: Change, context: int = 3) -> str:
+    """Unified text diff for one :class:`Change`."""
+    old_lines = _blob_lines(store, change.old_oid)
+    new_lines = _blob_lines(store, change.new_oid)
+    old_label = f"a/{change.path}" if change.old_oid else "/dev/null"
+    new_label = f"b/{change.path}" if change.new_oid else "/dev/null"
+    return "".join(
+        difflib.unified_diff(
+            old_lines, new_lines, fromfile=old_label, tofile=new_label, n=context
+        )
+    )
+
+
+def diff_commits(store: ObjectStore, old_commit: str | None, new_commit: str) -> str:
+    """Full unified diff between two commits (old may be None for the root)."""
+    old_tree = store.get_commit(old_commit).tree if old_commit else None
+    new_tree = store.get_commit(new_commit).tree
+    chunks = []
+    for change in tree_changes(store, old_tree, new_tree):
+        chunks.append(unified_diff(store, change))
+    return "".join(chunks)

@@ -1,0 +1,176 @@
+"""Merging: merge-base discovery, three-way content merge, branch merge.
+
+Collaboration on a Popperized article needs exactly git's merge surface:
+fast-forwards when a reviewer's branch simply extends ``main``, and
+three-way merges (diff3-style, with conflict markers) when both sides
+edited the experiment.  Conflicts never silently pick a side — the merge
+raises with per-path details and leaves the repository untouched.
+"""
+
+from __future__ import annotations
+
+from difflib import SequenceMatcher
+
+from repro.common.errors import VcsError
+from repro.vcs.store import ObjectStore
+
+__all__ = ["MergeConflict", "merge_base", "merge_lines", "merge_blobs"]
+
+
+class MergeConflict(VcsError):
+    """Raised when a merge cannot be completed automatically."""
+
+    def __init__(self, conflicts: dict[str, str]) -> None:
+        self.conflicts = conflicts
+        paths = ", ".join(sorted(conflicts))
+        super().__init__(f"merge conflicts in: {paths}")
+
+
+def merge_base(store: ObjectStore, a: str, b: str) -> str | None:
+    """Nearest common ancestor of two commits (None for unrelated roots)."""
+    ancestors_a: set[str] = set()
+    frontier = [a]
+    while frontier:
+        oid = frontier.pop()
+        if oid in ancestors_a:
+            continue
+        ancestors_a.add(oid)
+        frontier.extend(store.get_commit(oid).parents)
+    # BFS from b so the *nearest* common ancestor is found first.
+    queue = [b]
+    seen: set[str] = set()
+    while queue:
+        oid = queue.pop(0)
+        if oid in seen:
+            continue
+        seen.add(oid)
+        if oid in ancestors_a:
+            return oid
+        queue.extend(store.get_commit(oid).parents)
+    return None
+
+
+def _hunks(base: list[str], side: list[str]) -> list[tuple[int, int, list[str]]]:
+    """Change hunks of *side* relative to *base*: (start, end, replacement)."""
+    matcher = SequenceMatcher(None, base, side, autojunk=False)
+    hunks = []
+    for tag, i1, i2, j1, j2 in matcher.get_opcodes():
+        if tag != "equal":
+            hunks.append((i1, i2, side[j1:j2]))
+    return hunks
+
+
+def _apply(base: list[str], hunks: list[tuple[int, int, list[str]]], lo: int, hi: int) -> list[str]:
+    """Render base[lo:hi] with the given (sorted, in-range) hunks applied."""
+    out: list[str] = []
+    cursor = lo
+    for start, end, replacement in hunks:
+        out.extend(base[cursor:start])
+        out.extend(replacement)
+        cursor = end
+    out.extend(base[cursor:hi])
+    return out
+
+
+def merge_lines(
+    base: list[str],
+    ours: list[str],
+    theirs: list[str],
+    ours_label: str = "ours",
+    theirs_label: str = "theirs",
+) -> tuple[list[str], bool]:
+    """diff3-style three-way merge; returns (lines, had_conflicts).
+
+    Non-overlapping changes combine; overlapping identical changes
+    deduplicate; overlapping different changes produce conflict markers.
+    """
+    ours_hunks = [(s, e, r, "ours") for s, e, r in _hunks(base, ours)]
+    theirs_hunks = [(s, e, r, "theirs") for s, e, r in _hunks(base, theirs)]
+    combined = sorted(
+        ours_hunks + theirs_hunks, key=lambda h: (h[0], h[1])
+    )
+
+    merged: list[str] = []
+    conflicted = False
+    cursor = 0
+    index = 0
+    while index < len(combined):
+        # Build a cluster of transitively-overlapping hunks.  Insertions
+        # (start == end) only collide when both sides insert at the same
+        # point.
+        cluster = [combined[index]]
+        cluster_end = max(combined[index][1], combined[index][0])
+        next_index = index + 1
+        while next_index < len(combined):
+            start, end, _, _ = combined[next_index]
+            if start < cluster_end or (start == cluster_end == combined[index][0] and start == end):
+                cluster.append(combined[next_index])
+                cluster_end = max(cluster_end, end, start)
+                next_index += 1
+            else:
+                break
+        lo = min(h[0] for h in cluster)
+        hi = max(h[1] for h in cluster)
+        merged.extend(base[cursor:lo])
+        cursor = hi
+
+        sides = {h[3] for h in cluster}
+        ours_part = sorted(
+            [(s, e, r) for s, e, r, side in cluster if side == "ours"]
+        )
+        theirs_part = sorted(
+            [(s, e, r) for s, e, r, side in cluster if side == "theirs"]
+        )
+        if sides == {"ours"}:
+            merged.extend(_apply(base, ours_part, lo, hi))
+        elif sides == {"theirs"}:
+            merged.extend(_apply(base, theirs_part, lo, hi))
+        else:
+            ours_render = _apply(base, ours_part, lo, hi)
+            theirs_render = _apply(base, theirs_part, lo, hi)
+            if ours_render == theirs_render:
+                merged.extend(ours_render)
+            else:
+                conflicted = True
+                merged.append(f"<<<<<<< {ours_label}\n")
+                merged.extend(ours_render)
+                merged.append("=======\n")
+                merged.extend(theirs_render)
+                merged.append(f">>>>>>> {theirs_label}\n")
+        index = next_index
+    merged.extend(base[cursor:])
+    return merged, conflicted
+
+
+def _split_keepends(data: bytes) -> list[str]:
+    return data.decode("utf-8").splitlines(keepends=True)
+
+
+def merge_blobs(
+    store: ObjectStore,
+    base_oid: str | None,
+    ours_oid: str,
+    theirs_oid: str,
+    ours_label: str = "ours",
+    theirs_label: str = "theirs",
+) -> tuple[bytes, bool]:
+    """Three-way merge of blob contents; returns (bytes, had_conflicts).
+
+    Binary contents (undecodable) conflict unless identical.
+    """
+    ours = store.get_blob(ours_oid).data
+    theirs = store.get_blob(theirs_oid).data
+    if ours == theirs:
+        return ours, False
+    base = store.get_blob(base_oid).data if base_oid else b""
+    try:
+        merged, conflicted = merge_lines(
+            _split_keepends(base),
+            _split_keepends(ours),
+            _split_keepends(theirs),
+            ours_label=ours_label,
+            theirs_label=theirs_label,
+        )
+    except UnicodeDecodeError:
+        return ours, True
+    return "".join(merged).encode("utf-8"), conflicted

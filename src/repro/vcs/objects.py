@@ -1,0 +1,215 @@
+"""Content-addressed object model: blobs, trees, commits and tags.
+
+The on-wire format mirrors git's: every object serializes to
+``<type> <size>\\0<payload>`` and is addressed by the SHA-256 of that
+buffer.  Trees hold sorted ``(mode, name, object-id)`` entries; commits
+reference one tree, any number of parents, an author, a logical
+timestamp and a message.  Logical timestamps (a per-repository commit
+counter) keep histories bit-for-bit reproducible, which real wall-clock
+stamps would break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import VcsError
+from repro.common.hashing import sha256_bytes
+
+__all__ = ["Blob", "TreeEntry", "Tree", "Commit", "Tag", "serialize", "deserialize"]
+
+MODE_FILE = "100644"
+MODE_EXEC = "100755"
+MODE_DIR = "040000"
+
+_VALID_MODES = {MODE_FILE, MODE_EXEC, MODE_DIR}
+
+
+@dataclass(frozen=True)
+class Blob:
+    """An immutable file payload."""
+
+    data: bytes
+
+    kind = "blob"
+
+    def payload(self) -> bytes:
+        return self.data
+
+
+@dataclass(frozen=True, order=True)
+class TreeEntry:
+    """One directory entry: a name bound to an object id with a mode."""
+
+    name: str
+    oid: str
+    mode: str = MODE_FILE
+
+    def __post_init__(self) -> None:
+        if "/" in self.name or self.name in ("", ".", ".."):
+            raise VcsError(f"illegal tree entry name: {self.name!r}")
+        if self.mode not in _VALID_MODES:
+            raise VcsError(f"illegal tree entry mode: {self.mode!r}")
+
+    @property
+    def is_dir(self) -> bool:
+        return self.mode == MODE_DIR
+
+
+@dataclass(frozen=True)
+class Tree:
+    """A directory snapshot: sorted, unique entries."""
+
+    entries: tuple[TreeEntry, ...] = ()
+
+    kind = "tree"
+
+    def __post_init__(self) -> None:
+        names = [e.name for e in self.entries]
+        if names != sorted(names):
+            object.__setattr__(
+                self, "entries", tuple(sorted(self.entries, key=lambda e: e.name))
+            )
+            names = [e.name for e in self.entries]
+        if len(set(names)) != len(names):
+            raise VcsError(f"duplicate names in tree: {names}")
+
+    def payload(self) -> bytes:
+        lines = [f"{e.mode} {e.oid} {e.name}" for e in self.entries]
+        return ("\n".join(lines) + ("\n" if lines else "")).encode("utf-8")
+
+    def lookup(self, name: str) -> TreeEntry | None:
+        """Entry with the given *name*, or None."""
+        for entry in self.entries:
+            if entry.name == name:
+                return entry
+        return None
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "Tree":
+        entries = []
+        for line in payload.decode("utf-8").splitlines():
+            mode, oid, name = line.split(" ", 2)
+            entries.append(TreeEntry(name=name, oid=oid, mode=mode))
+        return cls(tuple(entries))
+
+
+@dataclass(frozen=True)
+class Commit:
+    """A history node referencing a tree snapshot."""
+
+    tree: str
+    parents: tuple[str, ...]
+    author: str
+    message: str
+    timestamp: int
+
+    kind = "commit"
+
+    def payload(self) -> bytes:
+        lines = [f"tree {self.tree}"]
+        lines.extend(f"parent {p}" for p in self.parents)
+        lines.append(f"author {self.author}")
+        lines.append(f"timestamp {self.timestamp}")
+        lines.append("")
+        lines.append(self.message)
+        return "\n".join(lines).encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "Commit":
+        text = payload.decode("utf-8")
+        header, _, message = text.partition("\n\n")
+        tree = ""
+        parents: list[str] = []
+        author = ""
+        timestamp = 0
+        for line in header.splitlines():
+            key, _, value = line.partition(" ")
+            if key == "tree":
+                tree = value
+            elif key == "parent":
+                parents.append(value)
+            elif key == "author":
+                author = value
+            elif key == "timestamp":
+                timestamp = int(value)
+            else:
+                raise VcsError(f"unknown commit header: {key!r}")
+        if not tree:
+            raise VcsError("commit payload missing tree")
+        return cls(
+            tree=tree,
+            parents=tuple(parents),
+            author=author,
+            message=message,
+            timestamp=timestamp,
+        )
+
+
+@dataclass(frozen=True)
+class Tag:
+    """An annotated, immutable name for an object (usually a commit)."""
+
+    target: str
+    name: str
+    message: str = ""
+
+    kind = "tag"
+
+    def payload(self) -> bytes:
+        return (
+            f"target {self.target}\nname {self.name}\n\n{self.message}"
+        ).encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "Tag":
+        text = payload.decode("utf-8")
+        header, _, message = text.partition("\n\n")
+        target = ""
+        name = ""
+        for line in header.splitlines():
+            key, _, value = line.partition(" ")
+            if key == "target":
+                target = value
+            elif key == "name":
+                name = value
+            else:
+                raise VcsError(f"unknown tag header: {key!r}")
+        return cls(target=target, name=name, message=message)
+
+
+_KINDS = {"blob": Blob, "tree": Tree, "commit": Commit, "tag": Tag}
+
+AnyObject = Blob | Tree | Commit | Tag
+
+
+def serialize(obj: AnyObject) -> tuple[str, bytes]:
+    """Serialize an object; returns ``(oid, buffer)``."""
+    payload = obj.payload()
+    buffer = f"{obj.kind} {len(payload)}\x00".encode("ascii") + payload
+    return sha256_bytes(buffer), buffer
+
+
+def deserialize(buffer: bytes) -> AnyObject:
+    """Inverse of :func:`serialize` (oid is not re-checked here)."""
+    head, sep, payload = buffer.partition(b"\x00")
+    if not sep:
+        raise VcsError("corrupt object: missing header terminator")
+    try:
+        kind, size_text = head.decode("ascii").split(" ")
+        size = int(size_text)
+    except ValueError as exc:
+        raise VcsError(f"corrupt object header: {head!r}") from exc
+    if size != len(payload):
+        raise VcsError(
+            f"corrupt object: declared {size} bytes, found {len(payload)}"
+        )
+    if kind == "blob":
+        return Blob(payload)
+    if kind == "tree":
+        return Tree.from_payload(payload)
+    if kind == "commit":
+        return Commit.from_payload(payload)
+    if kind == "tag":
+        return Tag.from_payload(payload)
+    raise VcsError(f"unknown object kind: {kind!r}")

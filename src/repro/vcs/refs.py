@@ -1,0 +1,122 @@
+"""Reference management: branches, tags and HEAD.
+
+Refs live under ``.pvcs/refs/heads/<branch>`` and ``.pvcs/refs/tags/<tag>``;
+``HEAD`` is either symbolic (``ref: refs/heads/main``) or detached (a raw
+object id), matching git's model closely enough that users' intuitions
+carry over.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.common.errors import VcsError
+from repro.common.fsutil import ensure_dir
+
+__all__ = ["RefStore"]
+
+_REF_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._/\-]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _REF_NAME.match(name) or ".." in name or name.endswith("/"):
+        raise VcsError(f"illegal ref name: {name!r}")
+    return name
+
+
+class RefStore:
+    """Branch/tag/HEAD bookkeeping rooted at the repository metadata dir."""
+
+    def __init__(self, meta_dir: str | Path) -> None:
+        self.meta = Path(meta_dir)
+        ensure_dir(self.meta / "refs" / "heads")
+        ensure_dir(self.meta / "refs" / "tags")
+
+    # -- HEAD -----------------------------------------------------------------
+    @property
+    def head_path(self) -> Path:
+        return self.meta / "HEAD"
+
+    def set_head_branch(self, branch: str) -> None:
+        """Point HEAD symbolically at a branch."""
+        _check_name(branch)
+        self.head_path.write_text(f"ref: refs/heads/{branch}\n", encoding="utf-8")
+
+    def set_head_detached(self, oid: str) -> None:
+        """Detach HEAD onto a raw object id."""
+        self.head_path.write_text(oid + "\n", encoding="utf-8")
+
+    def head(self) -> tuple[str | None, str | None]:
+        """Return ``(branch-name, commit-oid)``.
+
+        The branch name is None when detached; the oid is None on an
+        unborn branch (no commits yet).
+        """
+        if not self.head_path.exists():
+            raise VcsError("repository has no HEAD")
+        content = self.head_path.read_text(encoding="utf-8").strip()
+        if content.startswith("ref: "):
+            ref = content[len("ref: "):]
+            if not ref.startswith("refs/heads/"):
+                raise VcsError(f"HEAD points outside refs/heads: {ref!r}")
+            branch = ref[len("refs/heads/"):]
+            return branch, self.read_branch(branch)
+        return None, content
+
+    # -- branches --------------------------------------------------------------
+    def _branch_path(self, name: str) -> Path:
+        return self.meta / "refs" / "heads" / _check_name(name)
+
+    def write_branch(self, name: str, oid: str) -> None:
+        path = self._branch_path(name)
+        ensure_dir(path.parent)
+        path.write_text(oid + "\n", encoding="utf-8")
+
+    def read_branch(self, name: str) -> str | None:
+        path = self._branch_path(name)
+        if not path.exists():
+            return None
+        return path.read_text(encoding="utf-8").strip()
+
+    def delete_branch(self, name: str) -> None:
+        path = self._branch_path(name)
+        if not path.exists():
+            raise VcsError(f"no such branch: {name!r}")
+        head_branch, _ = self.head()
+        if head_branch == name:
+            raise VcsError(f"cannot delete the checked-out branch {name!r}")
+        path.unlink()
+
+    def branches(self) -> list[str]:
+        root = self.meta / "refs" / "heads"
+        out = []
+        for path in sorted(root.rglob("*")):
+            if path.is_file():
+                out.append(str(path.relative_to(root)))
+        return out
+
+    # -- tags -------------------------------------------------------------------
+    def _tag_path(self, name: str) -> Path:
+        return self.meta / "refs" / "tags" / _check_name(name)
+
+    def write_tag(self, name: str, oid: str) -> None:
+        path = self._tag_path(name)
+        if path.exists():
+            raise VcsError(f"tag already exists: {name!r}")
+        ensure_dir(path.parent)
+        path.write_text(oid + "\n", encoding="utf-8")
+
+    def read_tag(self, name: str) -> str | None:
+        path = self._tag_path(name)
+        if not path.exists():
+            return None
+        return path.read_text(encoding="utf-8").strip()
+
+    def tags(self) -> list[str]:
+        root = self.meta / "refs" / "tags"
+        out = []
+        for path in sorted(root.rglob("*")):
+            if path.is_file():
+                out.append(str(path.relative_to(root)))
+        return out

@@ -1,0 +1,142 @@
+"""On-disk content-addressed object store (``.pvcs/objects/ab/cd...``).
+
+Objects are immutable: a write of an existing id is a no-op, and reads
+verify that the stored buffer still hashes to the id it was filed under
+(bit-rot detection).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.common.errors import ObjectNotFound, VcsError
+from repro.common.fsutil import atomic_write, ensure_dir
+from repro.common.hashing import sha256_bytes
+from repro.vcs.objects import AnyObject, Blob, Commit, Tag, Tree, deserialize, serialize
+
+__all__ = ["ObjectStore"]
+
+
+class ObjectStore:
+    """Content-addressed storage rooted at a directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        ensure_dir(self.root)
+
+    # -- paths ----------------------------------------------------------------
+    def _path(self, oid: str) -> Path:
+        if len(oid) != 64:
+            raise VcsError(f"not a full object id: {oid!r}")
+        return self.root / oid[:2] / oid[2:]
+
+    # -- primitives -------------------------------------------------------------
+    def put(self, obj: AnyObject) -> str:
+        """Store an object; returns its id.  Idempotent."""
+        oid, buffer = serialize(obj)
+        path = self._path(oid)
+        if not path.exists():
+            atomic_write(path, buffer)
+        return oid
+
+    def get(self, oid: str) -> AnyObject:
+        """Load and integrity-check the object with id *oid*."""
+        path = self._path(oid)
+        if not path.exists():
+            raise ObjectNotFound(oid)
+        buffer = path.read_bytes()
+        if sha256_bytes(buffer) != oid:
+            raise VcsError(f"object {oid[:12]} is corrupt on disk")
+        return deserialize(buffer)
+
+    def contains(self, oid: str) -> bool:
+        """True if *oid* is stored."""
+        try:
+            return self._path(oid).exists()
+        except VcsError:
+            return False
+
+    def __contains__(self, oid: str) -> bool:
+        return self.contains(oid)
+
+    def ids(self) -> Iterator[str]:
+        """All stored object ids (unordered)."""
+        if not self.root.exists():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir() or len(shard.name) != 2:
+                continue
+            for item in sorted(shard.iterdir()):
+                yield shard.name + item.name
+
+    def resolve_prefix(self, prefix: str) -> str:
+        """Expand an abbreviated object id; errors if ambiguous/unknown."""
+        if len(prefix) == 64:
+            if not self.contains(prefix):
+                raise ObjectNotFound(prefix)
+            return prefix
+        if len(prefix) < 4:
+            raise VcsError(f"prefix too short: {prefix!r}")
+        matches = [oid for oid in self.ids() if oid.startswith(prefix)]
+        if not matches:
+            raise ObjectNotFound(prefix)
+        if len(matches) > 1:
+            raise VcsError(f"ambiguous prefix {prefix!r}: {len(matches)} matches")
+        return matches[0]
+
+    # -- typed accessors ----------------------------------------------------------
+    def get_blob(self, oid: str) -> Blob:
+        obj = self.get(oid)
+        if not isinstance(obj, Blob):
+            raise VcsError(f"{oid[:12]} is a {obj.kind}, expected blob")
+        return obj
+
+    def get_tree(self, oid: str) -> Tree:
+        obj = self.get(oid)
+        if not isinstance(obj, Tree):
+            raise VcsError(f"{oid[:12]} is a {obj.kind}, expected tree")
+        return obj
+
+    def get_commit(self, oid: str) -> Commit:
+        obj = self.get(oid)
+        if not isinstance(obj, Commit):
+            raise VcsError(f"{oid[:12]} is a {obj.kind}, expected commit")
+        return obj
+
+    def get_tag(self, oid: str) -> Tag:
+        obj = self.get(oid)
+        if not isinstance(obj, Tag):
+            raise VcsError(f"{oid[:12]} is a {obj.kind}, expected tag")
+        return obj
+
+    # -- tree walking ------------------------------------------------------------
+    def walk_tree(self, tree_oid: str, prefix: str = "") -> Iterator[tuple[str, str]]:
+        """Yield ``(path, blob-oid)`` for every file under a tree, sorted."""
+        tree = self.get_tree(tree_oid)
+        for entry in tree.entries:
+            path = f"{prefix}{entry.name}"
+            if entry.is_dir:
+                yield from self.walk_tree(entry.oid, path + "/")
+            else:
+                yield path, entry.oid
+
+    def read_path(self, tree_oid: str, path: str) -> bytes:
+        """Contents of the file at *path* inside the tree *tree_oid*."""
+        parts = [p for p in path.split("/") if p]
+        if not parts:
+            raise VcsError("empty path")
+        current = tree_oid
+        for i, part in enumerate(parts):
+            tree = self.get_tree(current)
+            entry = tree.lookup(part)
+            if entry is None:
+                raise ObjectNotFound(f"{path} (missing {part!r})")
+            if i == len(parts) - 1:
+                if entry.is_dir:
+                    raise VcsError(f"{path} is a directory")
+                return self.get_blob(entry.oid).data
+            if not entry.is_dir:
+                raise VcsError(f"{'/'.join(parts[:i + 1])} is not a directory")
+            current = entry.oid
+        raise AssertionError("unreachable")

@@ -1,0 +1,18 @@
+"""The Big-Weather-Web data-science use case (ASPLOS §5.4): labeled N-D
+arrays, a synthetic reanalysis generator and the air-temperature
+analysis pipeline.
+"""
+
+from repro.weather.analysis import SEASONS, AirTempAnalysis, analyze_air_temperature
+from repro.weather.dataset import DatasetError, LabeledArray
+from repro.weather.generator import generate_air_temperature, season_of_day
+
+__all__ = [
+    "LabeledArray",
+    "DatasetError",
+    "generate_air_temperature",
+    "season_of_day",
+    "AirTempAnalysis",
+    "analyze_air_temperature",
+    "SEASONS",
+]

@@ -1,0 +1,54 @@
+"""Tests for the aver command-line interface."""
+
+import pytest
+
+from repro.aver.cli import main
+from repro.common.tables import MetricsTable
+
+
+@pytest.fixture
+def results_csv(tmp_path):
+    table = MetricsTable(["machine", "nodes", "time"])
+    for nodes in (1, 2, 4, 8):
+        table.append({"machine": "m0", "nodes": nodes, "time": 50 / nodes**0.7})
+    path = tmp_path / "results.csv"
+    table.save_csv(path)
+    return path
+
+
+class TestAverCli:
+    def test_passing_statement(self, results_csv, capsys):
+        code = main(["-i", str(results_csv), "when machine=* expect sublinear(nodes,time)"])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_failing_statement(self, results_csv, capsys):
+        code = main(["-i", str(results_csv), "expect time < 1"])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_statements_from_file(self, results_csv, tmp_path, capsys):
+        aver_file = tmp_path / "validations.aver"
+        aver_file.write_text(
+            "expect count() = 4\nwhen machine=* expect sublinear(nodes,time)\n"
+        )
+        code = main(["-i", str(results_csv), "-f", str(aver_file)])
+        assert code == 0
+        assert capsys.readouterr().out.count("PASS") >= 2
+
+    def test_quiet_mode(self, results_csv, capsys):
+        code = main(["-i", str(results_csv), "-q", "expect count() = 4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == "PASS: expect count() = 4"
+
+    def test_missing_input(self, tmp_path, capsys):
+        code = main(["-i", str(tmp_path / "nope.csv"), "expect count() > 0"])
+        assert code == 2
+
+    def test_syntax_error(self, results_csv, capsys):
+        code = main(["-i", str(results_csv), "expect ~~~"])
+        assert code == 2
+
+    def test_no_statements(self, results_csv):
+        assert main(["-i", str(results_csv)]) == 2

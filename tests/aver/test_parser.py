@@ -1,0 +1,161 @@
+"""Tests for the Aver lexer and parser."""
+
+import pytest
+
+from repro.aver.ast import (
+    WILDCARD,
+    Arith,
+    BoolOp,
+    Column,
+    Compare,
+    FuncCall,
+    Not,
+    Number,
+    String,
+)
+from repro.aver.lexer import TokenKind, tokenize
+from repro.aver.parser import parse_file_text, parse_statement
+from repro.common.errors import AverSyntaxError
+
+
+class TestLexer:
+    def test_listing3_tokens(self):
+        tokens = tokenize("when workload=* and machine=* expect sublinear(nodes,time)")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == TokenKind.KEYWORD
+        assert TokenKind.STAR in kinds
+        assert kinds[-1] == TokenKind.END
+
+    def test_numbers_and_strings(self):
+        tokens = tokenize("42 3.5 1e3 'text' \"more\"")
+        assert [t.kind for t in tokens[:-1]] == [
+            TokenKind.NUMBER,
+            TokenKind.NUMBER,
+            TokenKind.NUMBER,
+            TokenKind.STRING,
+            TokenKind.STRING,
+        ]
+
+    def test_operators(self):
+        tokens = tokenize("<= >= != == = < >")
+        assert all(t.kind == TokenKind.OP for t in tokens[:-1])
+
+    def test_bad_character(self):
+        with pytest.raises(AverSyntaxError):
+            tokenize("expect time ~ 5")
+
+
+class TestParser:
+    def test_listing3(self):
+        """The paper's Listing 3 parses to the expected structure."""
+        statement = parse_statement(
+            "when workload=* and machine=* expect sublinear(nodes, time)"
+        )
+        assert statement.wildcard_columns == ("workload", "machine")
+        assert statement.filter_clauses == ()
+        call = statement.expectation
+        assert isinstance(call, FuncCall)
+        assert call.name == "sublinear"
+        assert call.args == (Column("nodes"), Column("time"))
+
+    def test_expect_only(self):
+        statement = parse_statement("expect time < 100")
+        assert statement.when == ()
+        assert isinstance(statement.expectation, Compare)
+
+    def test_when_with_concrete_values(self):
+        statement = parse_statement(
+            "when machine='cloudlab' and nodes=4 expect avg(time) < 10"
+        )
+        clauses = {c.column: c.value for c in statement.when}
+        assert clauses == {"machine": "cloudlab", "nodes": 4}
+
+    def test_when_bareword_value(self):
+        statement = parse_statement("when machine=cloudlab expect count() > 0")
+        assert statement.when[0].value == "cloudlab"
+
+    def test_wildcard_value(self):
+        statement = parse_statement("when machine=* expect count() > 0")
+        assert statement.when[0].value is WILDCARD
+
+    def test_boolean_structure(self):
+        statement = parse_statement("expect a < 1 and b > 2 or not c = 3")
+        top = statement.expectation
+        assert isinstance(top, BoolOp) and top.op == "or"
+        assert isinstance(top.left, BoolOp) and top.left.op == "and"
+        assert isinstance(top.right, Not)
+
+    def test_arithmetic_precedence(self):
+        statement = parse_statement("expect a + b * 2 < 10")
+        compare = statement.expectation
+        assert isinstance(compare.left, Arith) and compare.left.op == "+"
+        assert isinstance(compare.left.right, Arith)
+        assert compare.left.right.op == "*"
+
+    def test_unary_minus(self):
+        statement = parse_statement("expect a > -1")
+        right = statement.expectation.right
+        assert isinstance(right, Arith) and right.op == "-"
+
+    def test_star_is_multiplication_in_expressions(self):
+        statement = parse_statement("expect avg(y) < 2 * avg(x)")
+        right = statement.expectation.right
+        assert isinstance(right, Arith) and right.op == "*"
+
+    def test_parenthesized(self):
+        statement = parse_statement("expect (a < 1 or b < 2) and c < 3")
+        assert isinstance(statement.expectation, BoolOp)
+        assert statement.expectation.op == "and"
+
+    def test_string_literal_comparison(self):
+        statement = parse_statement("expect status = 'ok'")
+        assert statement.expectation.right == String("ok")
+
+    def test_nested_function_args(self):
+        statement = parse_statement("expect within(time, 0, percentile(time, 99))")
+        call = statement.expectation
+        assert isinstance(call.args[2], FuncCall)
+
+    def test_duplicate_when_column_rejected(self):
+        with pytest.raises(AverSyntaxError, match="duplicate"):
+            parse_statement("when m=1 and m=2 expect count() > 0")
+
+    def test_missing_expect(self):
+        with pytest.raises(AverSyntaxError):
+            parse_statement("when machine=* sublinear(nodes, time)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(AverSyntaxError, match="trailing"):
+            parse_statement("expect a < 1 bogus extra")
+
+    def test_empty(self):
+        with pytest.raises(AverSyntaxError):
+            parse_statement("   ")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(AverSyntaxError):
+            parse_statement("expect within(time, 0, 1")
+
+
+class TestFileParsing:
+    def test_multi_statement_file(self):
+        text = (
+            "-- integrity checks\n"
+            "expect count() >= 10\n"
+            "\n"
+            "when machine=*  -- every machine\n"
+            "expect sublinear(nodes, time)\n"
+            "# trailing comment line\n"
+        )
+        statements = parse_file_text(text)
+        assert len(statements) == 2
+        assert statements[1].wildcard_columns == ("machine",)
+
+    def test_multiline_statement_exactly_like_listing(self):
+        text = "  when\n    workload=* and machine=*\n  expect\n    sublinear(nodes,time)\n"
+        statements = parse_file_text(text)
+        assert len(statements) == 1
+        assert statements[0].wildcard_columns == ("workload", "machine")
+
+    def test_empty_file(self):
+        assert parse_file_text("-- nothing here\n") == []

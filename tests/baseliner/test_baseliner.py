@@ -1,0 +1,133 @@
+"""Tests for stressors, batteries and fingerprint comparison."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PlatformError
+from repro.common.rng import SeedSequenceFactory, derive_rng
+from repro.baseliner.fingerprint import BaselineProfile, compare, run_battery
+from repro.baseliner.stressors import STRESSORS, get_stressor, run_stressor
+from repro.platform.sites import Site, default_sites
+
+
+@pytest.fixture(scope="module")
+def sites():
+    return default_sites(seed=42)
+
+
+@pytest.fixture(scope="module")
+def profiles(sites):
+    seeds = SeedSequenceFactory(42)
+    base = run_battery(sites["lab"].node(0), seeds, runs=3)
+    target = run_battery(sites["cloudlab-wisc"].node(0), seeds, runs=3)
+    return base, target
+
+
+class TestStressors:
+    def test_catalog_composition(self):
+        classes = {s.klass for s in STRESSORS.values()}
+        assert {"cpu", "fp", "cache", "memory", "storage"} <= classes
+        cpu_count = sum(1 for s in STRESSORS.values() if s.klass == "cpu")
+        assert cpu_count >= 7  # the paper's (2.2, 2.3] band has 7 members
+
+    def test_get_stressor(self):
+        assert get_stressor("int64").klass == "cpu"
+        with pytest.raises(PlatformError):
+            get_stressor("quantum")
+
+    def test_rates_positive_and_reproducible(self, sites):
+        node = sites["lab"].node(0)
+        rng_a = derive_rng(1, "s")
+        rng_b = derive_rng(1, "s")
+        a = run_stressor(get_stressor("int64"), node, rng_a)
+        b = run_stressor(get_stressor("int64"), node, rng_b)
+        assert a == b > 0
+
+    def test_faster_machine_higher_rate(self, sites):
+        old = sites["lab"].node(0)
+        new = sites["cloudlab-wisc"].node(0)
+        stressor = get_stressor("int64")
+        assert stressor.modeled_time(new) < stressor.modeled_time(old)
+
+
+class TestBattery:
+    def test_profile_covers_battery(self, profiles):
+        base, _ = profiles
+        assert set(base.rates_dict()) == set(STRESSORS)
+
+    def test_profile_json_round_trip(self, profiles):
+        base, _ = profiles
+        again = BaselineProfile.from_json(base.to_json())
+        assert again.machine == base.machine
+        assert again.rates_dict() == pytest.approx(base.rates_dict())
+
+    def test_rate_lookup(self, profiles):
+        base, _ = profiles
+        assert base.rate("int64") > 0
+        with pytest.raises(PlatformError):
+            base.rate("ghost")
+
+    def test_battery_deterministic(self, sites):
+        node = sites["lab"].node(0)
+        a = run_battery(node, SeedSequenceFactory(7), runs=2)
+        b = run_battery(node, SeedSequenceFactory(7), runs=2)
+        assert a.rates_dict() == b.rates_dict()
+
+    def test_run_count_validated(self, sites):
+        with pytest.raises(PlatformError):
+            run_battery(sites["lab"].node(0), SeedSequenceFactory(1), runs=0)
+
+
+class TestSpeedupProfile:
+    def test_cpu_class_clusters_in_paper_band(self, profiles):
+        """The headline Torpor claim: integer stressors of the new machine
+        cluster tightly vs the 2006 Xeon, with the mode in (2.2, 2.3]."""
+        base, target = profiles
+        speedups = compare(base, target)
+        lo, hi = speedups.range_for_class("cpu")
+        assert 2.0 < lo and hi < 2.6
+        mode_lo, mode_hi, count = speedups.mode_bucket(bin_width=0.1)
+        assert (mode_lo, mode_hi) == pytest.approx((2.2, 2.3))
+        assert count >= 7
+
+    def test_memory_class_distinct_band(self, profiles):
+        base, target = profiles
+        speedups = compare(base, target)
+        mem_lo, _ = speedups.range_for_class("memory")
+        _, cpu_hi = speedups.range_for_class("cpu")
+        assert mem_lo > cpu_hi  # memory-bandwidth jump dwarfs ALU jump
+
+    def test_fp_faster_than_int(self, profiles):
+        base, target = profiles
+        speedups = compare(base, target)
+        fp_lo, _ = speedups.range_for_class("fp")
+        _, cpu_hi = speedups.range_for_class("cpu")
+        assert fp_lo > cpu_hi
+
+    def test_histogram_counts_sum_to_battery(self, profiles):
+        base, target = profiles
+        speedups = compare(base, target)
+        total = sum(c for _, _, c in speedups.histogram(0.1))
+        assert total == len(STRESSORS)
+
+    def test_histogram_bin_width_validated(self, profiles):
+        base, target = profiles
+        with pytest.raises(PlatformError):
+            compare(base, target).histogram(0.0)
+
+    def test_table_export(self, profiles):
+        base, target = profiles
+        table = compare(base, target).to_table()
+        assert len(table) == len(STRESSORS)
+        assert set(table.column("class")) <= {"cpu", "fp", "cache", "memory", "storage"}
+
+    def test_self_comparison_is_unity(self, profiles):
+        base, _ = profiles
+        speedups = compare(base, base)
+        np.testing.assert_allclose(speedups.values(), 1.0)
+
+    def test_disjoint_profiles_rejected(self):
+        a = BaselineProfile(machine="a", rates=(("x", 1.0),))
+        b = BaselineProfile(machine="b", rates=(("y", 1.0),))
+        with pytest.raises(PlatformError):
+            compare(a, b)

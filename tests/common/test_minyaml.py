@@ -1,0 +1,207 @@
+"""Unit and property tests for the built-in YAML-subset parser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import minyaml
+from repro.common.errors import YamlError
+
+
+class TestScalars:
+    def test_int(self):
+        assert minyaml.loads("x: 42") == {"x": 42}
+
+    def test_negative_int(self):
+        assert minyaml.loads("x: -7") == {"x": -7}
+
+    def test_float(self):
+        assert minyaml.loads("x: 3.25") == {"x": 3.25}
+
+    def test_scientific(self):
+        assert minyaml.loads("x: 1e-3") == {"x": 1e-3}
+
+    def test_bool_variants(self):
+        doc = minyaml.loads("a: true\nb: False\nc: yes\nd: off")
+        assert doc == {"a": True, "b": False, "c": True, "d": False}
+
+    def test_null_variants(self):
+        doc = minyaml.loads("a: null\nb: ~\nc:")
+        assert doc == {"a": None, "b": None, "c": None}
+
+    def test_plain_string(self):
+        assert minyaml.loads("x: hello world") == {"x": "hello world"}
+
+    def test_single_quoted(self):
+        assert minyaml.loads("x: 'a: b #c'") == {"x": "a: b #c"}
+
+    def test_single_quote_escape(self):
+        assert minyaml.loads("x: 'it''s'") == {"x": "it's"}
+
+    def test_double_quoted_escapes(self):
+        assert minyaml.loads(r'x: "a\nb\tc"') == {"x": "a\nb\tc"}
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(YamlError):
+            minyaml.loads(r'x: "\q"')
+
+    def test_quoted_number_stays_string(self):
+        assert minyaml.loads("x: '42'") == {"x": "42"}
+
+
+class TestCollections:
+    def test_nested_mapping(self):
+        doc = minyaml.loads("a:\n  b:\n    c: 1\n  d: 2")
+        assert doc == {"a": {"b": {"c": 1}, "d": 2}}
+
+    def test_sequence_of_scalars(self):
+        assert minyaml.loads("- 1\n- 2\n- three") == [1, 2, "three"]
+
+    def test_mapping_with_sequence_value(self):
+        doc = minyaml.loads("xs:\n  - 1\n  - 2")
+        assert doc == {"xs": [1, 2]}
+
+    def test_sequence_same_indent_as_key(self):
+        # Common Travis style: list items at the same indent as the key.
+        doc = minyaml.loads("script:\n- make\n- make test")
+        assert doc == {"script": ["make", "make test"]}
+
+    def test_sequence_of_mappings(self):
+        doc = minyaml.loads("- name: a\n  value: 1\n- name: b\n  value: 2")
+        assert doc == [
+            {"name": "a", "value": 1},
+            {"name": "b", "value": 2},
+        ]
+
+    def test_deep_nesting(self):
+        doc = minyaml.loads(
+            "hosts:\n"
+            "  - name: node0\n"
+            "    tags:\n"
+            "      - head\n"
+            "      - storage\n"
+            "  - name: node1\n"
+            "    tags: []\n"
+        )
+        assert doc == {
+            "hosts": [
+                {"name": "node0", "tags": ["head", "storage"]},
+                {"name": "node1", "tags": []},
+            ]
+        }
+
+    def test_flow_list(self):
+        assert minyaml.loads("x: [1, 2, a b]") == {"x": [1, 2, "a b"]}
+
+    def test_flow_mapping(self):
+        assert minyaml.loads("x: {a: 1, b: two}") == {"x": {"a": 1, "b": "two"}}
+
+    def test_nested_flow(self):
+        assert minyaml.loads("x: [[1, 2], {a: [3]}]") == {"x": [[1, 2], {"a": [3]}]}
+
+    def test_empty_flow(self):
+        assert minyaml.loads("a: []\nb: {}") == {"a": [], "b": {}}
+
+    def test_comments_ignored(self):
+        doc = minyaml.loads("# header\na: 1  # trailing\n# footer\nb: 2")
+        assert doc == {"a": 1, "b": 2}
+
+    def test_literal_block(self):
+        doc = minyaml.loads("script: |\n  line one\n  line two\nafter: 1")
+        assert doc == {"script": "line one\nline two\n", "after": 1}
+
+    def test_literal_block_chomped(self):
+        doc = minyaml.loads("script: |-\n  single")
+        assert doc == {"script": "single"}
+
+
+class TestDocuments:
+    def test_empty_stream(self):
+        assert minyaml.loads("") is None
+        assert minyaml.loads("\n# only a comment\n") is None
+
+    def test_multi_document(self):
+        docs = minyaml.load_all("a: 1\n---\nb: 2\n---\n- 3")
+        assert docs == [{"a": 1}, {"b": 2}, [3]]
+
+    def test_multi_document_via_loads_rejected(self):
+        with pytest.raises(YamlError):
+            minyaml.loads("a: 1\n---\nb: 2")
+
+    def test_leading_document_separator(self):
+        assert minyaml.loads("---\na: 1") == {"a": 1}
+
+
+class TestErrors:
+    def test_duplicate_key(self):
+        with pytest.raises(YamlError, match="duplicate"):
+            minyaml.loads("a: 1\na: 2")
+
+    def test_tab_indent(self):
+        with pytest.raises(YamlError, match="tab"):
+            minyaml.loads("a:\n\tb: 1")
+
+    def test_bad_indentation(self):
+        with pytest.raises(YamlError):
+            minyaml.loads("a: 1\n   b: 2")
+
+    def test_unterminated_flow(self):
+        with pytest.raises(YamlError):
+            minyaml.loads("x: [1, 2")
+
+    def test_unterminated_quote(self):
+        with pytest.raises(YamlError):
+            minyaml.loads("x: 'oops")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(YamlError) as info:
+            minyaml.loads("a: 1\nb: 2\nb: 3")
+        assert info.value.line == 3
+
+
+class TestFileRoundTrip:
+    def test_file_io(self, tmp_path):
+        doc = {"name": "exp", "params": [1, 2, 3], "nested": {"k": "v"}}
+        path = tmp_path / "doc.yml"
+        minyaml.dump_file(doc, path)
+        assert minyaml.load_file(path) == doc
+
+
+# ---------------------------------------------------------------------------
+# Property-based round-trip: dumps(x) parses back to x.
+# ---------------------------------------------------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(
+        alphabet=st.characters(
+            blacklist_categories=("Cs", "Cc"),
+            max_codepoint=0x2FF,
+        ),
+        max_size=24,
+    ),
+)
+
+_keys = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_0123456789",
+    min_size=1,
+    max_size=12,
+)
+
+_documents = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(_keys, children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+@given(doc=st.one_of(st.dictionaries(_keys, _documents, max_size=4),
+                     st.lists(_documents, max_size=4)))
+def test_dump_load_round_trip(doc):
+    assert minyaml.loads(minyaml.dumps(doc)) == doc

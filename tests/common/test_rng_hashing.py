@@ -1,0 +1,90 @@
+"""Tests for deterministic RNG derivation and content hashing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import hashing, rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert rng.derive_seed(7, "a", 1) == rng.derive_seed(7, "a", 1)
+
+    def test_labels_matter(self):
+        assert rng.derive_seed(7, "a") != rng.derive_seed(7, "b")
+
+    def test_root_matters(self):
+        assert rng.derive_seed(7, "a") != rng.derive_seed(8, "a")
+
+    def test_label_order_matters(self):
+        assert rng.derive_seed(7, "a", "b") != rng.derive_seed(7, "b", "a")
+
+    def test_nonnegative_63bit(self):
+        seed = rng.derive_seed(123456789, "x")
+        assert 0 <= seed < 2**63
+
+    def test_rng_streams_reproducible(self):
+        a = rng.derive_rng(1, "net").standard_normal(8)
+        b = rng.derive_rng(1, "net").standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_streams_independent(self):
+        a = rng.derive_rng(1, "net").standard_normal(8)
+        b = rng.derive_rng(1, "cpu").standard_normal(8)
+        assert not np.allclose(a, b)
+
+
+class TestSeedFactory:
+    def test_child_namespacing(self):
+        factory = rng.SeedSequenceFactory(42)
+        child = factory.child("gassyfs")
+        assert child.seed("node", 0) == rng.SeedSequenceFactory(
+            factory.seed("gassyfs")
+        ).seed("node", 0)
+
+    def test_child_differs_from_parent(self):
+        factory = rng.SeedSequenceFactory(42)
+        assert factory.seed("x") != factory.child("x").seed("x")
+
+
+class TestHashing:
+    def test_text_matches_bytes(self):
+        assert hashing.sha256_text("abc") == hashing.sha256_bytes(b"abc")
+
+    def test_known_vector(self):
+        assert (
+            hashing.sha256_text("")
+            == "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_file_hash(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"payload")
+        assert hashing.sha256_file(path) == hashing.sha256_bytes(b"payload")
+
+    def test_stream_matches_whole(self):
+        data = b"0123456789" * 1000
+        chunks = [data[i : i + 997] for i in range(0, len(data), 997)]
+        assert hashing.sha256_stream(chunks) == hashing.sha256_bytes(data)
+
+    def test_short_id(self):
+        digest = hashing.sha256_text("x")
+        assert hashing.short_id(digest) == digest[:12]
+        assert hashing.short_id(digest, 7) == digest[:7]
+
+    def test_short_id_too_short(self):
+        with pytest.raises(ValueError):
+            hashing.short_id("abcd", 3)
+
+    def test_combine_order_sensitive(self):
+        a = hashing.sha256_text("a")
+        b = hashing.sha256_text("b")
+        assert hashing.combine_digests([a, b]) != hashing.combine_digests([b, a])
+
+    @given(st.binary(max_size=64))
+    def test_digest_is_hex64(self, payload):
+        digest = hashing.sha256_bytes(payload)
+        assert len(digest) == 64
+        int(digest, 16)

@@ -1,0 +1,193 @@
+"""Tests for the MetricsTable columnar container."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.tables import MetricsTable
+
+
+@pytest.fixture
+def table():
+    t = MetricsTable(["machine", "nodes", "time"])
+    t.extend(
+        [
+            {"machine": "cloudlab", "nodes": 1, "time": 100.0},
+            {"machine": "cloudlab", "nodes": 2, "time": 60.0},
+            {"machine": "cloudlab", "nodes": 4, "time": 40.0},
+            {"machine": "ec2", "nodes": 1, "time": 120.0},
+            {"machine": "ec2", "nodes": 2, "time": 75.0},
+        ]
+    )
+    return t
+
+
+class TestConstruction:
+    def test_append_sequence_row(self):
+        t = MetricsTable(["a", "b"])
+        t.append([1, 2])
+        assert t[0] == {"a": 1, "b": 2}
+
+    def test_append_wrong_length(self):
+        t = MetricsTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.append([1])
+
+    def test_append_unknown_column(self):
+        t = MetricsTable(["a"])
+        with pytest.raises(KeyError):
+            t.append({"z": 1})
+
+    def test_missing_keys_become_none(self):
+        t = MetricsTable(["a", "b"])
+        t.append({"a": 1})
+        assert t[0]["b"] is None
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsTable(["a", "a"])
+
+    def test_from_records_unions_keys(self):
+        t = MetricsTable.from_records([{"a": 1}, {"b": 2}])
+        assert t.columns == ["a", "b"]
+        assert t.to_records() == [{"a": 1, "b": None}, {"a": None, "b": 2}]
+
+
+class TestAccess:
+    def test_column(self, table):
+        assert table.column("nodes") == [1, 2, 4, 1, 2]
+
+    def test_unknown_column(self, table):
+        with pytest.raises(KeyError):
+            table.column("nope")
+
+    def test_numeric(self, table):
+        np.testing.assert_allclose(
+            table.numeric("time"), [100.0, 60.0, 40.0, 120.0, 75.0]
+        )
+
+    def test_numeric_none_is_nan(self):
+        t = MetricsTable(["x"])
+        t.append({"x": None})
+        assert np.isnan(t.numeric("x")[0])
+
+    def test_numeric_rejects_strings(self, table):
+        with pytest.raises(TypeError):
+            table.numeric("machine")
+
+    def test_distinct_order(self, table):
+        assert table.distinct("machine") == ["cloudlab", "ec2"]
+
+
+class TestRelational:
+    def test_where_equals(self, table):
+        sub = table.where_equals(machine="ec2")
+        assert len(sub) == 2
+        assert all(r["machine"] == "ec2" for r in sub)
+
+    def test_where_equals_unknown_column(self, table):
+        with pytest.raises(KeyError):
+            table.where_equals(bogus=1)
+
+    def test_where_predicate(self, table):
+        assert len(table.where(lambda r: r["time"] < 70)) == 2
+
+    def test_select(self, table):
+        sub = table.select("nodes", "time")
+        assert sub.columns == ["nodes", "time"]
+        assert "machine" not in sub[0]
+
+    def test_sort_by(self, table):
+        ordered = table.sort_by("time")
+        assert ordered.column("time") == sorted(table.column("time"))
+
+    def test_sort_does_not_mutate(self, table):
+        before = table.column("time")
+        table.sort_by("time", reverse=True)
+        assert table.column("time") == before
+
+    def test_group_by(self, table):
+        groups = table.group_by("machine")
+        assert set(groups) == {("cloudlab",), ("ec2",)}
+        assert len(groups[("cloudlab",)]) == 3
+
+    def test_aggregate_mean(self, table):
+        agg = table.aggregate(["machine"], "time")
+        by_machine = {r["machine"]: r["time"] for r in agg}
+        assert by_machine["ec2"] == pytest.approx(97.5)
+
+    def test_aggregate_custom_func(self, table):
+        agg = table.aggregate(["machine"], "time", func=np.min, output="best")
+        by_machine = {r["machine"]: r["best"] for r in agg}
+        assert by_machine["cloudlab"] == 40.0
+
+    def test_with_column(self, table):
+        t2 = table.with_column("run", list(range(len(table))))
+        assert t2.column("run") == [0, 1, 2, 3, 4]
+        assert "run" not in table.columns
+
+    def test_with_column_length_mismatch(self, table):
+        with pytest.raises(ValueError):
+            table.with_column("run", [1])
+
+    def test_concat(self, table):
+        both = table.concat(table)
+        assert len(both) == 2 * len(table)
+
+    def test_concat_mismatched(self, table):
+        with pytest.raises(ValueError):
+            table.concat(MetricsTable(["x"]))
+
+
+class TestCsv:
+    def test_round_trip(self, table):
+        again = MetricsTable.from_csv(table.to_csv())
+        assert again == table
+
+    def test_types_recovered(self):
+        t = MetricsTable(["i", "f", "b", "s", "n"])
+        t.append({"i": 3, "f": 1.5, "b": True, "s": "xy", "n": None})
+        again = MetricsTable.from_csv(t.to_csv())
+        assert again[0] == {"i": 3, "f": 1.5, "b": True, "s": "xy", "n": None}
+
+    def test_file_round_trip(self, table, tmp_path):
+        path = tmp_path / "results.csv"
+        table.save_csv(path)
+        assert MetricsTable.load_csv(path) == table
+
+    def test_empty_csv_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsTable.from_csv("")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsTable.from_csv("a,b\n1\n")
+
+
+from repro.common.tables import _coerce  # noqa: E402
+
+_cell = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    # Strings that survive the type-recovery pass unchanged (e.g. not
+    # "false", "42", or whitespace-padded — those are ambiguous in CSV).
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz ,'\"-_",
+        max_size=12,
+    ).filter(lambda s: _coerce(s) == s),
+)
+
+
+@given(
+    rows=st.lists(
+        st.tuples(_cell, _cell, _cell),
+        max_size=12,
+    )
+)
+def test_csv_round_trip_property(rows):
+    t = MetricsTable(["a", "b", "c"])
+    for row in rows:
+        t.append(list(row))
+    assert MetricsTable.from_csv(t.to_csv()) == t

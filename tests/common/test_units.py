@@ -1,0 +1,93 @@
+"""Tests for unit parsing/formatting."""
+
+import pytest
+
+from repro.common import units
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("4GiB", 4 * units.GiB),
+            ("512MiB", 512 * units.MiB),
+            ("1kb", 1000),
+            ("1KiB", 1024),
+            ("2.5GiB", int(2.5 * units.GiB)),
+            (4096, 4096),
+            ("0b", 0),
+            ("3", 3),
+        ],
+    )
+    def test_values(self, text, expected):
+        assert units.parse_size(text) == expected
+
+    def test_unknown_unit(self):
+        with pytest.raises(ValueError):
+            units.parse_size("3parsecs")
+
+    def test_garbage(self):
+        with pytest.raises(ValueError):
+            units.parse_size("lots")
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("250us", 250e-6),
+            ("1.5ms", 1.5e-3),
+            ("2s", 2.0),
+            ("3min", 180.0),
+            ("1h", 3600.0),
+            (0.5, 0.5),
+            ("10ns", 10e-9),
+        ],
+    )
+    def test_values(self, text, expected):
+        assert units.parse_duration(text) == pytest.approx(expected)
+
+    def test_unknown_unit(self):
+        with pytest.raises(ValueError):
+            units.parse_duration("3fortnights")
+
+
+class TestParseRate:
+    def test_bits(self):
+        assert units.parse_rate("10Gbit/s") == pytest.approx(10e9 / 8)
+
+    def test_bytes(self):
+        assert units.parse_rate("1.2GiB/s") == pytest.approx(1.2 * units.GiB)
+
+    def test_plain_number(self):
+        assert units.parse_rate(100.0) == 100.0
+
+    def test_bare_bytes_unit(self):
+        assert units.parse_rate("100MB") == pytest.approx(100e6)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            units.parse_rate("5furlong/s")
+
+
+class TestFormat:
+    def test_format_size(self):
+        assert units.format_size(4 * units.GiB) == "4.0GiB"
+        assert units.format_size(10) == "10B"
+
+    @pytest.mark.parametrize(
+        "value,text",
+        [
+            (2e-9, "2.0ns"),
+            (5e-6, "5.0us"),
+            (1.5e-3, "1.5ms"),
+            (2.5, "2.50s"),
+            (200, "3m20s"),
+            (7200, "2h0m"),
+        ],
+    )
+    def test_format_duration(self, value, text):
+        assert units.format_duration(value) == text
+
+    def test_negative_duration(self):
+        assert units.format_duration(-2.5) == "-2.50s"

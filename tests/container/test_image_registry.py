@@ -1,0 +1,203 @@
+"""Tests for layered images and registries."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ContainerError, ImageNotFound
+from repro.container.image import TOMBSTONE, Image, ImageConfig, Layer, scratch
+from repro.container.registry import Registry, parse_reference
+
+
+class TestLayer:
+    def test_from_dict_sorts(self):
+        layer = Layer.from_dict({"/b": b"2", "/a": b"1"})
+        assert [p for p, _ in layer.files] == ["/a", "/b"]
+
+    def test_digest_content_sensitive(self):
+        a = Layer.from_dict({"/f": b"x"})
+        b = Layer.from_dict({"/f": b"y"})
+        assert a.digest != b.digest
+
+    def test_digest_includes_provenance(self):
+        a = Layer.from_dict({"/f": b"x"}, created_by="RUN a")
+        b = Layer.from_dict({"/f": b"x"}, created_by="RUN b")
+        assert a.digest != b.digest
+
+    @pytest.mark.parametrize("bad", ["relative", "/a//b", "/a/../b", " /pad"])
+    def test_path_validation(self, bad):
+        with pytest.raises(ContainerError):
+            Layer.from_dict({bad: b""})
+
+
+class TestImage:
+    def test_flatten_later_layer_wins(self):
+        image = scratch().with_layer(Layer.from_dict({"/f": b"old"}))
+        image = image.with_layer(Layer.from_dict({"/f": b"new", "/g": b"x"}))
+        fs = image.flatten()
+        assert fs["/f"] == b"new" and fs["/g"] == b"x"
+
+    def test_tombstone_deletes(self):
+        image = scratch().with_layer(Layer.from_dict({"/f": b"data"}))
+        image = image.with_layer(Layer.from_dict({"/f": TOMBSTONE}))
+        assert "/f" not in image.flatten()
+
+    def test_digest_changes_with_layers(self):
+        base = scratch()
+        derived = base.with_layer(Layer.from_dict({"/f": b"x"}))
+        assert base.digest != derived.digest
+        assert derived.parent_digest == base.digest
+
+    def test_digest_changes_with_config(self):
+        base = scratch()
+        other = Image(base.layers, ImageConfig(workdir="/app"))
+        assert base.digest != other.digest
+
+    def test_size_excludes_tombstones(self):
+        image = scratch().with_layer(
+            Layer.from_dict({"/f": b"abcd", "/g": TOMBSTONE})
+        )
+        assert image.size_bytes() == 4
+
+    def test_config_env_and_labels(self):
+        config = ImageConfig().with_env("A", "1").with_label("role", "ci")
+        assert config.env_dict() == {"A": "1"}
+        assert config.labels_dict() == {"role": "ci"}
+
+    @given(
+        files=st.dictionaries(
+            st.sampled_from(["/a", "/b", "/c/d", "/e"]),
+            # content equal to the TOMBSTONE sentinel is reserved (it marks
+            # deletions), so exclude it from the identity property
+            st.binary(max_size=16).filter(lambda b: b != TOMBSTONE),
+            max_size=4,
+        )
+    )
+    def test_flatten_single_layer_identity(self, files):
+        image = scratch().with_layer(Layer.from_dict(files))
+        assert image.flatten() == files
+
+
+class TestReferences:
+    def test_name_tag(self):
+        assert parse_reference("ubuntu:20.04") == ("ubuntu", "tag:20.04")
+
+    def test_default_tag(self):
+        assert parse_reference("ubuntu") == ("ubuntu", "tag:latest")
+
+    def test_digest_ref(self):
+        name, sel = parse_reference("repo@sha256:abcd")
+        assert name == "repo" and sel == "digest:abcd"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ContainerError):
+            parse_reference("@sha256:x")
+
+
+class TestRegistry:
+    def test_store_and_get(self):
+        registry = Registry()
+        image = scratch().with_layer(Layer.from_dict({"/f": b"x"}))
+        digest = registry.store("base", image, "v1")
+        assert registry.get("base:v1").digest == digest
+        assert registry.get(f"base@sha256:{digest}").digest == digest
+
+    def test_digest_prefix_lookup(self):
+        registry = Registry()
+        image = scratch().with_layer(Layer.from_dict({"/f": b"x"}))
+        digest = registry.store("base", image)
+        assert registry.get(f"base@sha256:{digest[:16]}").digest == digest
+
+    def test_missing_image(self):
+        registry = Registry()
+        with pytest.raises(ImageNotFound):
+            registry.get("ghost:latest")
+
+    def test_tag_mutation_preserves_digest_access(self):
+        registry = Registry()
+        v1 = scratch().with_layer(Layer.from_dict({"/f": b"1"}))
+        v2 = scratch().with_layer(Layer.from_dict({"/f": b"2"}))
+        d1 = registry.store("app", v1, "latest")
+        registry.store("app", v2, "latest")
+        assert registry.get("app:latest").digest == v2.digest
+        assert registry.get(f"app@sha256:{d1}").digest == d1
+
+    def test_untag(self):
+        registry = Registry()
+        registry.store("app", scratch(), "v1")
+        registry.untag("app", "v1")
+        assert not registry.contains("app:v1")
+        with pytest.raises(ImageNotFound):
+            registry.untag("app", "v1")
+
+    def test_push_pull(self):
+        local = Registry("local")
+        remote = Registry("hub")
+        image = scratch().with_layer(Layer.from_dict({"/f": b"x"}))
+        local.store("exp", image, "v1")
+        local.push("exp:v1", remote)
+        assert remote.get("exp:v1").digest == image.digest
+        fresh = Registry("reader")
+        pulled = fresh.pull("exp:v1", remote)
+        assert pulled.digest == image.digest
+        assert fresh.contains("exp:v1")
+
+    def test_repositories_listing(self):
+        registry = Registry()
+        registry.store("a", scratch())
+        registry.store("b", scratch())
+        assert registry.repositories() == ["a", "b"]
+
+
+class TestArchive:
+    def _image(self):
+        from repro.container import ImageBuilder, Registry
+
+        return ImageBuilder(Registry()).build(
+            "FROM scratch\nRUN pkg install git\nENV A=1\nWORKDIR /exp\n"
+            "LABEL who=me\nCMD run.sh\nEXPOSE 8080\n"
+        )
+
+    def test_save_load_round_trip(self, tmp_path):
+        from repro.container import load_image, save_image
+
+        image = self._image()
+        path = tmp_path / "image.json"
+        save_image(image, path)
+        again = load_image(path)
+        assert again.digest == image.digest
+        assert again.flatten() == image.flatten()
+        assert again.config == image.config
+
+    def test_load_from_text(self):
+        from repro.container import load_image, save_image
+
+        image = self._image()
+        assert load_image(save_image(image)).digest == image.digest
+
+    def test_tamper_detected(self, tmp_path):
+        import json
+
+        from repro.container import load_image, save_image
+
+        image = self._image()
+        doc = json.loads(save_image(image))
+        doc["layers"][0]["created_by"] = "RUN something-else"
+        with pytest.raises(ContainerError, match="digest mismatch"):
+            load_image(json.dumps(doc))
+
+    def test_bad_format(self):
+        from repro.container import load_image
+
+        with pytest.raises(ContainerError):
+            load_image('{"format": "docker-v2"}')
+        with pytest.raises(ContainerError):
+            load_image("not json at all\nreally")
+
+    def test_history(self):
+        from repro.container import image_history
+
+        image = self._image()
+        lines = image_history(image)
+        assert len(lines) == len(image.layers)
+        assert any("RUN pkg install git" in line for line in lines)

@@ -1,0 +1,208 @@
+"""Tests for the container runtime, shell, package manager and builder."""
+
+import pytest
+
+from repro.common.errors import BuildError
+from repro.container.containerfile import ImageBuilder, parse_containerfile
+from repro.container.image import Layer, scratch
+from repro.container.packaging import (
+    BARE_METAL,
+    CONTAINER,
+    VIRTUAL_MACHINE,
+    packaged_time,
+)
+from repro.container.registry import Registry
+from repro.container.runtime import Container, default_binaries
+
+
+@pytest.fixture
+def container():
+    return Container(scratch())
+
+
+class TestShell:
+    def test_echo(self, container):
+        result = container.run("echo hello world")
+        assert result.ok and result.stdout == "hello world\n"
+
+    def test_command_not_found(self, container):
+        result = container.run("doesnotexist")
+        assert result.exit_code == 127
+
+    def test_and_chain_stops_on_failure(self, container):
+        result = container.run("false && echo never")
+        assert not result.ok
+        assert "never" not in result.stdout
+
+    def test_semicolon_continues(self, container):
+        result = container.run("echo a; echo b")
+        assert result.stdout == "a\nb\n"
+
+    def test_redirect_creates_file(self, container):
+        container.run("echo data > /out.txt")
+        assert container.read_file("/out.txt") == b"data\n"
+
+    def test_redirect_append(self, container):
+        container.run("echo one > /f; echo two >> /f")
+        assert container.read_file("/f") == b"one\ntwo\n"
+
+    def test_cd_and_relative_paths(self, container):
+        container.run("cd /work; echo x > out.txt")
+        assert container.read_file("/work/out.txt") == b"x\n"
+
+    def test_export_and_expansion(self, container):
+        result = container.run("export NAME=world; echo hello $NAME")
+        assert result.stdout == "hello world\n"
+
+    def test_test_builtin(self, container):
+        container.run("touch /f")
+        assert container.run("test -f /f").ok
+        assert not container.run("test -f /ghost").ok
+
+    def test_path_normalization(self, container):
+        assert container.resolve_path("/a/./b/../c") == "/a/c"
+        container.workdir = "/w"
+        assert container.resolve_path("x/y") == "/w/x/y"
+
+
+class TestPackages:
+    def test_install_provides_binary(self, container):
+        assert container.run("stress-ng --help").exit_code == 127
+        assert container.run("pkg install stress-ng").ok
+        # stress-ng is provided but has no registered implementation in the
+        # default registry; the marker file alone is not enough.
+        assert container.read_file("/usr/bin/stress-ng") is not None
+
+    def test_dependencies_resolved(self, container):
+        container.run("pkg install gassyfs")
+        for pkg in ("gassyfs", "gasnet", "fuse", "gcc", "binutils"):
+            assert container.read_file(f"/var/lib/pkg/{pkg}") is not None
+
+    def test_unknown_package(self, container):
+        result = container.run("pkg install leftpad")
+        assert not result.ok and "unknown package" in result.stderr
+
+
+class TestOverlay:
+    def test_diff_captures_writes(self, container):
+        container.run("echo x > /new.txt")
+        layer = container.diff(created_by="test")
+        assert dict(layer.files)["/new.txt"] == b"x\n"
+
+    def test_diff_captures_deletes_as_tombstones(self):
+        base = scratch().with_layer(Layer.from_dict({"/old": b"data"}))
+        container = Container(base)
+        container.delete_file("/old")
+        layer = container.diff()
+        from repro.container.image import TOMBSTONE
+
+        assert dict(layer.files)["/old"] == TOMBSTONE
+
+    def test_commit_round_trip(self, container):
+        container.run("echo x > /f")
+        image = container.commit("snap")
+        fresh = Container(image)
+        assert fresh.read_file("/f") == b"x\n"
+
+    def test_image_never_mutated(self):
+        base = scratch().with_layer(Layer.from_dict({"/f": b"orig"}))
+        container = Container(base)
+        container.write_file("/f", b"changed")
+        assert base.flatten()["/f"] == b"orig"
+
+    def test_mount_read_write(self, tmp_path):
+        (tmp_path / "input.csv").write_text("a,b\n1,2\n")
+        container = Container(scratch(), mounts={"/data": tmp_path})
+        assert container.read_file("/data/input.csv") == b"a,b\n1,2\n"
+        container.write_file("/data/results.csv", b"out\n")
+        assert (tmp_path / "results.csv").read_text() == "out\n"
+
+    def test_mounted_files_not_in_diff(self, tmp_path):
+        container = Container(scratch(), mounts={"/data": tmp_path})
+        container.write_file("/data/results.csv", b"x")
+        assert len(container.diff()) == 0
+
+
+class TestContainerfile:
+    def test_parse_basic(self):
+        ins = parse_containerfile("FROM scratch\nRUN echo hi\n# comment\nENV A=1\n")
+        assert [i.op for i in ins] == ["FROM", "RUN", "ENV"]
+
+    def test_parse_continuation(self):
+        ins = parse_containerfile("FROM scratch\nRUN echo a && \\\n    echo b\n")
+        assert ins[1].args == "echo a && echo b"
+
+    def test_must_start_with_from(self):
+        with pytest.raises(BuildError):
+            parse_containerfile("RUN echo x\n")
+
+    def test_unknown_instruction(self):
+        with pytest.raises(BuildError, match="unknown instruction"):
+            parse_containerfile("FROM scratch\nTELEPORT now\n")
+
+    def test_build_end_to_end(self, tmp_path):
+        (tmp_path / "run.sh").write_text("echo experiment\n")
+        registry = Registry()
+        builder = ImageBuilder(registry)
+        image = builder.build(
+            "FROM scratch\n"
+            "RUN pkg install git make gcc\n"
+            "COPY run.sh /exp/run.sh\n"
+            "ENV MODE=test\n"
+            "WORKDIR /exp\n"
+            "LABEL popper=true\n"
+            "CMD echo done\n",
+            context=tmp_path,
+            repo="exp",
+            tag="v1",
+        )
+        fs = image.flatten()
+        assert "/exp/run.sh" in fs
+        assert "/var/lib/pkg/git" in fs
+        assert image.config.env_dict()["MODE"] == "test"
+        assert image.config.workdir == "/exp"
+        assert image.config.labels_dict()["popper"] == "true"
+        assert registry.get("exp:v1").digest == image.digest
+
+    def test_build_from_existing_base(self, tmp_path):
+        registry = Registry()
+        builder = ImageBuilder(registry)
+        builder.build("FROM scratch\nRUN pkg install python3\n", repo="base", tag="v1")
+        derived = builder.build(
+            "FROM base:v1\nRUN pkg install jupyter\n", repo="app", tag="v1"
+        )
+        fs = derived.flatten()
+        assert "/var/lib/pkg/python3" in fs and "/var/lib/pkg/jupyter" in fs
+
+    def test_failed_run_aborts_build(self):
+        builder = ImageBuilder(Registry())
+        with pytest.raises(BuildError, match="RUN"):
+            builder.build("FROM scratch\nRUN nosuchcommand\n")
+
+    def test_missing_base_rejected(self):
+        builder = ImageBuilder(Registry())
+        with pytest.raises(BuildError):
+            builder.build("FROM ghost:v9\nRUN echo x\n")
+
+    def test_builds_reproducible(self, tmp_path):
+        text = "FROM scratch\nRUN pkg install make\nENV X=1\n"
+        a = ImageBuilder(Registry()).build(text)
+        b = ImageBuilder(Registry()).build(text)
+        assert a.digest == b.digest
+
+
+class TestPackagingModel:
+    def test_container_overhead_negligible(self):
+        base = 100.0
+        assert packaged_time(base, CONTAINER, include_startup=False) < base * 1.02
+
+    def test_vm_overhead_significant(self):
+        base = 100.0
+        vm = packaged_time(base, VIRTUAL_MACHINE, include_startup=False)
+        assert vm > base * 1.05
+
+    def test_startup_ordering(self):
+        assert BARE_METAL.startup_s < CONTAINER.startup_s < VIRTUAL_MACHINE.startup_s
+
+    def test_image_weight_ordering(self):
+        assert CONTAINER.image_size_factor < VIRTUAL_MACHINE.image_size_factor

@@ -1,0 +1,66 @@
+"""Tests for Binder-style post-mortem notebook re-execution."""
+
+import pytest
+
+from repro.common.errors import PopperError
+from repro.common.fsutil import write_text
+from repro.core.binder import rerun_notebooks
+from repro.core.cli import main
+from repro.core.pipeline import ExperimentPipeline
+from repro.core.repo import PopperRepository
+
+
+@pytest.fixture
+def repo(tmp_path):
+    repo = PopperRepository.init(tmp_path / "paper-repo")
+    repo.add_experiment("torpor", "myexp")
+    write_text(
+        repo.experiment_dir("myexp") / "vars.yml",
+        "runner: torpor-variability\nruns: 2\nseed: 7\n",
+    )
+    return repo
+
+
+class TestRerunNotebooks:
+    def test_without_results_flags_missing(self, repo):
+        statuses = rerun_notebooks(repo)
+        assert statuses[0].ran is False
+        assert statuses[0].ok is False
+        assert "no stored results" in statuses[0].detail
+
+    def test_reruns_against_stored_results(self, repo):
+        ExperimentPipeline(repo, "myexp").run()
+        figure = repo.experiment_dir("myexp") / "figure.svg"
+        figure.unlink()  # pretend the reader only got results.csv
+        statuses = rerun_notebooks(repo)
+        assert statuses[0].ran and statuses[0].ok
+        assert figure.is_file()  # notebook regenerated the figure
+
+    def test_broken_notebook_reported(self, repo):
+        ExperimentPipeline(repo, "myexp").run()
+        write_text(
+            repo.experiment_dir("myexp") / "visualize.nb.json",
+            '{"cells": [{"cell_type": "code", "source": "1/0"}]}',
+        )
+        statuses = rerun_notebooks(repo)
+        assert statuses[0].ran and not statuses[0].ok
+        assert "ZeroDivisionError" in statuses[0].detail
+
+    def test_experiment_without_notebook_skipped(self, repo):
+        ExperimentPipeline(repo, "myexp").run()
+        (repo.experiment_dir("myexp") / "visualize.nb.json").unlink()
+        statuses = rerun_notebooks(repo)
+        assert statuses[0].ran is False and statuses[0].ok
+
+    def test_empty_repo_rejected(self, tmp_path):
+        empty = PopperRepository.init(tmp_path / "empty")
+        with pytest.raises(PopperError):
+            rerun_notebooks(empty)
+
+    def test_cli_verb(self, repo, capsys):
+        ExperimentPipeline(repo, "myexp").run()
+        assert main(["-C", str(repo.root), "notebooks"]) == 0
+        assert "[ok] myexp" in capsys.readouterr().out
+
+    def test_cli_verb_failure_exit(self, repo, capsys):
+        assert main(["-C", str(repo.root), "notebooks"]) == 1

@@ -1,0 +1,92 @@
+"""Tests for artifact-evaluation bundles."""
+
+import json
+
+import pytest
+
+from repro.common.errors import PopperError
+from repro.common.fsutil import write_text
+from repro.core.bundle import create_bundle, load_bundle, unbundle
+from repro.core.cli import main
+from repro.core.pipeline import ExperimentPipeline
+from repro.core.repo import PopperRepository
+
+
+@pytest.fixture
+def repo(tmp_path):
+    repo = PopperRepository.init(tmp_path / "paper-repo")
+    repo.add_experiment("torpor", "myexp")
+    write_text(
+        repo.experiment_dir("myexp") / "vars.yml",
+        "runner: torpor-variability\nruns: 2\nseed: 7\n",
+    )
+    repo.vcs.add_all()
+    repo.vcs.commit("shrink")
+    return repo
+
+
+class TestBundle:
+    def test_round_trip(self, repo, tmp_path):
+        bundle_path = tmp_path / "artifact.popper.json"
+        manifest = create_bundle(repo, bundle_path)
+        assert manifest["experiments"] == {"myexp": "torpor"}
+        assert manifest["files"] > 5
+
+        restored = unbundle(bundle_path, tmp_path / "restored")
+        assert restored.experiments() == ["myexp"]
+        assert (restored.experiment_dir("myexp") / "validations.aver").is_file()
+        # and the restored repository actually runs
+        result = ExperimentPipeline(restored, "myexp").run()
+        assert result.validated
+
+    def test_bundle_includes_committed_results(self, repo, tmp_path):
+        ExperimentPipeline(repo, "myexp").run()
+        repo.vcs.add_all()
+        repo.vcs.commit("results")
+        bundle_path = tmp_path / "b.json"
+        create_bundle(repo, bundle_path)
+        restored = unbundle(bundle_path, tmp_path / "r")
+        assert (restored.experiment_dir("myexp") / "results.csv").is_file()
+
+    def test_bundle_at_older_ref(self, repo, tmp_path):
+        before = repo.vcs.head_commit()
+        ExperimentPipeline(repo, "myexp").run()
+        repo.vcs.add_all()
+        repo.vcs.commit("results")
+        create_bundle(repo, tmp_path / "old.json", ref=before)
+        restored = unbundle(tmp_path / "old.json", tmp_path / "r")
+        assert not (restored.experiment_dir("myexp") / "results.csv").exists()
+
+    def test_tamper_detected(self, repo, tmp_path):
+        bundle_path = tmp_path / "b.json"
+        create_bundle(repo, bundle_path)
+        doc = json.loads(bundle_path.read_text())
+        doc["body"]["tree"]["README.md"] = "aGFja2Vk"  # "hacked"
+        bundle_path.write_text(json.dumps(doc))
+        with pytest.raises(PopperError, match="digest mismatch"):
+            load_bundle(bundle_path)
+
+    def test_not_a_bundle(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"format": "zip"}')
+        with pytest.raises(PopperError, match="not a popper bundle"):
+            load_bundle(path)
+
+    def test_nonempty_target_rejected(self, repo, tmp_path):
+        bundle_path = tmp_path / "b.json"
+        create_bundle(repo, bundle_path)
+        target = tmp_path / "t"
+        target.mkdir()
+        (target / "junk").write_text("x")
+        with pytest.raises(PopperError, match="not empty"):
+            unbundle(bundle_path, target)
+
+    def test_cli_bundle_unbundle(self, repo, tmp_path, capsys):
+        bundle_path = tmp_path / "artifact.json"
+        assert main(["-C", str(repo.root), "bundle", str(bundle_path)]) == 0
+        assert "bundled" in capsys.readouterr().out
+        assert main(
+            ["unbundle", str(bundle_path), str(tmp_path / "fresh")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recreated" in out and "myexp" in out

@@ -1,0 +1,164 @@
+"""Tests for the post-processing stage and the baseline-fingerprint gate."""
+
+import json
+
+import pytest
+
+from repro.common.errors import PopperError
+from repro.common.fsutil import write_text
+from repro.common.tables import MetricsTable
+from repro.core.baseline import BASELINE_FILE, check_baseline
+from repro.core.pipeline import ExperimentPipeline
+from repro.core.postprocess import PROCESS_SCRIPT, run_postprocess
+from repro.core.repo import PopperRepository
+
+
+@pytest.fixture
+def repo(tmp_path):
+    return PopperRepository.init(tmp_path / "paper-repo")
+
+
+@pytest.fixture
+def results():
+    table = MetricsTable(["machine", "nodes", "time"])
+    for machine in ("a", "b"):
+        for nodes in (1, 2, 4):
+            for run in range(2):
+                table.append(
+                    {"machine": machine, "nodes": nodes, "time": 10.0 / nodes + run}
+                )
+    return table
+
+
+class TestPostprocess:
+    def test_no_script_is_noop(self, tmp_path, results):
+        assert run_postprocess(tmp_path, results) == {}
+
+    def test_single_table_becomes_figure_csv(self, tmp_path, results):
+        write_text(
+            tmp_path / PROCESS_SCRIPT,
+            "def process(results):\n"
+            "    return results.aggregate(['machine', 'nodes'], 'time')\n",
+        )
+        written = run_postprocess(tmp_path, results)
+        assert set(written) == {"figure"}
+        figure = MetricsTable.load_csv(written["figure"])
+        assert len(figure) == 6  # 2 machines x 3 node counts
+
+    def test_dict_of_tables(self, tmp_path, results):
+        write_text(
+            tmp_path / PROCESS_SCRIPT,
+            "def process(results):\n"
+            "    agg = results.aggregate(['nodes'], 'time')\n"
+            "    return {'by_nodes': agg, 'raw': results}\n",
+        )
+        written = run_postprocess(tmp_path, results)
+        assert set(written) == {"by_nodes", "raw"}
+        assert (tmp_path / "by_nodes.csv").is_file()
+
+    def test_script_without_process_function(self, tmp_path, results):
+        write_text(tmp_path / PROCESS_SCRIPT, "x = 1\n")
+        with pytest.raises(PopperError, match="must define"):
+            run_postprocess(tmp_path, results)
+
+    def test_script_raises(self, tmp_path, results):
+        write_text(
+            tmp_path / PROCESS_SCRIPT,
+            "def process(results):\n    raise RuntimeError('kaboom')\n",
+        )
+        with pytest.raises(PopperError, match="kaboom"):
+            run_postprocess(tmp_path, results)
+
+    def test_script_syntax_error(self, tmp_path, results):
+        write_text(tmp_path / PROCESS_SCRIPT, "def process(:\n")
+        with pytest.raises(PopperError, match="failed to load"):
+            run_postprocess(tmp_path, results)
+
+    def test_bad_return_type(self, tmp_path, results):
+        write_text(
+            tmp_path / PROCESS_SCRIPT,
+            "def process(results):\n    return 42\n",
+        )
+        with pytest.raises(PopperError, match="must return"):
+            run_postprocess(tmp_path, results)
+
+    def test_bad_figure_name(self, tmp_path, results):
+        write_text(
+            tmp_path / PROCESS_SCRIPT,
+            "def process(results):\n    return {'a/b': results}\n",
+        )
+        with pytest.raises(PopperError, match="bad figure name"):
+            run_postprocess(tmp_path, results)
+
+    def test_pipeline_writes_template_figure(self, repo):
+        repo.add_experiment("torpor", "myexp")
+        write_text(
+            repo.experiment_dir("myexp") / "vars.yml",
+            "runner: torpor-variability\nruns: 2\nseed: 7\n",
+        )
+        result = ExperimentPipeline(repo, "myexp").run()
+        assert "figure" in result.figures
+        figure = MetricsTable.load_csv(repo.experiment_dir("myexp") / "figure.csv")
+        assert set(figure.columns) == {"class", "speedup"}
+
+
+class TestBaselineGate:
+    SPEC = {"machine": "cloudlab-c220g1", "max_deviation": 0.15}
+
+    def test_first_run_stores_profile(self, tmp_path):
+        fresh, message = check_baseline(tmp_path, self.SPEC)
+        assert fresh and "stored new baseline" in message
+        assert (tmp_path / BASELINE_FILE).is_file()
+
+    def test_matching_environment_passes(self, tmp_path):
+        check_baseline(tmp_path, self.SPEC)
+        fresh, message = check_baseline(tmp_path, self.SPEC)
+        assert not fresh and "matches" in message
+
+    def test_drifted_environment_refused(self, tmp_path):
+        check_baseline(tmp_path, self.SPEC)
+        stored = json.loads((tmp_path / BASELINE_FILE).read_text())
+        # sabotage: claim the CPU stressors used to run 2x faster
+        for name in list(stored["rates"]):
+            stored["rates"][name] *= 2.0
+        (tmp_path / BASELINE_FILE).write_text(json.dumps(stored))
+        with pytest.raises(PopperError, match="cannot be reproduced"):
+            check_baseline(tmp_path, self.SPEC)
+
+    def test_spec_validation(self, tmp_path):
+        with pytest.raises(PopperError, match="machine"):
+            check_baseline(tmp_path, {})
+        with pytest.raises(PopperError, match="max_deviation"):
+            check_baseline(tmp_path, {"machine": "ec2-m4", "max_deviation": 5})
+
+    def test_pipeline_integration(self, repo):
+        repo.add_experiment("torpor", "myexp")
+        write_text(
+            repo.experiment_dir("myexp") / "vars.yml",
+            "runner: torpor-variability\n"
+            "runs: 2\nseed: 7\n"
+            "baseline:\n  machine: cloudlab-c220g1\n  max_deviation: 0.15\n",
+        )
+        result = ExperimentPipeline(repo, "myexp").run()
+        assert "baseline" in result.stage_seconds
+        assert "stored new baseline" in result.baseline_message
+        # second run validates against the stored profile
+        again = ExperimentPipeline(repo, "myexp").run()
+        assert "matches" in again.baseline_message
+
+    def test_pipeline_aborts_on_drift(self, repo):
+        repo.add_experiment("torpor", "myexp")
+        write_text(
+            repo.experiment_dir("myexp") / "vars.yml",
+            "runner: torpor-variability\n"
+            "runs: 2\nseed: 7\n"
+            "baseline:\n  machine: cloudlab-c220g1\n",
+        )
+        ExperimentPipeline(repo, "myexp").run()
+        profile_path = repo.experiment_dir("myexp") / BASELINE_FILE
+        stored = json.loads(profile_path.read_text())
+        for name in list(stored["rates"]):
+            stored["rates"][name] *= 3.0
+        profile_path.write_text(json.dumps(stored))
+        with pytest.raises(PopperError, match="refusing to run"):
+            ExperimentPipeline(repo, "myexp").run()

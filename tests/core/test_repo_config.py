@@ -1,0 +1,150 @@
+"""Tests for .popper.yml, repository init/add and the paper workflow."""
+
+import pytest
+
+from repro.common.errors import PopperError, TemplateNotFound
+from repro.core.config import CONFIG_NAME, PopperConfig
+from repro.core.repo import PopperRepository
+from repro.core.templates import TEMPLATES, get_template, list_templates
+
+
+@pytest.fixture
+def repo(tmp_path):
+    return PopperRepository.init(tmp_path / "paper-repo")
+
+
+class TestConfig:
+    def test_round_trip(self):
+        config = PopperConfig(
+            experiments={"myexp": "torpor"}, paper_template="generic-article"
+        )
+        again = PopperConfig.from_yaml(config.to_yaml())
+        assert again.experiments == {"myexp": "torpor"}
+        assert again.paper_template == "generic-article"
+
+    def test_empty_yaml(self):
+        config = PopperConfig.from_yaml("")
+        assert config.experiments == {}
+
+    def test_future_version_rejected(self):
+        with pytest.raises(PopperError, match="convention v9"):
+            PopperConfig.from_yaml("version: 9\n")
+
+    def test_bad_shape(self):
+        with pytest.raises(PopperError):
+            PopperConfig.from_yaml("- a list\n")
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(PopperError, match="not a Popper repository"):
+            PopperConfig.load(tmp_path)
+
+
+class TestTemplates:
+    def test_paper_listing_names_all_present(self):
+        for name in (
+            "ceph-rados", "proteustm", "mpi-comm-variability",
+            "cloverleaf", "gassyfs", "zlog",
+            "spark-standalone", "torpor", "malacology",
+        ):
+            assert name in TEMPLATES
+
+    def test_list_order_matches_listing2(self):
+        names = [t.name for t in list_templates()]
+        assert names[:3] == ["ceph-rados", "proteustm", "mpi-comm-variability"]
+
+    def test_every_template_self_contained(self):
+        for template in TEMPLATES.values():
+            files = template.files_dict()
+            for required in (
+                "README.md", "vars.yml", "setup.yml", "run.sh",
+                "validations.aver", "datasets/README.md",
+            ):
+                assert required in files, (template.name, required)
+
+    def test_every_template_vars_parse_and_name_runner(self):
+        from repro.common import minyaml
+        from repro.core.runners import EXPERIMENT_RUNNERS
+
+        for template in TEMPLATES.values():
+            doc = minyaml.loads(template.files_dict()["vars.yml"])
+            assert doc["runner"] in EXPERIMENT_RUNNERS, template.name
+
+    def test_every_template_playbook_parses(self):
+        from repro.orchestration.playbook import Playbook
+
+        for template in TEMPLATES.values():
+            playbook = Playbook.from_yaml(template.files_dict()["setup.yml"])
+            assert playbook.plays, template.name
+
+    def test_every_template_validations_parse(self):
+        from repro.aver.parser import parse_file_text
+
+        for template in TEMPLATES.values():
+            statements = parse_file_text(template.files_dict()["validations.aver"])
+            assert statements, template.name
+
+    def test_unknown_template(self):
+        with pytest.raises(TemplateNotFound):
+            get_template("warpdrive")
+
+
+class TestRepository:
+    def test_init_layout(self, repo):
+        assert (repo.root / CONFIG_NAME).is_file()
+        assert (repo.root / ".travis.yml").is_file()
+        assert (repo.root / "experiments").is_dir()
+        assert (repo.root / "paper").is_dir()
+        assert repo.vcs.status().clean  # everything committed
+
+    def test_double_init_rejected(self, repo):
+        with pytest.raises(PopperError, match="already"):
+            PopperRepository.init(repo.root)
+
+    def test_add_experiment_materializes_template(self, repo):
+        target = repo.add_experiment("gassyfs", "myexp")
+        assert (target / "vars.yml").is_file()
+        assert (target / "validations.aver").is_file()
+        assert repo.config.experiments == {"myexp": "gassyfs"}
+        assert repo.vcs.status().clean
+        assert "popper add gassyfs myexp" in [
+            e.subject for e in repo.vcs.log()
+        ]
+
+    def test_add_duplicate_rejected(self, repo):
+        repo.add_experiment("torpor", "x")
+        with pytest.raises(PopperError, match="already exists"):
+            repo.add_experiment("torpor", "x")
+
+    def test_add_bad_name(self, repo):
+        with pytest.raises(PopperError):
+            repo.add_experiment("torpor", "a/b")
+
+    def test_remove_experiment(self, repo):
+        repo.add_experiment("torpor", "x")
+        repo.remove_experiment("x")
+        assert repo.experiments() == []
+        assert not repo.experiment_dir("x").exists()
+
+    def test_remove_unknown(self, repo):
+        with pytest.raises(PopperError):
+            repo.remove_experiment("ghost")
+
+    def test_open_from_subdir(self, repo):
+        sub = repo.root / "experiments"
+        again = PopperRepository.open(sub)
+        assert again.root == repo.root
+
+    def test_paper_add_and_build(self, repo):
+        repo.add_paper("generic-article")
+        repo.add_experiment("torpor", "t1")
+        output = repo.build_paper()
+        text = output.read_text()
+        assert "t1" in text and "not yet run" in text
+
+    def test_paper_bad_template(self, repo):
+        with pytest.raises(PopperError):
+            repo.add_paper("powerpoint")
+
+    def test_build_paper_without_template(self, repo):
+        with pytest.raises(PopperError, match="paper/paper.md"):
+            repo.build_paper()

@@ -1,0 +1,151 @@
+"""Tests for the data-package manager."""
+
+import json
+
+import pytest
+
+from repro.common.errors import DataPackageError, IntegrityError
+from repro.datapkg.descriptor import Descriptor, Resource, parse_spec
+from repro.datapkg.manager import DESCRIPTOR_NAME, PackageRegistry, verify_tree
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return PackageRegistry(tmp_path / "registry")
+
+
+@pytest.fixture
+def dataset_dir(tmp_path):
+    source = tmp_path / "source"
+    (source / "sub").mkdir(parents=True)
+    (source / "air.csv").write_text("time,temp\n0,270.5\n")
+    (source / "sub" / "meta.txt").write_text("NCEP-like synthetic\n")
+    return source
+
+
+class TestSpecParsing:
+    def test_name_only(self):
+        assert parse_spec("air-temperature") == ("air-temperature", None)
+
+    def test_name_version(self):
+        assert parse_spec("air-temperature@1.2") == ("air-temperature", "1.2")
+
+    @pytest.mark.parametrize("bad", ["UPPER", "-lead", "a b", "name@vee"])
+    def test_bad_specs(self, bad):
+        with pytest.raises(DataPackageError):
+            parse_spec(bad)
+
+
+class TestDescriptor:
+    def test_json_round_trip(self, dataset_dir):
+        resources = tuple(
+            Resource.from_file(p, p.relative_to(dataset_dir).as_posix())
+            for p in sorted(dataset_dir.rglob("*"))
+            if p.is_file()
+        )
+        descriptor = Descriptor(
+            name="air", version="1.0", resources=resources, title="Air temps"
+        )
+        again = Descriptor.from_json(descriptor.to_json())
+        assert again == descriptor
+        assert again.total_bytes == descriptor.total_bytes
+
+    def test_resource_lookup(self, dataset_dir):
+        resource = Resource.from_file(dataset_dir / "air.csv", "air.csv")
+        descriptor = Descriptor(name="air", version="1.0", resources=(resource,))
+        assert descriptor.resource("air").format == "csv"
+        with pytest.raises(DataPackageError):
+            descriptor.resource("ghost")
+
+    def test_duplicate_paths_rejected(self, dataset_dir):
+        resource = Resource.from_file(dataset_dir / "air.csv", "air.csv")
+        with pytest.raises(DataPackageError):
+            Descriptor(name="air", version="1.0", resources=(resource, resource))
+
+    def test_bad_json(self):
+        with pytest.raises(DataPackageError):
+            Descriptor.from_json("{not json")
+
+    def test_missing_keys(self):
+        with pytest.raises(DataPackageError):
+            Descriptor.from_json(json.dumps({"name": "x"}))
+
+    def test_unsupported_hash(self):
+        doc = {
+            "name": "x", "version": "1.0",
+            "resources": [{"name": "r", "path": "r", "hash": "md5:abc", "bytes": 1}],
+        }
+        with pytest.raises(DataPackageError, match="hash"):
+            Descriptor.from_json(json.dumps(doc))
+
+
+class TestRegistry:
+    def test_publish_and_resolve(self, registry, dataset_dir):
+        descriptor = registry.publish(dataset_dir, "air-temperature", "1.0")
+        assert descriptor.spec == "air-temperature@1.0"
+        resolved = registry.resolve("air-temperature@1.0")
+        assert resolved == descriptor
+
+    def test_latest_version_resolution(self, registry, dataset_dir):
+        registry.publish(dataset_dir, "air", "1.9")
+        registry.publish(dataset_dir, "air", "1.10")
+        assert registry.resolve("air").version == "1.10"
+
+    def test_double_publish_rejected(self, registry, dataset_dir):
+        registry.publish(dataset_dir, "air", "1.0")
+        with pytest.raises(DataPackageError, match="already"):
+            registry.publish(dataset_dir, "air", "1.0")
+
+    def test_publish_empty_rejected(self, registry, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(DataPackageError):
+            registry.publish(empty, "air", "1.0")
+
+    def test_unknown_package(self, registry):
+        with pytest.raises(DataPackageError):
+            registry.resolve("ghost")
+
+    def test_listings(self, registry, dataset_dir):
+        registry.publish(dataset_dir, "air", "1.0")
+        registry.publish(dataset_dir, "wind", "2.0")
+        assert registry.packages() == ["air", "wind"]
+        assert registry.versions("air") == ["1.0"]
+
+
+class TestInstallVerify:
+    def test_install_copies_and_verifies(self, registry, dataset_dir, tmp_path):
+        registry.publish(dataset_dir, "air", "1.0")
+        target = tmp_path / "experiments" / "exp1" / "datasets"
+        descriptor = registry.install("air@1.0", target)
+        installed = target / "air"
+        assert (installed / "air.csv").read_text().startswith("time,temp")
+        assert (installed / "sub" / "meta.txt").exists()
+        assert verify_tree(installed).spec == descriptor.spec
+
+    def test_install_twice_rejected(self, registry, dataset_dir, tmp_path):
+        registry.publish(dataset_dir, "air", "1.0")
+        registry.install("air", tmp_path / "d")
+        with pytest.raises(DataPackageError, match="exists"):
+            registry.install("air", tmp_path / "d")
+
+    def test_tamper_detected(self, registry, dataset_dir, tmp_path):
+        registry.publish(dataset_dir, "air", "1.0")
+        registry.install("air", tmp_path / "d")
+        victim = tmp_path / "d" / "air" / "air.csv"
+        victim.write_text("time,temp\n0,9999\n")
+        with pytest.raises(IntegrityError, match="mismatch"):
+            verify_tree(tmp_path / "d" / "air")
+
+    def test_missing_resource_detected(self, registry, dataset_dir, tmp_path):
+        registry.publish(dataset_dir, "air", "1.0")
+        registry.install("air", tmp_path / "d")
+        (tmp_path / "d" / "air" / "air.csv").unlink()
+        with pytest.raises(IntegrityError, match="missing"):
+            verify_tree(tmp_path / "d" / "air")
+
+    def test_verify_requires_descriptor(self, tmp_path):
+        bare = tmp_path / "bare"
+        bare.mkdir()
+        with pytest.raises(DataPackageError, match=DESCRIPTOR_NAME):
+            verify_tree(bare)

@@ -1,0 +1,72 @@
+"""Tests for the dpm command-line tool."""
+
+import pytest
+
+from repro.datapkg.cli import main
+
+
+@pytest.fixture
+def setup(tmp_path):
+    source = tmp_path / "source"
+    source.mkdir()
+    (source / "air.csv").write_text("t,v\n0,270\n")
+    registry = tmp_path / "registry"
+    return source, registry, tmp_path
+
+
+class TestDpmCli:
+    def test_publish_install_verify(self, setup, capsys):
+        source, registry, tmp = setup
+        assert main(
+            ["--registry", str(registry), "publish", str(source), "air@1.0"]
+        ) == 0
+        assert "published air@1.0" in capsys.readouterr().out
+
+        target = tmp / "datasets"
+        assert main(
+            ["--registry", str(registry), "install", "air", "--into", str(target)]
+        ) == 0
+        assert (target / "air" / "air.csv").is_file()
+
+        assert main(["verify", str(target / "air")]) == 0
+        assert "ok: air@1.0" in capsys.readouterr().out
+
+    def test_verify_detects_tampering(self, setup, capsys):
+        source, registry, tmp = setup
+        main(["--registry", str(registry), "publish", str(source), "air@1.0"])
+        target = tmp / "d"
+        main(["--registry", str(registry), "install", "air", "--into", str(target)])
+        (target / "air" / "air.csv").write_text("t,v\n0,999\n")
+        assert main(["verify", str(target / "air")]) == 1
+        assert "INTEGRITY FAILURE" in capsys.readouterr().err
+
+    def test_list(self, setup, capsys):
+        source, registry, _ = setup
+        main(["--registry", str(registry), "publish", str(source), "air@1.0"])
+        main(["--registry", str(registry), "publish", str(source), "air@1.1"])
+        capsys.readouterr()  # drop publish chatter
+        assert main(["--registry", str(registry), "list"]) == 0
+        assert capsys.readouterr().out.strip() == "air"
+        assert main(["--registry", str(registry), "list", "air"]) == 0
+        assert capsys.readouterr().out.splitlines() == ["air@1.0", "air@1.1"]
+
+    def test_registry_required(self, setup, capsys):
+        source, _, _ = setup
+        assert main(["publish", str(source), "air@1.0"]) == 2
+
+    def test_publish_needs_version(self, setup, capsys):
+        source, registry, _ = setup
+        assert main(
+            ["--registry", str(registry), "publish", str(source), "air"]
+        ) == 2
+
+    def test_unknown_package_install(self, setup, capsys):
+        _, registry, tmp = setup
+        assert main(
+            ["--registry", str(registry), "install", "ghost", "--into", str(tmp / "x")]
+        ) == 2
+
+    def test_env_var_registry(self, setup, capsys, monkeypatch):
+        source, registry, _ = setup
+        monkeypatch.setenv("DPM_REGISTRY", str(registry))
+        assert main(["publish", str(source), "air@2.0"]) == 0

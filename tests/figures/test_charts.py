@@ -1,0 +1,114 @@
+"""Tests for ASCII/SVG chart rendering."""
+
+import pytest
+
+from repro.common.tables import MetricsTable
+from repro.figures import (
+    FigureError,
+    Series,
+    bar_chart_ascii,
+    bar_chart_svg,
+    line_chart_ascii,
+    line_chart_svg,
+    series_from_table,
+)
+
+
+@pytest.fixture
+def scaling_table():
+    table = MetricsTable(["machine", "nodes", "time"])
+    for machine in ("cloudlab", "ec2"):
+        for nodes in (1, 2, 4, 8):
+            table.append(
+                {"machine": machine, "nodes": nodes, "time": 40.0 / nodes}
+            )
+    return table
+
+
+class TestSeries:
+    def test_from_table_grouped(self, scaling_table):
+        series = series_from_table(scaling_table, "nodes", "time", group="machine")
+        assert [s.label for s in series] == ["cloudlab", "ec2"]
+        assert series[0].x == (1.0, 2.0, 4.0, 8.0)
+
+    def test_from_table_ungrouped(self, scaling_table):
+        series = series_from_table(scaling_table, "nodes", "time")
+        assert len(series) == 1 and len(series[0].x) == 8
+
+    def test_sorted_by_x(self):
+        table = MetricsTable(["x", "y"], [{"x": 3, "y": 1}, {"x": 1, "y": 2}])
+        (series,) = series_from_table(table, "x", "y")
+        assert series.x == (1.0, 3.0)
+
+    def test_validation(self):
+        with pytest.raises(FigureError):
+            Series("s", (1.0,), (1.0, 2.0))
+        with pytest.raises(FigureError):
+            Series("s", (), ())
+
+
+class TestAscii:
+    def test_line_chart_renders_all_series(self, scaling_table):
+        series = series_from_table(scaling_table, "nodes", "time", group="machine")
+        text = line_chart_ascii(series, title="scalability")
+        assert "scalability" in text
+        assert "a=cloudlab" in text and "b=ec2" in text
+        assert "a" in text and "+" in text
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(FigureError):
+            line_chart_ascii([])
+
+    def test_bar_chart(self):
+        text = bar_chart_ascii(["(2.2,2.3]", "(2.3,2.4]"], [10, 1], title="hist")
+        assert "hist" in text
+        lines = text.splitlines()
+        assert lines[1].count("#") > lines[2].count("#")
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(FigureError):
+            bar_chart_ascii(["a"], [1.0, 2.0])
+
+    def test_constant_series_no_crash(self):
+        text = line_chart_ascii([Series("flat", (1.0, 2.0), (5.0, 5.0))])
+        assert "flat" in text
+
+
+class TestSvg:
+    def test_line_chart_valid_svg(self, scaling_table):
+        series = series_from_table(scaling_table, "nodes", "time", group="machine")
+        svg = line_chart_svg(series, title="fig", x_label="nodes", y_label="time")
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert svg.count("<polyline") == 2
+        assert "fig" in svg and "nodes" in svg and "time" in svg
+
+    def test_line_chart_parses_as_xml(self, scaling_table):
+        import xml.etree.ElementTree as ET
+
+        series = series_from_table(scaling_table, "nodes", "time", group="machine")
+        root = ET.fromstring(line_chart_svg(series))
+        assert root.tag.endswith("svg")
+
+    def test_bar_chart_valid_svg(self):
+        import xml.etree.ElementTree as ET
+
+        svg = bar_chart_svg(["a", "b", "c"], [3.0, 1.0, 2.0], title="hist")
+        root = ET.fromstring(svg)
+        rects = [e for e in root.iter() if e.tag.endswith("rect")]
+        assert len(rects) == 4  # background + 3 bars
+
+    def test_bar_heights_proportional(self):
+        svg = bar_chart_svg(["big", "small"], [10.0, 5.0])
+        import re
+
+        heights = [
+            float(m)
+            for m in re.findall(r'height="([\d.]+)" fill="#', svg)
+        ]
+        assert heights[0] == pytest.approx(2 * heights[1], rel=0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(FigureError):
+            line_chart_svg([])
+        with pytest.raises(FigureError):
+            bar_chart_svg([], [])

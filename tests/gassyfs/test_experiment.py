@@ -1,0 +1,147 @@
+"""Tests for GassyFS workloads and the scalability experiment."""
+
+import pytest
+
+from repro.aver import check
+from repro.common.errors import GassyFSError
+from repro.common.rng import SeedSequenceFactory
+from repro.gassyfs.experiment import (
+    ScalabilityConfig,
+    run_point,
+    run_scalability_experiment,
+)
+from repro.gassyfs.fs import GassyFS, MountOptions
+from repro.gassyfs.gasnet import GasnetCluster
+from repro.gassyfs.workloads import GIT_COMPILE, CompileWorkload, SequentialIO
+from repro.platform.sites import Site, default_sites
+
+
+@pytest.fixture(scope="module")
+def results():
+    config = ScalabilityConfig(node_counts=(1, 2, 4, 8), sites=("cloudlab-wisc", "ec2"))
+    return run_scalability_experiment(config)
+
+
+def small_workload():
+    return CompileWorkload(
+        name="tiny", files=24, source_kib=8, object_kib=8,
+        compile_ops=2e8, configure_ops=5e8, link_ops=1e9,
+    )
+
+
+class TestWorkloads:
+    def test_materialize_creates_tree(self):
+        site = Site("t", "cloudlab-c220g1", capacity=2)
+        fs = GassyFS(GasnetCluster(site.allocate(2)))
+        workload = small_workload()
+        workload.materialize_sources(fs, SeedSequenceFactory(1).rng("m"))
+        assert len(fs.readdir("/src")) == workload.files
+
+    def test_run_returns_positive_time(self):
+        site = Site("t", "cloudlab-c220g1", capacity=2)
+        fs = GassyFS(GasnetCluster(site.allocate(2)))
+        workload = small_workload()
+        workload.materialize_sources(fs, SeedSequenceFactory(1).rng("m"))
+        assert workload.run(fs, SeedSequenceFactory(1)) > 0
+
+    def test_jobs_per_node_validated(self):
+        site = Site("t", "cloudlab-c220g1", capacity=1)
+        fs = GassyFS(GasnetCluster(site.allocate(1)))
+        workload = small_workload()
+        workload.materialize_sources(fs, SeedSequenceFactory(1).rng("m"))
+        with pytest.raises(GassyFSError):
+            workload.run(fs, SeedSequenceFactory(1), jobs_per_node=0)
+
+    def test_sequential_io(self):
+        site = Site("t", "cloudlab-c220g1", capacity=4)
+        fs = GassyFS(GasnetCluster(site.allocate(4)))
+        write_t, read_t = SequentialIO(total_bytes=1 << 24).run(
+            fs, SeedSequenceFactory(3)
+        )
+        assert write_t > 0 and read_t > 0
+
+
+class TestScalabilityExperiment:
+    def test_figure_shape_monotone_decreasing(self, results):
+        """Fig gassyfs-git: runtime falls as nodes grow, on every platform."""
+        for machine in results.distinct("machine"):
+            sub = results.where_equals(machine=machine).sort_by("nodes")
+            times = sub.column("time")
+            assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_figure_shape_diminishing_returns(self, results):
+        """Speedup per doubling shrinks (the curve flattens)."""
+        sub = results.where_equals(machine="cloudlab-wisc").sort_by("nodes")
+        times = sub.column("time")
+        gains = [a / b for a, b in zip(times, times[1:])]
+        assert gains[0] > gains[-1]
+        assert all(g < 2.05 for g in gains)
+
+    def test_listing3_assertion_passes(self, results):
+        """The paper's Aver assertion validates the generated results."""
+        result = check(
+            "when workload=* and machine=* expect sublinear(nodes,time)", results
+        )
+        assert result.passed
+
+    def test_ec2_slower_than_cloudlab(self, results):
+        cl = results.where_equals(machine="cloudlab-wisc", nodes=1).column("time")[0]
+        ec2 = results.where_equals(machine="ec2", nodes=1).column("time")[0]
+        assert ec2 > cl  # hypervisor tax + slower clock
+
+    def test_deterministic(self):
+        config = ScalabilityConfig(
+            node_counts=(1, 2),
+            sites=("cloudlab-wisc",),
+            workloads=(small_workload(),),
+        )
+        a = run_scalability_experiment(config)
+        b = run_scalability_experiment(config)
+        assert a.column("time") == b.column("time")
+
+    def test_run_point_single(self):
+        sites = default_sites(1)
+        config = ScalabilityConfig(workloads=(small_workload(),))
+        elapsed = run_point(
+            sites["cloudlab-wisc"], 2, small_workload(), config, SeedSequenceFactory(1)
+        )
+        assert elapsed > 0
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(GassyFSError):
+            ScalabilityConfig(node_counts=())
+        with pytest.raises(GassyFSError):
+            run_scalability_experiment(
+                ScalabilityConfig(sites=("atlantis",))
+            )
+
+
+class TestMultiWorkloadSweep:
+    def test_gassyfs_runner_two_workloads(self):
+        """The runner sweeps several workloads in one experiment, like the
+        paper repository's gassyfs experiment does."""
+        from repro.core.runners import run_experiment_runner
+
+        table = run_experiment_runner(
+            "gassyfs-scaling",
+            {
+                "workloads": ["git-compile", "kernel-build"],
+                "workload_scale": 0.05,
+                "node_counts": [1, 2],
+                "sites": ["cloudlab-wisc"],
+                "seed": 5,
+            },
+        )
+        assert set(table.column("workload")) == {"git-compile", "kernel-build"}
+        assert check(
+            "when workload=* and machine=* expect sublinear(nodes,time)", table
+        ).passed
+
+    def test_unknown_workload_rejected(self):
+        from repro.common.errors import PopperError
+        from repro.core.runners import run_experiment_runner
+
+        with pytest.raises(PopperError, match="unknown gassyfs workload"):
+            run_experiment_runner(
+                "gassyfs-scaling", {"workloads": ["doom-compile"]}
+            )

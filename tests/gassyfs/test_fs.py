@@ -1,0 +1,362 @@
+"""Functional tests for GassyFS: POSIX semantics, placement, capacity."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import FSError, GassyFSError
+from repro.gassyfs.fs import GassyFS, MountOptions
+from repro.gassyfs.gasnet import GasnetCluster
+from repro.gassyfs.placement import LocalFirst, RoundRobin, make_policy
+from repro.platform.sites import Site
+
+
+def make_fs(nodes=4, **options):
+    site = Site("t", "cloudlab-c220g1", capacity=nodes)
+    cluster = GasnetCluster(site.allocate(nodes))
+    return GassyFS(cluster, options=MountOptions(**options))
+
+
+class TestDirectories:
+    def test_mkdir_readdir(self):
+        fs = make_fs()
+        fs.mkdir("/a")
+        fs.mkdir("/a/b")
+        assert fs.readdir("/") == ["a"]
+        assert fs.readdir("/a") == ["b"]
+
+    def test_mkdir_duplicate(self):
+        fs = make_fs()
+        fs.mkdir("/a")
+        with pytest.raises(FSError, match="EEXIST"):
+            fs.mkdir("/a")
+
+    def test_mkdir_missing_parent(self):
+        fs = make_fs()
+        with pytest.raises(FSError, match="ENOENT"):
+            fs.mkdir("/ghost/child")
+
+    def test_rmdir(self):
+        fs = make_fs()
+        fs.mkdir("/a")
+        fs.rmdir("/a")
+        assert fs.readdir("/") == []
+
+    def test_rmdir_nonempty(self):
+        fs = make_fs()
+        fs.mkdir("/a")
+        fs.mkdir("/a/b")
+        with pytest.raises(FSError, match="ENOTEMPTY"):
+            fs.rmdir("/a")
+
+    def test_relative_path_rejected(self):
+        fs = make_fs()
+        with pytest.raises(FSError, match="EINVAL"):
+            fs.mkdir("relative")
+
+    def test_dotdot_rejected(self):
+        fs = make_fs()
+        with pytest.raises(FSError, match="EINVAL"):
+            fs.mkdir("/a/../b")
+
+
+class TestFiles:
+    def test_write_read_round_trip(self):
+        fs = make_fs(block_size=1024)
+        fs.create("/f.bin")
+        payload = bytes(range(256)) * 20  # spans multiple blocks
+        fs.write("/f.bin", payload)
+        assert fs.read("/f.bin") == payload
+
+    def test_overwrite_replaces(self):
+        fs = make_fs()
+        fs.create("/f")
+        fs.write("/f", b"first")
+        fs.write("/f", b"second!")
+        assert fs.read("/f") == b"second!"
+
+    def test_append(self):
+        fs = make_fs(block_size=4)
+        fs.create("/f")
+        fs.write("/f", b"abcd")
+        fs.write("/f", b"efgh", append=True)
+        assert fs.read("/f") == b"abcdefgh"
+
+    def test_create_duplicate(self):
+        fs = make_fs()
+        fs.create("/f")
+        with pytest.raises(FSError, match="EEXIST"):
+            fs.create("/f")
+
+    def test_read_missing(self):
+        fs = make_fs()
+        with pytest.raises(FSError, match="ENOENT"):
+            fs.read("/ghost")
+
+    def test_read_directory_rejected(self):
+        fs = make_fs()
+        fs.mkdir("/d")
+        with pytest.raises(FSError, match="EISDIR"):
+            fs.read("/d")
+
+    def test_unlink_frees_capacity(self):
+        fs = make_fs(block_size=1024)
+        fs.create("/f")
+        fs.write("/f", b"x" * 8192)
+        used_before = fs.statfs()["used_bytes"]
+        fs.unlink("/f")
+        assert fs.statfs()["used_bytes"] == used_before - 8192
+        assert not fs.exists("/f")
+
+    def test_truncate(self):
+        fs = make_fs()
+        fs.create("/f")
+        fs.write("/f", b"data")
+        fs.truncate("/f")
+        assert fs.read("/f") == b""
+        assert fs.stat("/f").size == 0
+
+    def test_rename(self):
+        fs = make_fs()
+        fs.create("/old")
+        fs.write("/old", b"payload")
+        fs.mkdir("/dir")
+        fs.rename("/old", "/dir/new")
+        assert fs.read("/dir/new") == b"payload"
+        assert not fs.exists("/old")
+
+    def test_rename_onto_existing_rejected(self):
+        fs = make_fs()
+        fs.create("/a")
+        fs.create("/b")
+        with pytest.raises(FSError, match="EEXIST"):
+            fs.rename("/a", "/b")
+
+    def test_stat(self):
+        fs = make_fs(block_size=1024)
+        fs.create("/f")
+        fs.write("/f", b"z" * 3000)
+        st_ = fs.stat("/f")
+        assert st_.size == 3000 and st_.blocks == 3 and not st_.is_dir
+        assert fs.stat("/").is_dir
+
+    @settings(
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+        deadline=None,
+        max_examples=25,
+    )
+    @given(payload=st.binary(max_size=5000), block=st.integers(min_value=1, max_value=512))
+    def test_round_trip_property(self, payload, block):
+        fs = make_fs(nodes=3, block_size=block)
+        fs.create("/p")
+        fs.write("/p", payload)
+        assert fs.read("/p") == payload
+
+
+class TestPlacementAndCapacity:
+    def test_round_robin_stripes(self):
+        fs = make_fs(nodes=4, block_size=100)
+        fs.create("/f")
+        fs.write("/f", b"x" * 400)
+        assert fs.block_locations("/f") == [0, 1, 2, 3]
+
+    def test_local_first_fills_client(self):
+        site = Site("t", "cloudlab-c220g1", capacity=4)
+        cluster = GasnetCluster(site.allocate(4))
+        fs = GassyFS(
+            cluster,
+            options=MountOptions(block_size=100, segment_bytes=250),
+            policy=LocalFirst(),
+        )
+        fs.create("/f")
+        fs.write("/f", b"x" * 400)
+        locations = fs.block_locations("/f")
+        assert locations[0] == 0 and locations[1] == 0  # client fills first
+        assert any(l != 0 for l in locations[2:])       # then spills
+
+    def test_enospc(self):
+        fs = make_fs(nodes=2, block_size=1024, segment_bytes=1024)
+        fs.create("/f")
+        with pytest.raises(FSError, match="ENOSPC"):
+            fs.write("/f", b"x" * 4096)
+
+    def test_aggregate_capacity_grows_with_nodes(self):
+        small = make_fs(nodes=2, segment_bytes=1 << 20)
+        large = make_fs(nodes=8, segment_bytes=1 << 20)
+        assert large.statfs()["capacity_bytes"] == 4 * small.statfs()["capacity_bytes"]
+
+    def test_policy_factory(self):
+        for name in ("round-robin", "local-first", "hash", "least-used"):
+            assert make_policy(name).name == name
+        with pytest.raises(GassyFSError):
+            make_policy("quantum")
+
+    def test_hash_placement_deterministic(self):
+        a = make_policy("hash")
+        b = make_policy("hash")
+        used, cap = [0] * 4, [1 << 30] * 4
+        assert [a.place(i, 0, used, cap) for i in range(16)] == [
+            b.place(i, 0, used, cap) for i in range(16)
+        ]
+
+    def test_mount_options_validated(self):
+        with pytest.raises(GassyFSError):
+            MountOptions(block_size=0)
+        with pytest.raises(GassyFSError):
+            MountOptions(block_size=1024, segment_bytes=512)
+
+
+class TestTimeAccounting:
+    def test_clock_advances(self):
+        fs = make_fs()
+        fs.create("/f")
+        before = fs.clock
+        fs.write("/f", b"x" * (1 << 20))
+        assert fs.clock > before
+
+    def test_remote_read_slower_than_local(self):
+        site = Site("t", "cloudlab-c220g1", capacity=2)
+        cluster = GasnetCluster(site.allocate(2))
+        fs = GassyFS(
+            cluster,
+            options=MountOptions(block_size=1 << 20),
+            policy=LocalFirst(),
+        )
+        fs.create("/local")
+        fs.write("/local", b"x" * (1 << 20), rank=0)
+        fs.read("/local", rank=0)
+        local = fs.last_op_elapsed
+        fs.read("/local", rank=1)  # block lives on node 0
+        remote = fs.last_op_elapsed
+        assert remote > local
+
+    def test_metrics_recorded(self):
+        from repro.monitor.metrics import MetricStore
+
+        store = MetricStore()
+        site = Site("t", "cloudlab-c220g1", capacity=2)
+        fs = GassyFS(GasnetCluster(site.allocate(2)), metrics=store)
+        fs.create("/f")
+        fs.write("/f", b"data")
+        fs.read("/f")
+        ops = set(store.to_table("gassyfs.op_latency").column("op"))
+        assert {"create", "write", "read"} <= ops
+
+    def test_checkpoint_cost_scales_with_data(self):
+        fs = make_fs(nodes=4, block_size=1 << 20)
+        fs.create("/small")
+        fs.write("/small", b"x" * (1 << 20))
+        small = fs.checkpoint()
+        fs.create("/big")
+        fs.write("/big", b"x" * (8 << 20))
+        big = fs.checkpoint()
+        assert big > small
+
+
+class TestGasnet:
+    def test_transfer_cost_components(self):
+        site = Site("t", "cloudlab-c220g1", capacity=2)
+        cluster = GasnetCluster(site.allocate(2))
+        small = cluster.transfer_time(0, 1, 1)
+        large = cluster.transfer_time(0, 1, 1 << 24)
+        assert small > 0 and large > small
+
+    def test_local_transfer_cheaper(self):
+        site = Site("t", "cloudlab-c220g1", capacity=2)
+        cluster = GasnetCluster(site.allocate(2))
+        assert cluster.transfer_time(0, 0, 1 << 20) < cluster.transfer_time(0, 1, 1 << 20)
+
+    def test_stats_updated(self):
+        site = Site("t", "cloudlab-c220g1", capacity=2)
+        cluster = GasnetCluster(site.allocate(2))
+        cluster.put(0, 1, 1000)
+        cluster.get(0, 1, 500)
+        assert cluster.stats[0].bytes_out == 1000
+        assert cluster.stats[1].bytes_in == 1000
+        assert cluster.stats[1].bytes_out == 500
+        assert cluster.total_remote_bytes() == 1500
+
+    def test_rank_bounds(self):
+        site = Site("t", "cloudlab-c220g1", capacity=2)
+        cluster = GasnetCluster(site.allocate(2))
+        with pytest.raises(GassyFSError):
+            cluster.put(0, 5, 10)
+
+    def test_oversubscription_slows_big_clusters(self):
+        site = Site("t", "cloudlab-c220g1", capacity=8)
+        flat = GasnetCluster(site.allocate(4), oversubscription=0.0)
+        congested = GasnetCluster(site.allocate(4), oversubscription=0.2)
+        assert congested.transfer_time(0, 1, 1 << 24) > flat.transfer_time(0, 1, 1 << 24)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(GassyFSError):
+            GasnetCluster([])
+
+
+class TestReplication:
+    def _fs(self, replicas, nodes=4, block=1024, segment=1 << 20):
+        site = Site("r", "cloudlab-c220g1", capacity=nodes)
+        return GassyFS(
+            GasnetCluster(site.allocate(nodes)),
+            options=MountOptions(
+                block_size=block, segment_bytes=segment, replicas=replicas
+            ),
+        )
+
+    def test_replicas_validated(self):
+        with pytest.raises(GassyFSError):
+            MountOptions(replicas=0)
+
+    def test_replicated_blocks_use_more_capacity(self):
+        single = self._fs(1)
+        double = self._fs(2)
+        for fs in (single, double):
+            fs.create("/f")
+            fs.write("/f", b"x" * 4096)
+        assert double.statfs()["used_bytes"] == 2 * single.statfs()["used_bytes"]
+
+    def test_read_survives_single_failure_with_replicas(self):
+        fs = self._fs(2)
+        payload = bytes(range(256)) * 16
+        fs.create("/f")
+        fs.write("/f", payload)
+        lost = fs.fail_node(1)
+        assert lost == 0  # every block has a surviving replica
+        assert fs.read("/f") == payload
+
+    def test_unreplicated_fails_replicated_survives(self):
+        for replicas, expect_ok in ((1, False), (2, True)):
+            fs = self._fs(replicas)
+            fs.create("/f")
+            fs.write("/f", b"z" * 4096)
+            fs.fail_node(0 if 0 in set(fs.block_locations("/f")) else 1)
+            if expect_ok:
+                assert fs.read("/f") == b"z" * 4096
+            else:
+                with pytest.raises(FSError, match="EIO"):
+                    fs.read("/f")
+
+    def test_replicas_capped_by_cluster_size(self):
+        fs = self._fs(8, nodes=2)  # requests 8 copies, cluster has 2
+        fs.create("/f")
+        fs.write("/f", b"x" * 2048)
+        # each block is on both nodes, no more
+        ranks, _ = fs._blocks[0]
+        assert len(ranks) == 2 and len(set(ranks)) == 2
+
+    def test_write_cost_grows_with_replication(self):
+        single = self._fs(1)
+        triple = self._fs(3)
+        for fs in (single, triple):
+            fs.create("/f")
+        single.write("/f", b"x" * (1 << 16))
+        t1 = single.last_op_elapsed
+        triple.write("/f", b"x" * (1 << 16))
+        t3 = triple.last_op_elapsed
+        assert t3 > t1
+
+    def test_enospc_when_replicas_dont_fit(self):
+        fs = self._fs(2, nodes=2, block=1024, segment=1024)
+        fs.create("/f")
+        with pytest.raises(FSError, match="ENOSPC"):
+            fs.write("/f", b"x" * 2048)  # 2 blocks x 2 replicas > capacity

@@ -1,0 +1,70 @@
+"""Integration: every template in the registry runs end to end.
+
+The paper's template registry is only useful if ``popper add X && popper
+run X`` works for every X.  This test instantiates all ten templates in
+one repository, shrinks their parametrizations to a CI-sized budget, and
+drives each through the full pipeline — setup playbook, runner,
+post-processing, notebook visualization and Aver validation.
+"""
+
+import pytest
+
+from repro.common import minyaml
+from repro.common.fsutil import write_text
+from repro.core.pipeline import ExperimentPipeline
+from repro.core.repo import PopperRepository
+from repro.core.templates import TEMPLATES
+
+#: Per-template overrides to keep the whole sweep under a few seconds.
+SHRINK: dict[str, dict] = {
+    "gassyfs": {"node_counts": [1, 2], "sites": ["cloudlab-wisc"], "workload_scale": 0.05},
+    "torpor": {"runs": 2},
+    "mpi-comm-variability": {"iterations": 10, "runs": 5},
+    "jupyter-bww": {"lat_step": 10.0, "lon_step": 15.0},
+    "ceph-rados": {"node_counts": [1, 2]},
+    "cloverleaf": {"node_counts": [1, 2]},
+    "spark-standalone": {"node_counts": [1, 2]},
+    "zlog": {"node_counts": [1, 2]},
+    "proteustm": {"node_counts": [1, 2]},
+    "malacology": {"node_counts": [1, 2]},
+}
+
+
+@pytest.fixture(scope="module")
+def repo(tmp_path_factory):
+    root = tmp_path_factory.mktemp("all-templates") / "paper-repo"
+    repo = PopperRepository.init(root)
+    for template_name in TEMPLATES:
+        experiment = f"exp-{template_name}"
+        repo.add_experiment(template_name, experiment, commit=False)
+        vars_path = repo.experiment_dir(experiment) / "vars.yml"
+        doc = minyaml.load_file(vars_path)
+        doc.update(SHRINK.get(template_name, {}))
+        write_text(vars_path, minyaml.dumps(doc))
+    repo.vcs.add_all()
+    repo.vcs.commit("instantiate and shrink every template")
+    return repo
+
+
+@pytest.mark.parametrize("template_name", sorted(TEMPLATES))
+def test_template_pipeline_end_to_end(repo, template_name):
+    experiment = f"exp-{template_name}"
+    result = ExperimentPipeline(repo, experiment).run()
+    assert len(result.results) > 0, template_name
+    assert result.validated, (
+        template_name,
+        [v.describe() for v in result.validations if not v.passed],
+    )
+    directory = repo.experiment_dir(experiment)
+    assert (directory / "results.csv").is_file()
+    assert (directory / "figure.csv").is_file()       # process-result.py ran
+    assert (directory / "figure.svg").is_file()       # notebook ran
+    assert (directory / "validation_report.txt").is_file()
+
+
+def test_whole_repository_compliant_after_runs(repo):
+    from repro.core.check import check_repository
+
+    # every experiment has run by the time this executes (alphabetically last)
+    report = check_repository(repo)
+    assert not report.errors

@@ -1,0 +1,98 @@
+"""Integration: collaborating on a Popperized article via branches.
+
+The paper argues the convention enables "easy collaboration, as well as
+making it easier to build upon existing work".  Story: a reviewer
+branches the paper repository, strengthens the validation criteria while
+the author scales the experiment up; the merge combines both changes and
+the post-merge pipeline + CI still pass.
+"""
+
+import pytest
+
+from repro.common.fsutil import write_text
+from repro.core.ci_integration import make_ci_server
+from repro.core.pipeline import ExperimentPipeline
+from repro.core.repo import PopperRepository
+from repro.vcs.merge import MergeConflict
+
+FAST_VARS = (
+    "runner: gassyfs-scaling\n"
+    "node_counts: [1, 2, 4]\n"
+    "sites: [cloudlab-wisc]\n"
+    "workload_scale: 0.1\n"
+    "seed: 7\n"
+)
+
+
+@pytest.fixture
+def repo(tmp_path):
+    repo = PopperRepository.init(tmp_path / "paper-repo")
+    repo.add_experiment("gassyfs", "exp")
+    write_text(repo.experiment_dir("exp") / "vars.yml", FAST_VARS)
+    repo.vcs.add_all()
+    repo.vcs.commit("shrink experiment")
+    return repo
+
+
+class TestCollaborativeMerge:
+    def test_reviewer_branch_merges_cleanly(self, repo):
+        repo.vcs.branch("reviewer")
+
+        # author scales the sweep on main
+        write_text(
+            repo.experiment_dir("exp") / "vars.yml",
+            FAST_VARS.replace("[1, 2, 4]", "[1, 2, 4, 8]"),
+        )
+        repo.vcs.add_all()
+        repo.vcs.commit("author: extend sweep to 8 nodes")
+
+        # reviewer strengthens validations on their branch
+        repo.vcs.checkout("reviewer")
+        write_text(
+            repo.experiment_dir("exp") / "validations.aver",
+            "when workload=* and machine=*\n"
+            "expect sublinear(nodes, time)\n"
+            "when workload=* and machine=*\n"
+            "expect monotonic_dec(nodes, time)\n"
+            "expect count() >= 3\n",
+        )
+        repo.vcs.add_all()
+        repo.vcs.commit("reviewer: demand monotonicity and coverage")
+
+        repo.vcs.checkout("main")
+        merge_oid = repo.vcs.merge("reviewer")
+        assert len(repo.vcs.store.get_commit(merge_oid).parents) == 2
+
+        vars_text = (repo.experiment_dir("exp") / "vars.yml").read_text()
+        assert "8" in vars_text  # author's change survived
+        checks = (repo.experiment_dir("exp") / "validations.aver").read_text()
+        assert "monotonic_dec" in checks  # reviewer's change survived
+
+        result = ExperimentPipeline(repo, "exp").run()
+        assert result.validated
+        assert sorted(set(result.results.column("nodes"))) == [1, 2, 4, 8]
+
+        repo.vcs.add_all()
+        repo.vcs.commit("merged results")
+        assert make_ci_server(repo).trigger().ok
+
+    def test_conflicting_claims_surface(self, repo):
+        repo.vcs.branch("optimist")
+        write_text(
+            repo.experiment_dir("exp") / "validations.aver",
+            "when workload=* and machine=*\nexpect sublinear(nodes, time)\n",
+        )
+        repo.vcs.add_all()
+        repo.vcs.commit("author: sublinear claim")
+        repo.vcs.checkout("optimist")
+        write_text(
+            repo.experiment_dir("exp") / "validations.aver",
+            "when workload=* and machine=*\nexpect superlinear(nodes, time)\n",
+        )
+        repo.vcs.add_all()
+        repo.vcs.commit("optimist: superlinear claim")
+        repo.vcs.checkout("main")
+        with pytest.raises(MergeConflict) as info:
+            repo.vcs.merge("optimist")
+        conflict = info.value.conflicts["experiments/exp/validations.aver"]
+        assert "sublinear" in conflict and "superlinear" in conflict

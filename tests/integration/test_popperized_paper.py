@@ -1,0 +1,186 @@
+"""End-to-end integration: the life of a Popperized article.
+
+These tests walk the full story the paper tells: an author initializes a
+repository, bootstraps experiments from templates, runs them, commits
+versioned results, CI validates every commit, and a reader clones the
+repository and re-executes the experiment getting the same numbers.
+"""
+
+import pytest
+
+from repro.aver import check
+from repro.common.fsutil import write_text
+from repro.common.tables import MetricsTable
+from repro.core.ci_integration import PopperExecutor, make_ci_server
+from repro.core.pipeline import ExperimentPipeline
+from repro.core.repo import PopperRepository
+from repro.ci.runner import CIServer
+
+
+FAST_TORPOR_VARS = "runner: torpor-variability\nruns: 2\nseed: 7\n"
+FAST_GASSYFS_VARS = (
+    "runner: gassyfs-scaling\n"
+    "node_counts: [1, 2, 4]\n"
+    "sites: [cloudlab-wisc]\n"
+    "workloads: [git-compile]\n"
+    "workload_scale: 0.1\n"
+    "seed: 7\n"
+)
+
+
+@pytest.fixture
+def author_repo(tmp_path):
+    repo = PopperRepository.init(tmp_path / "mypaper-repo")
+    repo.add_experiment("gassyfs", "gassyfs-exp")
+    write_text(repo.experiment_dir("gassyfs-exp") / "vars.yml", FAST_GASSYFS_VARS)
+    repo.vcs.add_all()
+    repo.vcs.commit("shrink experiment for CI budget")
+    return repo
+
+
+class TestAuthorWorkflow:
+    def test_run_commit_and_revalidate(self, author_repo):
+        result = ExperimentPipeline(author_repo, "gassyfs-exp").run()
+        assert result.validated
+        author_repo.vcs.add_all()
+        author_repo.vcs.commit("add experiment results")
+        # the stored results still satisfy the checked-in assertions
+        revalidated = ExperimentPipeline(author_repo, "gassyfs-exp").validate_existing()
+        assert revalidated.validated
+
+    def test_paper_build_reflects_results(self, author_repo):
+        author_repo.add_paper("generic-article")
+        ExperimentPipeline(author_repo, "gassyfs-exp").run()
+        output = author_repo.build_paper()
+        assert "results available" in output.read_text()
+
+    def test_history_records_the_whole_exploration(self, author_repo):
+        ExperimentPipeline(author_repo, "gassyfs-exp").run()
+        author_repo.vcs.add_all()
+        author_repo.vcs.commit("results of first run")
+        subjects = [e.subject for e in author_repo.vcs.log()]
+        assert "popper init" in subjects
+        assert "popper add gassyfs gassyfs-exp" in subjects
+        assert "results of first run" in subjects
+
+
+class TestCIIntegration:
+    def test_ci_validates_popperized_repo(self, author_repo):
+        ExperimentPipeline(author_repo, "gassyfs-exp").run()
+        author_repo.vcs.add_all()
+        author_repo.vcs.commit("results")
+        server = make_ci_server(author_repo)
+        record = server.trigger()
+        assert record.ok, [
+            (s.command, s.exit_code, s.stderr) for j in record.jobs for s in j.steps
+        ]
+        assert server.badge() == "build: passing"
+
+    def test_ci_fails_when_assertions_break(self, author_repo):
+        ExperimentPipeline(author_repo, "gassyfs-exp").run()
+        # an author "improves" the claim beyond what the data supports
+        write_text(
+            author_repo.experiment_dir("gassyfs-exp") / "validations.aver",
+            "when workload=* and machine=*\nexpect superlinear(nodes, time)\n",
+        )
+        author_repo.vcs.add_all()
+        author_repo.vcs.commit("overclaim")
+        record = make_ci_server(author_repo).trigger()
+        assert not record.ok
+
+    def test_ci_fails_on_noncompliant_repo(self, author_repo):
+        ExperimentPipeline(author_repo, "gassyfs-exp").run()
+        (author_repo.experiment_dir("gassyfs-exp") / "validations.aver").unlink()
+        author_repo.vcs.add_all()
+        author_repo.vcs.commit("drop validation criteria")
+        record = make_ci_server(author_repo).trigger()
+        assert not record.ok
+        failed_steps = [
+            s for j in record.jobs for s in j.steps if not s.ok
+        ]
+        assert any("popper check" in s.command for s in failed_steps)
+
+    def test_aver_cli_available_in_ci(self, author_repo):
+        ExperimentPipeline(author_repo, "gassyfs-exp").run()
+        write_text(
+            author_repo.root / ".travis.yml",
+            "script:\n"
+            "  - aver -i experiments/gassyfs-exp/results.csv "
+            "'when machine=* expect sublinear(nodes, time)'\n",
+        )
+        author_repo.vcs.add_all()
+        author_repo.vcs.commit("aver-only ci")
+        record = CIServer(author_repo.vcs, executor=PopperExecutor()).trigger()
+        assert record.ok
+
+
+class TestReaderWorkflow:
+    def test_clone_and_reexecute_reproduces_results(self, author_repo, tmp_path):
+        """The reader story: clone the paper repo, re-run the experiment,
+        get bit-identical results (same seed, same simulated platform)."""
+        original = ExperimentPipeline(author_repo, "gassyfs-exp").run()
+        author_repo.vcs.add_all()
+        author_repo.vcs.commit("results")
+
+        author_repo.vcs.clone(tmp_path / "reader-clone")
+        reader_repo = PopperRepository.open(tmp_path / "reader-clone")
+        assert reader_repo.experiments() == ["gassyfs-exp"]
+
+        rerun = ExperimentPipeline(reader_repo, "gassyfs-exp").run()
+        assert rerun.validated
+        assert rerun.results.column("time") == original.results.column("time")
+
+    def test_reader_can_contradict_assertions(self, author_repo, tmp_path):
+        """A reader probes the stored results with their own assertion."""
+        ExperimentPipeline(author_repo, "gassyfs-exp").run()
+        author_repo.vcs.add_all()
+        author_repo.vcs.commit("results")
+        author_repo.vcs.clone(tmp_path / "clone")
+        reader = PopperRepository.open(tmp_path / "clone")
+        table = MetricsTable.load_csv(
+            reader.experiment_dir("gassyfs-exp") / "results.csv"
+        )
+        skeptical = check("expect superlinear(nodes, time)", table)
+        assert not skeptical.passed  # the contradiction fails, claim stands
+
+    def test_reader_changes_parameters_and_extends(self, author_repo):
+        """Changing vars.yml and re-running is the 'build on existing
+        work' path the convention optimizes for."""
+        write_text(
+            author_repo.experiment_dir("gassyfs-exp") / "vars.yml",
+            FAST_GASSYFS_VARS.replace("[1, 2, 4]", "[1, 2, 4, 8]"),
+        )
+        result = ExperimentPipeline(author_repo, "gassyfs-exp").run()
+        assert sorted(set(result.results.column("nodes"))) == [1, 2, 4, 8]
+        assert result.validated
+
+
+class TestCIMatrixOverExperiments:
+    def test_matrix_runs_one_experiment_per_job(self, author_repo):
+        """A build matrix parameterized by EXPERIMENT runs each experiment
+        in its own CI job — the per-experiment validation layout big
+        Popper repositories use."""
+        author_repo.add_experiment("torpor", "torpor-exp")
+        write_text(
+            author_repo.experiment_dir("torpor-exp") / "vars.yml",
+            "runner: torpor-variability\nruns: 2\nseed: 7\n",
+        )
+        write_text(
+            author_repo.root / ".travis.yml",
+            "env:\n"
+            "  - EXPERIMENT=gassyfs-exp\n"
+            "  - EXPERIMENT=torpor-exp\n"
+            "script:\n"
+            "  - popper run $EXPERIMENT\n",
+        )
+        author_repo.vcs.add_all()
+        author_repo.vcs.commit("matrix ci over experiments")
+        record = make_ci_server(author_repo).trigger()
+        assert record.ok, [
+            (s.command, s.stderr) for j in record.jobs for s in j.steps if not s.ok
+        ]
+        assert len(record.jobs) == 2
+        assert {j.env["EXPERIMENT"] for j in record.jobs} == {
+            "gassyfs-exp",
+            "torpor-exp",
+        }

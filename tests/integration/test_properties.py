@@ -1,0 +1,186 @@
+"""Property-based tests for cross-cutting invariants.
+
+Hypothesis-driven checks of the algebraic properties the substrates
+promise: serialization idempotence, partition laws, cost-model
+monotonicity, communicator synchronization invariants and layered-fs
+semantics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aver import check
+from repro.common import minyaml
+from repro.common.tables import MetricsTable
+from repro.container.image import Layer, scratch
+from repro.gassyfs.gasnet import GasnetCluster
+from repro.mpicomm.mpi import SimComm
+from repro.platform.sites import Site
+
+_keys = st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=8)
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.text(alphabet="abc xyz-_", max_size=12),
+)
+_docs = st.recursive(
+    _scalars,
+    lambda kids: st.one_of(
+        st.lists(kids, max_size=3),
+        st.dictionaries(_keys, kids, max_size=3),
+    ),
+    max_leaves=12,
+)
+
+
+class TestMinyamlProperties:
+    @given(doc=st.dictionaries(_keys, _docs, max_size=4))
+    def test_dumps_idempotent(self, doc):
+        once = minyaml.dumps(doc)
+        assert minyaml.dumps(minyaml.loads(once)) == once
+
+
+class TestTableProperties:
+    @given(
+        rows=st.lists(
+            st.tuples(st.sampled_from("abc"), st.integers(0, 100)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_group_by_partitions(self, rows):
+        table = MetricsTable(["key", "value"])
+        for key, value in rows:
+            table.append({"key": key, "value": value})
+        groups = table.group_by("key")
+        assert sum(len(g) for g in groups.values()) == len(table)
+        rebuilt = sorted(
+            (row["key"], row["value"])
+            for group in groups.values()
+            for row in group
+        )
+        assert rebuilt == sorted(rows)
+
+    @given(
+        rows=st.lists(st.integers(0, 1000), min_size=1, max_size=40),
+        by=st.sampled_from(["even", "mod3"]),
+    )
+    def test_aggregate_mean_matches_numpy(self, rows, by):
+        table = MetricsTable(["bucket", "v"])
+        for v in rows:
+            bucket = v % 2 if by == "even" else v % 3
+            table.append({"bucket": bucket, "v": v})
+        agg = table.aggregate(["bucket"], "v")
+        for row in agg:
+            expected = np.mean(
+                [v for v in rows if (v % 2 if by == "even" else v % 3) == row["bucket"]]
+            )
+            assert row["v"] == pytest.approx(expected)
+
+
+class TestAverTrichotomy:
+    @given(b=st.floats(min_value=-2.0, max_value=3.0))
+    def test_exactly_one_scaling_class(self, b):
+        """Outside the linear tolerance band, exactly one of
+        sublinear/linear/superlinear holds; inside it, linear holds."""
+        table = MetricsTable(["x", "y"])
+        for x in (1.0, 2.0, 4.0, 8.0, 16.0):
+            table.append({"x": x, "y": 5.0 * x**b})
+        verdicts = [
+            check(f"expect {fn}(x, y)", table).passed
+            for fn in ("sublinear", "linear", "superlinear")
+        ]
+        assert sum(verdicts) == 1
+
+
+class TestGasnetProperties:
+    @settings(deadline=None)
+    @given(
+        nbytes=st.integers(min_value=0, max_value=1 << 28),
+        src=st.integers(0, 3),
+        dst=st.integers(0, 3),
+    )
+    def test_transfer_symmetry_and_monotonicity(self, nbytes, src, dst):
+        site = Site("p", "cloudlab-c220g1", capacity=4)
+        cluster = GasnetCluster(site.allocate(4))
+        forward = cluster.transfer_time(src, dst, nbytes)
+        backward = cluster.transfer_time(dst, src, nbytes)
+        assert forward == pytest.approx(backward)
+        assert cluster.transfer_time(src, dst, nbytes + 4096) >= forward
+
+
+class TestSimCommProperties:
+    @settings(deadline=None)
+    @given(
+        ops=st.lists(
+            st.sampled_from(["barrier", "allreduce", "bcast", "compute"]),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_collectives_synchronize_and_time_is_monotone(self, ops):
+        site = Site("p", "hpc-haswell-ib", capacity=4)
+        comm = SimComm(list(site.allocate(4)))
+        rng = np.random.default_rng(1)
+        last_wall = 0.0
+        for op in ops:
+            if op == "compute":
+                comm.compute(rng.uniform(0.0, 0.01, size=4))
+            elif op == "barrier":
+                comm.barrier()
+            elif op == "allreduce":
+                comm.allreduce(64)
+            else:
+                comm.bcast(256)
+            assert comm.wall_time >= last_wall
+            last_wall = comm.wall_time
+            if op != "compute":
+                clocks = comm.clocks
+                assert np.all(clocks == clocks[0])  # collective = sync point
+
+    def test_mpi_time_conservation(self):
+        """Aggregate MPI time never exceeds ranks x wall time."""
+        site = Site("p", "hpc-haswell-ib", capacity=8)
+        comm = SimComm(list(site.allocate(8)))
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            comm.compute(rng.uniform(0, 0.01, size=8))
+            comm.allreduce(128)
+        total_mpi = float(comm.mpi_time_per_rank().sum())
+        assert total_mpi <= comm.wall_time * comm.size + 1e-9
+
+
+class TestImageLayerProperties:
+    @given(
+        layers=st.lists(
+            st.dictionaries(
+                st.sampled_from(["/a", "/b", "/c"]),
+                st.binary(min_size=1, max_size=8),
+                max_size=3,
+            ),
+            max_size=5,
+        )
+    )
+    def test_flatten_equals_dict_update(self, layers):
+        image = scratch()
+        expected: dict = {}
+        for files in layers:
+            image = image.with_layer(Layer.from_dict(files))
+            expected.update(files)
+        assert image.flatten() == expected
+
+    @given(
+        files=st.dictionaries(
+            st.sampled_from(["/a", "/b", "/c"]),
+            st.binary(min_size=1, max_size=8),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    def test_digest_is_pure_function_of_content(self, files):
+        a = scratch().with_layer(Layer.from_dict(files))
+        b = scratch().with_layer(Layer.from_dict(dict(files)))
+        assert a.digest == b.digest

@@ -1,0 +1,105 @@
+"""Tests for the metric store."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MonitorError
+from repro.monitor.metrics import MetricStore
+
+
+class TestRecording:
+    def test_record_and_values(self):
+        store = MetricStore()
+        store.record("latency", 1.0)
+        store.record("latency", 2.0)
+        np.testing.assert_array_equal(store.values("latency"), [1.0, 2.0])
+
+    def test_logical_clock_monotone(self):
+        store = MetricStore()
+        a = store.record("m", 1.0)
+        b = store.record("m", 2.0)
+        assert b.timestamp > a.timestamp
+
+    def test_explicit_timestamps(self):
+        store = MetricStore()
+        store.record("m", 1.0, timestamp=100.0)
+        sample = store.record("m", 2.0)
+        assert sample.timestamp > 100.0
+
+    def test_label_filtering(self):
+        store = MetricStore()
+        store.record("time", 1.0, labels={"node": "n0"})
+        store.record("time", 2.0, labels={"node": "n1"})
+        store.record("time", 3.0, labels={"node": "n0", "phase": "run"})
+        assert store.values("time", {"node": "n0"}).tolist() == [1.0, 3.0]
+        assert store.values("time", {"node": "n0", "phase": "run"}).tolist() == [3.0]
+
+    def test_rejects_bad_samples(self):
+        store = MetricStore()
+        with pytest.raises(MonitorError):
+            store.record("", 1.0)
+        with pytest.raises(MonitorError):
+            store.record("m", float("nan"))
+
+    def test_timer(self):
+        store = MetricStore()
+        with store.timer("elapsed"):
+            sum(range(1000))
+        assert store.values("elapsed").size == 1
+        assert store.values("elapsed")[0] > 0
+
+
+class TestSummary:
+    def test_summary_statistics(self):
+        store = MetricStore()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            store.record("m", v)
+        summary = store.summary("m")
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+        assert summary.p50 == pytest.approx(2.5)
+
+    def test_cov(self):
+        store = MetricStore()
+        for v in (10.0, 10.0, 10.0):
+            store.record("m", v)
+        assert store.summary("m").cov == 0.0
+
+    def test_single_sample_std_zero(self):
+        store = MetricStore()
+        store.record("m", 5.0)
+        assert store.summary("m").std == 0.0
+
+    def test_missing_series(self):
+        with pytest.raises(MonitorError):
+            MetricStore().summary("ghost")
+
+
+class TestExport:
+    def test_to_table(self):
+        store = MetricStore()
+        store.record("time", 1.5, labels={"node": "n0", "nodes": 4})
+        store.record("time", 2.5, labels={"node": "n1", "nodes": 4})
+        table = store.to_table("time")
+        assert set(table.columns) == {"metric", "timestamp", "node", "nodes", "value"}
+        assert table.column("value") == [1.5, 2.5]
+
+    def test_to_table_all_metrics(self):
+        store = MetricStore()
+        store.record("a", 1.0)
+        store.record("b", 2.0)
+        assert len(store.to_table()) == 2
+
+    def test_to_table_empty(self):
+        with pytest.raises(MonitorError):
+            MetricStore().to_table()
+
+    def test_merge(self):
+        a = MetricStore()
+        b = MetricStore()
+        a.record("m", 1.0)
+        b.record("m", 2.0)
+        a.merge(b)
+        assert len(a) == 2
+        assert a.metrics() == ["m"]

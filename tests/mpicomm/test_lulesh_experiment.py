@@ -1,0 +1,107 @@
+"""Tests for the LULESH proxy and the noise-variability experiment."""
+
+import pytest
+
+from repro.common.errors import MPIError
+from repro.common.rng import SeedSequenceFactory
+from repro.mpicomm.experiment import run_noise_experiment, variability_stats
+from repro.mpicomm.lulesh import LuleshConfig, cube_neighbors, run_lulesh
+from repro.platform.sites import Site, default_sites
+
+
+def small_config():
+    return LuleshConfig(side=2, iterations=15, elements_per_rank=8000)
+
+
+@pytest.fixture(scope="module")
+def noise_table():
+    return run_noise_experiment(
+        LuleshConfig(side=3, iterations=30), runs=6, seed=42
+    )
+
+
+class TestCubeNeighbors:
+    def test_single_rank(self):
+        assert cube_neighbors(1) == {0: []}
+
+    def test_corner_face_counts(self):
+        neighbors = cube_neighbors(3)
+        degrees = sorted(len(v) for v in neighbors.values())
+        assert degrees[0] == 3          # corners
+        assert degrees[-1] == 6         # center
+        assert len(neighbors) == 27
+
+    def test_symmetry(self):
+        neighbors = cube_neighbors(3)
+        for rank, peers in neighbors.items():
+            for peer in peers:
+                assert rank in neighbors[peer]
+
+    def test_invalid_side(self):
+        with pytest.raises(MPIError):
+            cube_neighbors(0)
+
+
+class TestLuleshRun:
+    def test_runs_and_profiles(self):
+        site = Site("t", "hpc-haswell-ib", capacity=8)
+        result = run_lulesh(
+            small_config(), list(site.allocate(8)), SeedSequenceFactory(1)
+        )
+        assert result.wall_time > 0
+        assert 0 < result.mpi_fraction < 1
+        callsites = {c.callsite for c in result.report.callsites}
+        assert any("halo" in c for c in callsites)
+        assert any("dtcourant" in c for c in callsites)
+
+    def test_needs_enough_nodes(self):
+        site = Site("t", "hpc-haswell-ib", capacity=4)
+        with pytest.raises(MPIError):
+            run_lulesh(
+                LuleshConfig(side=2), list(site.allocate(3)), SeedSequenceFactory(1)
+            )
+
+    def test_noise_increases_wall_time(self):
+        site = Site("t", "hpc-haswell-ib", capacity=8)
+        nodes = list(site.allocate(8))
+        seeds = SeedSequenceFactory(5)
+        clean = run_lulesh(small_config(), nodes, seeds, noise_injection=False)
+        noisy = run_lulesh(small_config(), nodes, seeds, noise_injection=True)
+        assert noisy.wall_time > clean.wall_time
+        assert noisy.mpi_fraction > clean.mpi_fraction
+
+    def test_deterministic(self):
+        site = Site("t", "hpc-haswell-ib", capacity=8)
+        nodes = list(site.allocate(8))
+        a = run_lulesh(small_config(), nodes, SeedSequenceFactory(3), run_id=1)
+        b = run_lulesh(small_config(), nodes, SeedSequenceFactory(3), run_id=1)
+        assert a.wall_time == b.wall_time
+
+
+class TestNoiseExperiment:
+    def test_table_shape(self, noise_table):
+        assert len(noise_table) == 12  # 2 settings x 6 runs
+        assert set(noise_table.column("noise")) == {True, False}
+
+    def test_noise_amplifies_variability(self, noise_table):
+        """The use case's headline: noisy neighbors blow up run-to-run
+        spread (CoV at least 3x the quiet baseline)."""
+        clean = variability_stats(noise_table, False)
+        noisy = variability_stats(noise_table, True)
+        assert noisy.cov_wall > 3 * clean.cov_wall
+        assert noisy.mean_wall > clean.mean_wall
+
+    def test_noise_shifts_blame_to_collectives(self, noise_table):
+        noisy = noise_table.where_equals(noise=True)
+        assert all(
+            "dtcourant" in c for c in noisy.column("dominant_callsite")
+        )
+
+    def test_mpi_fraction_rises_under_noise(self, noise_table):
+        clean = variability_stats(noise_table, False)
+        noisy = variability_stats(noise_table, True)
+        assert noisy.mean_mpi_fraction > 2 * clean.mean_mpi_fraction
+
+    def test_stats_str(self, noise_table):
+        text = str(variability_stats(noise_table, True))
+        assert "noise=on" in text

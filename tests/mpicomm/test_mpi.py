@@ -1,0 +1,149 @@
+"""Tests for the simulated MPI communicator and mpiP profiler."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MPIError
+from repro.common.rng import derive_rng
+from repro.mpicomm.mpi import SimComm
+from repro.mpicomm.mpip import profile
+from repro.platform.sites import Site
+
+
+def make_comm(n=4, machine="hpc-haswell-ib"):
+    site = Site("t", machine, capacity=n)
+    return SimComm(list(site.allocate(n)))
+
+
+class TestSimComm:
+    def test_size_and_clocks(self):
+        comm = make_comm(4)
+        assert comm.size == 4
+        np.testing.assert_array_equal(comm.clocks, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(MPIError):
+            SimComm([])
+
+    def test_compute_advances_clocks(self):
+        comm = make_comm(2)
+        comm.compute([1.0, 2.0])
+        np.testing.assert_allclose(comm.clocks, [1.0, 2.0])
+        assert comm.wall_time == 2.0
+
+    def test_compute_scalar_broadcasts(self):
+        comm = make_comm(3)
+        comm.compute(0.5)
+        np.testing.assert_allclose(comm.clocks, 0.5)
+
+    def test_negative_compute_rejected(self):
+        comm = make_comm(2)
+        with pytest.raises(MPIError):
+            comm.compute([-1.0, 0.0])
+
+    def test_barrier_synchronizes(self):
+        comm = make_comm(4)
+        comm.compute([1.0, 2.0, 3.0, 4.0])
+        comm.barrier()
+        clocks = comm.clocks
+        assert np.all(clocks == clocks[0])
+        assert clocks[0] > 4.0
+
+    def test_allreduce_waits_recorded(self):
+        comm = make_comm(2)
+        comm.compute([0.0, 1.0])
+        comm.allreduce(8)
+        event = comm.events[-1]
+        assert event.waits == (1.0, 0.0)
+        assert event.cost > 0
+
+    def test_collective_cost_grows_with_size_and_bytes(self):
+        small = make_comm(2)
+        large = make_comm(16)
+        assert large.allreduce(1024) > small.allreduce(1024)
+        comm = make_comm(4)
+        assert comm.allreduce(1 << 20) > comm.allreduce(8)
+
+    def test_send_recv_only_touches_endpoints(self):
+        comm = make_comm(3)
+        comm.send_recv(0, 1, 4096)
+        clocks = comm.clocks
+        assert clocks[0] == clocks[1] > 0
+        assert clocks[2] == 0.0
+
+    def test_send_recv_self_is_free(self):
+        comm = make_comm(2)
+        assert comm.send_recv(0, 0, 1 << 20) == 0.0
+
+    def test_rank_validation(self):
+        comm = make_comm(2)
+        with pytest.raises(MPIError):
+            comm.send_recv(0, 7, 10)
+        with pytest.raises(MPIError):
+            comm.delay(9, 1.0)
+
+    def test_delay_injection(self):
+        comm = make_comm(2)
+        comm.delay(1, 5.0)
+        assert comm.clocks[1] == 5.0
+
+    def test_neighbor_exchange_local_sync(self):
+        comm = make_comm(4)
+        comm.compute([0.0, 10.0, 0.0, 0.0])
+        # ring: 0-1, 1-2, 2-3
+        comm.neighbor_exchange({0: [1], 1: [0, 2], 2: [1, 3], 3: [2]}, 1024)
+        clocks = comm.clocks
+        # ranks touching rank 1 sync to >= 10; rank 3 does not
+        assert clocks[0] >= 10.0 and clocks[2] >= 10.0
+        assert clocks[3] < 10.0
+
+    def test_mpi_time_per_rank(self):
+        comm = make_comm(2)
+        comm.compute([0.0, 2.0])
+        comm.barrier()
+        per_rank = comm.mpi_time_per_rank()
+        assert per_rank[0] > per_rank[1]  # rank 0 waited for rank 1
+
+    def test_faster_network_cheaper(self):
+        ib = make_comm(4, "hpc-haswell-ib")
+        eth = make_comm(4, "lab-xeon-2006")
+        assert ib.allreduce(1 << 16) < eth.allreduce(1 << 16)
+
+
+class TestMpiP:
+    def test_profile_breakdown(self):
+        comm = make_comm(4)
+        for _ in range(5):
+            comm.compute(0.1)
+            comm.allreduce(8, callsite="app.c:10")
+            comm.bcast(1024, callsite="app.c:20")
+        report = profile(comm)
+        assert report.ranks == 4
+        assert report.wall_time == pytest.approx(comm.wall_time)
+        assert 0 < report.mpi_fraction < 1
+        assert {c.callsite for c in report.callsites} == {"app.c:10", "app.c:20"}
+        assert sum(c.share_of_mpi for c in report.callsites) == pytest.approx(1.0)
+
+    def test_callsites_sorted_by_time(self):
+        comm = make_comm(4)
+        comm.compute(0.01)
+        comm.allreduce(1 << 20, callsite="big")
+        comm.allreduce(8, callsite="small")
+        report = profile(comm)
+        assert report.dominant_callsite().callsite == "big"
+
+    def test_no_activity(self):
+        comm = make_comm(2)
+        comm.compute(1.0)
+        report = profile(comm)
+        assert report.mpi_fraction == 0.0
+        with pytest.raises(MPIError):
+            report.dominant_callsite()
+
+    def test_table_export(self):
+        comm = make_comm(2)
+        comm.compute(0.1)
+        comm.allreduce(8, callsite="x")
+        table = profile(comm).to_table()
+        assert table.column("callsite") == ["x"]
+        assert table.column("calls") == [1]

@@ -1,0 +1,118 @@
+"""Tests for the notebook model and executor."""
+
+import pytest
+
+from repro.notebook import Cell, Notebook, NotebookError, execute
+
+
+def make_notebook():
+    nb = Notebook(metadata={"kernel": "python3"})
+    nb.add_markdown("# Analysis")
+    nb.add_code("x = 2 + 2")
+    nb.add_code("print('value is', x)\nx * 10")
+    return nb
+
+
+class TestModel:
+    def test_cell_type_validation(self):
+        with pytest.raises(NotebookError):
+            Cell("raw", "data")
+
+    def test_builders(self):
+        nb = make_notebook()
+        assert len(nb.cells) == 3
+        assert len(nb.code_cells) == 2
+
+    def test_json_round_trip(self):
+        nb = make_notebook()
+        again = Notebook.from_json(nb.to_json())
+        assert again.cells == nb.cells
+        assert again.metadata == nb.metadata
+
+    def test_ipynb_line_list_sources(self):
+        text = (
+            '{"cells": [{"cell_type": "code", '
+            '"source": ["a = 1\\n", "a + 1"]}]}'
+        )
+        nb = Notebook.from_json(text)
+        assert nb.cells[0].source == "a = 1\na + 1"
+
+    def test_bad_json(self):
+        with pytest.raises(NotebookError):
+            Notebook.from_json("{nope")
+        with pytest.raises(NotebookError):
+            Notebook.from_json('{"no_cells": true}')
+        with pytest.raises(NotebookError):
+            Notebook.from_json('{"cells": [{"cell_type": "code"}]}')
+
+    def test_file_round_trip(self, tmp_path):
+        nb = make_notebook()
+        path = tmp_path / "analysis.nb.json"
+        nb.save(path)
+        assert Notebook.load(path).cells == nb.cells
+
+
+class TestExecutor:
+    def test_shared_namespace_and_outputs(self):
+        run = execute(make_notebook())
+        assert run.ok
+        assert run.results[0].value is None            # assignment only
+        assert run.results[1].stdout == "value is 4\n"
+        assert run.results[1].value == 40              # trailing expression
+        assert run.namespace["x"] == 4
+
+    def test_seed_namespace(self):
+        nb = Notebook().add_code("total = sum(r['time'] for r in rows)\ntotal")
+        run = execute(nb, namespace={"rows": [{"time": 1.5}, {"time": 2.5}]})
+        assert run.ok and run.results[0].value == 4.0
+
+    def test_error_stops_execution(self):
+        nb = (
+            Notebook()
+            .add_code("a = 1")
+            .add_code("raise ValueError('boom')")
+            .add_code("b = 2  # never runs")
+        )
+        run = execute(nb)
+        assert not run.ok
+        assert "boom" in run.first_error
+        assert len(run.results) == 2
+        assert "b" not in run.namespace
+
+    def test_continue_on_error(self):
+        nb = (
+            Notebook()
+            .add_code("raise RuntimeError('x')")
+            .add_code("after = True")
+        )
+        run = execute(nb, stop_on_error=False)
+        assert not run.ok
+        assert run.namespace.get("after") is True
+
+    def test_syntax_error_is_cell_failure(self):
+        run = execute(Notebook().add_code("def broken(:"))
+        assert not run.ok
+        assert "SyntaxError" in run.first_error
+
+    def test_markdown_cells_skipped(self):
+        nb = Notebook().add_markdown("text only")
+        run = execute(nb)
+        assert run.ok and run.results == []
+
+    def test_analysis_over_metrics_table(self):
+        """The intended use: a notebook analyzing experiment results."""
+        from repro.common.tables import MetricsTable
+
+        table = MetricsTable(
+            ["nodes", "time"],
+            [{"nodes": n, "time": 16.0 / n} for n in (1, 2, 4)],
+        )
+        nb = (
+            Notebook()
+            .add_markdown("## Scalability check")
+            .add_code("agg = results.aggregate(['nodes'], 'time')")
+            .add_code("sorted(agg.column('time'), reverse=True)")
+        )
+        run = execute(nb, namespace={"results": table})
+        assert run.ok
+        assert run.results[-1].value == [16.0, 8.0, 4.0]

@@ -1,0 +1,353 @@
+"""Tests for inventory, modules and playbook execution."""
+
+import pytest
+
+from repro.common.errors import OrchestrationError
+from repro.orchestration.connection import ContainerConnection, UnreachableConnection
+from repro.orchestration.inventory import Inventory
+from repro.orchestration.modules import TaskResult, run_module
+from repro.orchestration.playbook import Playbook, PlaybookRunner, Task
+
+
+def make_inventory(n=3, group="workers"):
+    inventory = Inventory()
+    for i in range(n):
+        inventory.add_host(
+            f"node{i}",
+            groups=[group] if i else [group, "head"],
+            connection=ContainerConnection(name=f"node{i}"),
+        )
+    return inventory
+
+
+class TestInventory:
+    def test_from_yaml(self):
+        inventory = Inventory.from_yaml(
+            "hosts:\n"
+            "  - name: node0\n"
+            "    groups: [head]\n"
+            "    vars: {role: master}\n"
+            "  - name: node1\n"
+            "group_vars:\n"
+            "  head: {port: 8080}\n"
+        )
+        assert [h.name for h in inventory.hosts()] == ["node0", "node1"]
+        head = inventory.host("node0")
+        merged = inventory.effective_vars(head)
+        assert merged["role"] == "master" and merged["port"] == 8080
+        assert merged["inventory_hostname"] == "node0"
+
+    def test_duplicate_host_rejected(self):
+        inventory = Inventory()
+        inventory.add_host("a")
+        with pytest.raises(OrchestrationError):
+            inventory.add_host("a")
+
+    def test_match_all(self):
+        inventory = make_inventory(3)
+        assert len(inventory.match("all")) == 3
+
+    def test_match_group(self):
+        inventory = make_inventory(3)
+        assert [h.name for h in inventory.match("head")] == ["node0"]
+
+    def test_match_union_and_exclusion(self):
+        inventory = make_inventory(3)
+        names = [h.name for h in inventory.match("workers,!node1")]
+        assert names == ["node0", "node2"]
+
+    def test_match_unknown_term(self):
+        inventory = make_inventory(1)
+        with pytest.raises(OrchestrationError):
+            inventory.match("ghosts")
+
+    def test_host_vars_override_group_vars(self):
+        inventory = Inventory()
+        inventory.add_host("a", groups=["g"], variables={"x": 1})
+        inventory.set_group_vars("g", {"x": 2, "y": 3})
+        merged = inventory.effective_vars(inventory.host("a"))
+        assert merged["x"] == 1 and merged["y"] == 3
+
+
+class TestModules:
+    def test_command_captures_output(self):
+        conn = ContainerConnection()
+        result = run_module("command", conn, {"cmd": "echo hi"})
+        assert result.ok and result.data["stdout"] == "hi\n"
+
+    def test_command_failure(self):
+        conn = ContainerConnection()
+        result = run_module("command", conn, {"cmd": "false"})
+        assert result.failed and result.data["rc"] == 1
+
+    def test_copy_idempotent(self):
+        conn = ContainerConnection()
+        first = run_module("copy", conn, {"dest": "/f", "content": "x"})
+        second = run_module("copy", conn, {"dest": "/f", "content": "x"})
+        assert first.changed and not second.changed
+
+    def test_copy_from_local_src(self, tmp_path):
+        source = tmp_path / "vars.yml"
+        source.write_text("n: 1\n")
+        conn = ContainerConnection()
+        result = run_module("copy", conn, {"dest": "/vars.yml", "src": str(source)})
+        assert result.changed
+        assert conn.fetch_file("/vars.yml") == b"n: 1\n"
+
+    def test_fetch_to_host_file(self, tmp_path):
+        conn = ContainerConnection()
+        conn.put_file("/results.csv", b"a,b\n")
+        dest = tmp_path / "out" / "results.csv"
+        result = run_module("fetch", conn, {"src": "/results.csv", "dest": str(dest)})
+        assert result.data["content"] == "a,b\n"
+        assert dest.read_bytes() == b"a,b\n"
+
+    def test_fetch_missing(self):
+        conn = ContainerConnection()
+        assert run_module("fetch", conn, {"src": "/ghost"}).failed
+
+    def test_package_idempotent(self):
+        conn = ContainerConnection()
+        first = run_module("package", conn, {"name": ["git", "make"]})
+        second = run_module("package", conn, {"name": ["git", "make"]})
+        assert first.changed and not second.changed
+
+    def test_package_unknown(self):
+        conn = ContainerConnection()
+        assert run_module("package", conn, {"name": "leftpad"}).failed
+
+    def test_file_states(self):
+        conn = ContainerConnection()
+        assert run_module("file", conn, {"path": "/f", "state": "touch"}).changed
+        assert not run_module("file", conn, {"path": "/f", "state": "touch"}).changed
+        assert run_module("file", conn, {"path": "/f", "state": "absent"}).changed
+        assert not run_module("file", conn, {"path": "/f", "state": "absent"}).changed
+
+    def test_unknown_module(self):
+        with pytest.raises(OrchestrationError):
+            run_module("teleport", ContainerConnection(), {})
+
+    def test_facts_include_packages_and_node(self):
+        from repro.platform.sites import Site
+
+        node = Site("s", "cloudlab-c220g1", capacity=1).node(0)
+        conn = ContainerConnection(node=node, name="n0")
+        conn.run("pkg install git")
+        facts = conn.facts()
+        assert "git" in facts["installed_packages"]
+        assert facts["machine"] == "cloudlab-c220g1"
+        assert facts["cores"] == 16
+
+    def test_unreachable_connection(self):
+        conn = UnreachableConnection("down0")
+        with pytest.raises(OrchestrationError):
+            conn.run("echo x")
+
+
+class TestPlaybookExecution:
+    def test_end_to_end(self):
+        inventory = make_inventory(3)
+        playbook = Playbook.from_yaml(
+            "- name: setup\n"
+            "  hosts: all\n"
+            "  vars: {content: payload}\n"
+            "  tasks:\n"
+            "    - name: install\n"
+            "      package: {name: [git]}\n"
+            "    - name: write\n"
+            "      copy: {dest: /exp/data.txt, content: '{{ content }}'}\n"
+            "    - name: check\n"
+            "      command: {cmd: cat /exp/data.txt}\n"
+            "      register: out\n"
+            "    - name: verify\n"
+            "      assert:\n"
+            "        that: [\"'payload' in out.stdout\"]\n"
+        )
+        recap = PlaybookRunner(inventory).run(playbook)
+        assert recap.ok
+        assert all(s.ok == 4 for s in recap.stats.values())
+
+    def test_when_skips(self):
+        inventory = make_inventory(3)
+        playbook = Playbook.from_yaml(
+            "- hosts: all\n"
+            "  tasks:\n"
+            "    - name: only head\n"
+            "      command: {cmd: echo head}\n"
+            "      when: inventory_hostname == 'node0'\n"
+        )
+        recap = PlaybookRunner(inventory).run(playbook)
+        results = recap.results_for("only head")
+        assert not results["node0"].skipped
+        assert results["node1"].skipped and results["node2"].skipped
+
+    def test_failure_stops_host_but_not_others(self):
+        inventory = make_inventory(2)
+        playbook = Playbook.from_yaml(
+            "- hosts: all\n"
+            "  tasks:\n"
+            "    - name: maybe fail\n"
+            "      command: {cmd: false}\n"
+            "      when: inventory_hostname == 'node0'\n"
+            "    - name: continue\n"
+            "      command: {cmd: echo on}\n"
+        )
+        recap = PlaybookRunner(inventory).run(playbook)
+        assert not recap.ok
+        assert recap.stats["node0"].failed == 1
+        assert recap.stats["node1"].skipped == 1
+        assert recap.stats["node1"].ok == 1
+        later = recap.results_for("continue")
+        assert "node0" not in later and "node1" in later
+
+    def test_ignore_errors_continues(self):
+        inventory = make_inventory(1)
+        playbook = Playbook.from_yaml(
+            "- hosts: all\n"
+            "  tasks:\n"
+            "    - name: flaky\n"
+            "      command: {cmd: false}\n"
+            "      ignore_errors: true\n"
+            "    - name: after\n"
+            "      command: {cmd: echo ok}\n"
+        )
+        recap = PlaybookRunner(inventory).run(playbook)
+        assert recap.ok
+        assert "node0" in recap.results_for("after")
+
+    def test_register_feeds_later_tasks(self):
+        inventory = make_inventory(1)
+        playbook = Playbook.from_yaml(
+            "- hosts: all\n"
+            "  tasks:\n"
+            "    - name: produce\n"
+            "      command: {cmd: echo result-value}\n"
+            "      register: produced\n"
+            "    - name: consume\n"
+            "      copy: {dest: /out.txt, content: '{{ produced.stdout }}'}\n"
+        )
+        recap = PlaybookRunner(inventory).run(playbook)
+        assert recap.ok
+        conn = inventory.host("node0").connection
+        assert b"result-value" in conn.fetch_file("/out.txt")
+
+    def test_loop(self):
+        inventory = make_inventory(1)
+        playbook = Playbook.from_yaml(
+            "- hosts: all\n"
+            "  tasks:\n"
+            "    - name: touch many\n"
+            "      file: {path: '/f{{ item }}', state: touch}\n"
+            "      loop: [1, 2, 3]\n"
+        )
+        recap = PlaybookRunner(inventory).run(playbook)
+        assert recap.ok
+        conn = inventory.host("node0").connection
+        for i in (1, 2, 3):
+            assert conn.file_exists(f"/f{i}")
+
+    def test_set_fact_and_facts(self):
+        inventory = make_inventory(1)
+        playbook = Playbook.from_yaml(
+            "- hosts: all\n"
+            "  tasks:\n"
+            "    - name: remember\n"
+            "      set_fact: {answer: 42}\n"
+            "    - name: use\n"
+            "      assert:\n"
+            "        that: ['answer == 42', 'facts.hostname is defined']\n"
+        )
+        recap = PlaybookRunner(inventory).run(playbook)
+        assert recap.ok
+
+    def test_extra_vars_win(self):
+        inventory = make_inventory(1)
+        playbook = Playbook.from_yaml(
+            "- hosts: all\n"
+            "  vars: {n: 1}\n"
+            "  tasks:\n"
+            "    - name: check\n"
+            "      assert: {that: ['n == 5']}\n"
+        )
+        recap = PlaybookRunner(inventory, extra_vars={"n": 5}).run(playbook)
+        assert recap.ok
+
+    def test_no_matching_hosts(self):
+        inventory = make_inventory(1)
+        playbook = Playbook.from_yaml("- hosts: ghosts\n  tasks: []\n")
+        with pytest.raises(OrchestrationError):
+            PlaybookRunner(inventory).run(playbook)
+
+    def test_task_requires_single_module(self):
+        with pytest.raises(OrchestrationError):
+            Task.from_dict({"command": "x", "copy": {"dest": "/f"}})
+
+    def test_unknown_module_in_task(self):
+        with pytest.raises(OrchestrationError):
+            Task.from_dict({"warp": {}})
+
+    def test_unreachable_host_fails_cleanly(self):
+        inventory = Inventory()
+        inventory.add_host("up", connection=ContainerConnection(name="up"))
+        inventory.add_host("down", connection=UnreachableConnection("down"))
+        playbook = Playbook.from_yaml(
+            "- hosts: all\n"
+            "  gather_facts: false\n"
+            "  tasks:\n"
+            "    - name: ping\n"
+            "      command: {cmd: echo pong}\n"
+        )
+        recap = PlaybookRunner(inventory).run(playbook)
+        assert not recap.ok
+        assert recap.stats["down"].failed == 1
+        assert recap.stats["up"].ok == 1
+
+
+class TestRetries:
+    class FlakyConnection:
+        """Fails the first N run() calls, then succeeds."""
+
+        def __init__(self, failures):
+            self.remaining = failures
+            self.calls = 0
+
+        def run(self, command):
+            from repro.container.runtime import ExecResult
+
+            self.calls += 1
+            if self.remaining > 0:
+                self.remaining -= 1
+                return ExecResult(1, stderr="transient failure\n")
+            return ExecResult(0, stdout="recovered\n")
+
+        def facts(self):
+            return {}
+
+    def _run(self, failures, retries):
+        inventory = Inventory()
+        conn = self.FlakyConnection(failures)
+        inventory.add_host("flaky", connection=conn)
+        playbook = Playbook.from_yaml(
+            "- hosts: all\n"
+            "  gather_facts: false\n"
+            "  tasks:\n"
+            "    - name: flaky step\n"
+            "      command: {cmd: echo try}\n"
+            f"      retries: {retries}\n"
+        )
+        return PlaybookRunner(inventory).run(playbook), conn
+
+    def test_retry_recovers(self):
+        recap, conn = self._run(failures=2, retries=3)
+        assert recap.ok
+        assert conn.calls == 3  # two failures + one success
+
+    def test_retries_exhausted(self):
+        recap, conn = self._run(failures=5, retries=2)
+        assert not recap.ok
+        assert conn.calls == 3  # initial + 2 retries
+
+    def test_no_retries_by_default(self):
+        recap, conn = self._run(failures=1, retries=0)
+        assert not recap.ok
+        assert conn.calls == 1

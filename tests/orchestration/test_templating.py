@@ -1,0 +1,101 @@
+"""Tests for the template/expression engine."""
+
+import pytest
+
+from repro.common.errors import OrchestrationError
+from repro.orchestration.templating import evaluate, render, render_value
+
+
+class TestRender:
+    def test_simple_substitution(self):
+        assert render("hello {{ name }}", {"name": "world"}) == "hello world"
+
+    def test_multiple_placeholders(self):
+        assert render("{{ a }}+{{ b }}", {"a": 1, "b": 2}) == "1+2"
+
+    def test_dotted_access(self):
+        assert render("{{ r.stdout }}", {"r": {"stdout": "out"}}) == "out"
+
+    def test_undefined_raises(self):
+        with pytest.raises(OrchestrationError, match="undefined"):
+            render("{{ ghost }}", {})
+
+    def test_default_filter(self):
+        assert render("{{ ghost | default('x') }}", {}) == "x"
+        assert render("{{ name | default('x') }}", {"name": "y"}) == "y"
+
+    def test_bool_rendering(self):
+        assert render("{{ flag }}", {"flag": True}) == "true"
+
+    def test_no_placeholder_passthrough(self):
+        assert render("plain text", {}) == "plain text"
+
+
+class TestRenderValue:
+    def test_sole_placeholder_keeps_type(self):
+        assert render_value("{{ n }}", {"n": 4}) == 4
+        assert render_value("{{ xs }}", {"xs": [1, 2]}) == [1, 2]
+
+    def test_embedded_placeholder_is_string(self):
+        assert render_value("n={{ n }}", {"n": 4}) == "n=4"
+
+    def test_nested_structures(self):
+        doc = {"cmd": "run {{ x }}", "list": ["{{ x }}", "lit"]}
+        assert render_value(doc, {"x": 9}) == {"cmd": "run 9", "list": [9, "lit"]}
+
+    def test_non_strings_untouched(self):
+        assert render_value(42, {}) == 42
+        assert render_value(None, {}) is None
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize(
+        "expr,variables,expected",
+        [
+            ("x == 1", {"x": 1}, True),
+            ("x != 1", {"x": 1}, False),
+            ("x > 3", {"x": 5}, True),
+            ("x >= 5", {"x": 5}, True),
+            ("x < 3 or x > 4", {"x": 5}, True),
+            ("x < 3 and x > 4", {"x": 5}, False),
+            ("not flag", {"flag": False}, True),
+            ("name == 'node0'", {"name": "node0"}, True),
+            ('name == "node0"', {"name": "node1"}, False),
+            ("x in xs", {"x": 2, "xs": [1, 2, 3]}, True),
+            ("'head' in groups", {"groups": ["head", "workers"]}, True),
+            ("ghost is defined", {}, False),
+            ("ghost is not defined", {}, True),
+            ("x is defined", {"x": 0}, True),
+            ("(x > 1) and (x < 10)", {"x": 5}, True),
+            ("x | default(7) == 7", {}, True),
+            ("xs | length == 2", {"xs": [1, 2]}, True),
+            ("s | int > 3", {"s": "5"}, True),
+            ("d.k == 'v'", {"d": {"k": "v"}}, True),
+            ("xs[1] == 20", {"xs": [10, 20]}, True),
+            ("m['a'] == 1", {"m": {"a": 1}}, True),
+            ("x == 1.5", {"x": 1.5}, True),
+            ("flag == true", {"flag": True}, True),
+        ],
+    )
+    def test_expressions(self, expr, variables, expected):
+        assert evaluate(expr, variables) is expected
+
+    def test_undefined_comparison_raises(self):
+        with pytest.raises(OrchestrationError):
+            evaluate("ghost == 1", {})
+
+    def test_bare_undefined_raises(self):
+        with pytest.raises(OrchestrationError):
+            evaluate("ghost", {})
+
+    def test_unknown_filter(self):
+        with pytest.raises(OrchestrationError, match="unknown filter"):
+            evaluate("x | upper", {"x": "a"})
+
+    def test_trailing_garbage(self):
+        with pytest.raises(OrchestrationError):
+            evaluate("x == 1 garbage", {"x": 1})
+
+    def test_empty_expression(self):
+        with pytest.raises(OrchestrationError):
+            evaluate("   ", {})

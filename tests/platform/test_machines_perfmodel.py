@@ -1,0 +1,155 @@
+"""Tests for machine catalog and the roofline execution model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import PlatformError
+from repro.platform.machines import CATALOG, MachineSpec, get_machine
+from repro.platform.perfmodel import (
+    KernelDemand,
+    amdahl_speedup,
+    bottleneck,
+    execution_time,
+)
+
+
+class TestCatalog:
+    def test_expected_platforms_present(self):
+        for name in (
+            "lab-xeon-2006",
+            "cloudlab-c220g1",
+            "cloudlab-m400",
+            "ec2-m4",
+            "hpc-haswell-ib",
+        ):
+            assert get_machine(name).name == name
+
+    def test_unknown_machine(self):
+        with pytest.raises(PlatformError):
+            get_machine("cray-1")
+
+    def test_new_machine_is_generationally_faster(self):
+        old = get_machine("lab-xeon-2006")
+        new = get_machine("cloudlab-c220g1")
+        assert new.core_ops_per_sec() > 2 * old.core_ops_per_sec()
+        assert new.mem_bw_gbs > 4 * old.mem_bw_gbs
+
+    def test_virtualized_variant(self):
+        bare = get_machine("cloudlab-c220g1")
+        vm = bare.virtualized(0.1)
+        assert vm.virt_overhead == 0.1
+        assert vm.name.endswith("-vm")
+        assert bare.virt_overhead == 0.0
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(PlatformError):
+            MachineSpec(
+                name="bad", year=2020, cores=0, freq_ghz=3.0, ipc_int=1, ipc_fp=1,
+                l2_kib=256, l3_mib=8, mem_bw_gbs=10, mem_lat_ns=90,
+                storage_bw_mbs=100, storage_iops=1000, storage_lat_us=100,
+                net_bw_gbit=10, net_lat_us=20,
+            )
+
+
+class TestKernelDemand:
+    def test_scaled(self):
+        demand = KernelDemand(ops=100.0, mem_bytes=10.0, net_msgs=2.0)
+        double = demand.scaled(2.0)
+        assert double.ops == 200.0 and double.net_msgs == 4.0
+
+    def test_plus_adds_volumes(self):
+        a = KernelDemand(ops=100.0, fp_fraction=1.0)
+        b = KernelDemand(ops=300.0, fp_fraction=0.0)
+        c = a.plus(b)
+        assert c.ops == 400.0
+        assert c.fp_fraction == pytest.approx(0.25)
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(PlatformError):
+            KernelDemand(fp_fraction=1.5)
+        with pytest.raises(PlatformError):
+            KernelDemand(parallel_fraction=-0.1)
+
+
+class TestExecutionModel:
+    def test_cpu_bound_kernel_tracks_core_rate(self):
+        machine = get_machine("cloudlab-c220g1")
+        demand = KernelDemand(ops=1e9, working_set_kib=16)
+        time = execution_time(demand, machine)
+        assert time == pytest.approx(1e9 / machine.core_ops_per_sec(), rel=0.2)
+
+    def test_bottleneck_classification(self):
+        machine = get_machine("cloudlab-c220g1")
+        assert bottleneck(KernelDemand(ops=1e10, working_set_kib=8), machine) == "compute"
+        assert (
+            bottleneck(
+                KernelDemand(mem_bytes=1e10, working_set_kib=1 << 20), machine
+            )
+            == "memory"
+        )
+        assert (
+            bottleneck(KernelDemand(storage_read_bytes=1e10), machine) == "storage"
+        )
+        assert bottleneck(KernelDemand(net_bytes=1e10), machine) == "network"
+
+    def test_hdd_vs_network_bottleneck_inversion(self):
+        """The paper's example: an HDD machine is storage-bound where a
+        fast-storage machine is network-bound for the same workload."""
+        demand = KernelDemand(
+            storage_read_bytes=1e9, storage_ops=20000, net_bytes=4e9
+        )
+        assert bottleneck(demand, get_machine("lab-xeon-2006")) == "storage"
+        assert bottleneck(demand, get_machine("cloudlab-c220g1")) == "network"
+
+    def test_more_threads_never_slower(self):
+        machine = get_machine("cloudlab-c220g1")
+        demand = KernelDemand(ops=1e10, parallel_fraction=0.95, working_set_kib=32)
+        times = [execution_time(demand, machine, threads=t) for t in (1, 2, 4, 8, 16)]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_amdahl_limits_scaling(self):
+        machine = get_machine("cloudlab-c220g1")
+        demand = KernelDemand(ops=1e10, parallel_fraction=0.5, working_set_kib=32)
+        t1 = execution_time(demand, machine, threads=1)
+        t16 = execution_time(demand, machine, threads=16)
+        assert t1 / t16 < 2.0  # Amdahl cap at p=0.5 is 2x
+
+    def test_virt_overhead_applied(self):
+        bare = get_machine("cloudlab-c220g1")
+        vm = bare.virtualized(0.10)
+        demand = KernelDemand(ops=1e9)
+        assert execution_time(demand, vm) == pytest.approx(
+            execution_time(demand, bare) * 1.10
+        )
+
+    def test_cache_resident_faster_than_spilled(self):
+        machine = get_machine("cloudlab-c220g1")
+        small = KernelDemand(mem_bytes=1e9, working_set_kib=512)
+        large = KernelDemand(mem_bytes=1e9, working_set_kib=1 << 20)
+        assert execution_time(small, machine) < execution_time(large, machine)
+
+    def test_overlap_bounds(self):
+        machine = get_machine("cloudlab-c220g1")
+        demand = KernelDemand(ops=1e9, mem_bytes=1e9, working_set_kib=1 << 20)
+        roofline = execution_time(demand, machine, overlap=1.0)
+        serial = execution_time(demand, machine, overlap=0.0)
+        mid = execution_time(demand, machine, overlap=0.5)
+        assert roofline <= mid <= serial
+        with pytest.raises(PlatformError):
+            execution_time(demand, machine, overlap=1.5)
+
+    @given(
+        ops=st.floats(min_value=1e6, max_value=1e12),
+        mem=st.floats(min_value=0, max_value=1e12),
+        threads=st.integers(min_value=1, max_value=64),
+    )
+    def test_time_always_positive(self, ops, mem, threads):
+        machine = get_machine("cloudlab-c220g1")
+        demand = KernelDemand(ops=ops, mem_bytes=mem, working_set_kib=1 << 18)
+        assert execution_time(demand, machine, threads=threads) > 0
+
+    def test_amdahl_speedup_monotone(self):
+        speedups = [amdahl_speedup(t, 0.9) for t in (1, 2, 4, 8, 16, 32)]
+        assert all(b >= a for a, b in zip(speedups, speedups[1:]))
+        assert speedups[-1] < 10.0  # bounded by 1/(1-p)

@@ -1,0 +1,126 @@
+"""Tests for noise models and site allocation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import AllocationError, PlatformError
+from repro.common.rng import SeedSequenceFactory, derive_rng
+from repro.platform.noise import (
+    QUIET,
+    DaemonNoise,
+    JitterNoise,
+    NeighborNoise,
+    NoiseModel,
+    noisy_cloud,
+)
+from repro.platform.sites import Site, default_sites
+
+
+class TestNoiseModels:
+    def test_jitter_mean_preserving(self):
+        rng = derive_rng(1, "jitter")
+        samples = np.array(
+            [JitterNoise(cov=0.05).sample(10.0, rng) for _ in range(4000)]
+        )
+        assert samples.mean() == pytest.approx(10.0, rel=0.02)
+
+    def test_zero_cov_identity(self):
+        rng = derive_rng(1, "x")
+        assert JitterNoise(cov=0.0).sample(5.0, rng) == 5.0
+
+    def test_daemon_noise_only_slows(self):
+        rng = derive_rng(1, "daemon")
+        noise = DaemonNoise(steal_fraction=0.05, period_s=0.1, duty=0.5)
+        samples = [noise.sample(2.0, rng) for _ in range(100)]
+        assert all(s >= 2.0 for s in samples)
+        assert max(s for s in samples) > 2.0
+
+    def test_neighbor_noise_bimodal(self):
+        rng = derive_rng(1, "nbr")
+        noise = NeighborNoise(prob=0.5, lo=0.2, hi=0.4)
+        samples = np.array([noise.sample(1.0, rng) for _ in range(2000)])
+        clean = (samples == 1.0).mean()
+        assert 0.4 < clean < 0.6
+        assert samples.max() <= 1.4 + 1e-9
+
+    def test_neighbor_validation(self):
+        with pytest.raises(PlatformError):
+            NeighborNoise(prob=1.5)
+        with pytest.raises(PlatformError):
+            NeighborNoise(lo=0.5, hi=0.1)
+
+    def test_noisy_cloud_spread_exceeds_quiet(self):
+        rng_q = derive_rng(3, "quiet")
+        rng_n = derive_rng(3, "noisy")
+        quiet = QUIET.sample_many(1.0, rng_q, 300)
+        noisy = noisy_cloud().sample_many(1.0, rng_n, 300)
+        cov_q = quiet.std() / quiet.mean()
+        cov_n = noisy.std() / noisy.mean()
+        assert cov_n > 3 * cov_q
+
+
+class TestSites:
+    def test_allocation_lifecycle(self):
+        site = Site("t", "cloudlab-c220g1", capacity=4)
+        alloc = site.allocate(3)
+        assert len(alloc) == 3
+        assert site.available == 1
+        alloc.release()
+        assert site.available == 4
+
+    def test_over_allocation_rejected(self):
+        site = Site("t", "cloudlab-c220g1", capacity=2)
+        with pytest.raises(AllocationError):
+            site.allocate(3)
+
+    def test_zero_allocation_rejected(self):
+        site = Site("t", "cloudlab-c220g1", capacity=2)
+        with pytest.raises(AllocationError):
+            site.allocate(0)
+
+    def test_double_release_rejected(self):
+        site = Site("t", "cloudlab-c220g1", capacity=2)
+        alloc = site.allocate(1)
+        alloc.release()
+        with pytest.raises(AllocationError):
+            alloc.release()
+
+    def test_context_manager_releases(self):
+        site = Site("t", "cloudlab-c220g1", capacity=2)
+        with site.allocate(2):
+            assert site.available == 0
+        assert site.available == 2
+
+    def test_node_speed_factors_deterministic(self):
+        seeds = SeedSequenceFactory(7)
+        a = Site("s", "cloudlab-c220g1", capacity=8, seeds=seeds)
+        b = Site("s", "cloudlab-c220g1", capacity=8, seeds=SeedSequenceFactory(7))
+        assert [n.speed_factor for n in a.allocate(8)] == [
+            n.speed_factor for n in b.allocate(8)
+        ]
+
+    def test_nodes_vary_but_mildly(self):
+        site = Site("s", "cloudlab-c220g1", capacity=16)
+        factors = [site.node(i).speed_factor for i in range(16)]
+        assert len(set(factors)) > 1
+        assert all(0.8 <= f <= 1.2 for f in factors)
+
+    def test_hostnames_unique(self):
+        site = Site("s", "cloudlab-c220g1", capacity=8)
+        alloc = site.allocate(8)
+        names = [n.hostname for n in alloc]
+        assert len(set(names)) == 8
+
+    def test_default_sites_cover_paper_testbeds(self):
+        sites = default_sites()
+        assert set(sites) == {"lab", "cloudlab-wisc", "cloudlab-utah", "ec2", "hpc"}
+        assert sites["lab"].spec.year == 2006
+        assert sites["ec2"].spec.virt_overhead > 0
+
+    def test_observed_time_includes_noise_and_speed(self):
+        sites = default_sites()
+        node = sites["ec2"].node(0)
+        rng = derive_rng(9, "obs")
+        samples = [node.observed_time(1.0, rng) for _ in range(200)]
+        assert min(samples) > 0
+        assert np.std(samples) > 0

@@ -1,0 +1,171 @@
+"""Tests for controlled/statistical/naive comparison methods."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import derive_rng
+from repro.platform.perfmodel import KernelDemand
+from repro.platform.sites import default_sites
+from repro.stats import (
+    ComparisonError,
+    controlled_comparison,
+    demand_runner,
+    naive_comparison,
+    required_runs,
+    sample_across_environments,
+    statistical_comparison,
+)
+
+
+def noisy(mean, n, cov=0.05, label="x"):
+    rng = derive_rng(17, "cmp", label, str(mean))
+    return mean * (1.0 + cov * rng.standard_normal(n))
+
+
+class TestControlled:
+    def test_exact_ratio(self):
+        estimate = controlled_comparison(10.0, 5.0)
+        assert estimate.point == estimate.low == estimate.high == 2.0
+        assert estimate.significant
+
+    def test_slower_system(self):
+        estimate = controlled_comparison(5.0, 10.0)
+        assert estimate.point == 0.5
+        assert "slower" in estimate.claim()
+
+    def test_validation(self):
+        with pytest.raises(ComparisonError):
+            controlled_comparison(-1.0, 2.0)
+
+
+class TestStatistical:
+    def test_detects_real_speedup(self):
+        a = noisy(10.0, 20, label="a")
+        b = noisy(5.0, 20, label="b")
+        estimate = statistical_comparison(a, b, seed=1)
+        assert estimate.significant
+        assert estimate.low < 2.0 < estimate.high or abs(estimate.point - 2.0) < 0.2
+        assert "faster" in estimate.claim()
+
+    def test_indistinguishable_systems(self):
+        a = noisy(10.0, 15, label="same-a")
+        b = noisy(10.0, 15, label="same-b")
+        estimate = statistical_comparison(a, b, seed=1)
+        assert not estimate.significant
+        assert "indistinguishable" in estimate.claim()
+
+    def test_interval_contains_point(self):
+        a = noisy(12.0, 10, label="p-a")
+        b = noisy(8.0, 10, label="p-b")
+        estimate = statistical_comparison(a, b, seed=2)
+        assert estimate.low <= estimate.point <= estimate.high
+
+    def test_higher_confidence_wider_interval(self):
+        a = noisy(10.0, 12, label="w-a")
+        b = noisy(7.0, 12, label="w-b")
+        narrow = statistical_comparison(a, b, confidence=0.80, seed=3)
+        wide = statistical_comparison(a, b, confidence=0.99, seed=3)
+        assert (wide.high - wide.low) > (narrow.high - narrow.low)
+
+    def test_sample_minimum(self):
+        with pytest.raises(ComparisonError):
+            statistical_comparison([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_confidence_validation(self):
+        a = noisy(10.0, 5, label="c-a")
+        with pytest.raises(ComparisonError):
+            statistical_comparison(a, a, confidence=1.5)
+
+    def test_deterministic_given_seed(self):
+        a = noisy(10.0, 8, label="d-a")
+        b = noisy(9.0, 8, label="d-b")
+        one = statistical_comparison(a, b, seed=5)
+        two = statistical_comparison(a, b, seed=5)
+        assert (one.low, one.high) == (two.low, two.high)
+
+
+class TestNaive:
+    def test_point_is_mean_ratio(self):
+        a = [10.0, 12.0]
+        b = [5.0, 6.0]
+        estimate = naive_comparison(a, b)
+        assert estimate.point == pytest.approx(2.0)
+        assert estimate.method == "naive-mean-ratio"
+
+    def test_naive_overconfident_vs_bootstrap(self):
+        """The methodological point: with few same-machine runs, the naive
+        interval is far narrower than a defensible bootstrap interval over
+        heterogeneous environments with the same nominal means."""
+        a_homogeneous = noisy(10.0, 10, cov=0.01, label="n-a")
+        b_homogeneous = noisy(9.0, 10, cov=0.01, label="n-b")
+        naive = naive_comparison(a_homogeneous, b_homogeneous)
+        a_heterogeneous = noisy(10.0, 10, cov=0.15, label="h-a")
+        b_heterogeneous = noisy(9.0, 10, cov=0.15, label="h-b")
+        honest = statistical_comparison(a_heterogeneous, b_heterogeneous, seed=7)
+        assert (naive.high - naive.low) < (honest.high - honest.low)
+
+
+class TestRequiredRuns:
+    def test_more_noise_more_runs(self):
+        assert required_runs(0.10, 0.05) > required_runs(0.02, 0.05)
+
+    def test_smaller_effect_more_runs(self):
+        assert required_runs(0.05, 0.01) > required_runs(0.05, 0.10)
+
+    def test_typical_value_sane(self):
+        # 3% cov, want to resolve 5% difference: a handful of runs.
+        assert 3 <= required_runs(0.03, 0.05) <= 30
+
+    def test_validation(self):
+        with pytest.raises(ComparisonError):
+            required_runs(0.0, 0.1)
+        with pytest.raises(ComparisonError):
+            required_runs(0.1, 0.1, confidence=0.3)
+
+
+class TestEnvironmentSampling:
+    def test_samples_across_sites(self):
+        sites = default_sites(9)
+        workload = demand_runner(KernelDemand(ops=5e9, working_set_kib=64))
+        samples = sample_across_environments(
+            workload, sites, runs_per_site=3,
+            site_names=["cloudlab-wisc", "ec2", "hpc"], seed=4,
+        )
+        assert samples.shape == (9,)
+        assert np.all(samples > 0)
+
+    def test_noisy_site_increases_spread(self):
+        sites = default_sites(9)
+        workload = demand_runner(KernelDemand(ops=5e9, working_set_kib=64))
+        quiet = sample_across_environments(
+            workload, sites, runs_per_site=12, site_names=["cloudlab-wisc"], seed=4
+        )
+        noisy_env = sample_across_environments(
+            workload, sites, runs_per_site=12, site_names=["ec2"], seed=4
+        )
+        assert np.std(noisy_env) / np.mean(noisy_env) > np.std(quiet) / np.mean(quiet)
+
+    def test_unknown_site(self):
+        sites = default_sites(9)
+        with pytest.raises(Exception):
+            sample_across_environments(
+                lambda n: 1.0, sites, site_names=["atlantis"]
+            )
+
+    def test_end_to_end_claim(self):
+        """Compare two 'systems' (different demands) across environments
+        and state the paper's sentence."""
+        sites = default_sites(9)
+        system_a = demand_runner(KernelDemand(ops=2e10, working_set_kib=64))
+        system_b = demand_runner(KernelDemand(ops=1e10, working_set_kib=64))
+        a = sample_across_environments(
+            system_a, sites, runs_per_site=4,
+            site_names=["cloudlab-wisc", "ec2", "hpc"], seed=11,
+        )
+        b = sample_across_environments(
+            system_b, sites, runs_per_site=4,
+            site_names=["cloudlab-wisc", "ec2", "hpc"], seed=12,
+        )
+        estimate = statistical_comparison(a, b, seed=1)
+        assert estimate.significant and estimate.point > 1.2
+        assert "confidence" in estimate.claim()

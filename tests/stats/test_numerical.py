@@ -1,0 +1,118 @@
+"""Tests for numerical reproducibility checking and GassyFS fault story."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError
+from repro.stats import check_numerical, digest_output
+
+
+class TestDigest:
+    def test_array_digest_exact(self):
+        a = np.arange(10, dtype=np.float64)
+        b = np.arange(10, dtype=np.float64)
+        assert digest_output(a) == digest_output(b)
+        b[3] += 1e-15
+        assert digest_output(a) != digest_output(b)
+
+    def test_dtype_matters(self):
+        a = np.arange(4, dtype=np.float32)
+        b = np.arange(4, dtype=np.float64)
+        assert digest_output(a) != digest_output(b)
+
+    def test_table_digest(self):
+        from repro.common.tables import MetricsTable
+
+        t1 = MetricsTable(["a"], [{"a": 1}])
+        t2 = MetricsTable(["a"], [{"a": 1}])
+        assert digest_output(t1) == digest_output(t2)
+
+
+class TestCheckNumerical:
+    def test_deterministic_simulation_reproduces_across_machines(self):
+        """The paper's example: the same simulation on distinct platforms
+        yields identical numbers — true here because workload *results*
+        (not timings) are pure functions of the seed."""
+        from repro.weather import generate_air_temperature
+
+        def simulation(env):
+            return generate_air_temperature(
+                seed=7, lat_step=15.0, lon_step=30.0
+            ).data
+
+        report = check_numerical(
+            simulation,
+            {"x86-haswell": "cloudlab-c220g1", "arm-m400": "cloudlab-m400"},
+        )
+        assert report.reproducible
+        assert "reproducible across 2" in report.describe()
+
+    def test_divergence_detected_and_attributed(self):
+        def flaky(env):
+            return np.array([1.0, 2.0, 3.0 + (0.1 if env == "bad" else 0.0)])
+
+        report = check_numerical(
+            flaky, {"ref": "ref", "ok": "ok", "bad": "bad"}
+        )
+        assert not report.reproducible
+        assert report.divergent_pairs == [("ref", "bad")]
+        assert "DIVERGENCE" in report.describe()
+
+    def test_empty_environments_rejected(self):
+        with pytest.raises(ReproError):
+            check_numerical(lambda e: 1, {})
+
+
+class TestGassyFSFaults:
+    def _fs(self):
+        from repro.common.rng import SeedSequenceFactory
+        from repro.gassyfs import GassyFS, GasnetCluster, MountOptions
+        from repro.gassyfs.placement import RoundRobin
+        from repro.platform.sites import Site
+
+        site = Site("f", "cloudlab-c220g1", capacity=4,
+                    seeds=SeedSequenceFactory(3))
+        return GassyFS(
+            GasnetCluster(site.allocate(4)),
+            options=MountOptions(block_size=1024),
+            policy=RoundRobin(),
+        )
+
+    def test_node_failure_loses_blocks(self):
+        from repro.common.errors import FSError
+
+        fs = self._fs()
+        fs.create("/f")
+        fs.write("/f", bytes(range(256)) * 16)  # 4 blocks across 4 nodes
+        lost = fs.fail_node(1)
+        assert lost >= 1
+        with pytest.raises(FSError, match="EIO"):
+            fs.read("/f")
+
+    def test_checkpoint_restore_survives_failure(self, tmp_path):
+        fs = self._fs()
+        payload = bytes(range(256)) * 16
+        fs.mkdir("/data")
+        fs.create("/data/f.bin")
+        fs.write("/data/f.bin", payload)
+        image = tmp_path / "fs.ckpt"
+        fs.checkpoint(str(image))
+        fs.fail_node(1)
+        elapsed = fs.restore(str(image))
+        assert elapsed > 0
+        assert fs.read("/data/f.bin") == payload
+
+    def test_unlink_after_failure_does_not_crash(self):
+        fs = self._fs()
+        fs.create("/f")
+        fs.write("/f", b"x" * 4096)
+        fs.fail_node(0)
+        fs.unlink("/f")  # must tolerate already-lost blocks
+        assert not fs.exists("/f")
+
+    def test_failed_rank_validated(self):
+        from repro.common.errors import GassyFSError
+
+        fs = self._fs()
+        with pytest.raises(GassyFSError):
+            fs.fail_node(9)

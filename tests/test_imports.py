@@ -1,0 +1,32 @@
+"""Every module in the package imports cleanly and exports what it says."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    out = []
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        out.append(module.name)
+    return sorted(out)
+
+
+@pytest.mark.parametrize("name", _all_modules())
+def test_module_imports(name):
+    module = importlib.import_module(name)
+    for exported in getattr(module, "__all__", []):
+        assert hasattr(module, exported), f"{name}.__all__ lists missing {exported!r}"
+
+
+def test_package_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_every_public_module_has_docstring():
+    for name in _all_modules():
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} lacks a module docstring"

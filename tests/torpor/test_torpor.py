@@ -1,0 +1,155 @@
+"""Tests for Torpor variability profiles, prediction and throttling."""
+
+import pytest
+
+from repro.common.errors import PlatformError
+from repro.torpor.experiment import run_torpor_experiment
+from repro.torpor.throttle import Throttle, recreation_error, throttle_for
+from repro.torpor.variability import (
+    VariabilityProfile,
+    VariabilityRange,
+    predict_speedup,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_torpor_experiment(seed=42, runs=3)
+
+
+class TestExperiment:
+    def test_figure_shape(self, result):
+        """The variability-profile figure: multi-modal histogram with the
+        CPU mode in the paper's (2.2, 2.3] bucket."""
+        mode_lo, mode_hi, count = result.speedups.mode_bucket(0.1)
+        assert (mode_lo, mode_hi) == pytest.approx((2.2, 2.3))
+        assert count >= 7
+
+    def test_speedup_table_complete(self, result):
+        table = result.speedup_table()
+        assert {"stressor", "class", "speedup"} <= set(table.columns)
+        assert all(v > 1 for v in table.column("speedup"))
+
+    def test_histogram_table(self, result):
+        table = result.histogram_table(0.1)
+        assert sum(table.column("stressors")) == len(result.speedups.speedups)
+
+    def test_deterministic(self):
+        a = run_torpor_experiment(seed=7, runs=2)
+        b = run_torpor_experiment(seed=7, runs=2)
+        assert a.speedups.speedups == b.speedups.speedups
+
+    def test_seed_changes_results(self):
+        a = run_torpor_experiment(seed=7, runs=2)
+        b = run_torpor_experiment(seed=8, runs=2)
+        assert a.speedups.speedups != b.speedups.speedups
+
+
+class TestVariabilityProfile:
+    def test_classes_present(self, result):
+        profile = result.variability
+        assert {"cpu", "fp", "memory", "storage", "cache"} <= set(profile.classes())
+
+    def test_cpu_range_tight(self, result):
+        r = result.variability.range_for("cpu")
+        assert (r.high - r.low) / r.low < 0.10  # tight cluster
+
+    def test_unknown_class(self, result):
+        with pytest.raises(PlatformError):
+            result.variability.range_for("quantum")
+
+    def test_range_validation(self):
+        with pytest.raises(PlatformError):
+            VariabilityRange(klass="x", low=2.0, high=1.0)
+
+    def test_contains_and_widened(self):
+        r = VariabilityRange(klass="cpu", low=2.0, high=2.5)
+        assert r.contains(2.2) and not r.contains(2.6)
+        w = r.widened(0.05)
+        assert w.low < 2.0 and w.high > 2.5
+
+
+class TestPrediction:
+    def test_pure_cpu_app(self, result):
+        prediction = predict_speedup(result.variability, {"cpu": 1.0})
+        r = result.variability.range_for("cpu")
+        assert prediction.low == pytest.approx(r.low)
+        assert prediction.high == pytest.approx(r.high)
+
+    def test_mixed_app_between_classes(self, result):
+        prediction = predict_speedup(
+            result.variability, {"cpu": 0.5, "memory": 0.5}
+        )
+        cpu = result.variability.range_for("cpu")
+        mem = result.variability.range_for("memory")
+        assert cpu.low < prediction.low < mem.high
+        assert prediction.low < prediction.high
+
+    def test_prediction_brackets_simulated_app(self, result):
+        """The paper's claim: profiles predict an unseen app's speedup.
+        Simulate a 70% cpu / 30% memory app on both machines and check the
+        measured speedup falls in the (slightly widened) predicted range."""
+        from repro.platform.machines import get_machine
+        from repro.platform.perfmodel import KernelDemand, execution_time
+
+        demand = KernelDemand(
+            ops=7e9, fp_fraction=0.0, mem_bytes=9e9, working_set_kib=1 << 18
+        )
+        old = execution_time(demand, get_machine("lab-xeon-2006"))
+        new = execution_time(demand, get_machine("cloudlab-c220g1"))
+        measured = old / new
+        # compute the cpu/memory time mix on the base machine
+        cpu_only = execution_time(
+            KernelDemand(ops=7e9, working_set_kib=64), get_machine("lab-xeon-2006")
+        )
+        mix_cpu = cpu_only / old
+        prediction = predict_speedup(
+            result.variability, {"cpu": mix_cpu, "memory": 1 - mix_cpu}
+        ).widened(0.15)
+        assert prediction.contains(measured)
+
+    def test_mix_must_sum_to_one(self, result):
+        with pytest.raises(PlatformError):
+            predict_speedup(result.variability, {"cpu": 0.7})
+
+    def test_negative_fraction_rejected(self, result):
+        with pytest.raises(PlatformError):
+            predict_speedup(result.variability, {"cpu": 1.5, "memory": -0.5})
+
+
+class TestThrottle:
+    def test_quota_bounds(self):
+        with pytest.raises(PlatformError):
+            Throttle(cpu_quota=0.0)
+        with pytest.raises(PlatformError):
+            Throttle(cpu_quota=1.5)
+
+    def test_apply_stretches_cpu_share_only(self):
+        throttle = Throttle(cpu_quota=0.5)
+        assert throttle.apply(10.0, cpu_fraction=1.0) == pytest.approx(20.0)
+        assert throttle.apply(10.0, cpu_fraction=0.0) == pytest.approx(10.0)
+        assert throttle.apply(10.0, cpu_fraction=0.5) == pytest.approx(15.0)
+
+    def test_throttle_for_recreates_base_cpu_time(self, result):
+        """Quota = 1/speedup: a CPU-bound second on the old machine takes
+        one throttled second on the new machine (within a few percent)."""
+        throttle = throttle_for(result.variability, "cpu")
+        r = result.variability.range_for("cpu")
+        native_new = 1.0 / ((r.low + r.high) / 2.0)
+        recreated = throttle.apply(native_new, cpu_fraction=1.0)
+        assert recreated == pytest.approx(1.0, rel=0.02)
+
+    def test_no_throttle_when_target_slower(self):
+        profile = VariabilityProfile(
+            base="new",
+            target="old",
+            ranges=(VariabilityRange(klass="cpu", low=0.4, high=0.5),),
+        )
+        assert throttle_for(profile, "cpu").cpu_quota == 1.0
+
+    def test_recreation_error_cpu_small_memory_large(self, result):
+        throttle = throttle_for(result.variability, "cpu")
+        cpu_err = recreation_error(result.variability, {"cpu": 1.0}, throttle)
+        mem_err = recreation_error(result.variability, {"memory": 1.0}, throttle)
+        assert cpu_err < 0.05
+        assert mem_err > 0.5  # CPU quota cannot slow DRAM: recreation fails

@@ -1,0 +1,187 @@
+"""Tests for merge-base, three-way content merge and branch merging."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import VcsError
+from repro.vcs.merge import MergeConflict, merge_base, merge_lines
+from repro.vcs.repository import Repository
+
+
+@pytest.fixture
+def repo(tmp_path):
+    return Repository.init(tmp_path / "work")
+
+
+def write(repo, rel, text):
+    path = repo.root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+
+
+def commit(repo, rel, text, message):
+    write(repo, rel, text)
+    repo.add_all()
+    return repo.commit(message)
+
+
+class TestMergeLines:
+    def test_disjoint_edits_combine(self):
+        base = ["a\n", "b\n", "c\n", "d\n"]
+        ours = ["A\n", "b\n", "c\n", "d\n"]      # edits line 1
+        theirs = ["a\n", "b\n", "c\n", "D\n"]    # edits line 4
+        merged, conflicted = merge_lines(base, ours, theirs)
+        assert not conflicted
+        assert merged == ["A\n", "b\n", "c\n", "D\n"]
+
+    def test_identical_edits_deduplicate(self):
+        base = ["x\n"]
+        both = ["y\n"]
+        merged, conflicted = merge_lines(base, both, both)
+        assert not conflicted and merged == ["y\n"]
+
+    def test_conflicting_edits_marked(self):
+        base = ["line\n"]
+        merged, conflicted = merge_lines(
+            base, ["ours\n"], ["theirs\n"], ours_label="main", theirs_label="dev"
+        )
+        assert conflicted
+        text = "".join(merged)
+        assert "<<<<<<< main" in text and ">>>>>>> dev" in text
+        assert "ours\n" in text and "theirs\n" in text
+
+    def test_insertion_vs_distant_edit(self):
+        base = ["a\n", "b\n", "c\n"]
+        ours = ["a\n", "new\n", "b\n", "c\n"]
+        theirs = ["a\n", "b\n", "C!\n"]
+        merged, conflicted = merge_lines(base, ours, theirs)
+        assert not conflicted
+        assert merged == ["a\n", "new\n", "b\n", "C!\n"]
+
+    def test_deletion_one_side(self):
+        base = ["a\n", "b\n", "c\n"]
+        ours = ["a\n", "c\n"]
+        theirs = ["a\n", "b\n", "c\n", "d\n"]
+        merged, conflicted = merge_lines(base, ours, theirs)
+        assert not conflicted
+        assert merged == ["a\n", "c\n", "d\n"]
+
+    @given(
+        base=st.lists(st.sampled_from(["a\n", "b\n", "c\n"]), max_size=6),
+        suffix=st.lists(st.sampled_from(["x\n", "y\n"]), max_size=3),
+    )
+    def test_one_sided_change_always_clean(self, base, suffix):
+        """If only one side changed, the merge equals that side."""
+        theirs = base + suffix
+        merged, conflicted = merge_lines(base, list(base), theirs)
+        assert not conflicted
+        assert merged == theirs
+
+
+class TestMergeBase:
+    def test_linear_history(self, repo):
+        first = commit(repo, "f", "1", "c1")
+        second = commit(repo, "f", "2", "c2")
+        assert merge_base(repo.store, first, second) == first
+
+    def test_diverged_branches(self, repo):
+        fork = commit(repo, "f", "base", "fork point")
+        repo.branch("dev")
+        ours = commit(repo, "f", "main change", "on main")
+        repo.checkout("dev")
+        theirs = commit(repo, "g", "dev change", "on dev")
+        assert merge_base(repo.store, ours, theirs) == fork
+
+
+class TestRepositoryMerge:
+    def test_fast_forward(self, repo):
+        commit(repo, "f", "1", "c1")
+        repo.branch("dev")
+        repo.checkout("dev")
+        tip = commit(repo, "f", "2", "c2")
+        repo.checkout("main")
+        result = repo.merge("dev")
+        assert result == tip
+        assert (repo.root / "f").read_text() == "2"
+        assert repo.head_commit() == tip
+
+    def test_already_up_to_date(self, repo):
+        first = commit(repo, "f", "1", "c1")
+        repo.branch("dev")
+        tip = commit(repo, "f", "2", "c2")
+        assert repo.merge("dev") == tip  # dev is behind main
+
+    def test_three_way_clean_merge(self, repo):
+        commit(repo, "shared.txt", "a\nb\nc\n", "base")
+        repo.branch("dev")
+        commit(repo, "shared.txt", "A\nb\nc\n", "main edit")
+        repo.checkout("dev")
+        commit(repo, "shared.txt", "a\nb\nC\n", "dev edit")
+        repo.checkout("main")
+        merge_oid = repo.merge("dev")
+        assert (repo.root / "shared.txt").read_text() == "A\nb\nC\n"
+        parents = repo.store.get_commit(merge_oid).parents
+        assert len(parents) == 2
+
+    def test_three_way_file_additions(self, repo):
+        commit(repo, "base.txt", "base", "base")
+        repo.branch("dev")
+        commit(repo, "from-main.txt", "m", "main adds")
+        repo.checkout("dev")
+        commit(repo, "from-dev.txt", "d", "dev adds")
+        repo.checkout("main")
+        repo.merge("dev")
+        assert (repo.root / "from-main.txt").exists()
+        assert (repo.root / "from-dev.txt").exists()
+
+    def test_conflict_raises_and_leaves_tree_untouched(self, repo):
+        commit(repo, "f.txt", "original\n", "base")
+        repo.branch("dev")
+        commit(repo, "f.txt", "main version\n", "main edit")
+        repo.checkout("dev")
+        commit(repo, "f.txt", "dev version\n", "dev edit")
+        repo.checkout("main")
+        head_before = repo.head_commit()
+        with pytest.raises(MergeConflict) as info:
+            repo.merge("dev")
+        assert "f.txt" in info.value.conflicts
+        assert "<<<<<<<" in info.value.conflicts["f.txt"]
+        assert repo.head_commit() == head_before
+        assert (repo.root / "f.txt").read_text() == "main version\n"
+
+    def test_delete_modify_conflict(self, repo):
+        commit(repo, "f.txt", "content\n", "base")
+        repo.branch("dev")
+        (repo.root / "f.txt").unlink()
+        repo.add_all()
+        repo.commit("main deletes")
+        repo.checkout("dev")
+        commit(repo, "f.txt", "modified\n", "dev modifies")
+        repo.checkout("main")
+        with pytest.raises(MergeConflict, match="f.txt"):
+            repo.merge("dev")
+
+    def test_merge_requires_clean_tree(self, repo):
+        commit(repo, "f", "1", "c1")
+        repo.branch("dev")
+        write(repo, "f", "dirty")
+        with pytest.raises(VcsError, match="not clean"):
+            repo.merge("dev")
+
+    def test_merge_self_is_noop(self, repo):
+        oid = commit(repo, "f", "1", "c1")
+        assert repo.merge("main") == oid
+
+    def test_collaboration_story(self, repo, tmp_path):
+        """Author and reviewer edit different experiment files; the merge
+        combines both without intervention."""
+        commit(repo, "experiments/e/vars.yml", "runner: x\nnodes: 2\n", "init")
+        repo.branch("reviewer")
+        commit(repo, "experiments/e/vars.yml", "runner: x\nnodes: 4\n", "scale up")
+        repo.checkout("reviewer")
+        commit(repo, "experiments/e/validations.aver", "expect count() > 0\n", "add check")
+        repo.checkout("main")
+        repo.merge("reviewer")
+        assert (repo.root / "experiments/e/validations.aver").exists()
+        assert "nodes: 4" in (repo.root / "experiments/e/vars.yml").read_text()

@@ -1,0 +1,196 @@
+"""Tests for object serialization and the content-addressed store."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ObjectNotFound, VcsError
+from repro.vcs.objects import (
+    MODE_DIR,
+    Blob,
+    Commit,
+    Tag,
+    Tree,
+    TreeEntry,
+    deserialize,
+    serialize,
+)
+from repro.vcs.store import ObjectStore
+
+
+class TestSerialization:
+    def test_blob_round_trip(self):
+        oid, buf = serialize(Blob(b"hello"))
+        obj = deserialize(buf)
+        assert isinstance(obj, Blob) and obj.data == b"hello"
+        assert len(oid) == 64
+
+    def test_identical_content_identical_id(self):
+        assert serialize(Blob(b"x"))[0] == serialize(Blob(b"x"))[0]
+
+    def test_different_content_different_id(self):
+        assert serialize(Blob(b"x"))[0] != serialize(Blob(b"y"))[0]
+
+    def test_tree_round_trip(self):
+        oid_a = serialize(Blob(b"a"))[0]
+        tree = Tree((TreeEntry("f.txt", oid_a),))
+        _, buf = serialize(tree)
+        again = deserialize(buf)
+        assert again == tree
+
+    def test_tree_entries_sorted_automatically(self):
+        oid = serialize(Blob(b""))[0]
+        tree = Tree((TreeEntry("b", oid), TreeEntry("a", oid)))
+        assert [e.name for e in tree.entries] == ["a", "b"]
+
+    def test_tree_duplicate_names_rejected(self):
+        oid = serialize(Blob(b""))[0]
+        with pytest.raises(VcsError):
+            Tree((TreeEntry("a", oid), TreeEntry("a", oid)))
+
+    def test_tree_entry_name_validation(self):
+        oid = serialize(Blob(b""))[0]
+        for bad in ("", ".", "..", "a/b"):
+            with pytest.raises(VcsError):
+                TreeEntry(bad, oid)
+
+    def test_tree_entry_mode_validation(self):
+        oid = serialize(Blob(b""))[0]
+        with pytest.raises(VcsError):
+            TreeEntry("f", oid, mode="777")
+
+    def test_commit_round_trip(self):
+        tree_oid = serialize(Tree())[0]
+        commit = Commit(
+            tree=tree_oid,
+            parents=(serialize(Blob(b"p"))[0],),
+            author="a <a@b>",
+            message="subject\n\nbody line",
+            timestamp=42,
+        )
+        _, buf = serialize(commit)
+        assert deserialize(buf) == commit
+
+    def test_commit_without_parents(self):
+        commit = Commit(serialize(Tree())[0], (), "x", "root", 1)
+        assert deserialize(serialize(commit)[1]).parents == ()
+
+    def test_tag_round_trip(self):
+        tag = Tag(target=serialize(Blob(b"t"))[0], name="v1.0", message="rel")
+        assert deserialize(serialize(tag)[1]) == tag
+
+    def test_corrupt_buffer_rejected(self):
+        with pytest.raises(VcsError):
+            deserialize(b"not an object")
+
+    def test_size_mismatch_rejected(self):
+        _, buf = serialize(Blob(b"abc"))
+        with pytest.raises(VcsError):
+            deserialize(buf + b"extra")
+
+    @given(st.binary(max_size=256))
+    def test_blob_round_trip_property(self, data):
+        _, buf = serialize(Blob(data))
+        assert deserialize(buf) == Blob(data)
+
+
+class TestObjectStore:
+    def test_put_get(self, tmp_path):
+        store = ObjectStore(tmp_path)
+        oid = store.put(Blob(b"payload"))
+        assert store.get_blob(oid).data == b"payload"
+
+    def test_put_idempotent(self, tmp_path):
+        store = ObjectStore(tmp_path)
+        assert store.put(Blob(b"x")) == store.put(Blob(b"x"))
+
+    def test_missing_object(self, tmp_path):
+        store = ObjectStore(tmp_path)
+        with pytest.raises(ObjectNotFound):
+            store.get("0" * 64)
+
+    def test_contains(self, tmp_path):
+        store = ObjectStore(tmp_path)
+        oid = store.put(Blob(b"x"))
+        assert oid in store
+        assert "f" * 64 not in store
+
+    def test_corruption_detected(self, tmp_path):
+        store = ObjectStore(tmp_path)
+        oid = store.put(Blob(b"good"))
+        path = store._path(oid)
+        path.write_bytes(b"blob 3\x00bad")
+        with pytest.raises(VcsError, match="corrupt"):
+            store.get(oid)
+
+    def test_typed_accessor_mismatch(self, tmp_path):
+        store = ObjectStore(tmp_path)
+        oid = store.put(Blob(b"x"))
+        with pytest.raises(VcsError, match="expected tree"):
+            store.get_tree(oid)
+
+    def test_ids_enumerates_all(self, tmp_path):
+        store = ObjectStore(tmp_path)
+        oids = {store.put(Blob(bytes([i]))) for i in range(10)}
+        assert set(store.ids()) == oids
+
+    def test_resolve_prefix(self, tmp_path):
+        store = ObjectStore(tmp_path)
+        oid = store.put(Blob(b"unique"))
+        assert store.resolve_prefix(oid[:10]) == oid
+
+    def test_resolve_prefix_unknown(self, tmp_path):
+        store = ObjectStore(tmp_path)
+        with pytest.raises(ObjectNotFound):
+            store.resolve_prefix("abcd1234")
+
+    def test_resolve_prefix_too_short(self, tmp_path):
+        store = ObjectStore(tmp_path)
+        with pytest.raises(VcsError, match="too short"):
+            store.resolve_prefix("ab")
+
+
+class TestTreeWalking:
+    def _build(self, store):
+        f1 = store.put(Blob(b"one"))
+        f2 = store.put(Blob(b"two"))
+        inner = store.put(Tree((TreeEntry("nested.txt", f2),)))
+        root = store.put(
+            Tree(
+                (
+                    TreeEntry("a.txt", f1),
+                    TreeEntry("sub", inner, mode=MODE_DIR),
+                )
+            )
+        )
+        return root
+
+    def test_walk_tree(self, tmp_path):
+        store = ObjectStore(tmp_path)
+        root = self._build(store)
+        paths = [p for p, _ in store.walk_tree(root)]
+        assert paths == ["a.txt", "sub/nested.txt"]
+
+    def test_read_path(self, tmp_path):
+        store = ObjectStore(tmp_path)
+        root = self._build(store)
+        assert store.read_path(root, "sub/nested.txt") == b"two"
+        assert store.read_path(root, "a.txt") == b"one"
+
+    def test_read_path_missing(self, tmp_path):
+        store = ObjectStore(tmp_path)
+        root = self._build(store)
+        with pytest.raises(ObjectNotFound):
+            store.read_path(root, "sub/ghost.txt")
+
+    def test_read_path_through_file(self, tmp_path):
+        store = ObjectStore(tmp_path)
+        root = self._build(store)
+        with pytest.raises(VcsError):
+            store.read_path(root, "a.txt/deeper")
+
+    def test_read_path_directory(self, tmp_path):
+        store = ObjectStore(tmp_path)
+        root = self._build(store)
+        with pytest.raises(VcsError, match="directory"):
+            store.read_path(root, "sub")
