@@ -16,6 +16,7 @@ from pathlib import Path
 
 from repro.core import ExperimentPipeline, PopperRepository, list_templates
 from repro.core.check import check_repository
+from repro.core.cli import main as popper_main
 
 
 def main() -> None:
@@ -49,6 +50,10 @@ def main() -> None:
     print(f"-- {len(result.results)} result rows written to results.csv")
     for validation in result.validations:
         print(validation.describe())
+    print()
+
+    print("$ popper trace myexp")
+    popper_main(["-C", str(repo.root), "trace", "myexp"])
     print()
 
     print("$ popper check")

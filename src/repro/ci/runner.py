@@ -6,6 +6,12 @@ build checks out the commit into a scratch workspace, parses the repo's
 steps through a command executor (a container by default).  Build records
 accumulate into a history that answers "is this repository currently
 passing?" — the integrity half of the paper's automated-validation story.
+
+Every build is traced and journaled: the server opens a span per build
+(``ci/build/<n>``), per job and per step, and writes the events to a
+per-build JSONL journal artifact under ``.pvcs/ci-journals/`` so a
+failed CI run can be debugged after the fact (which check ran, how long,
+with what exit code) without re-triggering it.
 """
 
 from __future__ import annotations
@@ -21,6 +27,8 @@ from repro.common.fsutil import rmtree_quiet
 from repro.container.image import Image, scratch
 from repro.container.runtime import BinaryRegistry, Container, ExecResult
 from repro.ci.config import CIConfig
+from repro.monitor.journal import RunJournal
+from repro.monitor.tracing import Tracer
 from repro.vcs.repository import Repository
 
 __all__ = [
@@ -128,19 +136,32 @@ class CIServer:
         executor: Executor | ContainerExecutor | None = None,
         config_path: str = ".travis.yml",
         workspace_root: Path | None = None,
+        journal_root: Path | None = None,
     ) -> None:
         self.repo = repo
         self.executor = executor if executor is not None else ContainerExecutor()
         self.config_path = config_path
         self.workspace_root = workspace_root or (repo.root / ".pvcs" / "ci-workspaces")
+        self.journal_root = journal_root or (repo.root / ".pvcs" / "ci-journals")
         self.history: list[BuildRecord] = []
+
+    def journal_path(self, number: int) -> Path:
+        """The JSONL journal artifact for build *number*."""
+        return Path(self.journal_root) / f"build-{number}.jsonl"
 
     # -- build orchestration ------------------------------------------------------
     def trigger(self, ref: str = "HEAD") -> BuildRecord:
-        """Run a build for *ref*; appends to and returns from history."""
+        """Run a build for *ref*; appends to and returns from history.
+
+        The build's span events land in :meth:`journal_path`, which
+        survives the build (the workspace does not).
+        """
         commit = self.repo.resolve(ref)
         number = len(self.history) + 1
         started = time.perf_counter()
+        journal = RunJournal(self.journal_path(number))
+        tracer = Tracer(journal=journal)
+        journal.event("run_start", build=number, ref=ref, commit=commit)
         try:
             config_text = self.repo.cat(commit, self.config_path).decode("utf-8")
         except Exception as exc:
@@ -152,6 +173,10 @@ class CIServer:
             )
             record.duration_s = time.perf_counter() - started
             self.history.append(record)
+            journal.event(
+                "run_end", status="error", duration_s=record.duration_s
+            )
+            journal.close()
             raise CIError(
                 f"build #{number}: cannot read {self.config_path}: {exc}"
             ) from exc
@@ -160,8 +185,9 @@ class CIServer:
         workspace = self._checkout(commit, number)
         jobs = []
         try:
-            for env in config.expand_matrix():
-                jobs.append(self._run_job(config, env, workspace))
+            with tracer.span(f"ci/build/{number}", commit=commit, ref=ref):
+                for env in config.expand_matrix():
+                    jobs.append(self._run_job(config, env, workspace, tracer))
         finally:
             rmtree_quiet(workspace)
 
@@ -178,6 +204,8 @@ class CIServer:
             duration_s=time.perf_counter() - started,
         )
         self.history.append(record)
+        journal.event("run_end", status=status.value, duration_s=record.duration_s)
+        journal.close()
         return record
 
     def _checkout(self, commit: str, number: int) -> Path:
@@ -192,47 +220,50 @@ class CIServer:
         return workspace
 
     def _run_job(
-        self, config: CIConfig, env: dict[str, str], workspace: Path
+        self,
+        config: CIConfig,
+        env: dict[str, str],
+        workspace: Path,
+        tracer: Tracer | None = None,
     ) -> JobResult:
+        tracer = tracer if tracer is not None else Tracer()
         job = JobResult(env=env)
         if isinstance(self.executor, ContainerExecutor):
             self.executor.reset(workspace)
-        phases = [
-            ("install", config.install, True),
-            ("before_script", config.before_script, True),
-            ("script", config.script, True),
-        ]
-        failed = False
-        for phase, commands, fatal in phases:
-            if failed:
-                break
-            for command in commands:
+
+        def run_step(phase: str, command: str) -> StepResult:
+            with tracer.span("ci/step", phase=phase, command=command) as span:
                 result = self.executor(command, env, workspace)
-                job.steps.append(
-                    StepResult(
-                        phase=phase,
-                        command=command,
-                        exit_code=result.exit_code,
-                        stdout=result.stdout,
-                        stderr=result.stderr,
-                    )
-                )
-                if not result.ok:
-                    failed = True
-                    break
-        tail = config.after_failure if failed else config.after_script
-        for command in tail:
-            result = self.executor(command, env, workspace)
-            job.steps.append(
-                StepResult(
-                    phase="after_failure" if failed else "after_script",
-                    command=command,
-                    exit_code=result.exit_code,
-                    stdout=result.stdout,
-                    stderr=result.stderr,
-                )
+                span.attributes["exit_code"] = result.exit_code
+            step = StepResult(
+                phase=phase,
+                command=command,
+                exit_code=result.exit_code,
+                stdout=result.stdout,
+                stderr=result.stderr,
             )
-        job.status = BuildStatus.FAILED if failed else BuildStatus.PASSED
+            job.steps.append(step)
+            return step
+
+        with tracer.span("ci/job", env=env) as job_span:
+            phases = [
+                ("install", config.install, True),
+                ("before_script", config.before_script, True),
+                ("script", config.script, True),
+            ]
+            failed = False
+            for phase, commands, fatal in phases:
+                if failed:
+                    break
+                for command in commands:
+                    if not run_step(phase, command).ok:
+                        failed = True
+                        break
+            tail = config.after_failure if failed else config.after_script
+            for command in tail:
+                run_step("after_failure" if failed else "after_script", command)
+            job.status = BuildStatus.FAILED if failed else BuildStatus.PASSED
+            job_span.attributes["status"] = job.status.value
         return job
 
     # -- queries --------------------------------------------------------------------

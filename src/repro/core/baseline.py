@@ -45,13 +45,18 @@ def _fingerprint(machine: str, seed: int) -> BaselineProfile:
 
 
 def check_baseline(
-    directory: Path, spec: dict, seed: int = 42
+    directory: Path, spec: dict, seed: int = 42, journal=None
 ) -> tuple[bool, str]:
     """Enforce the gate for one experiment.
 
     Returns ``(fresh, message)`` where ``fresh`` is True when this call
     *created* the stored profile.  Raises :class:`PopperError` when the
     environment's fingerprint deviates beyond tolerance.
+
+    When a :class:`~repro.monitor.journal.RunJournal` is passed, the
+    gate's outcome is recorded as a ``baseline`` event — machine,
+    tolerance, observed worst deviation and verdict — so a journal shows
+    *why* a run was allowed to proceed (or was refused).
     """
     if not isinstance(spec, dict) or "machine" not in spec:
         raise PopperError("baseline spec needs a 'machine' key")
@@ -60,11 +65,19 @@ def check_baseline(
     if not 0.0 < max_deviation < 1.0:
         raise PopperError(f"baseline max_deviation out of (0, 1): {max_deviation}")
 
+    def journal_event(**fields) -> None:
+        if journal is not None:
+            journal.event(
+                "baseline", machine=machine, max_deviation=max_deviation, **fields
+            )
+
     current = _fingerprint(machine, seed)
     stored_path = directory / BASELINE_FILE
     if not stored_path.is_file():
         stored_path.write_text(current.to_json(), encoding="utf-8")
-        return True, f"stored new baseline fingerprint for {machine}"
+        message = f"stored new baseline fingerprint for {machine}"
+        journal_event(fresh=True, verdict="stored", message=message)
+        return True, message
 
     stored = BaselineProfile.from_json(stored_path.read_text(encoding="utf-8"))
     speedups = compare(stored, current)
@@ -76,13 +89,25 @@ def check_baseline(
             for name, value in speedups.speedups
             if abs(value - 1.0) > max_deviation
         ]
-        raise PopperError(
+        message = (
             "baseline performance cannot be reproduced on this environment "
             f"(max deviation {worst:.1%} > {max_deviation:.1%}; "
             f"offending stressors: {', '.join(offenders[:5])}); "
             "refusing to run the experiment"
         )
-    return False, (
+        journal_event(
+            fresh=False,
+            verdict="refused",
+            worst_deviation=worst,
+            offenders=offenders,
+            message=message,
+        )
+        raise PopperError(message)
+    message = (
         f"baseline fingerprint matches stored profile "
         f"(max deviation {worst:.1%} <= {max_deviation:.1%})"
     )
+    journal_event(
+        fresh=False, verdict="matched", worst_deviation=worst, message=message
+    )
+    return False, message

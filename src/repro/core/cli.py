@@ -14,7 +14,8 @@
     $ popper add torpor myexp
 
 Additional verbs: ``check`` (compliance), ``run`` (pipeline),
-``paper list|add|build``, ``status``.
+``trace`` / ``log`` (render or dump a run's journal), ``paper
+list|add|build``, ``status``.
 """
 
 from __future__ import annotations
@@ -66,6 +67,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate-only",
         action="store_true",
         help="re-validate stored results.csv without re-running",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="render an experiment's run journal (timings, critical path)"
+    )
+    trace.add_argument("name", help="experiment whose last run to inspect")
+
+    log = sub.add_parser(
+        "log", help="print an experiment's run journal events"
+    )
+    log.add_argument("name", help="experiment whose last run to inspect")
+    log.add_argument(
+        "--raw", action="store_true", help="print raw JSONL instead of one-liners"
     )
 
     paper = sub.add_parser("paper", help="manuscript commands")
@@ -169,6 +183,44 @@ def _cmd_run(args) -> int:
     return exit_code
 
 
+def _journal_events(args):
+    from repro.monitor.journal import JOURNAL_FILE, read_journal
+
+    repo = PopperRepository.open(args.repo)
+    if args.name not in repo.config.experiments:
+        raise PopperError(f"no such experiment: {args.name!r}")
+    path = repo.experiment_dir(args.name) / JOURNAL_FILE
+    if not path.is_file():
+        raise PopperError(
+            f"{args.name}: no run journal yet; `popper run {args.name}` first"
+        )
+    return read_journal(path)
+
+
+def _cmd_trace(args) -> int:
+    from repro.monitor.report import render_report
+
+    print(render_report(_journal_events(args)), end="")
+    return 0
+
+
+def _cmd_log(args) -> int:
+    import json
+
+    for event in _journal_events(args):
+        if args.raw:
+            print(json.dumps(event))
+            continue
+        kind = event.get("event", "?")
+        detail = " ".join(
+            f"{k}={v}"
+            for k, v in event.items()
+            if k not in ("seq", "ts", "event", "attributes", "detail")
+        )
+        print(f"[{event.get('seq', '?'):>4}] {kind:<12} {detail}".rstrip())
+    return 0
+
+
 def _cmd_paper(args) -> int:
     repo = PopperRepository.open(args.repo)
     if args.subcommand == "list":
@@ -268,6 +320,8 @@ def main(argv: list[str] | None = None) -> int:
         "rm": _cmd_rm,
         "check": _cmd_check,
         "run": _cmd_run,
+        "trace": _cmd_trace,
+        "log": _cmd_log,
         "paper": _cmd_paper,
         "ci": _cmd_ci,
         "bundle": _cmd_bundle,

@@ -13,12 +13,17 @@
 4. **validate** — evaluate ``validations.aver`` against the results and
    store ``validation_report.txt``.
 
-Every stage's wall time lands in a :class:`~repro.monitor.MetricStore`.
+Every run is observable after the fact: stages execute inside tracing
+spans (root span ``pipeline/run/<experiment>``, one child per stage),
+every span's wall time lands in a :class:`~repro.monitor.MetricStore`,
+and the whole run — span events, metric samples, baseline fingerprints,
+Aver verdicts, exit status — is journaled to the experiment directory's
+``journal.jsonl``, which ``popper trace`` renders into per-stage timings
+and a critical path.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.aver.evaluator import ValidationResult, check_all
@@ -29,12 +34,14 @@ from repro.core.baseline import check_baseline
 from repro.core.postprocess import run_postprocess
 from repro.core.repo import PopperRepository
 from repro.core.runners import run_experiment_runner
+from repro.monitor.journal import JOURNAL_FILE, RunJournal
 from repro.monitor.metrics import MetricStore
+from repro.monitor.tracing import Tracer, activate
 from repro.orchestration.connection import ContainerConnection
 from repro.orchestration.inventory import Inventory
 from repro.orchestration.playbook import Playbook, PlaybookRunner
 
-__all__ = ["ExperimentResult", "ExperimentPipeline", "NOTEBOOK_FILE"]
+__all__ = ["ExperimentResult", "ExperimentPipeline", "NOTEBOOK_FILE", "JOURNAL_FILE"]
 
 #: Per-experiment analysis notebook (the Jupyter `visualize.ipynb` analog).
 NOTEBOOK_FILE = "visualize.nb.json"
@@ -74,6 +81,7 @@ class ExperimentPipeline:
         experiment: str,
         metrics: MetricStore | None = None,
         inventory: Inventory | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if experiment not in repo.config.experiments:
             raise PopperError(f"no such experiment: {experiment!r}")
@@ -83,6 +91,12 @@ class ExperimentPipeline:
         # `or` would discard an empty store (MetricStore defines __len__).
         self.metrics = metrics if metrics is not None else MetricStore()
         self.inventory = inventory
+        self.tracer = tracer if tracer is not None else Tracer(metrics=self.metrics)
+
+    @property
+    def journal_path(self):
+        """Where this experiment's run journal lands (``journal.jsonl``)."""
+        return self.directory / JOURNAL_FILE
 
     # -- pieces ---------------------------------------------------------------------
     def load_vars(self) -> dict:
@@ -174,40 +188,75 @@ class ExperimentPipeline:
 
     # -- the whole pipeline -------------------------------------------------------------
     def run(self, strict: bool = False) -> ExperimentResult:
-        """Execute all stages.  With ``strict``, failed validations raise."""
+        """Execute all stages.  With ``strict``, failed validations raise.
+
+        The run's full provenance is journaled to :attr:`journal_path`
+        (one JSONL event per span/metric/verdict) even when a stage
+        raises — a crashed run leaves a journal up to the failure point.
+        """
+        journal = RunJournal(self.journal_path)
+        tracer = self.tracer
+        tracer.journal = journal
+        journal.event("run_start", experiment=self.experiment)
+        status = "error"
+        prior_roots = len(tracer.roots())
+        try:
+            with activate(tracer):
+                result = self._run_stages(tracer, strict=strict)
+            status = "ok" if result.validated else "validation-failed"
+            return result
+        except ValidationFailure:
+            status = "validation-failed"
+            raise
+        finally:
+            tracer.journal = None
+            try:
+                journal.event(
+                    "run_end",
+                    status=status,
+                    duration_s=sum(
+                        s.duration for s in tracer.roots()[prior_roots:]
+                    ),
+                )
+            finally:
+                journal.close()
+
+    def _run_stages(self, tracer: Tracer, strict: bool) -> ExperimentResult:
         stage_seconds: dict[str, float] = {}
+        journal = tracer.journal
+        with tracer.span(f"pipeline/run/{self.experiment}"):
+            with tracer.span("setup") as span:
+                variables = self.load_vars()
+                self.run_setup()
+            stage_seconds["setup"] = span.duration
 
-        start = time.perf_counter()
-        variables = self.load_vars()
-        self.run_setup()
-        stage_seconds["setup"] = time.perf_counter() - start
+            baseline_message = ""
+            if "baseline" in variables:
+                with tracer.span("baseline") as span:
+                    _, baseline_message = check_baseline(
+                        self.directory,
+                        variables["baseline"],
+                        seed=int(variables.get("seed", 42)),
+                        journal=journal,
+                    )
+                stage_seconds["baseline"] = span.duration
 
-        baseline_message = ""
-        if "baseline" in variables:
-            start = time.perf_counter()
-            _, baseline_message = check_baseline(
-                self.directory,
-                variables["baseline"],
-                seed=int(variables.get("seed", 42)),
-            )
-            stage_seconds["baseline"] = time.perf_counter() - start
+            with tracer.span("run") as span:
+                table = self.run_experiment(variables)
+            stage_seconds["run"] = span.duration
 
-        start = time.perf_counter()
-        table = self.run_experiment(variables)
-        stage_seconds["run"] = time.perf_counter() - start
+            with tracer.span("postprocess") as span:
+                figures = run_postprocess(self.directory, table)
+            stage_seconds["postprocess"] = span.duration
 
-        start = time.perf_counter()
-        figures = run_postprocess(self.directory, table)
-        stage_seconds["postprocess"] = time.perf_counter() - start
+            if (self.directory / NOTEBOOK_FILE).is_file():
+                with tracer.span("visualize") as span:
+                    self._run_notebook(table)
+                stage_seconds["visualize"] = span.duration
 
-        if (self.directory / NOTEBOOK_FILE).is_file():
-            start = time.perf_counter()
-            self._run_notebook(table)
-            stage_seconds["visualize"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        validations = self.run_validation(table)
-        stage_seconds["validate"] = time.perf_counter() - start
+            with tracer.span("validate") as span:
+                validations = self.run_validation(table)
+            stage_seconds["validate"] = span.duration
 
         result = ExperimentResult(
             experiment=self.experiment,
@@ -220,12 +269,24 @@ class ExperimentPipeline:
         (self.directory / "validation_report.txt").write_text(
             result.report_text(), encoding="utf-8"
         )
+        for validation in validations:
+            if journal is not None:
+                journal.event(
+                    "aver_verdict",
+                    assertion=validation.statement.source,
+                    passed=validation.passed,
+                    detail=validation.describe(),
+                )
         for stage, seconds in stage_seconds.items():
-            self.metrics.record(
-                "popper.stage_seconds",
-                seconds,
-                labels={"experiment": self.experiment, "stage": stage},
-            )
+            labels = {"experiment": self.experiment, "stage": stage}
+            self.metrics.record("popper.stage_seconds", seconds, labels=labels)
+            if journal is not None:
+                journal.event(
+                    "metric",
+                    metric="popper.stage_seconds",
+                    value=seconds,
+                    labels=labels,
+                )
         if strict and not result.validated:
             raise ValidationFailure(
                 f"{self.experiment}: domain-specific validations failed:\n"

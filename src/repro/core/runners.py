@@ -16,6 +16,7 @@ from typing import Callable
 from repro.common.errors import PopperError
 from repro.common.rng import SeedSequenceFactory
 from repro.common.tables import MetricsTable
+from repro.monitor.tracing import current_tracer
 from repro.platform.perfmodel import KernelDemand, execution_time
 from repro.platform.sites import default_sites
 
@@ -41,13 +42,16 @@ def register_runner(name: str, fn: RunnerFn | None = None):
 
 
 def run_experiment_runner(name: str, variables: dict) -> MetricsTable:
-    """Dispatch to a registered runner."""
+    """Dispatch to a registered runner (traced as ``runner/<name>``)."""
     fn = EXPERIMENT_RUNNERS.get(name)
     if fn is None:
         raise PopperError(
             f"unknown runner {name!r}; known: {sorted(EXPERIMENT_RUNNERS)}"
         )
-    return fn(variables)
+    with current_tracer().span(f"runner/{name}") as span:
+        table = fn(variables)
+        span.attributes["rows"] = len(table)
+    return table
 
 
 # ---------------------------------------------------------------------------

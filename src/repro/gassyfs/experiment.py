@@ -18,6 +18,7 @@ from repro.gassyfs.fs import GassyFS, MountOptions
 from repro.gassyfs.gasnet import GasnetCluster
 from repro.gassyfs.placement import make_policy
 from repro.gassyfs.workloads import GIT_COMPILE, CompileWorkload
+from repro.monitor.tracing import current_tracer
 from repro.platform.sites import Site, default_sites
 
 __all__ = ["ScalabilityConfig", "run_point", "run_scalability_experiment"]
@@ -74,7 +75,14 @@ def run_scalability_experiment(
         site = sites[site_name]
         for workload in config.workloads:
             for nodes in config.node_counts:
-                elapsed = run_point(site, nodes, workload, config, seeds)
+                with current_tracer().span(
+                    "gassyfs/point",
+                    machine=site_name,
+                    workload=workload.name,
+                    nodes=nodes,
+                ) as span:
+                    elapsed = run_point(site, nodes, workload, config, seeds)
+                    span.attributes["modeled_seconds"] = elapsed
                 table.append(
                     {
                         "workload": workload.name,

@@ -1,7 +1,55 @@
-"""Performance-monitoring substrate (the Nagios/CollectD substitution):
-labeled metric samples, series summaries and export to results tables.
+"""Observability substrate: metrics, tracing spans, run journals, reports.
+
+Three cooperating layers replace the paper's Nagios/CollectD-style
+monitoring stack:
+
+* :mod:`repro.monitor.metrics` — labeled metric samples, per-series
+  summaries and export to results tables;
+* :mod:`repro.monitor.tracing` — hierarchical spans over pipeline runs,
+  feeding the metric store and the journal;
+* :mod:`repro.monitor.journal` / :mod:`repro.monitor.report` — the
+  per-run append-only JSONL journal and its renderer (``popper trace``).
 """
 
+from repro.monitor.journal import EVENT_KINDS, JOURNAL_FILE, RunJournal, read_journal
 from repro.monitor.metrics import MetricStore, Sample, SeriesSummary
+from repro.monitor.report import (
+    SpanRecord,
+    critical_path,
+    render_report,
+    spans_from_events,
+    stage_table,
+)
+from repro.monitor.tracing import (
+    SPAN_METRIC,
+    NullTracer,
+    Span,
+    Tracer,
+    activate,
+    current_tracer,
+)
 
-__all__ = ["MetricStore", "Sample", "SeriesSummary"]
+__all__ = [
+    # metrics
+    "MetricStore",
+    "Sample",
+    "SeriesSummary",
+    # tracing
+    "SPAN_METRIC",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "activate",
+    "current_tracer",
+    # journal
+    "JOURNAL_FILE",
+    "EVENT_KINDS",
+    "RunJournal",
+    "read_journal",
+    # report
+    "SpanRecord",
+    "spans_from_events",
+    "stage_table",
+    "critical_path",
+    "render_report",
+]

@@ -1,0 +1,140 @@
+"""The per-run journal: append-only JSONL provenance of one run.
+
+Every pipeline run (and every CI build) writes a journal — one JSON
+object per line, flushed as events happen so a crashed run still leaves
+a record up to the failure point.  The journal is the inspectable
+provenance the HotOS panel and Keahey et al. identify as the gap between
+"re-runnable" and "reproducible": what executed, in what order, how
+long each piece took, what the environment fingerprint said, and what
+the Aver verdicts were.
+
+Event kinds and their fields are documented in ``docs/observability.md``;
+the common envelope is::
+
+    {"seq": <int>, "ts": <unix seconds>, "event": "<kind>", ...fields}
+
+``seq`` is a per-journal monotonic counter (total order even when ``ts``
+ties); ``ts`` is wall-clock time.  Everything else is kind-specific.
+
+:func:`read_journal` parses a journal back into event dicts;
+:mod:`repro.monitor.report` renders them into timing tables and a
+critical-path summary.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, IO
+
+from repro.common.errors import MonitorError
+
+__all__ = ["JOURNAL_FILE", "EVENT_KINDS", "RunJournal", "read_journal"]
+
+#: Default journal file name inside an experiment directory.
+JOURNAL_FILE = "journal.jsonl"
+
+#: Every event kind the toolchain emits (open set: readers must ignore
+#: kinds they do not know).
+EVENT_KINDS = (
+    "run_start",
+    "span_start",
+    "span_end",
+    "metric",
+    "baseline",
+    "aver_verdict",
+    "run_end",
+)
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of *value* into JSON-serializable form."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, Path):
+        return str(value)
+    # numpy scalars and anything else numeric-like
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+class RunJournal:
+    """Appends events to one JSONL file, flushing after every line.
+
+    A journal is *per run*: constructing one truncates any journal a
+    previous run left at the same path (pass ``fresh=False`` to resume
+    appending instead, e.g. across CI retries).  Use as a context
+    manager or call :meth:`close` explicitly.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        fresh: bool = True,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.path = Path(path)
+        self._clock = clock
+        self._seq = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] | None = self.path.open(
+            "w" if fresh else "a", encoding="utf-8"
+        )
+
+    # -- writing -----------------------------------------------------------------
+    def event(self, kind: str, **fields: Any) -> dict[str, Any]:
+        """Append one event; returns the full record as written."""
+        if not kind:
+            raise MonitorError("journal event kind required")
+        if self._fh is None:
+            raise MonitorError(f"journal {self.path} is closed")
+        self._seq += 1
+        record: dict[str, Any] = {"seq": self._seq, "ts": self._clock()}
+        record["event"] = kind
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        self._fh.write(json.dumps(record, sort_keys=False) + "\n")
+        self._fh.flush()
+        return record
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return self._seq
+
+
+def read_journal(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL journal back into its event records, in order."""
+    path = Path(path)
+    if not path.is_file():
+        raise MonitorError(f"no run journal at {path}")
+    events: list[dict[str, Any]] = []
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise MonitorError(f"{path}:{lineno}: bad journal line: {exc}") from exc
+        if not isinstance(record, dict) or "event" not in record:
+            raise MonitorError(f"{path}:{lineno}: journal line is not an event")
+        events.append(record)
+    return events

@@ -1,11 +1,18 @@
-"""Metric collection: counters, gauges and timers feeding time series.
+"""Metric collection: labeled samples feeding time series.
 
 The paper's convention captures runtime performance metrics during every
 experiment run ("many of the graphs included in the article can come
 directly from running analysis scripts on top of this data").  A
-:class:`MetricStore` is the Nagios/CollectD stand-in: experiments emit
-samples tagged with labels; analysis pulls them out as
-:class:`~repro.common.tables.MetricsTable` rows or as per-series summaries.
+:class:`MetricStore` plays the *collection* role of a Nagios/CollectD
+deployment — an in-process, append-only sample store, not a network
+monitoring daemon: experiments emit samples tagged with labels; analysis
+pulls them out as :class:`~repro.common.tables.MetricsTable` rows (via
+:meth:`MetricStore.to_table`) or as per-series :class:`SeriesSummary`
+statistics (via :meth:`MetricStore.summary` / :meth:`MetricStore.summaries`).
+
+Tracing spans (:mod:`repro.monitor.tracing`) feed the same store: every
+closed span records a ``popper.span_seconds`` sample, so stage timings
+are ordinary series to ``stats`` and ``figures``.
 """
 
 from __future__ import annotations
@@ -139,7 +146,12 @@ class MetricStore:
     def summary(
         self, metric: str, labels: dict[str, Any] | None = None
     ) -> SeriesSummary:
-        """Descriptive statistics for one series."""
+        """Descriptive statistics for one series.
+
+        *labels* matches by subset (like :meth:`values`): samples whose
+        labels contain every given pair are included.  Use
+        :meth:`summaries` for exact per-series grouping.
+        """
         values = self.values(metric, labels)
         if values.size == 0:
             raise MonitorError(f"no samples for metric {metric!r} with {labels}")
@@ -154,6 +166,37 @@ class MetricStore:
             p50=float(np.percentile(values, 50)),
             p95=float(np.percentile(values, 95)),
         )
+
+    def summaries(self, metric: str | None = None) -> list[SeriesSummary]:
+        """One :class:`SeriesSummary` per distinct ``(metric, labels)`` series.
+
+        Ordered by metric name then label tuple; restrict to one metric
+        name by passing *metric*.  Unlike :meth:`summary` (which matches
+        any series containing the given labels), grouping here is exact:
+        each sample contributes to exactly one summary.
+        """
+        groups: dict[tuple[str, tuple[tuple[str, str], ...]], list[float]] = {}
+        for sample in self._samples:
+            if metric is not None and sample.metric != metric:
+                continue
+            groups.setdefault((sample.metric, sample.labels), []).append(sample.value)
+        out: list[SeriesSummary] = []
+        for (name, labels), raw in sorted(groups.items()):
+            values = np.asarray(raw, dtype=np.float64)
+            out.append(
+                SeriesSummary(
+                    metric=name,
+                    labels=labels,
+                    count=int(values.size),
+                    mean=float(np.mean(values)),
+                    std=float(np.std(values, ddof=1)) if values.size > 1 else 0.0,
+                    minimum=float(np.min(values)),
+                    maximum=float(np.max(values)),
+                    p50=float(np.percentile(values, 50)),
+                    p95=float(np.percentile(values, 95)),
+                )
+            )
+        return out
 
     def to_table(self, metric: str | None = None) -> MetricsTable:
         """Export samples as a results table (one row per sample).

@@ -1,0 +1,189 @@
+"""Render a run journal into timing tables and a critical-path summary.
+
+This is the analysis half of the observability layer: given the JSONL
+events a :class:`~repro.monitor.journal.RunJournal` recorded, rebuild
+the span tree and produce
+
+* a per-stage timing table (the root span's direct children, with wall
+  seconds and share of the run),
+* the critical path — from each root, repeatedly descend into the
+  slowest child — which names the chain of work that bounded the run,
+* verdict and metric counts, so ``popper trace`` answers "what happened
+  and where did the time go" without re-running anything.
+
+The per-stage table is also exposed as a
+:class:`~repro.common.tables.MetricsTable` so analysis scripts and
+figures can consume journal timings like any other results series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import MonitorError
+from repro.common.tables import MetricsTable
+
+__all__ = [
+    "SpanRecord",
+    "spans_from_events",
+    "stage_table",
+    "critical_path",
+    "render_report",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One span reconstructed from ``span_start`` / ``span_end`` events."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    duration: float = 0.0
+    status: str = "open"
+    error: str = ""
+    attributes: dict[str, Any] = field(default_factory=dict)
+    children: list["SpanRecord"] = field(default_factory=list)
+
+
+def spans_from_events(events: list[dict[str, Any]]) -> list[SpanRecord]:
+    """Rebuild the span forest (roots only; children nested inside).
+
+    Spans with a ``span_start`` but no ``span_end`` (a crashed run) are
+    kept with ``status="open"`` so the report shows where it died.
+    """
+    by_id: dict[int, SpanRecord] = {}
+    roots: list[SpanRecord] = []
+    for event in events:
+        kind = event.get("event")
+        if kind == "span_start":
+            record = SpanRecord(
+                span_id=int(event["span_id"]),
+                parent_id=event.get("parent_id"),
+                name=str(event.get("name", "")),
+                attributes=dict(event.get("attributes") or {}),
+            )
+            by_id[record.span_id] = record
+            parent = by_id.get(record.parent_id) if record.parent_id else None
+            if parent is not None:
+                parent.children.append(record)
+            else:
+                roots.append(record)
+        elif kind == "span_end":
+            record = by_id.get(int(event["span_id"]))
+            if record is None:
+                raise MonitorError(
+                    f"journal has span_end for unknown span {event.get('span_id')}"
+                )
+            record.duration = float(event.get("duration_s", 0.0))
+            record.status = str(event.get("status", "ok"))
+            record.error = str(event.get("error", ""))
+            record.attributes.update(event.get("attributes") or {})
+    return roots
+
+
+def stage_table(events: list[dict[str, Any]]) -> MetricsTable:
+    """Per-stage timings: the root span's direct children, in order."""
+    roots = spans_from_events(events)
+    table = MetricsTable(["stage", "seconds", "share", "status"])
+    for root in roots:
+        total = root.duration or sum(c.duration for c in root.children)
+        for child in root.children:
+            table.append(
+                {
+                    "stage": child.name,
+                    "seconds": child.duration,
+                    "share": child.duration / total if total else 0.0,
+                    "status": child.status,
+                }
+            )
+    return table
+
+
+def critical_path(events: list[dict[str, Any]]) -> list[SpanRecord]:
+    """The slowest-child chain from the first root span downwards."""
+    roots = spans_from_events(events)
+    if not roots:
+        return []
+    path = [roots[0]]
+    while path[-1].children:
+        path.append(max(path[-1].children, key=lambda s: s.duration))
+    return path
+
+
+def _fmt_seconds(seconds: float) -> str:
+    return f"{seconds:.3f}s"
+
+
+def _text_table(rows: list[tuple[str, ...]], header: tuple[str, ...]) -> list[str]:
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(header)).rstrip()]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return lines
+
+
+def render_report(events: list[dict[str, Any]]) -> str:
+    """The human-readable report behind ``popper trace``."""
+    if not events:
+        raise MonitorError("journal is empty; nothing to render")
+
+    run_start = next((e for e in events if e["event"] == "run_start"), None)
+    run_end = next((e for e in events if e["event"] == "run_end"), None)
+    roots = spans_from_events(events)
+    subject = (run_start or {}).get("experiment") or (
+        roots[0].name if roots else "<unknown>"
+    )
+    status = (run_end or {}).get("status", "incomplete")
+    total = sum(r.duration for r in roots)
+
+    lines = [f"== run journal: {subject} " + "=" * max(0, 46 - len(str(subject)))]
+    spans = sum(1 for e in events if e["event"] == "span_end")
+    lines.append(
+        f"status: {status}   spans: {spans}   wall: {_fmt_seconds(total)}"
+    )
+    lines.append("")
+
+    stages = stage_table(events)
+    if len(stages):
+        rows = [
+            (
+                str(row["stage"]),
+                _fmt_seconds(float(row["seconds"])),
+                f"{float(row['share']):.1%}",
+                str(row["status"]),
+            )
+            for row in stages
+        ]
+        lines.extend(_text_table(rows, ("stage", "seconds", "share", "status")))
+        lines.append("")
+
+    path = critical_path(events)
+    if path:
+        lines.append("critical path:")
+        for depth, span in enumerate(path):
+            marker = "-> " if depth else ""
+            detail = f" [{span.error}]" if span.status == "error" else ""
+            lines.append(
+                "  " * (depth + 1)
+                + f"{marker}{span.name} ({_fmt_seconds(span.duration)}){detail}"
+            )
+        lines.append("")
+
+    baselines = [e for e in events if e["event"] == "baseline"]
+    for event in baselines:
+        lines.append(f"baseline: {event.get('message', event.get('machine', ''))}")
+    verdicts = [e for e in events if e["event"] == "aver_verdict"]
+    if verdicts:
+        passed = sum(1 for v in verdicts if v.get("passed"))
+        lines.append(f"validations: {passed} passed, {len(verdicts) - passed} failed")
+    metrics = sum(1 for e in events if e["event"] == "metric")
+    if metrics:
+        lines.append(f"metric samples: {metrics}")
+    return "\n".join(lines).rstrip() + "\n"

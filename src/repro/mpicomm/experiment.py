@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.common.rng import SeedSequenceFactory
 from repro.common.tables import MetricsTable
+from repro.monitor.tracing import current_tracer
 from repro.mpicomm.lulesh import LuleshConfig, run_lulesh
 from repro.platform.sites import Site, default_sites
 
@@ -53,26 +54,35 @@ def run_noise_experiment(
         ["noise", "run", "ranks", "wall_time", "mpi_fraction", "dominant_callsite"]
     )
     for noise in (False, True):
-        for run_id in range(runs):
-            with site.allocate(config.ranks) as allocation:
-                result = run_lulesh(
-                    config,
-                    list(allocation),
-                    seeds.child("noise" if noise else "clean"),
-                    run_id=run_id,
-                    noise_injection=noise,
-                )
-            table.append(
-                {
-                    "noise": noise,
-                    "run": run_id,
-                    "ranks": config.ranks,
-                    "wall_time": result.wall_time,
-                    "mpi_fraction": result.mpi_fraction,
-                    "dominant_callsite": result.report.dominant_callsite().callsite,
-                }
-            )
+        with current_tracer().span(
+            "mpicomm/setting", noise=noise, runs=runs, ranks=config.ranks
+        ):
+            for run_id in range(runs):
+                with site.allocate(config.ranks) as allocation:
+                    result = run_lulesh(
+                        config,
+                        list(allocation),
+                        seeds.child("noise" if noise else "clean"),
+                        run_id=run_id,
+                        noise_injection=noise,
+                    )
+                _append_run(table, config, noise, run_id, result)
     return table
+
+
+def _append_run(
+    table: MetricsTable, config: LuleshConfig, noise: bool, run_id: int, result
+) -> None:
+    table.append(
+        {
+            "noise": noise,
+            "run": run_id,
+            "ranks": config.ranks,
+            "wall_time": result.wall_time,
+            "mpi_fraction": result.mpi_fraction,
+            "dominant_callsite": result.report.dominant_callsite().callsite,
+        }
+    )
 
 
 def variability_stats(table: MetricsTable, noise: bool) -> VariabilityStats:

@@ -31,6 +31,7 @@ from typing import Any
 
 from repro.common import minyaml
 from repro.common.errors import OrchestrationError
+from repro.monitor.tracing import current_tracer
 from repro.orchestration.inventory import Host, Inventory
 from repro.orchestration.modules import MODULES, TaskResult, run_module
 from repro.orchestration.templating import evaluate, render_value
@@ -196,38 +197,49 @@ class PlaybookRunner:
                 alive = [h for h in hosts if h.name not in dead]
                 if not alive:
                     break
-                with ThreadPoolExecutor(
-                    max_workers=min(self.max_forks, len(alive))
-                ) as pool:
-                    futures = {
-                        host.name: pool.submit(
-                            self._run_task_on_host, task, host, host_vars[host.name]
-                        )
-                        for host in alive
-                    }
-                for host in alive:
-                    result = futures[host.name].result()
-                    task_log.append((task.name, host.name, result))
-                    host_stats = stats[host.name]
-                    if result.skipped:
-                        host_stats.skipped += 1
-                        continue
-                    if result.failed and not task.ignore_errors:
-                        host_stats.failed += 1
-                        dead.add(host.name)
-                        continue
-                    host_stats.ok += 1
-                    if result.changed:
-                        host_stats.changed += 1
-                    if task.register:
-                        host_vars[host.name][task.register] = {
-                            "failed": result.failed,
-                            "changed": result.changed,
-                            "msg": result.msg,
-                            **result.data,
+                # One span per task across its host fan-out (tasks run in
+                # lockstep, so the span's wall time is the barrier time).
+                with current_tracer().span(
+                    f"playbook/task/{task.name or task.module}",
+                    module=task.module,
+                    play=play.name,
+                    hosts=len(alive),
+                ) as task_span:
+                    with ThreadPoolExecutor(
+                        max_workers=min(self.max_forks, len(alive))
+                    ) as pool:
+                        futures = {
+                            host.name: pool.submit(
+                                self._run_task_on_host, task, host, host_vars[host.name]
+                            )
+                            for host in alive
                         }
-                    if task.module == "set_fact":
-                        host_vars[host.name].update(result.data)
+                    failed_hosts = 0
+                    for host in alive:
+                        result = futures[host.name].result()
+                        task_log.append((task.name, host.name, result))
+                        host_stats = stats[host.name]
+                        if result.skipped:
+                            host_stats.skipped += 1
+                            continue
+                        if result.failed and not task.ignore_errors:
+                            host_stats.failed += 1
+                            failed_hosts += 1
+                            dead.add(host.name)
+                            continue
+                        host_stats.ok += 1
+                        if result.changed:
+                            host_stats.changed += 1
+                        if task.register:
+                            host_vars[host.name][task.register] = {
+                                "failed": result.failed,
+                                "changed": result.changed,
+                                "msg": result.msg,
+                                **result.data,
+                            }
+                        if task.module == "set_fact":
+                            host_vars[host.name].update(result.data)
+                    task_span.attributes["failed_hosts"] = failed_hosts
         return PlayRecap(stats=stats, task_results=task_log)
 
     def _run_task_on_host(

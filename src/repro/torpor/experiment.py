@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.common.rng import SeedSequenceFactory
 from repro.common.tables import MetricsTable
+from repro.monitor.tracing import current_tracer
 from repro.baseliner.fingerprint import (
     BaselineProfile,
     SpeedupProfile,
@@ -61,10 +62,14 @@ def run_torpor_experiment(
         sites = default_sites(seed)
         base_site = base_site or sites["lab"]
         target_site = target_site or sites["cloudlab-wisc"]
+    tracer = current_tracer()
     with base_site.allocate(1) as base_alloc, target_site.allocate(1) as target_alloc:
-        base_profile = run_battery(base_alloc[0], seeds, runs=runs)
-        target_profile = run_battery(target_alloc[0], seeds, runs=runs)
-    speedups = compare(base_profile, target_profile)
+        with tracer.span("torpor/battery", role="base", site=base_site.name):
+            base_profile = run_battery(base_alloc[0], seeds, runs=runs)
+        with tracer.span("torpor/battery", role="target", site=target_site.name):
+            target_profile = run_battery(target_alloc[0], seeds, runs=runs)
+    with tracer.span("torpor/compare"):
+        speedups = compare(base_profile, target_profile)
     return TorporResult(
         base_profile=base_profile,
         target_profile=target_profile,

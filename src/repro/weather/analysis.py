@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.common.errors import ReproError
 from repro.common.tables import MetricsTable
+from repro.monitor.tracing import current_tracer
 from repro.weather.dataset import LabeledArray
 from repro.weather.generator import season_of_day
 
@@ -44,8 +45,10 @@ def analyze_air_temperature(air: LabeledArray) -> AirTempAnalysis:
     for dim in ("time", "lat", "lon"):
         air.axis_of(dim)
 
-    zonal = air.mean("lon")  # (time, lat)
-    by_season = zonal.groupby("time", season_of_day)
+    tracer = current_tracer()
+    with tracer.span("weather/climatology", shape=list(air.data.shape)):
+        zonal = air.mean("lon")  # (time, lat)
+        by_season = zonal.groupby("time", season_of_day)
 
     seasonal_zonal = MetricsTable(["season", "lat", "temperature"])
     lats = air.coord("lat")

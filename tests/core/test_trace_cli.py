@@ -1,0 +1,134 @@
+"""Pipeline observability: span tree, journal artifact, trace/log CLI."""
+
+import pytest
+
+from repro.core.cli import main
+from repro.core.pipeline import ExperimentPipeline
+from repro.core.repo import PopperRepository
+from repro.core.runners import register_runner
+from repro.common.tables import MetricsTable
+from repro.monitor.journal import read_journal
+from repro.monitor.tracing import SPAN_METRIC, current_tracer
+
+
+@register_runner("stub-observed")
+def _stub_runner(variables: dict) -> MetricsTable:
+    table = MetricsTable(["x", "y"])
+    with current_tracer().span("stub/work", points=2):
+        table.append({"x": 1, "y": 2.0})
+        table.append({"x": 2, "y": 1.0})
+    return table
+
+
+@pytest.fixture
+def repo(tmp_path):
+    repo = PopperRepository.init(tmp_path / "r")
+    repo.add_experiment("torpor", "myexp")
+    (repo.experiment_dir("myexp") / "vars.yml").write_text(
+        "runner: stub-observed\n"
+    )
+    (repo.experiment_dir("myexp") / "validations.aver").write_text(
+        "expect y > 0\n"
+    )
+    (repo.experiment_dir("myexp") / "visualize.nb.json").unlink(missing_ok=True)
+    (repo.experiment_dir("myexp") / "setup.yml").unlink(missing_ok=True)
+    (repo.experiment_dir("myexp") / "process-result.py").unlink(missing_ok=True)
+    return repo
+
+
+class TestPipelineSpans:
+    def test_expected_span_tree_for_stub_experiment(self, repo):
+        pipeline = ExperimentPipeline(repo, "myexp")
+        pipeline.run()
+        assert pipeline.tracer.span_tree() == [
+            "pipeline/run/myexp (ok)",
+            "  setup (ok)",
+            "  run (ok)",
+            "    runner/stub-observed (ok)",
+            "      stub/work (ok)",
+            "  postprocess (ok)",
+            "  validate (ok)",
+        ]
+
+    def test_span_seconds_land_in_metric_store(self, repo):
+        pipeline = ExperimentPipeline(repo, "myexp")
+        pipeline.run()
+        values = pipeline.metrics.values(SPAN_METRIC, {"span": "run"})
+        assert values.size == 1 and values[0] >= 0.0
+
+    def test_journal_written_with_verdicts_and_exit_status(self, repo):
+        pipeline = ExperimentPipeline(repo, "myexp")
+        pipeline.run()
+        events = read_journal(pipeline.journal_path)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert events[-1]["status"] == "ok"
+        verdicts = [e for e in events if e["event"] == "aver_verdict"]
+        assert len(verdicts) == 1 and verdicts[0]["passed"] is True
+
+    def test_crashed_run_leaves_partial_journal(self, repo):
+        (repo.experiment_dir("myexp") / "vars.yml").write_text(
+            "runner: no-such-runner\n"
+        )
+        pipeline = ExperimentPipeline(repo, "myexp")
+        with pytest.raises(Exception):
+            pipeline.run()
+        events = read_journal(pipeline.journal_path)
+        assert events[-1]["event"] == "run_end"
+        assert events[-1]["status"] == "error"
+        run_spans = [
+            e for e in events if e["event"] == "span_end" and e["name"] == "run"
+        ]
+        assert run_spans and run_spans[0]["status"] == "error"
+
+    def test_rerun_overwrites_journal(self, repo):
+        pipeline = ExperimentPipeline(repo, "myexp")
+        pipeline.run()
+        first = len(read_journal(pipeline.journal_path))
+        ExperimentPipeline(repo, "myexp").run()
+        assert len(read_journal(pipeline.journal_path)) == first
+
+
+class TestTraceCli:
+    def run_myexp(self, repo):
+        assert main(["-C", str(repo.root), "run", "myexp"]) == 0
+
+    def test_trace_golden_output(self, repo, capsys):
+        self.run_myexp(repo)
+        capsys.readouterr()
+        assert main(["-C", str(repo.root), "trace", "myexp"]) == 0
+        out = capsys.readouterr().out
+        assert "== run journal: myexp" in out
+        assert "status: ok" in out
+        for line_start in ("stage", "setup", "run", "postprocess", "validate"):
+            assert any(
+                line.startswith(line_start) for line in out.splitlines()
+            ), f"missing {line_start!r} row in:\n{out}"
+        assert "critical path:" in out
+        assert "pipeline/run/myexp" in out
+        assert "validations: 1 passed, 0 failed" in out
+
+    def test_log_lists_events(self, repo, capsys):
+        self.run_myexp(repo)
+        capsys.readouterr()
+        assert main(["-C", str(repo.root), "log", "myexp"]) == 0
+        out = capsys.readouterr().out
+        assert "run_start" in out and "run_end" in out
+        assert "name=stub/work" in out
+
+    def test_log_raw_is_jsonl(self, repo, capsys):
+        import json
+
+        self.run_myexp(repo)
+        capsys.readouterr()
+        assert main(["-C", str(repo.root), "log", "--raw", "myexp"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert all(json.loads(line)["seq"] for line in lines)
+
+    def test_trace_before_any_run_errors(self, repo, capsys):
+        assert main(["-C", str(repo.root), "trace", "myexp"]) == 2
+        assert "no run journal" in capsys.readouterr().err
+
+    def test_trace_unknown_experiment(self, repo, capsys):
+        assert main(["-C", str(repo.root), "trace", "ghost"]) == 2
+        assert "no such experiment" in capsys.readouterr().err

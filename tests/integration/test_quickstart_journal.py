@@ -1,0 +1,57 @@
+"""Tier-1 observability gate: the quickstart example, end to end.
+
+Runs ``examples/quickstart.py`` (the paper's Listing 2 session) exactly
+as a reader would, then asserts the run left a non-empty journal whose
+rendered report shows per-stage timings — the acceptance criterion that
+every pipeline run produces inspectable provenance.  Marked
+``quickstart`` so CI can select it explicitly (``-m quickstart``); it
+also runs as part of the plain tier-1 suite.
+"""
+
+import importlib.util
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.monitor.journal import JOURNAL_FILE, read_journal
+from repro.monitor.report import render_report
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _load_quickstart():
+    spec = importlib.util.spec_from_file_location(
+        "quickstart_example", EXAMPLES / "quickstart.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.quickstart
+def test_quickstart_produces_nonempty_run_journal(tmp_path, monkeypatch, capsys):
+    # Pin the example's "temporary directory" so the journal is findable.
+    monkeypatch.setattr(
+        tempfile, "mkdtemp", lambda *args, **kwargs: str(tmp_path)
+    )
+    _load_quickstart().main()
+    out = capsys.readouterr().out
+
+    # The session printed the trace report inline.
+    assert "$ popper trace myexp" in out
+    assert "== run journal: myexp" in out
+    assert "critical path:" in out
+
+    journal_path = tmp_path / "mypaper-repo" / "experiments" / "myexp" / JOURNAL_FILE
+    events = read_journal(journal_path)
+    assert len(events) > 0
+    assert events[0]["event"] == "run_start"
+    assert events[-1] == {
+        **events[-1],
+        "event": "run_end",
+        "status": "ok",
+    }
+    # The journal renders to per-stage timings on its own too.
+    report = render_report(events)
+    assert "run" in report and "validate" in report

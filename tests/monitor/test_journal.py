@@ -1,0 +1,140 @@
+"""Tests for the run journal and its report renderer."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.common.errors import MonitorError
+from repro.monitor.journal import RunJournal, read_journal
+from repro.monitor.report import (
+    critical_path,
+    render_report,
+    spans_from_events,
+    stage_table,
+)
+from repro.monitor.tracing import Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with RunJournal(path, clock=FakeClock()) as journal:
+            journal.event("run_start", experiment="myexp")
+            journal.event("metric", metric="m", value=1.5, labels={"a": "b"})
+            journal.event("run_end", status="ok")
+        events = read_journal(path)
+        assert [e["event"] for e in events] == ["run_start", "metric", "run_end"]
+        assert [e["seq"] for e in events] == [1, 2, 3]
+        assert events[1]["labels"] == {"a": "b"}
+
+    def test_fresh_truncates_previous_run(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with RunJournal(path) as journal:
+            journal.event("run_start", experiment="one")
+        with RunJournal(path) as journal:
+            journal.event("run_start", experiment="two")
+        events = read_journal(path)
+        assert len(events) == 1 and events[0]["experiment"] == "two"
+
+    def test_append_mode(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with RunJournal(path) as journal:
+            journal.event("run_start")
+        with RunJournal(path, fresh=False) as journal:
+            journal.event("run_end", status="ok")
+        assert len(read_journal(path)) == 2
+
+    def test_non_jsonable_values_coerced(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with RunJournal(path) as journal:
+            journal.event(
+                "metric", path=Path("/tmp/x"), tags=("a", "b"), obj=object()
+            )
+        event = read_journal(path)[0]
+        assert event["path"] == "/tmp/x"
+        assert event["tags"] == ["a", "b"]
+        assert isinstance(event["obj"], str)
+
+    def test_write_after_close_rejected(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        journal.close()
+        with pytest.raises(MonitorError):
+            journal.event("run_end")
+
+    def test_read_missing_or_corrupt(self, tmp_path):
+        with pytest.raises(MonitorError):
+            read_journal(tmp_path / "ghost.jsonl")
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"event": "ok"}\nnot json\n')
+        with pytest.raises(MonitorError):
+            read_journal(bad)
+
+
+def _traced_journal(tmp_path) -> list[dict]:
+    """write -> parse: a realistic journal from a traced fake run."""
+    path = tmp_path / "journal.jsonl"
+    journal = RunJournal(path)
+    tracer = Tracer(journal=journal, clock=FakeClock())
+    journal.event("run_start", experiment="myexp")
+    with tracer.span("pipeline/run/myexp"):
+        with tracer.span("setup"):
+            pass
+        with tracer.span("run"):
+            with tracer.span("runner/torpor-variability"):
+                pass
+        with tracer.span("validate"):
+            pass
+    journal.event("aver_verdict", assertion="expect x > 1", passed=True)
+    journal.event("run_end", status="ok", duration_s=9.0)
+    journal.close()
+    return read_journal(path)
+
+
+class TestReport:
+    def test_spans_from_events_rebuilds_tree(self, tmp_path):
+        roots = spans_from_events(_traced_journal(tmp_path))
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "pipeline/run/myexp"
+        assert [c.name for c in root.children] == ["setup", "run", "validate"]
+        assert root.children[1].children[0].name == "runner/torpor-variability"
+
+    def test_open_span_survives_crash(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(path)
+        journal.event("span_start", span_id=1, name="run")
+        journal.close()  # no span_end: the run died here
+        roots = spans_from_events(read_journal(path))
+        assert roots[0].status == "open"
+
+    def test_stage_table_shares_sum_to_one(self, tmp_path):
+        table = stage_table(_traced_journal(tmp_path))
+        assert table.column("stage") == ["setup", "run", "validate"]
+        assert sum(table.column("share")) < 1.0 + 1e-9
+
+    def test_critical_path_follows_slowest_child(self, tmp_path):
+        path = [s.name for s in critical_path(_traced_journal(tmp_path))]
+        # run (4 ticks) dominates setup/validate (2 ticks each)
+        assert path == ["pipeline/run/myexp", "run", "runner/torpor-variability"]
+
+    def test_render_report_contents(self, tmp_path):
+        report = render_report(_traced_journal(tmp_path))
+        assert "run journal: myexp" in report
+        assert "status: ok" in report
+        assert "critical path:" in report
+        assert "validations: 1 passed, 0 failed" in report
+        for stage in ("setup", "run", "validate"):
+            assert stage in report
+
+    def test_render_empty_journal_rejected(self):
+        with pytest.raises(MonitorError):
+            render_report([])

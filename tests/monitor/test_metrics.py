@@ -75,6 +75,25 @@ class TestSummary:
         with pytest.raises(MonitorError):
             MetricStore().summary("ghost")
 
+    def test_summaries_group_exactly(self):
+        store = MetricStore()
+        store.record("time", 1.0, labels={"stage": "run"})
+        store.record("time", 3.0, labels={"stage": "run"})
+        store.record("time", 9.0, labels={"stage": "setup", "host": "n0"})
+        store.record("other", 5.0)
+        summaries = store.summaries("time")
+        assert [(s.metric, dict(s.labels), s.count) for s in summaries] == [
+            ("time", {"host": "n0", "stage": "setup"}, 1),
+            ("time", {"stage": "run"}, 2),
+        ]
+        assert summaries[1].mean == pytest.approx(2.0)
+        # unlike summary(), an exact group: the setup sample is excluded
+        assert store.summary("time", {"stage": "run"}).count == 2
+        assert len(store.summaries()) == 3
+
+    def test_summaries_empty_store(self):
+        assert MetricStore().summaries() == []
+
 
 class TestExport:
     def test_to_table(self):

@@ -1,0 +1,138 @@
+"""Tests for hierarchical tracing spans."""
+
+import threading
+
+import pytest
+
+from repro.common.errors import MonitorError
+from repro.monitor.journal import RunJournal, read_journal
+from repro.monitor.metrics import MetricStore
+from repro.monitor.tracing import (
+    SPAN_METRIC,
+    NullTracer,
+    Tracer,
+    activate,
+    current_tracer,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+class TestSpans:
+    def test_nested_spans_record_parentage(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grand:
+                    pass
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert grand.parent_id == child.span_id
+        assert [s.name for s in tracer.finished()] == ["root", "child", "grandchild"]
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == b.parent_id == root.span_id
+        assert tracer.span_tree() == ["root (ok)", "  a (ok)", "  b (ok)"]
+
+    def test_durations_from_clock(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                pass
+        # inner: start=2 end=3; outer: start=1 end=4
+        assert inner.duration == pytest.approx(1.0)
+        assert tracer.roots()[0].duration == pytest.approx(3.0)
+
+    def test_error_status_propagates_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("kaput")
+        span = tracer.finished()[0]
+        assert span.status == "error"
+        assert "kaput" in span.error
+
+    def test_attributes_mutable_while_open(self):
+        tracer = Tracer()
+        with tracer.span("s", machine="ec2") as span:
+            span.attributes["nodes"] = 4
+        assert tracer.finished()[0].attributes == {"machine": "ec2", "nodes": 4}
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(MonitorError):
+            with Tracer().span(""):
+                pass
+
+    def test_thread_spans_are_roots(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            with tracer.span("worker") as span:
+                seen["parent"] = span.parent_id
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["parent"] is None
+        assert len(tracer.roots()) == 2
+
+
+class TestSinks:
+    def test_metrics_sink_records_span_seconds(self):
+        store = MetricStore()
+        tracer = Tracer(metrics=store, clock=FakeClock())
+        with tracer.span("stage"):
+            pass
+        values = store.values(SPAN_METRIC, {"span": "stage"})
+        assert values.tolist() == [1.0]
+
+    def test_journal_sink_emits_start_and_end(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        tracer = Tracer(journal=journal)
+        with tracer.span("a", k="v"):
+            pass
+        journal.close()
+        events = read_journal(tmp_path / "j.jsonl")
+        assert [e["event"] for e in events] == ["span_start", "span_end"]
+        assert events[0]["attributes"] == {"k": "v"}
+        assert events[1]["status"] == "ok"
+
+
+class TestAmbient:
+    def test_default_is_null_tracer(self):
+        tracer = current_tracer()
+        assert isinstance(tracer, NullTracer)
+        with tracer.span("ignored") as span:
+            span.attributes["x"] = 1  # must not blow up
+        assert tracer.finished() == []
+
+    def test_activate_installs_and_removes(self):
+        tracer = Tracer()
+        with activate(tracer):
+            assert current_tracer() is tracer
+            with current_tracer().span("seen"):
+                pass
+        assert isinstance(current_tracer(), NullTracer)
+        assert [s.name for s in tracer.finished()] == ["seen"]
+
+    def test_activate_nests(self):
+        outer, inner = Tracer(), Tracer()
+        with activate(outer):
+            with activate(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is outer
