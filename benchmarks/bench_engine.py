@@ -1,0 +1,117 @@
+"""Engine throughput: the four-experiment sweep, serial vs threaded.
+
+Runs the four paper experiments (`gassyfs`, `torpor`,
+`mpi-comm-variability`, `jupyter-bww`) through ``popper run --all`` with
+``-j 1`` and ``-j 4`` and records wall seconds per mode plus the speedup
+to ``BENCH_engine.json`` at the repository root — the repo's
+perf-trajectory data point for the execution engine.
+
+Also asserts the engine's correctness contract while it is at it: both
+modes must produce byte-identical ``results.csv`` files.
+
+The speedup is hardware-dependent: the experiment payloads are
+CPU-bound Python, so on a single-core host (or any host, under the GIL)
+the threaded sweep's benefit is bounded; ``cpu_count`` is recorded
+alongside the timings so the number can be read in context.
+
+Run standalone (``python benchmarks/bench_engine.py``) or via pytest
+(``pytest benchmarks/bench_engine.py``).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_engine.json"
+
+#: The four paper experiments, shrunk to a seconds-scale budget.
+EXPERIMENTS = {
+    "exp-gassyfs": (
+        "gassyfs",
+        {
+            "node_counts": [1, 2, 4],
+            "sites": ["cloudlab-wisc"],
+            "workloads": ["git-compile"],
+            "workload_scale": 0.1,
+            "seed": 7,
+        },
+    ),
+    "exp-torpor": ("torpor", {"runs": 2, "seed": 7}),
+    "exp-mpi": ("mpi-comm-variability", {"iterations": 10, "runs": 5, "seed": 7}),
+    "exp-bww": ("jupyter-bww", {"seed": 7}),
+}
+
+
+def build_repo(root: Path):
+    from repro.common import minyaml
+    from repro.common.fsutil import write_text
+    from repro.core.repo import PopperRepository
+
+    repo = PopperRepository.init(root)
+    for experiment, (template, overrides) in EXPERIMENTS.items():
+        repo.add_experiment(template, experiment, commit=False)
+        vars_path = repo.experiment_dir(experiment) / "vars.yml"
+        doc = minyaml.load_file(vars_path)
+        doc.update(overrides)
+        write_text(vars_path, minyaml.dumps(doc))
+    repo.vcs.add_all()
+    repo.vcs.commit("instantiate the four paper experiments")
+    return repo
+
+
+def sweep(repo, jobs: int) -> float:
+    """Run the full sweep; returns wall seconds (exit code must be 0)."""
+    from repro.core.cli import main
+
+    started = time.perf_counter()
+    code = main(["-C", str(repo.root), "run", "--all", "-j", str(jobs)])
+    seconds = time.perf_counter() - started
+    assert code == 0, f"sweep with -j {jobs} exited {code}"
+    return seconds
+
+
+def run_bench(base: Path) -> dict:
+    serial_repo = build_repo(base / "serial")
+    threaded_repo = build_repo(base / "threaded")
+
+    serial_s = sweep(serial_repo, jobs=1)
+    threaded_s = sweep(threaded_repo, jobs=4)
+
+    for experiment in EXPERIMENTS:
+        a = (serial_repo.experiment_dir(experiment) / "results.csv").read_bytes()
+        b = (threaded_repo.experiment_dir(experiment) / "results.csv").read_bytes()
+        assert a == b, f"{experiment}: -j 1 and -j 4 results differ"
+
+    report = {
+        "benchmark": "engine-sweep",
+        "experiments": sorted(EXPERIMENTS),
+        "modes": {
+            "serial_j1": {"wall_seconds": round(serial_s, 4)},
+            "threaded_j4": {"wall_seconds": round(threaded_s, 4)},
+        },
+        "speedup": round(serial_s / threaded_s, 3) if threaded_s else None,
+        "cpu_count": os.cpu_count(),
+        "results_identical": True,
+    }
+    BENCH_FILE.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+def test_bench_engine_sweep(tmp_path):
+    report = run_bench(tmp_path)
+    assert report["results_identical"]
+    assert report["modes"]["serial_j1"]["wall_seconds"] > 0
+    assert report["modes"]["threaded_j4"]["wall_seconds"] > 0
+    assert BENCH_FILE.is_file()
+
+
+if __name__ == "__main__":
+    import sys
+    import tempfile
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    with tempfile.TemporaryDirectory() as tmp:
+        out = run_bench(Path(tmp))
+    print(json.dumps(out, indent=2))

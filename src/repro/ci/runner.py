@@ -1,11 +1,18 @@
 """The CI service: builds, jobs, steps and build history.
 
 A :class:`CIServer` watches a :class:`~repro.vcs.Repository`; triggering a
-build checks out the commit into a scratch workspace, parses the repo's
-``.travis.yml``, expands the env matrix into jobs, and runs each job's
-steps through a command executor (a container by default).  Build records
-accumulate into a history that answers "is this repository currently
-passing?" — the integrity half of the paper's automated-validation story.
+build checks out the commit into per-job scratch workspaces, parses the
+repo's ``.travis.yml``, expands the env matrix into jobs, and runs each
+job's steps through a command executor (a container by default).  Build
+records accumulate into a history that answers "is this repository
+currently passing?" — the integrity half of the paper's
+automated-validation story.
+
+Matrix jobs are independent nodes of a :class:`~repro.engine.TaskGraph`:
+``CIServer(..., jobs=N)`` (the CLI's ``popper ci -j N``) schedules up to
+N of them concurrently through the shared execution engine; each job
+gets its own checkout and its own executor (via ``executor.clone()``
+when available) so concurrent jobs cannot observe each other's builds.
 
 Every build is traced and journaled: the server opens a span per build
 (``ci/build/<n>``), per job and per step, and writes the events to a
@@ -27,6 +34,7 @@ from repro.common.fsutil import rmtree_quiet
 from repro.container.image import Image, scratch
 from repro.container.runtime import BinaryRegistry, Container, ExecResult
 from repro.ci.config import CIConfig
+from repro.engine import SerialScheduler, TaskGraph, ThreadedScheduler
 from repro.monitor.journal import RunJournal
 from repro.monitor.tracing import Tracer
 from repro.vcs.repository import Repository
@@ -109,6 +117,14 @@ class ContainerExecutor:
         self.binaries = binaries
         self._container: Container | None = None
 
+    def clone(self) -> "ContainerExecutor":
+        """A fresh executor sharing config but no container state.
+
+        Concurrent matrix jobs each get their own clone, so one job's
+        container environment can never leak into another's.
+        """
+        return ContainerExecutor(image=self.image, binaries=self.binaries)
+
     def reset(self, workspace: Path) -> None:
         """Fresh container per job (CI's clean-environment guarantee)."""
         self._container = Container(
@@ -137,12 +153,14 @@ class CIServer:
         config_path: str = ".travis.yml",
         workspace_root: Path | None = None,
         journal_root: Path | None = None,
+        jobs: int = 1,
     ) -> None:
         self.repo = repo
         self.executor = executor if executor is not None else ContainerExecutor()
         self.config_path = config_path
         self.workspace_root = workspace_root or (repo.root / ".pvcs" / "ci-workspaces")
         self.journal_root = journal_root or (repo.root / ".pvcs" / "ci-journals")
+        self.jobs = max(1, int(jobs))
         self.history: list[BuildRecord] = []
 
     def journal_path(self, number: int) -> Path:
@@ -182,14 +200,41 @@ class CIServer:
             ) from exc
         config = CIConfig.from_yaml(config_text)
 
-        workspace = self._checkout(commit, number)
-        jobs = []
+        # Each matrix job is an independent graph node with its own
+        # checkout and executor; the engine runs up to self.jobs at once.
+        envs = config.expand_matrix()
+        build_root = Path(self.workspace_root) / f"build-{number}"
+
+        def job_task(env: dict[str, str], index: int):
+            def payload(ctx):
+                workspace = self._checkout(
+                    commit, build_root / f"job-{index}"
+                )
+                executor = (
+                    self.executor.clone()
+                    if hasattr(self.executor, "clone")
+                    else self.executor
+                )
+                return self._run_job(config, env, workspace, tracer, executor)
+
+            return payload
+
+        graph = TaskGraph()
+        for index, env in enumerate(envs, start=1):
+            graph.add(f"job-{index}", job_task(env, index))
+        scheduler = (
+            ThreadedScheduler(max_workers=self.jobs)
+            if self.jobs > 1
+            else SerialScheduler()
+        )
         try:
             with tracer.span(f"ci/build/{number}", commit=commit, ref=ref):
-                for env in config.expand_matrix():
-                    jobs.append(self._run_job(config, env, workspace, tracer))
+                recap = scheduler.run(graph, tracer=tracer)
+            recap.raise_first_error()
         finally:
-            rmtree_quiet(workspace)
+            rmtree_quiet(build_root)
+        # Matrix order, not completion order, for the build record.
+        jobs = [recap.value(f"job-{i}") for i in range(1, len(envs) + 1)]
 
         status = (
             BuildStatus.PASSED
@@ -208,8 +253,7 @@ class CIServer:
         journal.close()
         return record
 
-    def _checkout(self, commit: str, number: int) -> Path:
-        workspace = Path(self.workspace_root) / f"build-{number}"
+    def _checkout(self, commit: str, workspace: Path) -> Path:
         rmtree_quiet(workspace)
         workspace.mkdir(parents=True)
         commit_obj = self.repo.store.get_commit(commit)
@@ -225,15 +269,17 @@ class CIServer:
         env: dict[str, str],
         workspace: Path,
         tracer: Tracer | None = None,
+        executor: Executor | ContainerExecutor | None = None,
     ) -> JobResult:
         tracer = tracer if tracer is not None else Tracer()
+        executor = executor if executor is not None else self.executor
         job = JobResult(env=env)
-        if isinstance(self.executor, ContainerExecutor):
-            self.executor.reset(workspace)
+        if hasattr(executor, "reset"):
+            executor.reset(workspace)
 
         def run_step(phase: str, command: str) -> StepResult:
             with tracer.span("ci/step", phase=phase, command=command) as span:
-                result = self.executor(command, env, workspace)
+                result = executor(command, env, workspace)
                 span.attributes["exit_code"] = result.exit_code
             step = StepResult(
                 phase=phase,

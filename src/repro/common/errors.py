@@ -27,6 +27,7 @@ __all__ = [
     "PlatformError",
     "AllocationError",
     "MonitorError",
+    "EngineError",
     "GassyFSError",
     "FSError",
     "MPIError",
@@ -133,6 +134,11 @@ class AllocationError(PlatformError):
 # --- monitor ----------------------------------------------------------------
 class MonitorError(ReproError):
     """Metric collection / time-series failure."""
+
+
+# --- engine -----------------------------------------------------------------
+class EngineError(ReproError):
+    """Task-graph execution failure (cycle, unknown dependency, ...)."""
 
 
 # --- gassyfs ----------------------------------------------------------------

@@ -15,6 +15,7 @@ from __future__ import annotations
 import contextlib
 import io
 import shlex
+import threading
 from pathlib import Path
 
 from repro.container.runtime import ExecResult
@@ -26,8 +27,17 @@ __all__ = ["PopperExecutor", "make_ci_server"]
 class PopperExecutor:
     """CI executor understanding the Popper toolchain's commands."""
 
+    # ``contextlib.redirect_stdout`` swaps the *process-wide* sys.stdout;
+    # concurrent jobs must serialize in-process command execution or
+    # their output would interleave into the wrong job's StepResult.
+    _INPROCESS_LOCK = threading.Lock()
+
     def __init__(self, fallback: ContainerExecutor | None = None) -> None:
         self.fallback = fallback or ContainerExecutor()
+
+    def clone(self) -> "PopperExecutor":
+        """A fresh executor for one concurrent matrix job."""
+        return PopperExecutor(fallback=self.fallback.clone())
 
     def reset(self, workspace: Path) -> None:
         # A CI checkout is a bare file tree; a hosted CI job would be
@@ -60,22 +70,26 @@ class PopperExecutor:
             return self._run_inprocess(aver_main, rewritten)
         return self.fallback(command, env, workspace)
 
-    @staticmethod
-    def _run_inprocess(entry, argv: list[str]) -> ExecResult:
+    @classmethod
+    def _run_inprocess(cls, entry, argv: list[str]) -> ExecResult:
         stdout = io.StringIO()
         stderr = io.StringIO()
-        with contextlib.redirect_stdout(stdout), contextlib.redirect_stderr(stderr):
-            try:
-                code = int(entry(argv))
-            except SystemExit as exc:  # argparse errors
-                code = int(exc.code or 0)
+        with cls._INPROCESS_LOCK:
+            with contextlib.redirect_stdout(stdout), contextlib.redirect_stderr(stderr):
+                try:
+                    code = int(entry(argv))
+                except SystemExit as exc:  # argparse errors
+                    code = int(exc.code or 0)
         return ExecResult(
             exit_code=code, stdout=stdout.getvalue(), stderr=stderr.getvalue()
         )
 
 
-def make_ci_server(popper_repo) -> "CIServer":
-    """A CI server for a Popper repository with the integrated executor."""
+def make_ci_server(popper_repo, jobs: int = 1) -> "CIServer":
+    """A CI server for a Popper repository with the integrated executor.
+
+    *jobs* bounds how many matrix jobs run concurrently (``popper ci -j``).
+    """
     from repro.ci.runner import CIServer
 
-    return CIServer(popper_repo.vcs, executor=PopperExecutor())
+    return CIServer(popper_repo.vcs, executor=PopperExecutor(), jobs=jobs)

@@ -68,6 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-validate stored results.csv without re-running",
     )
+    run.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N independent experiments concurrently (default 1)",
+    )
 
     trace = sub.add_parser(
         "trace", help="render an experiment's run journal (timings, critical path)"
@@ -91,6 +99,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     ci = sub.add_parser("ci", help="run the repository's CI build locally")
     ci.add_argument("--ref", default="HEAD", help="commit/branch/tag to build")
+    ci.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N matrix jobs concurrently (default 1)",
+    )
 
     bundle = sub.add_parser(
         "bundle", help="export the repository as a single artifact file"
@@ -154,7 +170,26 @@ def _cmd_check(args) -> int:
     return 0 if report.compliant else 1
 
 
+def _scheduler_for(jobs: int):
+    from repro.engine import SerialScheduler, ThreadedScheduler
+
+    if jobs < 1:
+        raise PopperError(f"--jobs must be >= 1, got {jobs}")
+    return ThreadedScheduler(max_workers=jobs) if jobs > 1 else SerialScheduler()
+
+
 def _cmd_run(args) -> int:
+    """Run experiments as independent nodes of a task graph.
+
+    With ``-j N`` the engine runs up to N experiments concurrently; each
+    one journals into its own ``journal.jsonl``.  A failing experiment
+    (``PopperError``) is reported as ERRORED and the rest of the sweep
+    keeps running; exit status aggregates across the sweep (0 all ok,
+    1 validation failures, 2 errored experiments).
+    """
+    from repro.common.errors import ValidationFailure
+    from repro.engine import TaskGraph, TaskState
+
     repo = PopperRepository.open(args.repo)
     names = list(args.names)
     if args.all:
@@ -165,21 +200,42 @@ def _cmd_run(args) -> int:
     if not names:
         print("popper run: name at least one experiment (or --all)", file=sys.stderr)
         return 2
+
+    def experiment_task(name: str):
+        def payload(ctx):
+            pipeline = ExperimentPipeline(repo, name)
+            if args.validate_only:
+                return pipeline.validate_existing()
+            return pipeline.run(strict=args.strict)
+
+        return payload
+
+    graph = TaskGraph()
+    for name in names:
+        graph.add(name, experiment_task(name))
+    recap = _scheduler_for(args.jobs).run(graph)
+
     exit_code = 0
     for name in names:
-        pipeline = ExperimentPipeline(repo, name)
-        if args.validate_only:
-            result = pipeline.validate_existing()
+        outcome = recap.outcome(name)
+        if outcome.state is TaskState.OK:
+            result = outcome.value
+            status = "ok" if result.validated else "VALIDATION FAILED"
+            print(f"-- {name}: {len(result.results)} result rows, {status}")
+            for validation in result.validations:
+                print("   " + validation.describe().replace("\n", "\n   "))
+            if not result.validated:
+                exit_code = max(exit_code, 1)
+        elif isinstance(outcome.error, ValidationFailure):
+            print(f"-- {name}: VALIDATION FAILED (strict)")
+            print("   " + str(outcome.error).replace("\n", "\n   "))
+            exit_code = max(exit_code, 1)
+        elif isinstance(outcome.error, ReproError):
+            print(f"-- {name}: ERRORED ({outcome.error})")
+            exit_code = max(exit_code, 2)
         else:
-            result = pipeline.run(strict=False)
-        status = "ok" if result.validated else "VALIDATION FAILED"
-        print(f"-- {name}: {len(result.results)} result rows, {status}")
-        for validation in result.validations:
-            print("   " + validation.describe().replace("\n", "\n   "))
-        if not result.validated:
-            exit_code = 1
-        if args.strict and exit_code:
-            return exit_code
+            # A non-repro exception is a bug, not an experiment outcome.
+            raise outcome.error
     return exit_code
 
 
@@ -243,7 +299,7 @@ def _cmd_ci(args) -> int:
     from repro.core.ci_integration import make_ci_server
 
     repo = PopperRepository.open(args.repo)
-    server = make_ci_server(repo)
+    server = make_ci_server(repo, jobs=args.jobs)
     record = server.trigger(args.ref)
     print(f"-- build #{record.number} on {record.commit[:12]}: {record.status.value}")
     for job in record.jobs:

@@ -1,6 +1,12 @@
-"""The experiment pipeline: setup → run → post-process → validate.
+"""The experiment pipeline: a declared stage DAG, run by the engine.
 
-``popper run <experiment>`` drives one experiment end to end:
+``popper run <experiment>`` drives one experiment end to end.  The
+lifecycle is declared as a :class:`~repro.engine.TaskGraph` rather than
+an imperative loop::
+
+    setup ──> [baseline] ──> run ──┬──> postprocess
+                                   ├──> [visualize]
+                                   └──> validate
 
 1. **setup** — execute the experiment's ``setup.yml`` playbook against a
    (simulated) inventory, gathering environment facts;
@@ -10,11 +16,17 @@
    no point in executing the experiment");
 3. **run** — dispatch to the runner named in ``vars.yml`` and store
    ``results.csv``;
-4. **validate** — evaluate ``validations.aver`` against the results and
-   store ``validation_report.txt``.
+4. the three *tails* — **postprocess** (``process-result.py``),
+   **visualize** (the analysis notebook, when present) and **validate**
+   (``validations.aver`` → ``validation_report.txt``) — depend only on
+   the run's results table and are independent of each other, so a
+   :class:`~repro.engine.ThreadedScheduler` may overlap them.  The
+   default :class:`~repro.engine.SerialScheduler` keeps runs
+   deterministic for debugging; either backend produces identical
+   artifacts.
 
-Every run is observable after the fact: stages execute inside tracing
-spans (root span ``pipeline/run/<experiment>``, one child per stage),
+Every run is observable after the fact: each stage executes inside a
+``task/<stage>`` tracing span (root span ``pipeline/run/<experiment>``),
 every span's wall time lands in a :class:`~repro.monitor.MetricStore`,
 and the whole run — span events, metric samples, baseline fingerprints,
 Aver verdicts, exit status — is journaled to the experiment directory's
@@ -34,6 +46,7 @@ from repro.core.baseline import check_baseline
 from repro.core.postprocess import run_postprocess
 from repro.core.repo import PopperRepository
 from repro.core.runners import run_experiment_runner
+from repro.engine import Scheduler, SerialScheduler, TaskGraph, TaskState
 from repro.monitor.journal import JOURNAL_FILE, RunJournal
 from repro.monitor.metrics import MetricStore
 from repro.monitor.tracing import Tracer, activate
@@ -82,6 +95,7 @@ class ExperimentPipeline:
         metrics: MetricStore | None = None,
         inventory: Inventory | None = None,
         tracer: Tracer | None = None,
+        scheduler: Scheduler | None = None,
     ) -> None:
         if experiment not in repo.config.experiments:
             raise PopperError(f"no such experiment: {experiment!r}")
@@ -92,6 +106,9 @@ class ExperimentPipeline:
         self.metrics = metrics if metrics is not None else MetricStore()
         self.inventory = inventory
         self.tracer = tracer if tracer is not None else Tracer(metrics=self.metrics)
+        # Serial by default: deterministic stage order for debugging.
+        # Pass a ThreadedScheduler to overlap the independent tails.
+        self.scheduler = scheduler if scheduler is not None else SerialScheduler()
 
     @property
     def journal_path(self):
@@ -221,42 +238,73 @@ class ExperimentPipeline:
             finally:
                 journal.close()
 
+    def stage_graph(self, variables: dict) -> TaskGraph:
+        """Declare the lifecycle DAG for one run.
+
+        ``setup → [baseline] → run`` is a chain; ``postprocess``,
+        ``visualize`` (when the experiment ships a notebook) and
+        ``validate`` all depend only on ``run`` and are mutually
+        independent — the engine may overlap them.
+        """
+        graph = TaskGraph()
+        graph.add("setup", lambda ctx: self.run_setup())
+        run_deps = ("setup",)
+        if "baseline" in variables:
+            graph.add(
+                "baseline",
+                lambda ctx: check_baseline(
+                    self.directory,
+                    variables["baseline"],
+                    seed=int(variables.get("seed", 42)),
+                    journal=self.tracer.journal,
+                ),
+                dependencies=("setup",),
+            )
+            run_deps = ("baseline",)
+        graph.add(
+            "run",
+            lambda ctx: self.run_experiment(variables),
+            dependencies=run_deps,
+        )
+        graph.add(
+            "postprocess",
+            lambda ctx: run_postprocess(self.directory, ctx.result("run")),
+            dependencies=("run",),
+        )
+        if (self.directory / NOTEBOOK_FILE).is_file():
+            graph.add(
+                "visualize",
+                lambda ctx: self._run_notebook(ctx.result("run")),
+                dependencies=("run",),
+            )
+        graph.add(
+            "validate",
+            lambda ctx: self.run_validation(ctx.result("run")),
+            dependencies=("run",),
+        )
+        return graph
+
     def _run_stages(self, tracer: Tracer, strict: bool) -> ExperimentResult:
-        stage_seconds: dict[str, float] = {}
         journal = tracer.journal
+        variables = self.load_vars()
+        graph = self.stage_graph(variables)
         with tracer.span(f"pipeline/run/{self.experiment}"):
-            with tracer.span("setup") as span:
-                variables = self.load_vars()
-                self.run_setup()
-            stage_seconds["setup"] = span.duration
+            recap = self.scheduler.run(graph, tracer=tracer)
+            # A failed stage fails the run; its dependents were skipped,
+            # independent stages already finished and are journaled.
+            recap.raise_first_error()
 
-            baseline_message = ""
-            if "baseline" in variables:
-                with tracer.span("baseline") as span:
-                    _, baseline_message = check_baseline(
-                        self.directory,
-                        variables["baseline"],
-                        seed=int(variables.get("seed", 42)),
-                        journal=journal,
-                    )
-                stage_seconds["baseline"] = span.duration
-
-            with tracer.span("run") as span:
-                table = self.run_experiment(variables)
-            stage_seconds["run"] = span.duration
-
-            with tracer.span("postprocess") as span:
-                figures = run_postprocess(self.directory, table)
-            stage_seconds["postprocess"] = span.duration
-
-            if (self.directory / NOTEBOOK_FILE).is_file():
-                with tracer.span("visualize") as span:
-                    self._run_notebook(table)
-                stage_seconds["visualize"] = span.duration
-
-            with tracer.span("validate") as span:
-                validations = self.run_validation(table)
-            stage_seconds["validate"] = span.duration
+        stage_seconds = {
+            stage: recap.outcomes[stage].seconds
+            for stage in graph.ids()
+            if recap.outcomes[stage].state is TaskState.OK
+        }
+        table = recap.value("run")
+        figures = recap.value("postprocess")
+        validations = recap.value("validate")
+        baseline_message = (
+            recap.value("baseline")[1] if "baseline" in graph else ""
+        )
 
         result = ExperimentResult(
             experiment=self.experiment,

@@ -1,0 +1,34 @@
+"""The DAG-based execution engine shared by every execution layer.
+
+Pipeline stages, ``popper run --all`` sweeps, CI matrix jobs and
+playbook host fan-out all declare their work as a
+:class:`~repro.engine.graph.TaskGraph` and hand it to a
+:class:`~repro.engine.scheduler.Scheduler` —
+:class:`~repro.engine.scheduler.SerialScheduler` for deterministic
+debugging or :class:`~repro.engine.scheduler.ThreadedScheduler` for
+parallel execution.  See ``docs/engine.md``.
+"""
+
+from repro.engine.graph import (
+    GraphResult,
+    ReadySet,
+    Task,
+    TaskContext,
+    TaskGraph,
+    TaskOutcome,
+    TaskState,
+)
+from repro.engine.scheduler import Scheduler, SerialScheduler, ThreadedScheduler
+
+__all__ = [
+    "GraphResult",
+    "ReadySet",
+    "Task",
+    "TaskContext",
+    "TaskGraph",
+    "TaskOutcome",
+    "TaskState",
+    "Scheduler",
+    "SerialScheduler",
+    "ThreadedScheduler",
+]

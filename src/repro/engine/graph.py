@@ -1,0 +1,323 @@
+"""Tasks and the task graph: the declarative half of the execution engine.
+
+Every execution layer in this reproduction — pipeline stages, whole
+experiments under ``popper run --all``, CI matrix jobs, playbook host
+fan-out — is a set of units of work with dependencies between some of
+them.  Collective Knowledge (SysML'19) and MLDev (2021) make the same
+observation for experiment automation generally: model the lifecycle as
+an explicit graph and drive it from one engine instead of hand-rolling a
+sequential loop per layer.
+
+A :class:`Task` is one unit: an id, the ids it depends on, and a payload
+callable.  A :class:`TaskGraph` owns a set of tasks and answers the
+structural questions (are all dependencies known? is the graph acyclic?
+what can run now?).  Scheduling — serial or threaded — lives in
+:mod:`repro.engine.scheduler`; results come back as a
+:class:`GraphResult` recap.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.common.errors import EngineError
+
+__all__ = [
+    "Task",
+    "TaskContext",
+    "TaskGraph",
+    "ReadySet",
+    "TaskState",
+    "TaskOutcome",
+    "GraphResult",
+]
+
+
+class TaskState(str, enum.Enum):
+    """Lifecycle of one task inside a graph run."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    OK = "ok"
+    FAILED = "failed"
+    SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class TaskContext:
+    """What a payload sees when it runs: its id and its inputs.
+
+    ``results`` maps each *direct* dependency's id to the value that
+    dependency's payload returned — the data-flow edge of the graph.
+    """
+
+    task_id: str
+    results: Mapping[str, Any]
+
+    def result(self, task_id: str) -> Any:
+        if task_id not in self.results:
+            raise EngineError(
+                f"task {self.task_id!r} did not declare a dependency on {task_id!r}"
+            )
+        return self.results[task_id]
+
+
+#: A payload receives the :class:`TaskContext` and returns the task's value.
+Payload = Callable[[TaskContext], Any]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit: id, dependency ids, payload."""
+
+    id: str
+    payload: Payload
+    dependencies: tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise EngineError("task id required")
+        if self.id in self.dependencies:
+            raise EngineError(f"task {self.id!r} depends on itself")
+
+
+class TaskGraph:
+    """An insertion-ordered DAG of tasks.
+
+    Insertion order is meaningful: when several tasks are ready at once,
+    schedulers start them in the order they were added, which is what
+    makes :class:`~repro.engine.scheduler.SerialScheduler` deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: dict[str, Task] = {}
+
+    # -- construction ------------------------------------------------------------
+    def add(
+        self,
+        task_or_id: Task | str,
+        payload: Payload | None = None,
+        dependencies: tuple[str, ...] | list[str] = (),
+        description: str = "",
+    ) -> Task:
+        """Add a :class:`Task` (or build one from id + payload)."""
+        if isinstance(task_or_id, Task):
+            task = task_or_id
+        else:
+            if payload is None:
+                raise EngineError(f"task {task_or_id!r} needs a payload")
+            task = Task(
+                id=task_or_id,
+                payload=payload,
+                dependencies=tuple(dependencies),
+                description=description,
+            )
+        if task.id in self._tasks:
+            raise EngineError(f"duplicate task id {task.id!r}")
+        self._tasks[task.id] = task
+        return task
+
+    # -- lookup ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._tasks
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    def ids(self) -> list[str]:
+        return list(self._tasks)
+
+    def task(self, task_id: str) -> Task:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise EngineError(f"no such task {task_id!r}") from None
+
+    def dependents(self, task_id: str) -> list[str]:
+        """Ids of tasks that *directly* depend on ``task_id``."""
+        return [t.id for t in self if task_id in t.dependencies]
+
+    def downstream(self, task_id: str) -> set[str]:
+        """All transitive dependents of ``task_id`` (not including it)."""
+        out: set[str] = set()
+        frontier = [task_id]
+        while frontier:
+            current = frontier.pop()
+            for dep_id in self.dependents(current):
+                if dep_id not in out:
+                    out.add(dep_id)
+                    frontier.append(dep_id)
+        return out
+
+    # -- structural checks -------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`EngineError` on unknown dependencies or cycles."""
+        for task in self:
+            for dep in task.dependencies:
+                if dep not in self._tasks:
+                    raise EngineError(
+                        f"task {task.id!r} depends on unknown task {dep!r}"
+                    )
+        self.topological_levels()  # raises on cycles
+
+    def topological_levels(self) -> list[list[str]]:
+        """Kahn's algorithm, grouped into levels.
+
+        Level 0 holds tasks with no dependencies; level *n* holds tasks
+        whose dependencies all sit in levels < *n* — the tasks inside one
+        level are mutually independent and may run concurrently.  Raises
+        :class:`EngineError` when the graph has a cycle.
+        """
+        remaining = {t.id: set(t.dependencies) for t in self}
+        levels: list[list[str]] = []
+        done: set[str] = set()
+        while remaining:
+            level = [tid for tid, deps in remaining.items() if deps <= done]
+            if not level:
+                cycle = sorted(remaining)
+                raise EngineError(f"task graph has a cycle among {cycle}")
+            levels.append(level)
+            done.update(level)
+            for tid in level:
+                del remaining[tid]
+        return levels
+
+
+class ReadySet:
+    """Tracks which tasks are ready as their dependencies complete.
+
+    The scheduler's bookkeeping core: :meth:`take_ready` hands out every
+    task whose dependencies are all satisfied (each task is handed out
+    once, in graph insertion order); :meth:`complete` marks a task's
+    dependents one step closer to ready; :meth:`discard` removes tasks
+    that will never run (failure propagation).
+    """
+
+    def __init__(self, graph: TaskGraph) -> None:
+        self._waiting: dict[str, set[str]] = {
+            t.id: set(t.dependencies) for t in graph
+        }
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every task has been handed out or discarded."""
+        return not self._waiting
+
+    def pending(self) -> list[str]:
+        """Tasks not yet handed out, in insertion order."""
+        return list(self._waiting)
+
+    def take_ready(self) -> list[str]:
+        """Pop and return every currently-ready task id, in order."""
+        ready = [tid for tid, deps in self._waiting.items() if not deps]
+        for tid in ready:
+            del self._waiting[tid]
+        return ready
+
+    def complete(self, task_id: str) -> list[str]:
+        """Record a successful completion; return newly-ready task ids."""
+        for deps in self._waiting.values():
+            deps.discard(task_id)
+        return self.take_ready()
+
+    def discard(self, task_ids: set[str]) -> None:
+        """Drop tasks that will never become ready (skipped downstream)."""
+        for tid in task_ids:
+            self._waiting.pop(tid, None)
+
+
+@dataclass
+class TaskOutcome:
+    """How one task ended: state, value or error, and wall seconds."""
+
+    task_id: str
+    state: TaskState
+    value: Any = None
+    error: BaseException | None = None
+    seconds: float = 0.0
+    #: For SKIPPED tasks: the id of the failed task that doomed this one.
+    blamed_on: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.state is TaskState.OK
+
+    def describe(self) -> str:
+        if self.state is TaskState.OK:
+            return f"{self.task_id}: ok ({self.seconds:.3f}s)"
+        if self.state is TaskState.SKIPPED:
+            return f"{self.task_id}: skipped (upstream {self.blamed_on} failed)"
+        return f"{self.task_id}: {self.state.value} ({self.error})"
+
+
+@dataclass
+class GraphResult:
+    """The recap of one graph run: every task's outcome plus wall time.
+
+    ``outcomes`` is keyed by task id in *completion* order (which varies
+    under the threaded scheduler); use the graph's own ordering when a
+    stable iteration is needed.
+    """
+
+    outcomes: dict[str, TaskOutcome] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(o.state is TaskState.OK for o in self.outcomes.values())
+
+    def ids(self, state: TaskState) -> list[str]:
+        return [tid for tid, o in self.outcomes.items() if o.state is state]
+
+    @property
+    def succeeded(self) -> list[str]:
+        return self.ids(TaskState.OK)
+
+    @property
+    def failed(self) -> list[str]:
+        return self.ids(TaskState.FAILED)
+
+    @property
+    def skipped(self) -> list[str]:
+        return self.ids(TaskState.SKIPPED)
+
+    def outcome(self, task_id: str) -> TaskOutcome:
+        try:
+            return self.outcomes[task_id]
+        except KeyError:
+            raise EngineError(f"no outcome for task {task_id!r}") from None
+
+    def value(self, task_id: str) -> Any:
+        """The value a task returned; raises unless the task is OK."""
+        outcome = self.outcome(task_id)
+        if outcome.state is not TaskState.OK:
+            raise EngineError(
+                f"task {task_id!r} did not succeed: {outcome.describe()}"
+            )
+        return outcome.value
+
+    def raise_first_error(self) -> None:
+        """Re-raise the first failed task's exception (no-op when ok)."""
+        for outcome in self.outcomes.values():
+            if outcome.state is TaskState.FAILED and outcome.error is not None:
+                raise outcome.error
+
+    def recap(self) -> str:
+        """A ``PLAY RECAP``-style human summary, one line per task."""
+        counts = (
+            f"{len(self.succeeded)} ok, {len(self.failed)} failed, "
+            f"{len(self.skipped)} skipped"
+        )
+        lines = [
+            f"graph: {len(self.outcomes)} tasks: {counts} "
+            f"(wall {self.wall_seconds:.3f}s)"
+        ]
+        for outcome in self.outcomes.values():
+            lines.append("  " + outcome.describe())
+        return "\n".join(lines)

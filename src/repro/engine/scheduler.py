@@ -1,0 +1,202 @@
+"""Schedulers: execute a :class:`~repro.engine.graph.TaskGraph`.
+
+Two interchangeable backends run the same graph:
+
+* :class:`SerialScheduler` — one task at a time, in deterministic
+  (insertion, dependency-respecting) order.  The debugging backend: a
+  failure's traceback is exactly where it happened and journals read
+  top-to-bottom.
+* :class:`ThreadedScheduler` — a ``concurrent.futures`` thread pool of
+  ``max_workers``; every task whose dependencies are satisfied runs
+  concurrently with its peers.  Because the simulated workloads are
+  deterministic functions of their seeds, both backends produce
+  bit-identical experiment results — only wall-clock and journal event
+  interleaving differ.
+
+Semantics shared by both backends:
+
+* **Tracing** — every task executes inside a ``task/<id>`` span.  The
+  span's parent is the span that was active on the *calling* thread when
+  :meth:`Scheduler.run` was entered, so a parallel run still journals as
+  one tree and ``popper trace`` renders a correct critical path.  The
+  caller's ambient tracer is re-activated on worker threads, so payload
+  code that calls :func:`~repro.monitor.tracing.current_tracer` lands its
+  spans in the right journal even under concurrency.
+* **Failure propagation** — a task that raises is recorded as FAILED
+  with its exception; every transitive dependent is recorded as SKIPPED
+  (with the failed task blamed); tasks on independent branches keep
+  running.  :meth:`~repro.engine.graph.GraphResult.raise_first_error`
+  re-raises for callers that want fail-stop behavior.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+
+from repro.common.errors import EngineError
+from repro.engine.graph import (
+    GraphResult,
+    ReadySet,
+    Task,
+    TaskContext,
+    TaskGraph,
+    TaskOutcome,
+    TaskState,
+)
+from repro.monitor.tracing import Span, Tracer, activate, current_tracer
+
+__all__ = ["Scheduler", "SerialScheduler", "ThreadedScheduler"]
+
+
+class Scheduler:
+    """Common machinery; subclasses choose the execution strategy."""
+
+    #: Human-readable backend name (lands in span attributes and benches).
+    backend = "abstract"
+
+    def run(self, graph: TaskGraph, tracer: Tracer | None = None) -> GraphResult:
+        """Execute every task; never raises for payload failures.
+
+        *tracer* defaults to the calling thread's ambient tracer; pass
+        one explicitly to journal task spans into a specific run.
+        """
+        graph.validate()
+        eff_tracer = tracer if tracer is not None else current_tracer()
+        parent = eff_tracer.current()
+        started = time.perf_counter()
+        result = GraphResult()
+        self._execute(graph, result, eff_tracer, parent)
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    # -- strategy hook -----------------------------------------------------------
+    def _execute(
+        self,
+        graph: TaskGraph,
+        result: GraphResult,
+        tracer: Tracer,
+        parent: Span | None,
+    ) -> None:
+        raise NotImplementedError
+
+    # -- shared pieces -----------------------------------------------------------
+    def _run_task(
+        self,
+        task: Task,
+        result: GraphResult,
+        tracer: Tracer,
+        parent: Span | None,
+    ) -> TaskOutcome:
+        """Run one payload inside its ``task/<id>`` span.
+
+        Called on whatever thread executes the task; re-activates the
+        caller's tracer there so ambient instrumentation nests correctly.
+        """
+        ctx = TaskContext(
+            task_id=task.id,
+            results={
+                dep: result.outcomes[dep].value for dep in task.dependencies
+            },
+        )
+        started = time.perf_counter()
+        try:
+            with activate(tracer):
+                with tracer.span(
+                    f"task/{task.id}", parent=parent, scheduler=self.backend
+                ):
+                    value = task.payload(ctx)
+            return TaskOutcome(
+                task_id=task.id,
+                state=TaskState.OK,
+                value=value,
+                seconds=time.perf_counter() - started,
+            )
+        except Exception as exc:
+            return TaskOutcome(
+                task_id=task.id,
+                state=TaskState.FAILED,
+                error=exc,
+                seconds=time.perf_counter() - started,
+            )
+
+    @staticmethod
+    def _propagate_failure(
+        graph: TaskGraph,
+        ready: ReadySet,
+        result: GraphResult,
+        failed_id: str,
+    ) -> None:
+        """Mark every not-yet-finished transitive dependent as SKIPPED."""
+        doomed = {
+            tid
+            for tid in graph.downstream(failed_id)
+            if tid not in result.outcomes
+        }
+        ready.discard(doomed)
+        for tid in sorted(doomed):
+            result.outcomes[tid] = TaskOutcome(
+                task_id=tid, state=TaskState.SKIPPED, blamed_on=failed_id
+            )
+
+
+class SerialScheduler(Scheduler):
+    """Runs ready tasks one at a time, in insertion order."""
+
+    backend = "serial"
+
+    def _execute(self, graph, result, tracer, parent):
+        ready = ReadySet(graph)
+        queue = ready.take_ready()
+        while queue:
+            task_id = queue.pop(0)
+            outcome = self._run_task(graph.task(task_id), result, tracer, parent)
+            result.outcomes[task_id] = outcome
+            if outcome.state is TaskState.FAILED:
+                self._propagate_failure(graph, ready, result, task_id)
+                # Requeue whatever independent work the skip freed up.
+                queue.extend(t for t in ready.take_ready() if t not in queue)
+            else:
+                queue.extend(ready.complete(task_id))
+        if not ready.exhausted:  # pragma: no cover - validate() prevents this
+            raise EngineError(f"unrunnable tasks left over: {ready.pending()}")
+
+
+class ThreadedScheduler(Scheduler):
+    """Runs independent tasks concurrently on a thread pool."""
+
+    backend = "threaded"
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise EngineError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+
+    def _execute(self, graph, result, tracer, parent):
+        if len(graph) == 0:
+            return
+        ready = ReadySet(graph)
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            running: dict[Future, str] = {}
+
+            def submit(task_ids: list[str]) -> None:
+                for tid in task_ids:
+                    future = pool.submit(
+                        self._run_task, graph.task(tid), result, tracer, parent
+                    )
+                    running[future] = tid
+
+            submit(ready.take_ready())
+            while running:
+                done, _ = wait(running, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task_id = running.pop(future)
+                    outcome = future.result()
+                    result.outcomes[task_id] = outcome
+                    if outcome.state is TaskState.FAILED:
+                        self._propagate_failure(graph, ready, result, task_id)
+                        submit(ready.take_ready())
+                    else:
+                        submit(ready.complete(task_id))
+        if not ready.exhausted:  # pragma: no cover - validate() prevents this
+            raise EngineError(f"unrunnable tasks left over: {ready.pending()}")

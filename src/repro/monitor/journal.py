@@ -24,6 +24,7 @@ critical-path summary.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from pathlib import Path
 from typing import Any, Callable, IO
@@ -72,6 +73,11 @@ class RunJournal:
     previous run left at the same path (pass ``fresh=False`` to resume
     appending instead, e.g. across CI retries).  Use as a context
     manager or call :meth:`close` explicitly.
+
+    Writes are lock-protected: the execution engine runs independent
+    tasks (pipeline stages, CI jobs) on worker threads that share one
+    run's journal, and each event must land as one intact line with a
+    unique ``seq``.
     """
 
     def __init__(
@@ -83,6 +89,7 @@ class RunJournal:
         self.path = Path(path)
         self._clock = clock
         self._seq = 0
+        self._lock = threading.Lock()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh: IO[str] | None = self.path.open(
             "w" if fresh else "a", encoding="utf-8"
@@ -93,21 +100,23 @@ class RunJournal:
         """Append one event; returns the full record as written."""
         if not kind:
             raise MonitorError("journal event kind required")
-        if self._fh is None:
-            raise MonitorError(f"journal {self.path} is closed")
-        self._seq += 1
-        record: dict[str, Any] = {"seq": self._seq, "ts": self._clock()}
-        record["event"] = kind
+        record: dict[str, Any] = {"event": kind}
         for key, value in fields.items():
             record[key] = _jsonable(value)
-        self._fh.write(json.dumps(record, sort_keys=False) + "\n")
-        self._fh.flush()
+        with self._lock:
+            if self._fh is None:
+                raise MonitorError(f"journal {self.path} is closed")
+            self._seq += 1
+            record = {"seq": self._seq, "ts": self._clock(), **record}
+            self._fh.write(json.dumps(record, sort_keys=False) + "\n")
+            self._fh.flush()
         return record
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "RunJournal":
         return self

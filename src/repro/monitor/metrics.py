@@ -17,6 +17,7 @@ are ordinary series to ``stats`` and ``figures``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any
 
@@ -68,11 +69,18 @@ def _freeze_labels(labels: dict[str, Any] | None) -> tuple[tuple[str, str], ...]
 
 
 class MetricStore:
-    """An append-only store of metric samples."""
+    """An append-only store of metric samples.
+
+    Recording is lock-protected: one store collects samples from every
+    task the execution engine runs, including tasks on worker threads
+    (parallel pipeline stages, concurrent experiments), and the logical
+    clock must stay monotonic under that concurrency.
+    """
 
     def __init__(self) -> None:
         self._samples: list[Sample] = []
         self._clock = 0.0
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -91,18 +99,20 @@ class MetricStore:
         value = float(value)
         if not np.isfinite(value):
             raise MonitorError(f"non-finite sample for {metric!r}: {value}")
-        if timestamp is None:
-            self._clock += 1.0
-            timestamp = self._clock
-        else:
-            self._clock = max(self._clock, float(timestamp))
-        sample = Sample(
-            metric=metric,
-            value=value,
-            timestamp=float(timestamp),
-            labels=_freeze_labels(labels),
-        )
-        self._samples.append(sample)
+        frozen = _freeze_labels(labels)
+        with self._lock:
+            if timestamp is None:
+                self._clock += 1.0
+                timestamp = self._clock
+            else:
+                self._clock = max(self._clock, float(timestamp))
+            sample = Sample(
+                metric=metric,
+                value=value,
+                timestamp=float(timestamp),
+                labels=frozen,
+            )
+            self._samples.append(sample)
         return sample
 
     def timer(self, metric: str, labels: dict[str, Any] | None = None):
@@ -227,6 +237,11 @@ class MetricStore:
 
     def merge(self, other: "MetricStore") -> None:
         """Fold another store's samples into this one (multi-node collection)."""
-        self._samples.extend(other._samples)
-        if other._samples:
-            self._clock = max(self._clock, max(s.timestamp for s in other._samples))
+        with other._lock:
+            samples = list(other._samples)
+        with self._lock:
+            self._samples.extend(samples)
+            if samples:
+                self._clock = max(
+                    self._clock, max(s.timestamp for s in samples)
+                )

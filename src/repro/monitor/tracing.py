@@ -24,8 +24,18 @@ modules, playbook execution, runner dispatch) uses the *ambient* tracer:
 :func:`current_tracer` returns it (or a no-op :class:`NullTracer`), so
 instrumentation is free when nothing is listening.
 
-Span stacks are thread-local: a span opened on a worker thread becomes a
-root span for that thread rather than corrupting another thread's stack.
+Everything here is concurrency-aware, because the execution engine
+(:mod:`repro.engine`) runs independent tasks on worker threads:
+
+* span stacks are thread-local — a span opened on a worker thread
+  becomes a root span for that thread rather than corrupting another
+  thread's stack;
+* the ambient-tracer stack is thread-local too, so two experiments
+  running concurrently each journal into their own run (the engine
+  re-activates the caller's tracer on its worker threads);
+* :meth:`Tracer.span` accepts an explicit ``parent`` span, which is how
+  the engine stitches worker-thread task spans into the calling thread's
+  span tree — a parallel run still renders as one tree.
 """
 
 from __future__ import annotations
@@ -112,12 +122,20 @@ class Tracer:
         return stack[-1] if stack else None
 
     @contextmanager
-    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
-        """Open a child of the current span for the duration of the block."""
+    def span(
+        self, name: str, parent: Span | None = None, **attributes: Any
+    ) -> Iterator[Span]:
+        """Open a child of the current span for the duration of the block.
+
+        *parent* overrides the implicit (thread-local) parent; the
+        execution engine uses it to nest worker-thread task spans under
+        the span that was active where the graph was submitted.
+        """
         if not name:
             raise MonitorError("span name required")
         stack = self._stack()
-        parent = stack[-1] if stack else None
+        if parent is None:
+            parent = stack[-1] if stack else None
         with self._lock:
             span_id = self._next_id
             self._next_id += 1
@@ -205,7 +223,9 @@ class NullTracer(Tracer):
         super().__init__()
 
     @contextmanager
-    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+    def span(
+        self, name: str, parent: Span | None = None, **attributes: Any
+    ) -> Iterator[Span]:
         yield Span(
             name=name, span_id=0, parent_id=None, start=0.0, end=0.0,
             attributes=dict(attributes),
@@ -216,23 +236,35 @@ class NullTracer(Tracer):
 
 
 _NULL = NullTracer()
-_ambient: list[Tracer] = []
-_ambient_lock = threading.Lock()
+_ambient = threading.local()
+
+
+def _ambient_stack() -> list[Tracer]:
+    stack = getattr(_ambient, "stack", None)
+    if stack is None:
+        stack = _ambient.stack = []
+    return stack
 
 
 @contextmanager
 def activate(tracer: Tracer) -> Iterator[Tracer]:
-    """Install *tracer* as the ambient tracer for the ``with`` block."""
-    with _ambient_lock:
-        _ambient.append(tracer)
+    """Install *tracer* as this thread's ambient tracer for the block.
+
+    The ambient stack is per-thread: activating a tracer on one thread
+    never leaks it into another (two concurrent pipeline runs must not
+    journal into each other's run).  Code that fans work out to worker
+    threads and wants instrumentation there must re-activate the tracer
+    on each worker — the execution engine's schedulers do exactly that.
+    """
+    stack = _ambient_stack()
+    stack.append(tracer)
     try:
         yield tracer
     finally:
-        with _ambient_lock:
-            _ambient.remove(tracer)
+        stack.pop()
 
 
 def current_tracer() -> Tracer:
-    """The innermost :func:`activate`-d tracer, or a shared no-op."""
-    with _ambient_lock:
-        return _ambient[-1] if _ambient else _NULL
+    """This thread's innermost :func:`activate`-d tracer, or a no-op."""
+    stack = getattr(_ambient, "stack", None)
+    return stack[-1] if stack else _NULL

@@ -1,11 +1,13 @@
 """Playbooks: declarative multi-host experiment orchestration.
 
 A playbook is a list of plays; a play targets a host pattern and runs an
-ordered task list.  Execution fans out across hosts in parallel (one
-thread per host, like Ansible's linear strategy with unlimited forks)
-but keeps tasks in lockstep: task *i* completes on every host before
-task *i+1* starts, which is what experiment phases (install → configure
-→ run → collect) require.
+ordered task list.  Execution fans out across hosts through the shared
+execution engine (:mod:`repro.engine`): each task becomes a flat
+:class:`~repro.engine.TaskGraph` with one node per alive host, run by a
+:class:`~repro.engine.ThreadedScheduler` bounded by ``max_forks`` (like
+Ansible's linear strategy).  Tasks stay in lockstep: task *i* completes
+on every host before task *i+1* starts, which is what experiment phases
+(install → configure → run → collect) require.
 
 YAML shape (the subset the Popper templates use)::
 
@@ -25,12 +27,12 @@ YAML shape (the subset the Popper templates use)::
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.common import minyaml
 from repro.common.errors import OrchestrationError
+from repro.engine import Scheduler, SerialScheduler, TaskGraph, ThreadedScheduler
 from repro.monitor.tracing import current_tracer
 from repro.orchestration.inventory import Host, Inventory
 from repro.orchestration.modules import MODULES, TaskResult, run_module
@@ -165,10 +167,22 @@ class PlaybookRunner:
         inventory: Inventory,
         extra_vars: dict[str, Any] | None = None,
         max_forks: int = 16,
+        scheduler: Scheduler | None = None,
     ) -> None:
         self.inventory = inventory
         self.extra_vars = dict(extra_vars or {})
         self.max_forks = max(1, max_forks)
+        # Injected scheduler overrides the per-task default (one worker
+        # per alive host, bounded by max_forks; serial when forks == 1).
+        self.scheduler = scheduler
+
+    def _scheduler_for(self, hosts: int) -> Scheduler:
+        if self.scheduler is not None:
+            return self.scheduler
+        forks = min(self.max_forks, hosts)
+        if forks <= 1:
+            return SerialScheduler()
+        return ThreadedScheduler(max_workers=forks)
 
     def run(self, playbook: Playbook) -> PlayRecap:
         """Run every play; stops a host's participation at its first
@@ -205,18 +219,23 @@ class PlaybookRunner:
                     play=play.name,
                     hosts=len(alive),
                 ) as task_span:
-                    with ThreadPoolExecutor(
-                        max_workers=min(self.max_forks, len(alive))
-                    ) as pool:
-                        futures = {
-                            host.name: pool.submit(
-                                self._run_task_on_host, task, host, host_vars[host.name]
-                            )
-                            for host in alive
-                        }
+                    graph = TaskGraph()
+                    for host in alive:
+                        graph.add(
+                            f"host/{host.name}",
+                            (
+                                lambda h: lambda ctx: self._run_task_on_host(
+                                    task, h, host_vars[h.name]
+                                )
+                            )(host),
+                        )
+                    fanout = self._scheduler_for(len(alive)).run(graph)
+                    # _run_task_on_host reports failures as TaskResults;
+                    # an exception here is a runner bug, not a host fault.
+                    fanout.raise_first_error()
                     failed_hosts = 0
                     for host in alive:
-                        result = futures[host.name].result()
+                        result = fanout.value(f"host/{host.name}")
                         task_log.append((task.name, host.name, result))
                         host_stats = stats[host.name]
                         if result.skipped:

@@ -1,0 +1,150 @@
+"""`popper run` through the execution engine: -j, --strict, error recovery."""
+
+import pytest
+
+from repro.core.cli import main
+from repro.core.repo import PopperRepository
+
+
+@pytest.fixture
+def repo_dir(tmp_path):
+    path = tmp_path / "mypaper-repo"
+    path.mkdir()
+    assert main(["-C", str(path), "init"]) == 0
+    return path
+
+
+def add_torpor(repo_dir, name, vars_text=None):
+    assert main(["-C", str(repo_dir), "add", "torpor", name]) == 0
+    if vars_text is not None:
+        (repo_dir / "experiments" / name / "vars.yml").write_text(vars_text)
+    return repo_dir / "experiments" / name
+
+
+class TestStrictForwarding:
+    """The --strict flag must reach ExperimentPipeline.run."""
+
+    def test_strict_failure_reported_and_exit_1(self, repo_dir, capsys):
+        exp = add_torpor(
+            repo_dir, "myexp", "runner: torpor-variability\nruns: 2\nseed: 7\n"
+        )
+        (exp / "validations.aver").write_text("expect speedup > 1000\n")
+        assert main(["-C", str(repo_dir), "run", "--strict", "myexp"]) == 1
+        out = capsys.readouterr().out
+        assert "myexp: VALIDATION FAILED (strict)" in out
+
+    def test_strict_marks_journal_validation_failed(self, repo_dir):
+        from repro.monitor.journal import read_journal
+
+        exp = add_torpor(
+            repo_dir, "myexp", "runner: torpor-variability\nruns: 2\nseed: 7\n"
+        )
+        (exp / "validations.aver").write_text("expect speedup > 1000\n")
+        main(["-C", str(repo_dir), "run", "--strict", "myexp"])
+        events = read_journal(exp / "journal.jsonl")
+        assert events[-1]["status"] == "validation-failed"
+
+    def test_strict_passing_run_still_exits_0(self, repo_dir):
+        add_torpor(
+            repo_dir, "myexp", "runner: torpor-variability\nruns: 2\nseed: 7\n"
+        )
+        assert main(["-C", str(repo_dir), "run", "--strict", "myexp"]) == 0
+
+
+class TestSweepErrorRecovery:
+    """One broken experiment must not abort `popper run --all`."""
+
+    def setup_sweep(self, repo_dir):
+        add_torpor(
+            repo_dir, "broken", "runner: no-such-runner\nseed: 7\n"
+        )
+        add_torpor(
+            repo_dir, "healthy", "runner: torpor-variability\nruns: 2\nseed: 7\n"
+        )
+
+    def test_sweep_continues_past_errored_experiment(self, repo_dir, capsys):
+        self.setup_sweep(repo_dir)
+        assert main(["-C", str(repo_dir), "run", "--all"]) == 2
+        out = capsys.readouterr().out
+        assert "broken: ERRORED" in out
+        assert "healthy" in out and "result rows, ok" in out
+        results = repo_dir / "experiments" / "healthy" / "results.csv"
+        assert results.is_file()
+
+    def test_errored_beats_validation_failure_in_exit_code(self, repo_dir, capsys):
+        self.setup_sweep(repo_dir)
+        failing = repo_dir / "experiments" / "healthy" / "validations.aver"
+        failing.write_text("expect speedup > 1000\n")
+        assert main(["-C", str(repo_dir), "run", "--all"]) == 2
+
+    def test_validation_failure_alone_exits_1(self, repo_dir):
+        add_torpor(
+            repo_dir, "healthy", "runner: torpor-variability\nruns: 2\nseed: 7\n"
+        )
+        failing = repo_dir / "experiments" / "healthy" / "validations.aver"
+        failing.write_text("expect speedup > 1000\n")
+        assert main(["-C", str(repo_dir), "run", "--all"]) == 1
+
+
+class TestParallelSweep:
+    def test_jobs_flag_runs_all_experiments(self, repo_dir, capsys):
+        for name in ("one", "two", "three"):
+            add_torpor(
+                repo_dir,
+                name,
+                "runner: torpor-variability\nruns: 2\nseed: 7\n",
+            )
+        assert main(["-C", str(repo_dir), "run", "--all", "-j", "3"]) == 0
+        out = capsys.readouterr().out
+        for name in ("one", "two", "three"):
+            assert f"-- {name}:" in out
+            exp = repo_dir / "experiments" / name
+            assert (exp / "results.csv").is_file()
+            assert (exp / "journal.jsonl").is_file()
+
+    def test_parallel_journals_are_not_cross_contaminated(self, repo_dir):
+        from repro.monitor.journal import read_journal
+
+        for name in ("one", "two"):
+            add_torpor(
+                repo_dir,
+                name,
+                "runner: torpor-variability\nruns: 2\nseed: 7\n",
+            )
+        assert main(["-C", str(repo_dir), "run", "--all", "-j", "2"]) == 0
+        for name in ("one", "two"):
+            events = read_journal(
+                repo_dir / "experiments" / name / "journal.jsonl"
+            )
+            assert events[0]["event"] == "run_start"
+            assert events[0]["experiment"] == name
+            assert events[-1]["event"] == "run_end"
+            assert events[-1]["status"] == "ok"
+            seqs = [e["seq"] for e in events]
+            assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_bad_jobs_value_rejected(self, repo_dir, capsys):
+        add_torpor(repo_dir, "myexp")
+        assert main(["-C", str(repo_dir), "run", "-j", "0", "myexp"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
+class TestParallelCi:
+    def test_ci_with_jobs_passes(self, repo_dir, capsys):
+        assert main(["-C", str(repo_dir), "ci", "-j", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "build #1" in out and "build: passing" in out
+
+    def test_parallel_ci_matches_serial_verdict(self, repo_dir):
+        (repo_dir / ".travis.yml").write_text(
+            "env:\n"
+            "  - CHECK=layout\n"
+            "  - CHECK=layout2\n"
+            "script:\n"
+            "  - popper check\n"
+        )
+        repo = PopperRepository.open(repo_dir)
+        repo.vcs.add_all()
+        repo.vcs.commit("matrix ci")
+        assert main(["-C", str(repo_dir), "ci"]) == 0
+        assert main(["-C", str(repo_dir), "ci", "-j", "2"]) == 0

@@ -42,18 +42,18 @@ class TestPipelineSpans:
         pipeline.run()
         assert pipeline.tracer.span_tree() == [
             "pipeline/run/myexp (ok)",
-            "  setup (ok)",
-            "  run (ok)",
+            "  task/setup (ok)",
+            "  task/run (ok)",
             "    runner/stub-observed (ok)",
             "      stub/work (ok)",
-            "  postprocess (ok)",
-            "  validate (ok)",
+            "  task/postprocess (ok)",
+            "  task/validate (ok)",
         ]
 
     def test_span_seconds_land_in_metric_store(self, repo):
         pipeline = ExperimentPipeline(repo, "myexp")
         pipeline.run()
-        values = pipeline.metrics.values(SPAN_METRIC, {"span": "run"})
+        values = pipeline.metrics.values(SPAN_METRIC, {"span": "task/run"})
         assert values.size == 1 and values[0] >= 0.0
 
     def test_journal_written_with_verdicts_and_exit_status(self, repo):
@@ -77,7 +77,9 @@ class TestPipelineSpans:
         assert events[-1]["event"] == "run_end"
         assert events[-1]["status"] == "error"
         run_spans = [
-            e for e in events if e["event"] == "span_end" and e["name"] == "run"
+            e
+            for e in events
+            if e["event"] == "span_end" and e["name"] == "task/run"
         ]
         assert run_spans and run_spans[0]["status"] == "error"
 
@@ -100,7 +102,13 @@ class TestTraceCli:
         out = capsys.readouterr().out
         assert "== run journal: myexp" in out
         assert "status: ok" in out
-        for line_start in ("stage", "setup", "run", "postprocess", "validate"):
+        for line_start in (
+            "stage",
+            "task/setup",
+            "task/run",
+            "task/postprocess",
+            "task/validate",
+        ):
             assert any(
                 line.startswith(line_start) for line in out.splitlines()
             ), f"missing {line_start!r} row in:\n{out}"

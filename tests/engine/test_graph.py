@@ -1,0 +1,105 @@
+"""TaskGraph structure: construction, validation, ordering, readiness."""
+
+import pytest
+
+from repro.common.errors import EngineError
+from repro.engine import ReadySet, Task, TaskContext, TaskGraph
+
+
+def noop(ctx):
+    return None
+
+
+def diamond() -> TaskGraph:
+    graph = TaskGraph()
+    graph.add("a", noop)
+    graph.add("b", noop, dependencies=("a",))
+    graph.add("c", noop, dependencies=("a",))
+    graph.add("d", noop, dependencies=("b", "c"))
+    return graph
+
+
+class TestConstruction:
+    def test_add_by_id_and_by_task_object(self):
+        graph = TaskGraph()
+        graph.add("a", noop, description="first")
+        graph.add(Task(id="b", payload=noop, dependencies=("a",)))
+        assert graph.ids() == ["a", "b"]
+        assert graph.task("a").description == "first"
+        assert graph.task("b").dependencies == ("a",)
+
+    def test_duplicate_id_rejected(self):
+        graph = TaskGraph()
+        graph.add("a", noop)
+        with pytest.raises(EngineError, match="duplicate"):
+            graph.add("a", noop)
+
+    def test_empty_id_and_self_dependency_rejected(self):
+        with pytest.raises(EngineError, match="id required"):
+            Task(id="", payload=noop)
+        with pytest.raises(EngineError, match="depends on itself"):
+            Task(id="a", payload=noop, dependencies=("a",))
+
+    def test_id_without_payload_rejected(self):
+        with pytest.raises(EngineError, match="needs a payload"):
+            TaskGraph().add("a")
+
+    def test_lookup_protocol(self):
+        graph = diamond()
+        assert len(graph) == 4
+        assert "a" in graph and "zzz" not in graph
+        assert [t.id for t in graph] == ["a", "b", "c", "d"]
+        with pytest.raises(EngineError, match="no such task"):
+            graph.task("zzz")
+
+
+class TestStructure:
+    def test_validate_rejects_unknown_dependency(self):
+        graph = TaskGraph()
+        graph.add("b", noop, dependencies=("ghost",))
+        with pytest.raises(EngineError, match="unknown task 'ghost'"):
+            graph.validate()
+
+    def test_validate_rejects_cycle(self):
+        graph = TaskGraph()
+        graph.add("a", noop, dependencies=("b",))
+        graph.add("b", noop, dependencies=("a",))
+        with pytest.raises(EngineError, match="cycle"):
+            graph.validate()
+
+    def test_topological_levels_of_diamond(self):
+        assert diamond().topological_levels() == [["a"], ["b", "c"], ["d"]]
+
+    def test_dependents_and_downstream(self):
+        graph = diamond()
+        assert graph.dependents("a") == ["b", "c"]
+        assert graph.downstream("a") == {"b", "c", "d"}
+        assert graph.downstream("b") == {"d"}
+        assert graph.downstream("d") == set()
+
+
+class TestReadySet:
+    def test_hands_out_in_dependency_order(self):
+        ready = ReadySet(diamond())
+        assert ready.take_ready() == ["a"]
+        assert ready.take_ready() == []  # handed out only once
+        assert ready.complete("a") == ["b", "c"]
+        assert ready.complete("b") == []  # d still waits on c
+        assert ready.complete("c") == ["d"]
+        assert ready.exhausted
+
+    def test_discard_drops_doomed_tasks(self):
+        graph = diamond()
+        ready = ReadySet(graph)
+        ready.take_ready()
+        ready.discard(graph.downstream("a"))
+        assert ready.exhausted
+        assert ready.pending() == []
+
+
+class TestTaskContext:
+    def test_result_requires_declared_dependency(self):
+        ctx = TaskContext(task_id="d", results={"b": 2})
+        assert ctx.result("b") == 2
+        with pytest.raises(EngineError, match="did not declare"):
+            ctx.result("c")

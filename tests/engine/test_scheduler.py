@@ -1,0 +1,170 @@
+"""Scheduler semantics, identical across both backends.
+
+Every test in ``TestBothBackends`` is parametrized over the serial and
+threaded schedulers: the engine's contract is that backend choice can
+only change wall-clock time and event interleaving, never results.
+"""
+
+import threading
+
+import pytest
+
+from repro.common.errors import EngineError
+from repro.engine import (
+    SerialScheduler,
+    TaskGraph,
+    TaskState,
+    ThreadedScheduler,
+)
+from repro.monitor.tracing import Tracer, activate, current_tracer
+
+BACKENDS = [SerialScheduler(), ThreadedScheduler(max_workers=4)]
+BACKEND_IDS = ["serial", "threaded"]
+
+
+def failing_graph() -> TaskGraph:
+    """a -> b(fails) -> c, with x independent of all three."""
+    graph = TaskGraph()
+    graph.add("a", lambda ctx: "A")
+    graph.add("b", lambda ctx: 1 / 0, dependencies=("a",))
+    graph.add("c", lambda ctx: "C", dependencies=("b",))
+    graph.add("x", lambda ctx: "X")
+    return graph
+
+
+@pytest.mark.parametrize("scheduler", BACKENDS, ids=BACKEND_IDS)
+class TestBothBackends:
+    def test_values_flow_along_edges(self, scheduler):
+        graph = TaskGraph()
+        graph.add("one", lambda ctx: 1)
+        graph.add("two", lambda ctx: 2)
+        graph.add(
+            "sum",
+            lambda ctx: ctx.result("one") + ctx.result("two"),
+            dependencies=("one", "two"),
+        )
+        recap = scheduler.run(graph)
+        assert recap.ok
+        assert recap.value("sum") == 3
+        assert recap.wall_seconds > 0
+
+    def test_failure_skips_downstream_but_not_independent(self, scheduler):
+        recap = scheduler.run(failing_graph())
+        assert not recap.ok
+        assert recap.failed == ["b"]
+        assert recap.skipped == ["c"]
+        assert sorted(recap.succeeded) == ["a", "x"]
+        assert recap.outcome("c").blamed_on == "b"
+        assert isinstance(recap.outcome("b").error, ZeroDivisionError)
+
+    def test_raise_first_error_reraises_payload_exception(self, scheduler):
+        recap = scheduler.run(failing_graph())
+        with pytest.raises(ZeroDivisionError):
+            recap.raise_first_error()
+
+    def test_value_of_unsuccessful_task_raises(self, scheduler):
+        recap = scheduler.run(failing_graph())
+        with pytest.raises(EngineError, match="did not succeed"):
+            recap.value("c")
+
+    def test_invalid_graph_rejected_before_any_payload_runs(self, scheduler):
+        ran = []
+        graph = TaskGraph()
+        graph.add("a", lambda ctx: ran.append("a"), dependencies=("ghost",))
+        with pytest.raises(EngineError, match="unknown task"):
+            scheduler.run(graph)
+        assert ran == []
+
+    def test_empty_graph_is_a_successful_noop(self, scheduler):
+        recap = scheduler.run(TaskGraph())
+        assert recap.ok and recap.outcomes == {}
+
+    def test_task_spans_parent_under_calling_span(self, scheduler):
+        tracer = Tracer()
+        graph = TaskGraph()
+        graph.add("a", lambda ctx: None)
+        graph.add("b", lambda ctx: None, dependencies=("a",))
+        with activate(tracer):
+            with tracer.span("caller"):
+                scheduler.run(graph)
+        roots = tracer.roots()
+        assert [s.name for s in roots] == ["caller"]
+        children = tracer.children(roots[0])
+        assert sorted(c.name for c in children) == ["task/a", "task/b"]
+        assert all(
+            c.attributes["scheduler"] == scheduler.backend for c in children
+        )
+
+    def test_ambient_tracer_reactivated_inside_payloads(self, scheduler):
+        tracer = Tracer()
+        seen = []
+
+        def payload(ctx):
+            seen.append(current_tracer() is tracer)
+
+        graph = TaskGraph()
+        graph.add("a", payload)
+        graph.add("b", payload)
+        with activate(tracer):
+            scheduler.run(graph)
+        assert seen == [True, True]
+
+    def test_recap_text_mentions_every_task(self, scheduler):
+        text = scheduler.run(failing_graph()).recap()
+        assert "4 tasks: 2 ok, 1 failed, 1 skipped" in text
+        assert "c: skipped (upstream b failed)" in text
+
+
+class TestSerialDeterminism:
+    def test_insertion_order_is_execution_order(self):
+        order = []
+        graph = TaskGraph()
+        for name in ("c", "a", "b"):
+            graph.add(name, (lambda n: lambda ctx: order.append(n))(name))
+        SerialScheduler().run(graph)
+        assert order == ["c", "a", "b"]
+
+    def test_freed_independent_work_still_runs_after_failure(self):
+        order = []
+        graph = TaskGraph()
+        graph.add("boom", lambda ctx: 1 / 0)
+        graph.add("down", lambda ctx: order.append("down"), dependencies=("boom",))
+        graph.add("free", lambda ctx: order.append("free"))
+        recap = SerialScheduler().run(graph)
+        assert order == ["free"]
+        assert recap.skipped == ["down"]
+
+
+class TestThreadedConcurrency:
+    def test_independent_tasks_overlap(self):
+        """Two tasks that each wait for the other to start must overlap."""
+        barrier = threading.Barrier(2, timeout=10)
+        graph = TaskGraph()
+        graph.add("left", lambda ctx: barrier.wait())
+        graph.add("right", lambda ctx: barrier.wait())
+        recap = ThreadedScheduler(max_workers=2).run(graph)
+        assert recap.ok  # would raise BrokenBarrierError if serialized
+
+    def test_dependencies_still_ordered_across_threads(self):
+        order = []
+        lock = threading.Lock()
+
+        def log(name):
+            def payload(ctx):
+                with lock:
+                    order.append(name)
+
+            return payload
+
+        graph = TaskGraph()
+        graph.add("first", log("first"))
+        graph.add("mid1", log("mid1"), dependencies=("first",))
+        graph.add("mid2", log("mid2"), dependencies=("first",))
+        graph.add("last", log("last"), dependencies=("mid1", "mid2"))
+        recap = ThreadedScheduler(max_workers=4).run(graph)
+        assert recap.ok
+        assert order[0] == "first" and order[-1] == "last"
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(EngineError, match="max_workers"):
+            ThreadedScheduler(max_workers=0)

@@ -1,0 +1,106 @@
+"""Parallelism must not change results: -j 1 and -j 4 are bit-identical.
+
+The engine's contract (and the paper's re-executability requirement) is
+that scheduling is an observability/wall-clock concern only — the four
+paper experiments are deterministic functions of their seeds, so a
+serial sweep and a 4-way-threaded sweep of the same repository must
+produce byte-identical ``results.csv`` files and identical validation
+verdicts.  Journals may interleave differently but must stay well-formed
+per experiment.
+"""
+
+import pytest
+
+from repro.common import minyaml
+from repro.common.fsutil import write_text
+from repro.core.cli import main
+from repro.core.repo import PopperRepository
+from repro.monitor.journal import read_journal
+
+#: The four paper experiments, shrunk to CI size but fully seeded.
+EXPERIMENTS: dict[str, tuple[str, dict]] = {
+    "exp-gassyfs": (
+        "gassyfs",
+        {
+            "node_counts": [1, 2, 4],
+            "sites": ["cloudlab-wisc"],
+            "workloads": ["git-compile"],
+            "workload_scale": 0.1,
+            "seed": 7,
+        },
+    ),
+    "exp-torpor": ("torpor", {"runs": 2, "seed": 7}),
+    "exp-mpi": ("mpi-comm-variability", {"iterations": 10, "runs": 5, "seed": 7}),
+    "exp-bww": ("jupyter-bww", {"seed": 7}),
+}
+
+
+def build_repo(root):
+    repo = PopperRepository.init(root)
+    for experiment, (template, overrides) in EXPERIMENTS.items():
+        repo.add_experiment(template, experiment, commit=False)
+        vars_path = repo.experiment_dir(experiment) / "vars.yml"
+        doc = minyaml.load_file(vars_path)
+        doc.update(overrides)
+        write_text(vars_path, minyaml.dumps(doc))
+    repo.vcs.add_all()
+    repo.vcs.commit("instantiate the four paper experiments")
+    return repo
+
+
+@pytest.fixture(scope="module")
+def sweeps(tmp_path_factory):
+    """Run the identical repository serially and with -j 4."""
+    serial = build_repo(tmp_path_factory.mktemp("det") / "serial")
+    threaded = build_repo(tmp_path_factory.mktemp("det") / "threaded")
+    assert main(["-C", str(serial.root), "run", "--all", "-j", "1"]) == 0
+    assert main(["-C", str(threaded.root), "run", "--all", "-j", "4"]) == 0
+    return serial, threaded
+
+
+@pytest.mark.parametrize("experiment", sorted(EXPERIMENTS))
+def test_results_csv_byte_identical(sweeps, experiment):
+    serial, threaded = sweeps
+    serial_csv = (serial.experiment_dir(experiment) / "results.csv").read_bytes()
+    threaded_csv = (
+        threaded.experiment_dir(experiment) / "results.csv"
+    ).read_bytes()
+    assert serial_csv == threaded_csv
+
+
+@pytest.mark.parametrize("experiment", sorted(EXPERIMENTS))
+def test_validation_verdicts_identical(sweeps, experiment):
+    serial, threaded = sweeps
+    serial_report = (
+        serial.experiment_dir(experiment) / "validation_report.txt"
+    ).read_text()
+    threaded_report = (
+        threaded.experiment_dir(experiment) / "validation_report.txt"
+    ).read_text()
+    assert serial_report == threaded_report
+    assert "ALL VALIDATIONS PASSED" in threaded_report
+
+
+@pytest.mark.parametrize("experiment", sorted(EXPERIMENTS))
+def test_parallel_journals_well_formed(sweeps, experiment):
+    """Each experiment's journal is complete and self-consistent."""
+    _, threaded = sweeps
+    events = read_journal(threaded.experiment_dir(experiment) / "journal.jsonl")
+    assert events[0]["event"] == "run_start"
+    assert events[0]["experiment"] == experiment
+    assert events[-1]["event"] == "run_end"
+    assert events[-1]["status"] == "ok"
+    seqs = [e["seq"] for e in events]
+    assert seqs == list(range(1, len(events) + 1))
+    # The stage spans all closed, under the experiment's own root span.
+    span_ends = {e["name"] for e in events if e["event"] == "span_end"}
+    assert {"task/setup", "task/run", "task/validate"} <= span_ends
+    assert f"pipeline/run/{experiment}" in span_ends
+
+
+def test_trace_renders_critical_path_after_parallel_run(sweeps, capsys):
+    _, threaded = sweeps
+    assert main(["-C", str(threaded.root), "trace", "exp-torpor"]) == 0
+    out = capsys.readouterr().out
+    assert "critical path:" in out
+    assert "pipeline/run/exp-torpor" in out
