@@ -1,0 +1,138 @@
+"""Resilience overhead: what fault tolerance costs when nothing fails.
+
+Measures three things against a plain (no-options) scheduler run of the
+same task graph and records them to ``BENCH_resilience.json`` at the
+repository root:
+
+* ``retry_policy`` — the retry loop + per-attempt bookkeeping with a
+  multi-attempt policy attached but zero failures (the common case:
+  policies should be nearly free when unused);
+* ``fault_matching`` — a fault plan whose clauses match no task, i.e.
+  the per-task glob-matching cost of running under ``--inject-faults``;
+* ``checkpoint_resume`` — a fingerprinted run that writes run-state,
+  then a ``resume`` pass that restores every task, with the
+  restore-vs-execute speedup.
+
+Payloads do a small fixed amount of arithmetic so the baseline is not
+pure scheduler overhead.  Run standalone
+(``python benchmarks/bench_resilience.py``) or via pytest
+(``pytest benchmarks/bench_resilience.py``).
+"""
+
+import json
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_resilience.json"
+
+TASKS = 200
+WORK = 2_000
+
+
+def build_graph(fingerprinted=False):
+    from repro.engine import TaskGraph, task_fingerprint
+
+    def payload(ctx):
+        return sum(range(WORK))
+
+    graph = TaskGraph()
+    for i in range(TASKS):
+        extra = {}
+        if fingerprinted:
+            extra = {
+                "fingerprint": task_fingerprint(f"t{i}", {"work": WORK}),
+                "checkpoint": lambda value: {"value": value},
+                "restore": lambda detail: detail["value"],
+            }
+        graph.add(f"t{i}", payload, **extra)
+    return graph
+
+
+def timed_run(options=None) -> float:
+    from repro.engine import SerialScheduler
+
+    graph = build_graph()
+    started = time.perf_counter()
+    recap = SerialScheduler().run(graph, options=options)
+    seconds = time.perf_counter() - started
+    assert recap.ok
+    return seconds
+
+
+def run_bench(base: Path) -> dict:
+    from repro.engine import (
+        FaultPlan,
+        RetryPolicy,
+        RunOptions,
+        RunStateStore,
+        SerialScheduler,
+    )
+
+    baseline_s = timed_run()
+    retry_s = timed_run(
+        RunOptions(retry=RetryPolicy(max_attempts=3, backoff_s=0.0, jitter=0.0))
+    )
+    faults_s = timed_run(
+        RunOptions(faults=FaultPlan.parse("flaky:no-such-task:1"))
+    )
+
+    state_path = base / "run-state.jsonl"
+    started = time.perf_counter()
+    with RunStateStore(state_path) as store:
+        recap = SerialScheduler().run(
+            build_graph(fingerprinted=True), options=RunOptions(run_state=store)
+        )
+    first_s = time.perf_counter() - started
+    assert recap.ok
+
+    started = time.perf_counter()
+    with RunStateStore(state_path, resume=True) as store:
+        recap = SerialScheduler().run(
+            build_graph(fingerprinted=True), options=RunOptions(run_state=store)
+        )
+    resume_s = time.perf_counter() - started
+    assert recap.ok
+    restored = sum(1 for o in recap.outcomes.values() if o.restored)
+    assert restored == TASKS, f"expected all {TASKS} restored, got {restored}"
+
+    report = {
+        "benchmark": "engine-resilience",
+        "tasks": TASKS,
+        "modes": {
+            "baseline": {"wall_seconds": round(baseline_s, 4)},
+            "retry_policy": {
+                "wall_seconds": round(retry_s, 4),
+                "overhead_pct": round(100 * (retry_s / baseline_s - 1), 1),
+            },
+            "fault_matching": {
+                "wall_seconds": round(faults_s, 4),
+                "overhead_pct": round(100 * (faults_s / baseline_s - 1), 1),
+            },
+            "checkpoint_resume": {
+                "first_run_seconds": round(first_s, 4),
+                "resume_seconds": round(resume_s, 4),
+                "restore_speedup": round(first_s / resume_s, 2) if resume_s else None,
+                "tasks_restored": restored,
+            },
+        },
+    }
+    BENCH_FILE.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+def test_bench_resilience(tmp_path):
+    report = run_bench(tmp_path)
+    assert report["modes"]["baseline"]["wall_seconds"] > 0
+    assert report["modes"]["checkpoint_resume"]["tasks_restored"] == TASKS
+    assert BENCH_FILE.is_file()
+
+
+if __name__ == "__main__":
+    import sys
+    import tempfile
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    with tempfile.TemporaryDirectory() as tmp:
+        out = run_bench(Path(tmp))
+    print(json.dumps(out, indent=2))

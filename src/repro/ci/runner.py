@@ -34,7 +34,14 @@ from repro.common.fsutil import rmtree_quiet
 from repro.container.image import Image, scratch
 from repro.container.runtime import BinaryRegistry, Container, ExecResult
 from repro.ci.config import CIConfig
-from repro.engine import SerialScheduler, TaskGraph, ThreadedScheduler
+from repro.engine import (
+    RunOptions,
+    RunStateStore,
+    SerialScheduler,
+    TaskGraph,
+    ThreadedScheduler,
+    task_fingerprint,
+)
 from repro.monitor.journal import RunJournal
 from repro.monitor.tracing import Tracer
 from repro.vcs.repository import Repository
@@ -77,6 +84,9 @@ class JobResult:
     env: dict[str, str]
     steps: list[StepResult] = field(default_factory=list)
     status: BuildStatus = BuildStatus.PASSED
+    #: True when the job was skipped because a previous build already
+    #: passed it for the same commit and env (``popper ci --resume``).
+    restored: bool = False
 
     @property
     def ok(self) -> bool:
@@ -167,12 +177,21 @@ class CIServer:
         """The JSONL journal artifact for build *number*."""
         return Path(self.journal_root) / f"build-{number}.jsonl"
 
+    @property
+    def state_path(self) -> Path:
+        """The checkpoint file ``--resume`` builds read and write."""
+        return Path(self.journal_root) / "ci-state.jsonl"
+
     # -- build orchestration ------------------------------------------------------
-    def trigger(self, ref: str = "HEAD") -> BuildRecord:
+    def trigger(self, ref: str = "HEAD", resume: bool = False) -> BuildRecord:
         """Run a build for *ref*; appends to and returns from history.
 
         The build's span events land in :meth:`journal_path`, which
-        survives the build (the workspace does not).
+        survives the build (the workspace does not).  With ``resume``,
+        matrix jobs that already passed for the same commit and env in a
+        previous (interrupted) build are restored from
+        :attr:`state_path` instead of re-executed; jobs that ran but
+        failed their steps are never cached.
         """
         commit = self.repo.resolve(ref)
         number = len(self.history) + 1
@@ -219,17 +238,44 @@ class CIServer:
 
             return payload
 
+        def job_restore(env: dict[str, str]):
+            def restore(detail: dict) -> JobResult:
+                return JobResult(
+                    env=env, status=BuildStatus.PASSED, restored=True
+                )
+
+            return restore
+
         graph = TaskGraph()
         for index, env in enumerate(envs, start=1):
-            graph.add(f"job-{index}", job_task(env, index))
+            graph.add(
+                f"job-{index}",
+                job_task(env, index),
+                # The fingerprint covers commit + expanded env: a new
+                # commit (or a matrix edit) invalidates every checkpoint.
+                fingerprint=task_fingerprint(
+                    f"ci/job-{index}", {"commit": commit, "env": env}
+                ),
+                # A job that ran but failed its steps returns normally
+                # (outcome OK) — vetoing the checkpoint keeps it
+                # re-running on resume instead of caching the failure.
+                checkpoint=lambda job: (
+                    {"env": job.env, "status": job.status.value}
+                    if job.ok
+                    else None
+                ),
+                restore=job_restore(env),
+            )
         scheduler = (
             ThreadedScheduler(max_workers=self.jobs)
             if self.jobs > 1
             else SerialScheduler()
         )
         try:
-            with tracer.span(f"ci/build/{number}", commit=commit, ref=ref):
-                recap = scheduler.run(graph, tracer=tracer)
+            with RunStateStore(self.state_path, resume=resume) as store:
+                options = RunOptions(run_state=store)
+                with tracer.span(f"ci/build/{number}", commit=commit, ref=ref):
+                    recap = scheduler.run(graph, tracer=tracer, options=options)
             recap.raise_first_error()
         finally:
             rmtree_quiet(build_root)

@@ -10,14 +10,17 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "TransientError",
     "YamlError",
     "VcsError",
     "ObjectNotFound",
     "ContainerError",
     "ImageNotFound",
     "BuildError",
+    "ContainerStartError",
     "OrchestrationError",
     "ModuleFailure",
+    "UnreachableHostError",
     "CIError",
     "DataPackageError",
     "IntegrityError",
@@ -28,6 +31,9 @@ __all__ = [
     "AllocationError",
     "MonitorError",
     "EngineError",
+    "TaskTimeoutError",
+    "InjectedFault",
+    "TransientInjectedFault",
     "GassyFSError",
     "FSError",
     "MPIError",
@@ -40,6 +46,18 @@ __all__ = [
 
 class ReproError(Exception):
     """Base class for every error raised by the :mod:`repro` library."""
+
+
+class TransientError(ReproError):
+    """The retryable branch of the hierarchy.
+
+    Errors that model infrastructure transients — an unreachable host, a
+    container start race, an injected chaos fault, a task deadline — mix
+    this class in (alongside their substrate's base class) and the
+    engine's :class:`~repro.engine.resilience.RetryPolicy` retries them
+    by default.  Permanent errors (bad config, failed assertion, payload
+    bug) stay outside this branch and fail fast.
+    """
 
 
 # --- common -----------------------------------------------------------------
@@ -75,9 +93,17 @@ class BuildError(ContainerError):
     """A Containerfile instruction failed during image build."""
 
 
+class ContainerStartError(ContainerError, TransientError):
+    """A container failed to start for a transient reason (start race)."""
+
+
 # --- orchestration ----------------------------------------------------------
 class OrchestrationError(ReproError):
     """Playbook-level failure (unreachable host, undefined variable, ...)."""
+
+
+class UnreachableHostError(OrchestrationError, TransientError):
+    """A managed host cannot be contacted (provisioning / network fault)."""
 
 
 class ModuleFailure(OrchestrationError):
@@ -139,6 +165,18 @@ class MonitorError(ReproError):
 # --- engine -----------------------------------------------------------------
 class EngineError(ReproError):
     """Task-graph execution failure (cycle, unknown dependency, ...)."""
+
+
+class TaskTimeoutError(EngineError, TransientError):
+    """A task exceeded its per-task deadline (retryable by default)."""
+
+
+class InjectedFault(EngineError):
+    """A fault deliberately injected by a chaos-testing fault plan."""
+
+
+class TransientInjectedFault(InjectedFault, TransientError):
+    """An injected fault modeling a transient (retry should clear it)."""
 
 
 # --- gassyfs ----------------------------------------------------------------

@@ -76,6 +76,45 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run up to N independent experiments concurrently (default 1)",
     )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip experiments already completed by an interrupted sweep",
+    )
+    run.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry transient stage failures up to N times (default 0)",
+    )
+    run.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-stage deadline in seconds (default: none)",
+    )
+    run.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault plan, e.g. 'flaky:run:2,delay:setup:0.1' "
+        "(modes: flaky/fail/delay/rate; see docs/robustness.md)",
+    )
+    run.add_argument(
+        "--fault-seed",
+        type=int,
+        default=42,
+        metavar="SEED",
+        help="seed for injected-fault determinism (default 42)",
+    )
+    run.add_argument(
+        "--chaos-smoke",
+        action="store_true",
+        help="shorthand for --retries 3 --inject-faults flaky:run:2 "
+        "(single-token chaos job for CI env matrices)",
+    )
 
     trace = sub.add_parser(
         "trace", help="render an experiment's run journal (timings, critical path)"
@@ -106,6 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="run up to N matrix jobs concurrently (default 1)",
+    )
+    ci.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip matrix jobs already green for the same commit and env",
     )
 
     bundle = sub.add_parser(
@@ -186,9 +230,24 @@ def _cmd_run(args) -> int:
     (``PopperError``) is reported as ERRORED and the rest of the sweep
     keeps running; exit status aggregates across the sweep (0 all ok,
     1 validation failures, 2 errored experiments).
+
+    Resilience: ``--retries``/``--task-timeout`` set stage-level retry
+    and deadline policies, ``--inject-faults`` applies a deterministic
+    chaos plan, and ``--resume`` restores experiments a previous
+    (interrupted) sweep already completed from ``.pvcs/sweep-state.jsonl``.
     """
     from repro.common.errors import ValidationFailure
-    from repro.engine import TaskGraph, TaskState
+    from repro.common.hashing import sha256_text
+    from repro.common.rng import derive_seed
+    from repro.engine import (
+        FaultPlan,
+        RetryPolicy,
+        RunOptions,
+        RunStateStore,
+        TaskGraph,
+        TaskState,
+        task_fingerprint,
+    )
 
     repo = PopperRepository.open(args.repo)
     names = list(args.names)
@@ -201,19 +260,85 @@ def _cmd_run(args) -> int:
         print("popper run: name at least one experiment (or --all)", file=sys.stderr)
         return 2
 
+    retries = args.retries
+    fault_spec = args.inject_faults
+    if args.chaos_smoke:
+        retries = max(retries, 3)
+        fault_spec = fault_spec or "flaky:run:2"
+    if retries < 0:
+        raise PopperError(f"--retries must be >= 0, got {retries}")
+    retry = (
+        RetryPolicy(max_attempts=retries + 1, seed=args.fault_seed)
+        if retries
+        else None
+    )
+    if fault_spec:
+        FaultPlan.parse(fault_spec, seed=args.fault_seed)  # validate early
+
+    def fault_plan_for(name: str):
+        # One plan per experiment: stage ids ("run", "setup") repeat
+        # across experiments, and sharing one plan's counters would let
+        # the first experiment consume every injected failure.
+        if not fault_spec:
+            return None
+        return FaultPlan.parse(
+            fault_spec, seed=derive_seed(args.fault_seed, "faults", name)
+        )
+
     def experiment_task(name: str):
         def payload(ctx):
-            pipeline = ExperimentPipeline(repo, name)
+            pipeline = ExperimentPipeline(
+                repo,
+                name,
+                retry=retry,
+                timeout_s=args.task_timeout,
+                faults=fault_plan_for(name),
+            )
             if args.validate_only:
                 return pipeline.validate_existing()
-            return pipeline.run(strict=args.strict)
+            return pipeline.run(strict=args.strict, resume=args.resume)
 
         return payload
 
+    def sweep_fingerprint(name: str) -> str:
+        # Covers the experiment's parameters: editing vars.yml
+        # invalidates the checkpoint and the experiment re-runs.
+        vars_path = repo.experiment_dir(name) / "vars.yml"
+        text = (
+            vars_path.read_text(encoding="utf-8") if vars_path.is_file() else ""
+        )
+        return task_fingerprint(f"sweep/{name}", {"vars": sha256_text(text)})
+
+    def sweep_restore(name: str):
+        def restore(detail: dict):
+            # Re-validates the stored results.csv without re-executing;
+            # raising (e.g. deleted results) falls back to a real run.
+            return ExperimentPipeline(repo, name).validate_existing()
+
+        return restore
+
     graph = TaskGraph()
     for name in names:
-        graph.add(name, experiment_task(name))
-    recap = _scheduler_for(args.jobs).run(graph)
+        if args.validate_only:
+            graph.add(name, experiment_task(name))
+        else:
+            graph.add(
+                name,
+                experiment_task(name),
+                fingerprint=sweep_fingerprint(name),
+                # Only validated successes are worth caching; a run that
+                # completed with validation failures re-runs on resume.
+                checkpoint=lambda result: (
+                    {"validated": True, "rows": len(result.results)}
+                    if result.validated
+                    else None
+                ),
+                restore=sweep_restore(name),
+            )
+    state_path = repo.root / ".pvcs" / "sweep-state.jsonl"
+    with RunStateStore(state_path, resume=args.resume) as store:
+        options = RunOptions(run_state=store)
+        recap = _scheduler_for(args.jobs).run(graph, options=options)
 
     exit_code = 0
     for name in names:
@@ -221,7 +346,10 @@ def _cmd_run(args) -> int:
         if outcome.state is TaskState.OK:
             result = outcome.value
             status = "ok" if result.validated else "VALIDATION FAILED"
-            print(f"-- {name}: {len(result.results)} result rows, {status}")
+            cached = " (cached)" if outcome.restored else ""
+            print(f"-- {name}: {len(result.results)} result rows, {status}{cached}")
+            for stage in result.degraded_stages:
+                print(f"   degraded: optional stage {stage} failed")
             for validation in result.validations:
                 print("   " + validation.describe().replace("\n", "\n   "))
             if not result.validated:
@@ -300,11 +428,14 @@ def _cmd_ci(args) -> int:
 
     repo = PopperRepository.open(args.repo)
     server = make_ci_server(repo, jobs=args.jobs)
-    record = server.trigger(args.ref)
+    record = server.trigger(args.ref, resume=args.resume)
     print(f"-- build #{record.number} on {record.commit[:12]}: {record.status.value}")
     for job in record.jobs:
         env = " ".join(f"{k}={v}" for k, v in job.env.items()) or "<default env>"
-        print(f"   job [{env}]: {'ok' if job.ok else 'FAILED'}")
+        verdict = "ok" if job.ok else "FAILED"
+        if job.restored:
+            verdict += " (cached)"
+        print(f"   job [{env}]: {verdict}")
         for step in job.steps:
             marker = "ok " if step.ok else "ERR"
             print(f"     [{marker}] {step.phase}: {step.command}")

@@ -46,7 +46,18 @@ from repro.core.baseline import check_baseline
 from repro.core.postprocess import run_postprocess
 from repro.core.repo import PopperRepository
 from repro.core.runners import run_experiment_runner
-from repro.engine import Scheduler, SerialScheduler, TaskGraph, TaskState
+from repro.engine import (
+    FaultPlan,
+    RetryPolicy,
+    RunOptions,
+    RUN_STATE_FILE,
+    RunStateStore,
+    Scheduler,
+    SerialScheduler,
+    TaskGraph,
+    TaskState,
+    task_fingerprint,
+)
 from repro.monitor.journal import JOURNAL_FILE, RunJournal
 from repro.monitor.metrics import MetricStore
 from repro.monitor.tracing import Tracer, activate
@@ -59,6 +70,9 @@ __all__ = ["ExperimentResult", "ExperimentPipeline", "NOTEBOOK_FILE", "JOURNAL_F
 #: Per-experiment analysis notebook (the Jupyter `visualize.ipynb` analog).
 NOTEBOOK_FILE = "visualize.nb.json"
 
+#: Stage names the lifecycle DAG may contain (for optional_stages checks).
+PIPELINE_STAGES = ("setup", "baseline", "run", "postprocess", "visualize", "validate")
+
 
 @dataclass
 class ExperimentResult:
@@ -70,6 +84,8 @@ class ExperimentResult:
     stage_seconds: dict[str, float] = field(default_factory=dict)
     figures: dict[str, object] = field(default_factory=dict)  # name -> Path
     baseline_message: str = ""
+    #: Optional stages that failed but did not fail the run.
+    degraded_stages: list[str] = field(default_factory=list)
 
     @property
     def validated(self) -> bool:
@@ -96,6 +112,9 @@ class ExperimentPipeline:
         inventory: Inventory | None = None,
         tracer: Tracer | None = None,
         scheduler: Scheduler | None = None,
+        retry: RetryPolicy | None = None,
+        timeout_s: float | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if experiment not in repo.config.experiments:
             raise PopperError(f"no such experiment: {experiment!r}")
@@ -109,11 +128,19 @@ class ExperimentPipeline:
         # Serial by default: deterministic stage order for debugging.
         # Pass a ThreadedScheduler to overlap the independent tails.
         self.scheduler = scheduler if scheduler is not None else SerialScheduler()
+        self.retry = retry
+        self.timeout_s = timeout_s
+        self.faults = faults
 
     @property
     def journal_path(self):
         """Where this experiment's run journal lands (``journal.jsonl``)."""
         return self.directory / JOURNAL_FILE
+
+    @property
+    def run_state_path(self):
+        """Where this experiment's resume checkpoint lands."""
+        return self.directory / RUN_STATE_FILE
 
     # -- pieces ---------------------------------------------------------------------
     def load_vars(self) -> dict:
@@ -204,22 +231,35 @@ class ExperimentPipeline:
         return results
 
     # -- the whole pipeline -------------------------------------------------------------
-    def run(self, strict: bool = False) -> ExperimentResult:
+    def run(self, strict: bool = False, resume: bool = False) -> ExperimentResult:
         """Execute all stages.  With ``strict``, failed validations raise.
 
         The run's full provenance is journaled to :attr:`journal_path`
         (one JSONL event per span/metric/verdict) even when a stage
         raises — a crashed run leaves a journal up to the failure point.
+        With ``resume``, stages whose fingerprint has a successful
+        checkpoint in :attr:`run_state_path` are restored (the ``run``
+        stage re-reads ``results.csv``) instead of re-executed, and the
+        journal is appended to rather than truncated.
         """
-        journal = RunJournal(self.journal_path)
+        journal = RunJournal(self.journal_path, fresh=not resume)
         tracer = self.tracer
         tracer.journal = journal
-        journal.event("run_start", experiment=self.experiment)
+        journal.event("run_start", experiment=self.experiment, resume=resume)
         status = "error"
         prior_roots = len(tracer.roots())
         try:
-            with activate(tracer):
-                result = self._run_stages(tracer, strict=strict)
+            with RunStateStore(self.run_state_path, resume=resume) as store:
+                options = RunOptions(
+                    retry=self.retry,
+                    timeout_s=self.timeout_s,
+                    faults=self.faults,
+                    run_state=store,
+                )
+                with activate(tracer):
+                    result = self._run_stages(
+                        tracer, strict=strict, options=options
+                    )
             status = "ok" if result.validated else "validation-failed"
             return result
         except ValidationFailure:
@@ -238,16 +278,61 @@ class ExperimentPipeline:
             finally:
                 journal.close()
 
+    def _optional_stages(self, variables: dict) -> set[str]:
+        """Parse ``optional_stages`` from vars.yml (graceful degradation).
+
+        A stage listed there fails to DEGRADED instead of FAILED: its
+        dependents still run and the run's exit status is unaffected.
+        ``run`` cannot be optional — every tail consumes its value.
+        """
+        raw = variables.get("optional_stages", [])
+        if raw in (None, ""):
+            return set()
+        if isinstance(raw, str):
+            raw = [raw]
+        if not isinstance(raw, list):
+            raise PopperError(
+                f"{self.experiment}: optional_stages must be a list of stage names"
+            )
+        stages = {str(s) for s in raw}
+        unknown = stages - set(PIPELINE_STAGES)
+        if unknown:
+            raise PopperError(
+                f"{self.experiment}: unknown optional_stages {sorted(unknown)}; "
+                f"known stages: {', '.join(PIPELINE_STAGES)}"
+            )
+        if "run" in stages:
+            raise PopperError(
+                f"{self.experiment}: the 'run' stage cannot be optional"
+            )
+        return stages
+
+    def _restore_results(self, detail: dict) -> MetricsTable:
+        """Rebuild the ``run`` stage's value from disk on ``--resume``."""
+        table = MetricsTable.load_csv(self.directory / "results.csv")
+        rows = int(detail.get("rows", len(table)))
+        if len(table) != rows:
+            raise PopperError(
+                f"{self.experiment}: results.csv has {len(table)} rows, "
+                f"checkpoint recorded {rows}; re-running"
+            )
+        return table
+
     def stage_graph(self, variables: dict) -> TaskGraph:
         """Declare the lifecycle DAG for one run.
 
         ``setup → [baseline] → run`` is a chain; ``postprocess``,
         ``visualize`` (when the experiment ships a notebook) and
         ``validate`` all depend only on ``run`` and are mutually
-        independent — the engine may overlap them.
+        independent — the engine may overlap them.  The ``run`` stage
+        carries a checkpoint fingerprint over the experiment's variables,
+        so an interrupted sweep resumes without re-executing it.
         """
+        optional = self._optional_stages(variables)
         graph = TaskGraph()
-        graph.add("setup", lambda ctx: self.run_setup())
+        graph.add(
+            "setup", lambda ctx: self.run_setup(), optional="setup" in optional
+        )
         run_deps = ("setup",)
         if "baseline" in variables:
             graph.add(
@@ -259,39 +344,53 @@ class ExperimentPipeline:
                     journal=self.tracer.journal,
                 ),
                 dependencies=("setup",),
+                optional="baseline" in optional,
             )
             run_deps = ("baseline",)
         graph.add(
             "run",
             lambda ctx: self.run_experiment(variables),
             dependencies=run_deps,
+            fingerprint=task_fingerprint(f"{self.experiment}/run", variables),
+            checkpoint=lambda table: {"rows": len(table)},
+            restore=self._restore_results,
         )
         graph.add(
             "postprocess",
             lambda ctx: run_postprocess(self.directory, ctx.result("run")),
             dependencies=("run",),
+            optional="postprocess" in optional,
         )
         if (self.directory / NOTEBOOK_FILE).is_file():
             graph.add(
                 "visualize",
                 lambda ctx: self._run_notebook(ctx.result("run")),
                 dependencies=("run",),
+                optional="visualize" in optional,
             )
         graph.add(
             "validate",
             lambda ctx: self.run_validation(ctx.result("run")),
             dependencies=("run",),
+            optional="validate" in optional,
         )
         return graph
 
-    def _run_stages(self, tracer: Tracer, strict: bool) -> ExperimentResult:
+    def _run_stages(
+        self,
+        tracer: Tracer,
+        strict: bool,
+        options: RunOptions | None = None,
+    ) -> ExperimentResult:
         journal = tracer.journal
         variables = self.load_vars()
         graph = self.stage_graph(variables)
         with tracer.span(f"pipeline/run/{self.experiment}"):
-            recap = self.scheduler.run(graph, tracer=tracer)
+            recap = self.scheduler.run(graph, tracer=tracer, options=options)
             # A failed stage fails the run; its dependents were skipped,
             # independent stages already finished and are journaled.
+            # DEGRADED stages (declared optional in vars.yml) do not
+            # raise: the run completes without their artifacts.
             recap.raise_first_error()
 
         stage_seconds = {
@@ -300,11 +399,17 @@ class ExperimentPipeline:
             if recap.outcomes[stage].state is TaskState.OK
         }
         table = recap.value("run")
-        figures = recap.value("postprocess")
-        validations = recap.value("validate")
-        baseline_message = (
-            recap.value("baseline")[1] if "baseline" in graph else ""
+        figures = (
+            recap.value("postprocess")
+            if recap.outcome("postprocess").ok
+            else {}
         )
+        validations = (
+            recap.value("validate") if recap.outcome("validate").ok else []
+        )
+        baseline_message = ""
+        if "baseline" in graph and recap.outcome("baseline").ok:
+            baseline_message = recap.value("baseline")[1]
 
         result = ExperimentResult(
             experiment=self.experiment,
@@ -313,6 +418,7 @@ class ExperimentPipeline:
             stage_seconds=stage_seconds,
             figures=dict(figures),
             baseline_message=baseline_message,
+            degraded_stages=recap.degraded,
         )
         (self.directory / "validation_report.txt").write_text(
             result.report_text(), encoding="utf-8"

@@ -61,10 +61,18 @@ PAPER_TEMPLATES: dict[str, dict[str, str]] = {
 
 DEFAULT_TRAVIS = """\
 # Integrity checks for this Popper repository (category-1 validation).
+# The matrix runs two jobs: a re-validation of stored results, and a
+# chaos smoke job that re-executes every pipeline under injected
+# transient faults with retries enabled (the resilience layer's own
+# integrity check).  Env values must be single tokens (the CI env
+# parser splits on whitespace), hence the --chaos-smoke shorthand.
 language: generic
+env:
+  - POPPER_RUN_MODE=--validate-only
+  - POPPER_RUN_MODE=--chaos-smoke
 script:
   - popper check
-  - popper run --all --validate-only
+  - popper run --all ${POPPER_RUN_MODE}
 """
 
 

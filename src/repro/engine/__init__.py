@@ -7,8 +7,16 @@ playbook host fan-out all declare their work as a
 :class:`~repro.engine.scheduler.SerialScheduler` for deterministic
 debugging or :class:`~repro.engine.scheduler.ThreadedScheduler` for
 parallel execution.  See ``docs/engine.md``.
+
+The resilience layer (see ``docs/robustness.md``) rides on top:
+:class:`~repro.engine.resilience.RetryPolicy` and per-task deadlines,
+checkpoint/resume through a
+:class:`~repro.engine.runstate.RunStateStore`, and deterministic chaos
+testing through a :class:`~repro.engine.faults.FaultPlan`, all bundled
+into the scheduler's :class:`~repro.engine.scheduler.RunOptions`.
 """
 
+from repro.engine.faults import FaultPlan, FaultSpec
 from repro.engine.graph import (
     GraphResult,
     ReadySet,
@@ -18,7 +26,18 @@ from repro.engine.graph import (
     TaskOutcome,
     TaskState,
 )
-from repro.engine.scheduler import Scheduler, SerialScheduler, ThreadedScheduler
+from repro.engine.resilience import NO_RETRY, RetryPolicy, call_with_timeout
+from repro.engine.runstate import (
+    RUN_STATE_FILE,
+    RunStateStore,
+    task_fingerprint,
+)
+from repro.engine.scheduler import (
+    RunOptions,
+    Scheduler,
+    SerialScheduler,
+    ThreadedScheduler,
+)
 
 __all__ = [
     "GraphResult",
@@ -28,7 +47,16 @@ __all__ = [
     "TaskGraph",
     "TaskOutcome",
     "TaskState",
+    "RunOptions",
     "Scheduler",
     "SerialScheduler",
     "ThreadedScheduler",
+    "RetryPolicy",
+    "NO_RETRY",
+    "call_with_timeout",
+    "FaultPlan",
+    "FaultSpec",
+    "RUN_STATE_FILE",
+    "RunStateStore",
+    "task_fingerprint",
 ]

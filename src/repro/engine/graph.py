@@ -20,9 +20,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Any, Callable, Iterator, Mapping
 
 from repro.common.errors import EngineError
+from repro.engine.resilience import RetryPolicy
 
 __all__ = [
     "Task",
@@ -43,6 +45,12 @@ class TaskState(str, enum.Enum):
     OK = "ok"
     FAILED = "failed"
     SKIPPED = "skipped"
+    #: An *optional* task failed: the run is degraded, not broken —
+    #: dependents still run and exit codes do not flip.
+    DEGRADED = "degraded"
+    #: The run was interrupted (Ctrl-C / BaseException) mid-task; the
+    #: outcome is recorded so the journal accounts for in-flight work.
+    ABORTED = "aborted"
 
 
 @dataclass(frozen=True)
@@ -51,17 +59,35 @@ class TaskContext:
 
     ``results`` maps each *direct* dependency's id to the value that
     dependency's payload returned — the data-flow edge of the graph.
+    ``states`` maps every direct dependency to its
+    :class:`TaskState`; a DEGRADED dependency (an optional task that
+    failed) appears in ``states`` but carries no value.
     """
 
     task_id: str
     results: Mapping[str, Any]
+    states: Mapping[str, "TaskState"] = field(
+        default_factory=lambda: MappingProxyType({})
+    )
 
     def result(self, task_id: str) -> Any:
-        if task_id not in self.results:
+        """The value dependency *task_id* produced.
+
+        Raises :class:`EngineError` naming the task and its state when
+        the dependency is undeclared or did not succeed — never a bare
+        ``KeyError``.
+        """
+        if task_id in self.results:
+            return self.results[task_id]
+        if task_id in self.states:
+            state = self.states[task_id]
             raise EngineError(
-                f"task {self.task_id!r} did not declare a dependency on {task_id!r}"
+                f"task {self.task_id!r}: dependency {task_id!r} is "
+                f"{state.value}; no value is available"
             )
-        return self.results[task_id]
+        raise EngineError(
+            f"task {self.task_id!r} did not declare a dependency on {task_id!r}"
+        )
 
 
 #: A payload receives the :class:`TaskContext` and returns the task's value.
@@ -70,18 +96,45 @@ Payload = Callable[[TaskContext], Any]
 
 @dataclass(frozen=True)
 class Task:
-    """One schedulable unit: id, dependency ids, payload."""
+    """One schedulable unit: id, dependency ids, payload.
+
+    The resilience fields are all opt-in:
+
+    * ``retry`` — a per-task :class:`~repro.engine.resilience.RetryPolicy`
+      (overrides the run-level default);
+    * ``timeout_s`` — per-task deadline (overrides the run-level default);
+    * ``optional`` — a failure yields DEGRADED instead of FAILED:
+      dependents still run and ``GraphResult.ok`` stays true;
+    * ``fingerprint`` — checkpoint key (see :mod:`repro.engine.runstate`);
+      tasks without one are never checkpointed or restored;
+    * ``checkpoint`` — maps the task's value to the JSON detail persisted
+      in the run state (return ``None`` to mark the outcome
+      non-cacheable, e.g. a CI job that ran but failed its steps);
+    * ``restore`` — rebuilds a value from persisted detail on resume
+      (e.g. re-reading ``results.csv``); raising falls back to
+      re-executing the payload.
+    """
 
     id: str
     payload: Payload
     dependencies: tuple[str, ...] = ()
     description: str = ""
+    retry: RetryPolicy | None = None
+    timeout_s: float | None = None
+    optional: bool = False
+    fingerprint: str | None = None
+    checkpoint: Callable[[Any], dict | None] | None = None
+    restore: Callable[[dict], Any] | None = None
 
     def __post_init__(self) -> None:
         if not self.id:
             raise EngineError("task id required")
         if self.id in self.dependencies:
             raise EngineError(f"task {self.id!r} depends on itself")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise EngineError(
+                f"task {self.id!r}: timeout must be positive, got {self.timeout_s}"
+            )
 
 
 class TaskGraph:
@@ -102,9 +155,20 @@ class TaskGraph:
         payload: Payload | None = None,
         dependencies: tuple[str, ...] | list[str] = (),
         description: str = "",
+        **task_fields: Any,
     ) -> Task:
-        """Add a :class:`Task` (or build one from id + payload)."""
+        """Add a :class:`Task` (or build one from id + payload).
+
+        Extra keyword arguments (``retry``, ``timeout_s``, ``optional``,
+        ``fingerprint``, ``checkpoint``, ``restore``) pass through to the
+        :class:`Task` constructor.
+        """
         if isinstance(task_or_id, Task):
+            if task_fields:
+                raise EngineError(
+                    "pass task fields on the Task, not to add(); got "
+                    f"{sorted(task_fields)}"
+                )
             task = task_or_id
         else:
             if payload is None:
@@ -114,6 +178,7 @@ class TaskGraph:
                 payload=payload,
                 dependencies=tuple(dependencies),
                 description=description,
+                **task_fields,
             )
         if task.id in self._tasks:
             raise EngineError(f"duplicate task id {task.id!r}")
@@ -243,6 +308,14 @@ class TaskOutcome:
     seconds: float = 0.0
     #: For SKIPPED tasks: the id of the failed task that doomed this one.
     blamed_on: str | None = None
+    #: How many attempts the task took (1 unless a retry policy fired).
+    attempts: int = 1
+    #: True when the outcome was restored from a run-state checkpoint
+    #: instead of executing the payload (``--resume``).
+    restored: bool = False
+    #: Persisted checkpoint detail (from the task's ``checkpoint``
+    #: callback, or the run-state record a restore came from).
+    detail: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -250,9 +323,14 @@ class TaskOutcome:
 
     def describe(self) -> str:
         if self.state is TaskState.OK:
-            return f"{self.task_id}: ok ({self.seconds:.3f}s)"
+            suffix = " [cached]" if self.restored else (
+                f" [{self.attempts} attempts]" if self.attempts > 1 else ""
+            )
+            return f"{self.task_id}: ok ({self.seconds:.3f}s){suffix}"
         if self.state is TaskState.SKIPPED:
             return f"{self.task_id}: skipped (upstream {self.blamed_on} failed)"
+        if self.state is TaskState.DEGRADED:
+            return f"{self.task_id}: degraded (optional task failed: {self.error})"
         return f"{self.task_id}: {self.state.value} ({self.error})"
 
 
@@ -270,7 +348,11 @@ class GraphResult:
 
     @property
     def ok(self) -> bool:
-        return all(o.state is TaskState.OK for o in self.outcomes.values())
+        """True when every task is OK or DEGRADED (optional failure)."""
+        return all(
+            o.state in (TaskState.OK, TaskState.DEGRADED)
+            for o in self.outcomes.values()
+        )
 
     def ids(self, state: TaskState) -> list[str]:
         return [tid for tid, o in self.outcomes.items() if o.state is state]
@@ -286,6 +368,14 @@ class GraphResult:
     @property
     def skipped(self) -> list[str]:
         return self.ids(TaskState.SKIPPED)
+
+    @property
+    def degraded(self) -> list[str]:
+        return self.ids(TaskState.DEGRADED)
+
+    @property
+    def aborted(self) -> list[str]:
+        return self.ids(TaskState.ABORTED)
 
     def outcome(self, task_id: str) -> TaskOutcome:
         try:
@@ -314,6 +404,10 @@ class GraphResult:
             f"{len(self.succeeded)} ok, {len(self.failed)} failed, "
             f"{len(self.skipped)} skipped"
         )
+        if self.degraded:
+            counts += f", {len(self.degraded)} degraded"
+        if self.aborted:
+            counts += f", {len(self.aborted)} aborted"
         lines = [
             f"graph: {len(self.outcomes)} tasks: {counts} "
             f"(wall {self.wall_seconds:.3f}s)"

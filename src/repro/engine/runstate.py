@@ -1,0 +1,153 @@
+"""Run state: the checkpoint file that makes sweeps resumable.
+
+An aborted sweep should not restart from scratch — the HotOS XIX
+reproducibility panel calls partial re-runs one of the two dominant
+practical obstacles to artifact re-evaluation.  A :class:`RunStateStore`
+persists one JSONL record per finished task, keyed by a *task
+fingerprint* (payload identity + parameters hash, see
+:func:`task_fingerprint`), to a ``run-state.jsonl`` next to the run's
+``journal.jsonl``.  Records are appended and flushed as tasks finish, so
+a killed run keeps everything it completed.
+
+On ``popper run --resume`` / ``popper ci --resume`` the store is
+reloaded and the scheduler short-circuits any task whose fingerprint has
+a successful record: the task is *restored* (its value rebuilt by the
+task's ``restore`` callback, e.g. re-reading ``results.csv`` from disk)
+instead of re-executed.  Failed and skipped tasks have no successful
+record and re-run.  A fingerprint covers the task's parameters, so
+editing ``vars.yml`` invalidates the checkpoint automatically.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, IO
+
+from repro.common.errors import EngineError
+from repro.common.hashing import sha256_text
+
+__all__ = ["RUN_STATE_FILE", "task_fingerprint", "RunStateStore"]
+
+#: Default run-state file name (lands next to ``journal.jsonl``).
+RUN_STATE_FILE = "run-state.jsonl"
+
+
+def task_fingerprint(task_id: str, params: Any = None) -> str:
+    """A stable identity for "this task with these parameters".
+
+    Hashes the task id plus a canonical JSON rendering of *params*
+    (sorted keys; non-JSON values fall back to ``str``).  Two runs
+    agree on a fingerprint exactly when they would execute the same
+    payload with the same inputs — the condition under which a stored
+    outcome may stand in for a re-execution.
+    """
+    if not task_id:
+        raise EngineError("task_fingerprint: task id required")
+    payload = json.dumps(
+        {"task": task_id, "params": params}, sort_keys=True, default=str
+    )
+    return sha256_text(payload)[:16]
+
+
+class RunStateStore:
+    """Append-only JSONL checkpoint of per-task outcomes.
+
+    Constructing with ``resume=False`` (a fresh run) truncates any state
+    a previous run left; ``resume=True`` loads the existing records
+    (last record per fingerprint wins) and appends.  Writes are
+    lock-protected and flushed per record, mirroring
+    :class:`~repro.monitor.journal.RunJournal`.
+    """
+
+    def __init__(self, path: str | Path, resume: bool = False) -> None:
+        self.path = Path(path)
+        self.resume = bool(resume)
+        self._lock = threading.Lock()
+        self._records: dict[str, dict[str, Any]] = {}
+        if self.resume and self.path.is_file():
+            for lineno, line in enumerate(
+                self.path.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise EngineError(
+                        f"{self.path}:{lineno}: bad run-state line: {exc}"
+                    ) from exc
+                if isinstance(record, dict) and record.get("fingerprint"):
+                    self._records[str(record["fingerprint"])] = record
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] | None = self.path.open(
+            "a" if self.resume else "w", encoding="utf-8"
+        )
+
+    # -- reading -----------------------------------------------------------------
+    def lookup(self, fingerprint: str) -> dict[str, Any] | None:
+        """The restorable record for *fingerprint*, if any.
+
+        Only successful, cacheable outcomes are restorable; failed or
+        explicitly non-cacheable records return ``None`` so the task
+        re-runs.
+        """
+        record = self._records.get(fingerprint)
+        if record is None:
+            return None
+        if record.get("state") != "ok" or not record.get("cacheable", True):
+            return None
+        return record
+
+    def states(self) -> dict[str, str]:
+        """fingerprint -> recorded state, for reporting."""
+        return {fp: str(r.get("state", "?")) for fp, r in self._records.items()}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- writing -----------------------------------------------------------------
+    def record(
+        self,
+        task_id: str,
+        fingerprint: str,
+        state: str,
+        seconds: float = 0.0,
+        attempts: int = 1,
+        detail: dict[str, Any] | None = None,
+        error: str = "",
+        cacheable: bool = True,
+    ) -> dict[str, Any]:
+        """Append one task outcome; returns the record as written."""
+        record: dict[str, Any] = {
+            "task": task_id,
+            "fingerprint": fingerprint,
+            "state": state,
+            "seconds": round(float(seconds), 6),
+            "attempts": int(attempts),
+            "cacheable": bool(cacheable),
+        }
+        if detail is not None:
+            record["detail"] = detail
+        if error:
+            record["error"] = error
+        with self._lock:
+            if self._fh is None:
+                raise EngineError(f"run-state store {self.path} is closed")
+            self._fh.write(json.dumps(record, sort_keys=False) + "\n")
+            self._fh.flush()
+            self._records[fingerprint] = record
+        return record
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "RunStateStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

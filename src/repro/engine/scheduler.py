@@ -27,14 +27,30 @@ Semantics shared by both backends:
   (with the failed task blamed); tasks on independent branches keep
   running.  :meth:`~repro.engine.graph.GraphResult.raise_first_error`
   re-raises for callers that want fail-stop behavior.
+* **Resilience** — a :class:`RunOptions` bundle (or per-task fields on
+  :class:`~repro.engine.graph.Task`) adds retries with deterministic
+  backoff, per-task deadlines, graceful degradation of *optional* tasks
+  to DEGRADED (dependents still run), checkpoint/resume through a
+  :class:`~repro.engine.runstate.RunStateStore`, and deterministic fault
+  injection via a :class:`~repro.engine.faults.FaultPlan`.  When a retry
+  policy allows more than one attempt, each attempt runs in a
+  ``task/<id>/attempt-N`` child span and journals an ``attempt`` event.
+* **Abort accounting** — a ``BaseException`` (Ctrl-C, ``SystemExit``)
+  inside a payload is *not* swallowed: the task is recorded as ABORTED
+  (outcome, ``task_aborted`` journal event, run-state record) and the
+  exception re-raises to the caller, so an interrupted run's journal
+  still accounts for the in-flight task.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from types import MappingProxyType
 
 from repro.common.errors import EngineError
+from repro.engine.faults import FaultPlan
 from repro.engine.graph import (
     GraphResult,
     ReadySet,
@@ -44,9 +60,34 @@ from repro.engine.graph import (
     TaskOutcome,
     TaskState,
 )
+from repro.engine.resilience import NO_RETRY, RetryPolicy, call_with_timeout
+from repro.engine.runstate import RunStateStore
 from repro.monitor.tracing import Span, Tracer, activate, current_tracer
 
-__all__ = ["Scheduler", "SerialScheduler", "ThreadedScheduler"]
+__all__ = ["RunOptions", "Scheduler", "SerialScheduler", "ThreadedScheduler"]
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Run-level resilience defaults, overridable per task.
+
+    * ``retry`` — default :class:`RetryPolicy` for tasks that do not set
+      their own (``None`` means fail-stop, :data:`NO_RETRY`);
+    * ``timeout_s`` — default per-task deadline (``None`` = no deadline);
+    * ``faults`` — a :class:`FaultPlan` applied before every attempt;
+    * ``run_state`` — a :class:`RunStateStore`; tasks carrying a
+      ``fingerprint`` are checkpointed into it and, on resume, restored
+      from it instead of re-executing.
+    """
+
+    retry: RetryPolicy | None = None
+    timeout_s: float | None = None
+    faults: FaultPlan | None = None
+    run_state: RunStateStore | None = None
+
+
+#: The zero-cost default: no retries, no deadline, no faults, no state.
+DEFAULT_OPTIONS = RunOptions()
 
 
 class Scheduler:
@@ -55,19 +96,28 @@ class Scheduler:
     #: Human-readable backend name (lands in span attributes and benches).
     backend = "abstract"
 
-    def run(self, graph: TaskGraph, tracer: Tracer | None = None) -> GraphResult:
+    def run(
+        self,
+        graph: TaskGraph,
+        tracer: Tracer | None = None,
+        options: RunOptions | None = None,
+    ) -> GraphResult:
         """Execute every task; never raises for payload failures.
 
         *tracer* defaults to the calling thread's ambient tracer; pass
         one explicitly to journal task spans into a specific run.
+        *options* carries the run-level resilience defaults.
         """
         graph.validate()
         eff_tracer = tracer if tracer is not None else current_tracer()
+        eff_options = options if options is not None else DEFAULT_OPTIONS
         parent = eff_tracer.current()
         started = time.perf_counter()
         result = GraphResult()
-        self._execute(graph, result, eff_tracer, parent)
-        result.wall_seconds = time.perf_counter() - started
+        try:
+            self._execute(graph, result, eff_tracer, parent, eff_options)
+        finally:
+            result.wall_seconds = time.perf_counter() - started
         return result
 
     # -- strategy hook -----------------------------------------------------------
@@ -77,6 +127,7 @@ class Scheduler:
         result: GraphResult,
         tracer: Tracer,
         parent: Span | None,
+        options: RunOptions,
     ) -> None:
         raise NotImplementedError
 
@@ -87,38 +138,230 @@ class Scheduler:
         result: GraphResult,
         tracer: Tracer,
         parent: Span | None,
+        options: RunOptions,
     ) -> TaskOutcome:
         """Run one payload inside its ``task/<id>`` span.
 
         Called on whatever thread executes the task; re-activates the
         caller's tracer there so ambient instrumentation nests correctly.
+        An abort (``BaseException`` that is not an ``Exception``) records
+        an ABORTED outcome directly into *result* and re-raises.
         """
+        dep_outcomes = {dep: result.outcomes[dep] for dep in task.dependencies}
         ctx = TaskContext(
             task_id=task.id,
             results={
-                dep: result.outcomes[dep].value for dep in task.dependencies
+                dep: o.value
+                for dep, o in dep_outcomes.items()
+                if o.state is TaskState.OK
             },
+            states=MappingProxyType(
+                {dep: o.state for dep, o in dep_outcomes.items()}
+            ),
+        )
+        journal = tracer.journal
+        restored = self._try_restore(task, options, journal)
+        if restored is not None:
+            return restored
+        policy = task.retry if task.retry is not None else (
+            options.retry if options.retry is not None else NO_RETRY
+        )
+        timeout_s = (
+            task.timeout_s if task.timeout_s is not None else options.timeout_s
         )
         started = time.perf_counter()
+        attempt = 0
         try:
             with activate(tracer):
                 with tracer.span(
                     f"task/{task.id}", parent=parent, scheduler=self.backend
-                ):
-                    value = task.payload(ctx)
-            return TaskOutcome(
+                ) as task_span:
+                    value = None
+                    while True:
+                        attempt += 1
+                        try:
+                            value = self._attempt(
+                                task, ctx, tracer, task_span, policy,
+                                timeout_s, options.faults, attempt, journal,
+                            )
+                        except Exception as exc:
+                            if attempt < policy.max_attempts and policy.retryable(exc):
+                                time.sleep(policy.delay_s(task.id, attempt))
+                                continue
+                            raise
+                        break
+            outcome = TaskOutcome(
                 task_id=task.id,
                 state=TaskState.OK,
                 value=value,
                 seconds=time.perf_counter() - started,
+                attempts=attempt,
             )
         except Exception as exc:
-            return TaskOutcome(
+            outcome = TaskOutcome(
                 task_id=task.id,
-                state=TaskState.FAILED,
+                state=TaskState.DEGRADED if task.optional else TaskState.FAILED,
                 error=exc,
                 seconds=time.perf_counter() - started,
+                attempts=max(attempt, 1),
             )
+        except BaseException as exc:
+            # Interrupted mid-task: account for the in-flight work, then
+            # let the interrupt propagate (journal lines are flushed per
+            # event, so the record is durable before the re-raise).
+            outcome = TaskOutcome(
+                task_id=task.id,
+                state=TaskState.ABORTED,
+                error=exc,
+                seconds=time.perf_counter() - started,
+                attempts=max(attempt, 1),
+            )
+            result.outcomes[task.id] = outcome
+            if journal is not None:
+                journal.event(
+                    "task_aborted",
+                    task=task.id,
+                    attempt=max(attempt, 1),
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            self._record_state(task, outcome, options)
+            raise
+        self._record_state(task, outcome, options)
+        return outcome
+
+    def _attempt(
+        self,
+        task: Task,
+        ctx: TaskContext,
+        tracer: Tracer,
+        task_span: Span,
+        policy: RetryPolicy,
+        timeout_s: float | None,
+        faults: FaultPlan | None,
+        attempt: int,
+        journal,
+    ):
+        """One attempt of one task, spanned and journaled when retrying."""
+        if policy.max_attempts > 1:
+            if journal is not None:
+                journal.event(
+                    "attempt",
+                    task=task.id,
+                    attempt=attempt,
+                    max_attempts=policy.max_attempts,
+                )
+            with tracer.span(
+                f"task/{task.id}/attempt-{attempt}",
+                parent=task_span,
+                attempt=attempt,
+            ) as span:
+                return self._invoke(task, ctx, tracer, span, timeout_s, faults)
+        return self._invoke(task, ctx, tracer, task_span, timeout_s, faults)
+
+    def _invoke(
+        self,
+        task: Task,
+        ctx: TaskContext,
+        tracer: Tracer,
+        anchor: Span,
+        timeout_s: float | None,
+        faults: FaultPlan | None,
+    ):
+        """Execute the payload (plus injected faults), under the deadline.
+
+        With a deadline, the payload runs on a watchdog thread: the
+        tracer is re-activated and the attempt span adopted there so
+        ambient instrumentation still nests under the right parent.
+        Injected faults fire inside the timed region, so a ``delay``
+        fault can trip the deadline.
+        """
+        if timeout_s is None:
+            if faults is not None:
+                faults.before(task.id)
+            return task.payload(ctx)
+
+        def guarded():
+            with activate(tracer), tracer.adopt(anchor):
+                if faults is not None:
+                    faults.before(task.id)
+                return task.payload(ctx)
+
+        return call_with_timeout(guarded, timeout_s, label=f"task/{task.id}")
+
+    @staticmethod
+    def _try_restore(
+        task: Task, options: RunOptions, journal
+    ) -> TaskOutcome | None:
+        """Restore the task from run state, if a usable checkpoint exists."""
+        store = options.run_state
+        if store is None or not task.fingerprint:
+            return None
+        record = store.lookup(task.fingerprint)
+        if record is None:
+            return None
+        detail = record.get("detail")
+        try:
+            value = (
+                task.restore(detail if isinstance(detail, dict) else {})
+                if task.restore is not None
+                else None
+            )
+        except Exception:
+            # A checkpoint that cannot be rebuilt (deleted results file,
+            # schema drift) silently falls back to re-execution.
+            return None
+        if journal is not None:
+            journal.event(
+                "task_restored",
+                task=task.id,
+                fingerprint=task.fingerprint,
+                attempts=record.get("attempts", 1),
+            )
+        return TaskOutcome(
+            task_id=task.id,
+            state=TaskState.OK,
+            value=value,
+            seconds=0.0,
+            attempts=int(record.get("attempts", 1) or 1),
+            restored=True,
+            detail=detail if isinstance(detail, dict) else None,
+        )
+
+    @staticmethod
+    def _record_state(
+        task: Task, outcome: TaskOutcome, options: RunOptions
+    ) -> None:
+        """Checkpoint one finished outcome into the run-state store."""
+        store = options.run_state
+        if store is None or not task.fingerprint or outcome.restored:
+            return
+        detail = None
+        cacheable = True
+        if outcome.state is TaskState.OK and task.checkpoint is not None:
+            try:
+                detail = task.checkpoint(outcome.value)
+            except Exception:
+                detail, cacheable = None, False
+            else:
+                if detail is None:
+                    # The checkpoint callback vetoed caching (e.g. a CI
+                    # job that ran but failed its steps).
+                    cacheable = False
+            outcome.detail = detail
+        store.record(
+            task.id,
+            task.fingerprint,
+            outcome.state.value,
+            seconds=outcome.seconds,
+            attempts=outcome.attempts,
+            detail=detail,
+            error=(
+                f"{type(outcome.error).__name__}: {outcome.error}"
+                if outcome.error is not None
+                else ""
+            ),
+            cacheable=cacheable,
+        )
 
     @staticmethod
     def _propagate_failure(
@@ -145,18 +388,22 @@ class SerialScheduler(Scheduler):
 
     backend = "serial"
 
-    def _execute(self, graph, result, tracer, parent):
+    def _execute(self, graph, result, tracer, parent, options):
         ready = ReadySet(graph)
         queue = ready.take_ready()
         while queue:
             task_id = queue.pop(0)
-            outcome = self._run_task(graph.task(task_id), result, tracer, parent)
+            outcome = self._run_task(
+                graph.task(task_id), result, tracer, parent, options
+            )
             result.outcomes[task_id] = outcome
             if outcome.state is TaskState.FAILED:
                 self._propagate_failure(graph, ready, result, task_id)
                 # Requeue whatever independent work the skip freed up.
                 queue.extend(t for t in ready.take_ready() if t not in queue)
             else:
+                # OK and DEGRADED both count as completion: dependents
+                # of an optional task still run (graceful degradation).
                 queue.extend(ready.complete(task_id))
         if not ready.exhausted:  # pragma: no cover - validate() prevents this
             raise EngineError(f"unrunnable tasks left over: {ready.pending()}")
@@ -172,7 +419,7 @@ class ThreadedScheduler(Scheduler):
             raise EngineError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
 
-    def _execute(self, graph, result, tracer, parent):
+    def _execute(self, graph, result, tracer, parent, options):
         if len(graph) == 0:
             return
         ready = ReadySet(graph)
@@ -182,21 +429,33 @@ class ThreadedScheduler(Scheduler):
             def submit(task_ids: list[str]) -> None:
                 for tid in task_ids:
                     future = pool.submit(
-                        self._run_task, graph.task(tid), result, tracer, parent
+                        self._run_task, graph.task(tid), result, tracer,
+                        parent, options,
                     )
                     running[future] = tid
 
             submit(ready.take_ready())
-            while running:
-                done, _ = wait(running, return_when=FIRST_COMPLETED)
-                for future in done:
-                    task_id = running.pop(future)
-                    outcome = future.result()
-                    result.outcomes[task_id] = outcome
-                    if outcome.state is TaskState.FAILED:
-                        self._propagate_failure(graph, ready, result, task_id)
-                        submit(ready.take_ready())
-                    else:
-                        submit(ready.complete(task_id))
-        if not ready.exhausted:  # pragma: no cover - validate() prevents this
+            try:
+                while running:
+                    done, _ = wait(running, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        task_id = running.pop(future)
+                        outcome = future.result()
+                        result.outcomes[task_id] = outcome
+                        if outcome.state is TaskState.FAILED:
+                            self._propagate_failure(graph, ready, result, task_id)
+                            submit(ready.take_ready())
+                        else:
+                            submit(ready.complete(task_id))
+            except BaseException:
+                # An aborted task re-raised through future.result() (or
+                # the caller was interrupted in wait()): stop handing out
+                # work, let in-flight tasks drain (they checkpoint their
+                # own outcomes), and propagate the interrupt.
+                for future in running:
+                    future.cancel()
+                raise
+        if not ready.exhausted and not any(
+            o.state is TaskState.ABORTED for o in result.outcomes.values()
+        ):  # pragma: no cover - validate() prevents this
             raise EngineError(f"unrunnable tasks left over: {ready.pending()}")

@@ -45,6 +45,9 @@ EVENT_KINDS = (
     "metric",
     "baseline",
     "aver_verdict",
+    "attempt",
+    "task_restored",
+    "task_aborted",
     "run_end",
 )
 

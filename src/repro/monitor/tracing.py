@@ -168,6 +168,23 @@ class Tracer:
             stack.pop()
             self._finish(span)
 
+    @contextmanager
+    def adopt(self, span: Span) -> Iterator[Span]:
+        """Make an already-open *span* this thread's innermost span.
+
+        The span itself is not closed or re-journaled — only the
+        thread-local stack is touched.  The engine's deadline watchdog
+        uses this: the payload runs on a fresh thread whose span stack
+        is empty, and adopting the attempt span there re-anchors any
+        spans the payload opens under the correct parent.
+        """
+        stack = self._stack()
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            stack.pop()
+
     def _finish(self, span: Span) -> None:
         if self.journal is not None:
             self.journal.event(

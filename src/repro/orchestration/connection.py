@@ -11,11 +11,13 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.common.errors import OrchestrationError
+import threading
+
+from repro.common.errors import OrchestrationError, UnreachableHostError
 from repro.container.image import Image, scratch
 from repro.container.runtime import BinaryRegistry, Container, ExecResult
 
-__all__ = ["ContainerConnection", "UnreachableConnection"]
+__all__ = ["ContainerConnection", "UnreachableConnection", "FlakyConnection"]
 
 
 class ContainerConnection:
@@ -83,22 +85,75 @@ class ContainerConnection:
 
 
 class UnreachableConnection:
-    """A host that cannot be contacted (models provisioning failures)."""
+    """A host that cannot be contacted (models provisioning failures).
+
+    Raises :class:`~repro.common.errors.UnreachableHostError` — the
+    transient branch — so retry policies and host degradation treat the
+    failure as infrastructure, not experiment logic.
+    """
 
     def __init__(self, name: str = "down") -> None:
         self.name = name
 
     def run(self, command: str) -> ExecResult:
-        raise OrchestrationError(f"{self.name}: host unreachable")
+        raise UnreachableHostError(f"{self.name}: host unreachable")
 
     def put_file(self, path: str, data: bytes) -> None:
-        raise OrchestrationError(f"{self.name}: host unreachable")
+        raise UnreachableHostError(f"{self.name}: host unreachable")
 
     def fetch_file(self, path: str) -> bytes:
-        raise OrchestrationError(f"{self.name}: host unreachable")
+        raise UnreachableHostError(f"{self.name}: host unreachable")
 
     def file_exists(self, path: str) -> bool:
-        raise OrchestrationError(f"{self.name}: host unreachable")
+        raise UnreachableHostError(f"{self.name}: host unreachable")
 
     def facts(self) -> dict[str, Any]:
-        raise OrchestrationError(f"{self.name}: host unreachable")
+        raise UnreachableHostError(f"{self.name}: host unreachable")
+
+
+class FlakyConnection:
+    """A connection that is unreachable for its first N operations.
+
+    The host-level analog of the engine's ``flaky`` fault clause: any
+    operation (``run``, ``facts``, file transfer) raises
+    :class:`~repro.common.errors.UnreachableHostError` until
+    ``fail_attempts`` operations have been tried, then every call
+    delegates to *inner*.  Deterministic, so playbook retry behavior is
+    testable without real network flakiness.
+    """
+
+    def __init__(self, inner: Any, fail_attempts: int = 1) -> None:
+        self.inner = inner
+        self.fail_attempts = int(fail_attempts)
+        self.name = getattr(inner, "name", "flaky")
+        self._attempts = 0
+        self._lock = threading.Lock()
+
+    def _maybe_fail(self) -> None:
+        with self._lock:
+            self._attempts += 1
+            if self._attempts <= self.fail_attempts:
+                raise UnreachableHostError(
+                    f"{self.name}: host unreachable "
+                    f"(attempt {self._attempts} of {self.fail_attempts} doomed)"
+                )
+
+    def run(self, command: str) -> ExecResult:
+        self._maybe_fail()
+        return self.inner.run(command)
+
+    def put_file(self, path: str, data: bytes) -> None:
+        self._maybe_fail()
+        self.inner.put_file(path, data)
+
+    def fetch_file(self, path: str) -> bytes:
+        self._maybe_fail()
+        return self.inner.fetch_file(path)
+
+    def file_exists(self, path: str) -> bool:
+        self._maybe_fail()
+        return self.inner.file_exists(path)
+
+    def facts(self) -> dict[str, Any]:
+        self._maybe_fail()
+        return self.inner.facts()

@@ -26,6 +26,9 @@ class TaskResult:
     skipped: bool = False
     msg: str = ""
     data: dict[str, Any] = field(default_factory=dict)
+    #: The failure was the host being unreachable (a transient), not the
+    #: module itself — eligible for retry / graceful host degradation.
+    unreachable: bool = False
 
     @property
     def ok(self) -> bool:

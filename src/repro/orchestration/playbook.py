@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.common import minyaml
-from repro.common.errors import OrchestrationError
+from repro.common.errors import OrchestrationError, TransientError
 from repro.engine import Scheduler, SerialScheduler, TaskGraph, ThreadedScheduler
 from repro.monitor.tracing import current_tracer
 from repro.orchestration.inventory import Host, Inventory
@@ -134,6 +134,8 @@ class HostStats:
     changed: int = 0
     failed: int = 0
     skipped: int = 0
+    #: Operations lost to the host being unreachable (transient faults).
+    unreachable: int = 0
 
     @property
     def healthy(self) -> bool:
@@ -146,6 +148,10 @@ class PlayRecap:
 
     stats: dict[str, HostStats]
     task_results: list[tuple[str, str, TaskResult]]  # (task name, host, result)
+    #: Hosts dropped from the run as unreachable, within the runner's
+    #: ``max_host_failures`` budget (host name -> reason).  A degraded
+    #: run is still ``ok``: the remaining hosts completed every task.
+    degraded: dict[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -168,6 +174,8 @@ class PlaybookRunner:
         extra_vars: dict[str, Any] | None = None,
         max_forks: int = 16,
         scheduler: Scheduler | None = None,
+        max_host_failures: int = 0,
+        unreachable_retries: int = 0,
     ) -> None:
         self.inventory = inventory
         self.extra_vars = dict(extra_vars or {})
@@ -175,6 +183,12 @@ class PlaybookRunner:
         # Injected scheduler overrides the per-task default (one worker
         # per alive host, bounded by max_forks; serial when forks == 1).
         self.scheduler = scheduler
+        # Graceful degradation: up to max_host_failures hosts may be
+        # dropped as unreachable without failing the run (they land in
+        # the recap's ``degraded`` map); unreachable operations retry up
+        # to unreachable_retries times first.
+        self.max_host_failures = max(0, int(max_host_failures))
+        self.unreachable_retries = max(0, int(unreachable_retries))
 
     def _scheduler_for(self, hosts: int) -> Scheduler:
         if self.scheduler is not None:
@@ -184,11 +198,30 @@ class PlaybookRunner:
             return SerialScheduler()
         return ThreadedScheduler(max_workers=forks)
 
+    def _gather_facts(self, host: Host) -> dict[str, Any]:
+        """Gather facts, retrying unreachable hosts within the budget."""
+        last: TransientError | None = None
+        for _attempt in range(self.unreachable_retries + 1):
+            try:
+                return host.connection.facts()
+            except TransientError as exc:
+                last = exc
+        assert last is not None
+        raise last
+
     def run(self, playbook: Playbook) -> PlayRecap:
         """Run every play; stops a host's participation at its first
-        unignored failure (remaining tasks count as skipped)."""
+        unignored failure (remaining tasks count as skipped).
+
+        A host that stays unreachable (facts gathering or any task op,
+        after ``unreachable_retries`` retries) is *degraded* — dropped
+        from the rest of the run without failing it — as long as at most
+        ``max_host_failures`` hosts are lost; one more and the failure
+        counts like any other.
+        """
         stats: dict[str, HostStats] = {}
         task_log: list[tuple[str, str, TaskResult]] = []
+        degraded: dict[str, str] = {}
         for play in playbook.plays:
             hosts = self.inventory.match(play.hosts)
             if not hosts:
@@ -198,15 +231,24 @@ class PlaybookRunner:
             host_vars: dict[str, dict[str, Any]] = {}
             for host in hosts:
                 stats.setdefault(host.name, HostStats())
+                if host.name in degraded:
+                    continue
                 merged = dict(self.extra_vars)
                 merged.update(self.inventory.effective_vars(host))
                 merged.update(play.vars)
                 merged.update(self.extra_vars)  # extra vars win overall
                 if play.gather_facts and host.connection is not None:
-                    merged["facts"] = host.connection.facts()
+                    try:
+                        merged["facts"] = self._gather_facts(host)
+                    except TransientError as exc:
+                        stats[host.name].unreachable += 1
+                        if len(degraded) >= self.max_host_failures:
+                            raise
+                        degraded[host.name] = str(exc)
+                        continue
                 host_vars[host.name] = merged
 
-            dead: set[str] = set()
+            dead: set[str] = set(degraded)
             for task in play.tasks:
                 alive = [h for h in hosts if h.name not in dead]
                 if not alive:
@@ -242,6 +284,14 @@ class PlaybookRunner:
                             host_stats.skipped += 1
                             continue
                         if result.failed and not task.ignore_errors:
+                            if result.unreachable:
+                                host_stats.unreachable += 1
+                                if len(degraded) < self.max_host_failures:
+                                    # Lost to infrastructure, within
+                                    # budget: degrade, don't fail.
+                                    degraded[host.name] = result.msg
+                                    dead.add(host.name)
+                                    continue
                             host_stats.failed += 1
                             failed_hosts += 1
                             dead.add(host.name)
@@ -259,7 +309,7 @@ class PlaybookRunner:
                         if task.module == "set_fact":
                             host_vars[host.name].update(result.data)
                     task_span.attributes["failed_hosts"] = failed_hosts
-        return PlayRecap(stats=stats, task_results=task_log)
+        return PlayRecap(stats=stats, task_results=task_log, degraded=degraded)
 
     def _run_task_on_host(
         self, task: Task, host: Host, variables: dict[str, Any]
@@ -297,14 +347,23 @@ class PlaybookRunner:
                     args = dict(args)
                     args["that"] = [evaluate(str(c), local_vars) for c in raw_list]
                 return run_module(task.module, host.connection, args)
+            except TransientError as exc:
+                # The host, not the module, failed: flag it so the
+                # runner can retry or degrade instead of hard-failing.
+                return TaskResult(failed=True, unreachable=True, msg=str(exc))
             except OrchestrationError as exc:
                 return TaskResult(failed=True, msg=str(exc))
 
         def with_retries(item: Any | None) -> TaskResult:
             result = one(item)
-            for _attempt in range(task.retries):
-                if not result.failed:
+            retries_used = 0
+            while result.failed:
+                budget = task.retries
+                if result.unreachable:
+                    budget = max(budget, self.unreachable_retries)
+                if retries_used >= budget:
                     break
+                retries_used += 1
                 result = one(item)
             return result
 

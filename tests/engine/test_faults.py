@@ -1,0 +1,127 @@
+"""The deterministic fault-injection harness."""
+
+import time
+
+import pytest
+
+from repro.common.errors import (
+    EngineError,
+    InjectedFault,
+    TransientInjectedFault,
+)
+from repro.engine import (
+    FaultPlan,
+    RetryPolicy,
+    RunOptions,
+    SerialScheduler,
+    TaskGraph,
+    ThreadedScheduler,
+)
+
+BACKENDS = [SerialScheduler(), ThreadedScheduler(max_workers=4)]
+BACKEND_IDS = ["serial", "threaded"]
+
+
+class TestSpecParsing:
+    def test_parse_all_modes(self):
+        plan = FaultPlan.parse("flaky:run:2, fail:viz, delay:setup:0.5, rate:exp-*:0.25")
+        assert [s.mode for s in plan.specs] == ["flaky", "fail", "delay", "rate"]
+        assert plan.specs[0].arg == 2
+        assert plan.specs[3].target == "exp-*"
+        assert "flaky:run:2" in plan.describe()
+
+    def test_bad_specs_rejected(self):
+        for bad in ("", "boom:run", "flaky:run", "fail:run:1", "rate:run:2",
+                    "delay:run:x", "flaky::2"):
+            with pytest.raises(EngineError):
+                FaultPlan.parse(bad)
+
+    def test_glob_matching(self):
+        plan = FaultPlan.parse("fail:exp-*")
+        spec = plan.specs[0]
+        assert spec.matches("exp-1") and spec.matches("exp-two")
+        assert not spec.matches("run")
+
+
+class TestFaultApplication:
+    def test_fail_is_permanent(self):
+        plan = FaultPlan.parse("fail:run")
+        with pytest.raises(InjectedFault):
+            plan.before("run")
+        with pytest.raises(InjectedFault):
+            plan.before("run")
+        plan.before("other")  # untouched
+
+    def test_flaky_clears_after_n_attempts(self):
+        plan = FaultPlan.parse("flaky:run:2")
+        for _ in range(2):
+            with pytest.raises(TransientInjectedFault):
+                plan.before("run")
+        plan.before("run")  # third attempt succeeds
+
+    def test_flaky_counters_are_per_task(self):
+        plan = FaultPlan.parse("flaky:exp-*:1")
+        with pytest.raises(TransientInjectedFault):
+            plan.before("exp-a")
+        with pytest.raises(TransientInjectedFault):
+            plan.before("exp-b")  # own counter, still doomed once
+        plan.before("exp-a")
+        plan.before("exp-b")
+
+    def test_delay_sleeps(self):
+        plan = FaultPlan.parse("delay:run:0.05")
+        start = time.perf_counter()
+        plan.before("run")
+        assert time.perf_counter() - start >= 0.05
+
+    def test_rate_stream_is_deterministic(self):
+        def draw(seed):
+            plan = FaultPlan.parse("rate:run:0.5", seed=seed)
+            fired = []
+            for _ in range(20):
+                try:
+                    plan.before("run")
+                    fired.append(False)
+                except TransientInjectedFault:
+                    fired.append(True)
+            return fired
+
+        assert draw(1) == draw(1)
+        assert draw(1) != draw(2)
+        assert any(draw(1)) and not all(draw(1))
+
+
+@pytest.mark.parametrize("scheduler", BACKENDS, ids=BACKEND_IDS)
+class TestFaultsThroughScheduler:
+    def test_flaky_task_survives_with_retries(self, scheduler):
+        graph = TaskGraph()
+        graph.add("run", lambda ctx: "value")
+        options = RunOptions(
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.0, jitter=0.0),
+            faults=FaultPlan.parse("flaky:run:2"),
+        )
+        recap = scheduler.run(graph, options=options)
+        assert recap.ok
+        assert recap.value("run") == "value"
+        assert recap.outcome("run").attempts == 3
+
+    def test_flaky_task_fails_without_retries(self, scheduler):
+        graph = TaskGraph()
+        graph.add("run", lambda ctx: "value")
+        options = RunOptions(faults=FaultPlan.parse("flaky:run:2"))
+        recap = scheduler.run(graph, options=options)
+        assert recap.failed == ["run"]
+        assert isinstance(recap.outcome("run").error, TransientInjectedFault)
+
+    def test_permanent_fault_is_not_retried(self, scheduler):
+        ran = []
+        graph = TaskGraph()
+        graph.add("run", lambda ctx: ran.append(1))
+        options = RunOptions(
+            retry=RetryPolicy(max_attempts=5, backoff_s=0.0, jitter=0.0),
+            faults=FaultPlan.parse("fail:run"),
+        )
+        recap = scheduler.run(graph, options=options)
+        assert recap.failed == ["run"]
+        assert recap.outcome("run").attempts == 1
+        assert ran == []  # the fault fires before the payload

@@ -1,0 +1,137 @@
+"""Randomized (seeded) invariants: no fault plan breaks accounting.
+
+For any randomly generated DAG, fault plan, retry policy and optional-task
+assignment, both schedulers must terminate and account for every task:
+``OK + FAILED + SKIPPED + DEGRADED == len(graph)``.  Failures may only
+propagate along declared edges, and a task's value must exist exactly
+when it is OK.
+"""
+
+import pytest
+
+from repro.common.rng import derive_rng
+from repro.engine import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    RunOptions,
+    SerialScheduler,
+    TaskGraph,
+    TaskState,
+    ThreadedScheduler,
+)
+
+BACKENDS = [SerialScheduler(), ThreadedScheduler(max_workers=4)]
+BACKEND_IDS = ["serial", "threaded"]
+
+TERMINAL = (
+    TaskState.OK,
+    TaskState.FAILED,
+    TaskState.SKIPPED,
+    TaskState.DEGRADED,
+)
+
+
+def random_graph(seed: int) -> tuple[TaskGraph, set[str]]:
+    """A random DAG (edges only point backwards: acyclic by construction)."""
+    rng = derive_rng(seed, "graph")
+    n = int(rng.integers(3, 12))
+    graph = TaskGraph()
+    optional: set[str] = set()
+    for i in range(n):
+        deps = tuple(
+            f"t{j}" for j in range(i) if float(rng.random()) < 0.3
+        )
+        is_optional = float(rng.random()) < 0.2
+        if is_optional:
+            optional.add(f"t{i}")
+        graph.add(
+            f"t{i}",
+            (lambda name: lambda ctx: name)(f"t{i}"),
+            dependencies=deps,
+            optional=is_optional,
+        )
+    return graph, optional
+
+
+def random_faults(seed: int, task_ids: list[str]) -> FaultPlan:
+    rng = derive_rng(seed, "faults")
+    specs = []
+    for task_id in task_ids:
+        roll = float(rng.random())
+        if roll < 0.25:
+            specs.append(FaultSpec("fail", task_id))
+        elif roll < 0.5:
+            specs.append(FaultSpec("flaky", task_id, float(rng.integers(1, 4))))
+        elif roll < 0.6:
+            specs.append(FaultSpec("rate", task_id, 0.5))
+    if not specs:
+        specs.append(FaultSpec("flaky", task_ids[0], 1.0))
+    return FaultPlan(specs, seed=seed)
+
+
+@pytest.mark.parametrize("scheduler", BACKENDS, ids=BACKEND_IDS)
+@pytest.mark.parametrize("seed", range(12))
+class TestAccountingInvariant:
+    def test_every_task_accounted_under_faults(self, scheduler, seed):
+        graph, optional = random_graph(seed)
+        ids = graph.ids()
+        options = RunOptions(
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0, jitter=0.0, seed=seed),
+            faults=random_faults(seed, ids),
+        )
+        recap = scheduler.run(graph, options=options)
+
+        # Termination with a complete ledger: every task has exactly one
+        # terminal outcome.
+        assert sorted(recap.outcomes) == sorted(ids)
+        states = {tid: recap.outcomes[tid].state for tid in ids}
+        assert all(state in TERMINAL for state in states.values())
+        counted = (
+            len(recap.succeeded)
+            + len(recap.failed)
+            + len(recap.skipped)
+            + len(recap.degraded)
+        )
+        assert counted == len(graph)
+
+        for tid in ids:
+            outcome = recap.outcomes[tid]
+            # DEGRADED only ever happens to declared-optional tasks, and
+            # optional tasks can never be FAILED.
+            if outcome.state is TaskState.DEGRADED:
+                assert tid in optional
+            if tid in optional:
+                assert outcome.state is not TaskState.FAILED
+            # SKIPPED tasks blame a FAILED upstream they really depend on.
+            if outcome.state is TaskState.SKIPPED:
+                assert states[outcome.blamed_on] is TaskState.FAILED
+                assert tid in graph.downstream(outcome.blamed_on)
+            # Values exist exactly for OK tasks.
+            if outcome.state is TaskState.OK:
+                assert outcome.value == tid
+            else:
+                assert outcome.value is None
+
+    def test_same_seed_same_states_across_backends(self, scheduler, seed):
+        """State assignment is a function of the seed, not the backend."""
+        graph, _ = random_graph(seed)
+        options = RunOptions(
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0, jitter=0.0, seed=seed),
+            faults=random_faults(seed, graph.ids()),
+        )
+        recap = scheduler.run(graph, options=options)
+
+        reference_graph, _ = random_graph(seed)
+        reference = SerialScheduler().run(
+            reference_graph,
+            options=RunOptions(
+                retry=RetryPolicy(
+                    max_attempts=2, backoff_s=0.0, jitter=0.0, seed=seed
+                ),
+                faults=random_faults(seed, reference_graph.ids()),
+            ),
+        )
+        assert {t: o.state for t, o in recap.outcomes.items()} == {
+            t: o.state for t, o in reference.outcomes.items()
+        }

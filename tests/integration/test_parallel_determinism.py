@@ -104,3 +104,44 @@ def test_trace_renders_critical_path_after_parallel_run(sweeps, capsys):
     out = capsys.readouterr().out
     assert "critical path:" in out
     assert "pipeline/run/exp-torpor" in out
+
+
+@pytest.fixture(scope="module")
+def retry_sweeps(tmp_path_factory):
+    """The same sweep under injected faults + retries, -j 1 vs -j 4.
+
+    Every ``run`` stage fails its first attempt with a transient fault
+    and succeeds on retry; the resilience machinery (deterministic
+    backoff jitter, per-experiment fault plans) must keep the sweep
+    bit-reproducible across backends.
+    """
+    chaos = ["--retries", "2", "--inject-faults", "flaky:run:1"]
+    serial = build_repo(tmp_path_factory.mktemp("retry-det") / "serial")
+    threaded = build_repo(tmp_path_factory.mktemp("retry-det") / "threaded")
+    assert main(["-C", str(serial.root), "run", "--all", "-j", "1"] + chaos) == 0
+    assert main(["-C", str(threaded.root), "run", "--all", "-j", "4"] + chaos) == 0
+    return serial, threaded
+
+
+@pytest.mark.parametrize("experiment", sorted(EXPERIMENTS))
+def test_retried_results_csv_byte_identical(retry_sweeps, experiment):
+    serial, threaded = retry_sweeps
+    serial_csv = (serial.experiment_dir(experiment) / "results.csv").read_bytes()
+    threaded_csv = (
+        threaded.experiment_dir(experiment) / "results.csv"
+    ).read_bytes()
+    assert serial_csv == threaded_csv
+
+
+@pytest.mark.parametrize("experiment", sorted(EXPERIMENTS))
+def test_retried_runs_journal_their_attempts(retry_sweeps, experiment):
+    """Both attempts of the flaky run stage land in the journal."""
+    _, threaded = retry_sweeps
+    events = read_journal(threaded.experiment_dir(experiment) / "journal.jsonl")
+    run_attempts = [
+        e for e in events if e["event"] == "attempt" and e["task"] == "run"
+    ]
+    assert [e["attempt"] for e in run_attempts] == [1, 2]
+    span_ends = {e["name"] for e in events if e["event"] == "span_end"}
+    assert {"task/run/attempt-1", "task/run/attempt-2"} <= span_ends
+    assert events[-1]["status"] == "ok"
