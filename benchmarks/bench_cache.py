@@ -1,0 +1,137 @@
+"""Artifact-cache payoff: the four-experiment sweep, cold vs warm.
+
+Runs the four paper experiments (`gassyfs`, `torpor`,
+`mpi-comm-variability`, `jupyter-bww`) through ``popper run --all``
+twice against one artifact store and records wall seconds for the cold
+pass (every stage executes, outputs are filed into the content pool)
+and the warm pass (every experiment is served from cache) to
+``BENCH_cache.json`` at the repository root — the perf-trajectory data
+point for cross-run memoization.
+
+Asserts the memoization contract while it is at it: the warm pass must
+leave every ``results.csv`` byte-identical, must report cache hits for
+all experiments, and must finish in under half the cold pass's wall
+time (the artifacts here are small, so materialization is cheap; real
+workloads only widen the gap).
+
+Run standalone (``python benchmarks/bench_cache.py``) or via pytest
+(``pytest benchmarks/bench_cache.py``).
+"""
+
+import contextlib
+import io
+import json
+import os
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_cache.json"
+
+#: The four paper experiments, shrunk to a seconds-scale budget.
+EXPERIMENTS = {
+    "exp-gassyfs": (
+        "gassyfs",
+        {
+            "node_counts": [1, 2, 4],
+            "sites": ["cloudlab-wisc"],
+            "workloads": ["git-compile"],
+            "workload_scale": 0.1,
+            "seed": 7,
+        },
+    ),
+    "exp-torpor": ("torpor", {"runs": 2, "seed": 7}),
+    "exp-mpi": ("mpi-comm-variability", {"iterations": 10, "runs": 5, "seed": 7}),
+    "exp-bww": ("jupyter-bww", {"seed": 7}),
+}
+
+
+def build_repo(root: Path):
+    from repro.common import minyaml
+    from repro.common.fsutil import write_text
+    from repro.core.repo import PopperRepository
+
+    repo = PopperRepository.init(root)
+    for experiment, (template, overrides) in EXPERIMENTS.items():
+        repo.add_experiment(template, experiment, commit=False)
+        vars_path = repo.experiment_dir(experiment) / "vars.yml"
+        doc = minyaml.load_file(vars_path)
+        doc.update(overrides)
+        write_text(vars_path, minyaml.dumps(doc))
+    repo.vcs.add_all()
+    repo.vcs.commit("instantiate the four paper experiments")
+    return repo
+
+
+def sweep(repo) -> tuple[float, str]:
+    """Run the full sweep; returns (wall seconds, captured stdout)."""
+    from repro.core.cli import main
+
+    buffer = io.StringIO()
+    started = time.perf_counter()
+    with contextlib.redirect_stdout(buffer):
+        code = main(["-C", str(repo.root), "run", "--all"])
+    seconds = time.perf_counter() - started
+    assert code == 0, f"sweep exited {code}:\n{buffer.getvalue()}"
+    return seconds, buffer.getvalue()
+
+
+def run_bench(base: Path) -> dict:
+    repo = build_repo(base / "repo")
+
+    cold_s, cold_out = sweep(repo)
+    assert "(cached)" not in cold_out
+    results_cold = {
+        experiment: (repo.experiment_dir(experiment) / "results.csv").read_bytes()
+        for experiment in EXPERIMENTS
+    }
+
+    warm_s, warm_out = sweep(repo)
+    hits = warm_out.count("(cached)")
+    assert hits == len(EXPERIMENTS), (
+        f"warm sweep had {hits}/{len(EXPERIMENTS)} cache hits:\n{warm_out}"
+    )
+    for experiment, before in results_cold.items():
+        after = (repo.experiment_dir(experiment) / "results.csv").read_bytes()
+        assert after == before, f"{experiment}: warm results differ from cold"
+
+    stats = repo.artifact_store.stats()
+    report = {
+        "benchmark": "cache-warm-sweep",
+        "experiments": sorted(EXPERIMENTS),
+        "modes": {
+            "cold": {"wall_seconds": round(cold_s, 4)},
+            "warm": {"wall_seconds": round(warm_s, 4), "cache_hits": hits},
+        },
+        "speedup": round(cold_s / warm_s, 3) if warm_s else None,
+        "warm_fraction_of_cold": round(warm_s / cold_s, 4) if cold_s else None,
+        "store": {
+            "objects": stats["objects"],
+            "physical_bytes": stats["bytes"],
+            "logical_bytes": stats["logical_bytes"],
+            "bytes_deduped": stats["bytes_deduped"],
+        },
+        "cpu_count": os.cpu_count(),
+        "results_identical": True,
+    }
+    BENCH_FILE.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+def test_bench_cache_warm_sweep(tmp_path):
+    report = run_bench(tmp_path)
+    assert report["results_identical"]
+    assert report["modes"]["warm"]["cache_hits"] == len(EXPERIMENTS)
+    # The acceptance bar: a warm sweep costs less than half a cold one.
+    assert report["warm_fraction_of_cold"] < 0.5, report
+    assert BENCH_FILE.is_file()
+
+
+if __name__ == "__main__":
+    import sys
+    import tempfile
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    with tempfile.TemporaryDirectory() as tmp:
+        out = run_bench(Path(tmp))
+    print(json.dumps(out, indent=2))

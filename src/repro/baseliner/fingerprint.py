@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.errors import PlatformError
+from repro.common.hashing import sha256_text
 from repro.common.rng import SeedSequenceFactory
 from repro.common.tables import MetricsTable
 from repro.baseliner.stressors import STRESSORS, Stressor, run_stressor
@@ -55,6 +56,15 @@ class BaselineProfile:
             indent=2,
             sort_keys=True,
         )
+
+    def digest(self) -> str:
+        """Content hash of the profile (its artifact-store object id).
+
+        Two machines with identical stressor vectors produce the same
+        digest, so stored ``baseline.json`` artifacts dedupe across
+        experiments and the digest can key cache metadata.
+        """
+        return sha256_text(self.to_json())
 
     @classmethod
     def from_json(cls, text: str) -> "BaselineProfile":

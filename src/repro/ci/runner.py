@@ -303,10 +303,9 @@ class CIServer:
         rmtree_quiet(workspace)
         workspace.mkdir(parents=True)
         commit_obj = self.repo.store.get_commit(commit)
-        for rel, oid in self.repo.store.walk_tree(commit_obj.tree):
-            target = workspace / rel
-            target.parent.mkdir(parents=True, exist_ok=True)
-            target.write_bytes(self.repo.store.get_blob(oid).data)
+        # One materialization path for every workspace: blobs come out
+        # of the shared content pool verified, and land atomically.
+        self.repo.store.checkout_tree(commit_obj.tree, workspace)
         return workspace
 
     def _run_job(

@@ -12,6 +12,9 @@ __all__ = [
     "ReproError",
     "TransientError",
     "YamlError",
+    "StoreError",
+    "MissingObjectError",
+    "CorruptObjectError",
     "VcsError",
     "ObjectNotFound",
     "ContainerError",
@@ -68,6 +71,37 @@ class YamlError(ReproError):
         self.line = line
         if line is not None:
             message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+# --- store ------------------------------------------------------------------
+class StoreError(ReproError):
+    """Content-addressed artifact store failure."""
+
+
+class MissingObjectError(StoreError):
+    """A content-addressed object id is not present in the store."""
+
+    def __init__(self, oid: str) -> None:
+        self.oid = oid
+        super().__init__(f"object not in store: {oid}")
+
+
+class CorruptObjectError(StoreError):
+    """A stored object no longer hashes to its id (bit rot / tamper).
+
+    The store moves the offending file into its ``quarantine/``
+    directory before raising, so the error carries a remediation path:
+    ``popper cache verify`` reports quarantined objects with their
+    referrers instead of the read failing the same way forever.
+    """
+
+    def __init__(self, oid: str, quarantine_path: "str | None" = None) -> None:
+        self.oid = oid
+        self.quarantine_path = quarantine_path
+        message = f"object {oid[:12]} is corrupt on disk"
+        if quarantine_path:
+            message += f" (quarantined to {quarantine_path})"
         super().__init__(message)
 
 

@@ -38,12 +38,26 @@ def read_text(path: str | os.PathLike) -> str:
 
 
 def atomic_write(path: str | os.PathLike, data: bytes) -> None:
-    """Write *data* so readers never observe a partial file."""
+    """Write *data* so readers never observe a partial file.
+
+    The temporary file gets a unique name (``mkstemp``), so concurrent
+    writers to the same target cannot interleave partial writes — the
+    last complete ``os.replace`` wins.
+    """
+    import tempfile
+
     target = Path(path)
     ensure_dir(target.parent)
-    tmp = target.with_name(target.name + ".tmp")
-    tmp.write_bytes(data)
-    os.replace(tmp, target)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", dir=str(target.parent)
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, target)
+    except BaseException:
+        Path(tmp_name).unlink(missing_ok=True)
+        raise
 
 
 def walk_files(root: str | os.PathLike) -> Iterator[Path]:

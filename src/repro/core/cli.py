@@ -14,8 +14,9 @@
     $ popper add torpor myexp
 
 Additional verbs: ``check`` (compliance), ``run`` (pipeline),
-``trace`` / ``log`` (render or dump a run's journal), ``paper
-list|add|build``, ``status``.
+``trace`` / ``log`` (render or dump a run's journal), ``cache
+stats|verify|gc`` (the artifact store), ``paper list|add|build``,
+``status``.
 """
 
 from __future__ import annotations
@@ -115,6 +116,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="shorthand for --retries 3 --inject-faults flaky:run:2 "
         "(single-token chaos job for CI env matrices)",
     )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the artifact store: execute every stage even when "
+        "a memoized result exists",
+    )
+    run.add_argument(
+        "--cache-check",
+        action="store_true",
+        help="run the sweep twice against one artifact store and fail "
+        "unless the warm pass is >=90%% cache hits with identical "
+        "results (single-token warm-cache job for CI env matrices)",
+    )
 
     trace = sub.add_parser(
         "trace", help="render an experiment's run journal (timings, critical path)"
@@ -150,6 +164,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="skip matrix jobs already green for the same commit and env",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="administer the content-addressed artifact store"
+    )
+    cache_sub = cache.add_subparsers(dest="subcommand", required=True)
+    cache_sub.add_parser(
+        "stats", help="object, record and dedup accounting for the pools"
+    )
+    cache_sub.add_parser(
+        "verify",
+        help="fsck every pool: quarantine corrupt objects, report referrers",
+    )
+    cache_gc = cache_sub.add_parser(
+        "gc", help="drop old artifact records and sweep unreferenced objects"
+    )
+    cache_gc.add_argument(
+        "--keep-last",
+        type=int,
+        default=1,
+        metavar="N",
+        help="records to keep per task, newest first (default 1)",
     )
 
     bundle = sub.add_parser(
@@ -241,6 +277,7 @@ def _cmd_run(args) -> int:
     from repro.common.rng import derive_seed
     from repro.engine import (
         FaultPlan,
+        MemoizedPayload,
         RetryPolicy,
         RunOptions,
         RunStateStore,
@@ -285,6 +322,16 @@ def _cmd_run(args) -> int:
             fault_spec, seed=derive_seed(args.fault_seed, "faults", name)
         )
 
+    if args.cache_check and (args.no_cache or args.validate_only):
+        raise PopperError(
+            "--cache-check exercises the artifact store; it cannot be "
+            "combined with --no-cache or --validate-only"
+        )
+    # Cross-run memoization is on by default; --no-cache executes every
+    # stage, and --validate-only never touches the store.
+    use_cache = not args.no_cache and not args.validate_only
+    artifact_store = repo.artifact_store if use_cache else None
+
     def experiment_task(name: str):
         def payload(ctx):
             pipeline = ExperimentPipeline(
@@ -293,6 +340,7 @@ def _cmd_run(args) -> int:
                 retry=retry,
                 timeout_s=args.task_timeout,
                 faults=fault_plan_for(name),
+                artifact_store=artifact_store,
             )
             if args.validate_only:
                 return pipeline.validate_existing()
@@ -317,54 +365,151 @@ def _cmd_run(args) -> int:
 
         return restore
 
-    graph = TaskGraph()
-    for name in names:
-        if args.validate_only:
-            graph.add(name, experiment_task(name))
-        else:
-            graph.add(
-                name,
-                experiment_task(name),
-                fingerprint=sweep_fingerprint(name),
-                # Only validated successes are worth caching; a run that
-                # completed with validation failures re-runs on resume.
-                checkpoint=lambda result: (
-                    {"validated": True, "rows": len(result.results)}
-                    if result.validated
-                    else None
-                ),
-                restore=sweep_restore(name),
-            )
-    state_path = repo.root / ".pvcs" / "sweep-state.jsonl"
-    with RunStateStore(state_path, resume=args.resume) as store:
-        options = RunOptions(run_state=store)
-        recap = _scheduler_for(args.jobs).run(graph, options=options)
+    def sweep_payload(name: str):
+        """The task payload for one experiment of the sweep.
 
-    exit_code = 0
-    for name in names:
-        outcome = recap.outcome(name)
-        if outcome.state is TaskState.OK:
-            result = outcome.value
-            status = "ok" if result.validated else "VALIDATION FAILED"
-            cached = " (cached)" if outcome.restored else ""
-            print(f"-- {name}: {len(result.results)} result rows, {status}{cached}")
-            for stage in result.degraded_stages:
-                print(f"   degraded: optional stage {stage} failed")
-            for validation in result.validations:
-                print("   " + validation.describe().replace("\n", "\n   "))
+        With the cache on, the whole experiment is memoized under its
+        vars fingerprint: a warm run materializes ``results.csv``, the
+        figure artifacts and the reports from the content pool and only
+        re-evaluates the (cheap) validations.
+        """
+        payload = experiment_task(name)
+        if artifact_store is None:
+            return payload
+        exp_dir = repo.experiment_dir(name)
+
+        def outputs(result):
+            files = {
+                "results": exp_dir / "results.csv",
+                "report": exp_dir / "validation_report.txt",
+            }
+            for figure_name, path in result.figures.items():
+                files[f"figure-{figure_name}"] = path
+            for extra in ("figure.svg", "baseline.json"):
+                if (exp_dir / extra).is_file():
+                    files[extra] = exp_dir / extra
+            return files
+
+        def meta(result):
+            # Only validated successes are worth replaying on later
+            # runs; a run with failed validations must re-execute.
             if not result.validated:
+                return None
+            return {"rows": len(result.results)}
+
+        return MemoizedPayload(
+            fn=payload,
+            key=sweep_fingerprint(name),
+            root=repo.root,
+            outputs=outputs,
+            meta=meta,
+            # Re-validate the materialized results: an edited
+            # validations.aver yields a fresh verdict even on a hit.
+            restore=sweep_restore(name),
+        )
+
+    state_path = repo.root / ".pvcs" / "sweep-state.jsonl"
+
+    def build_graph() -> TaskGraph:
+        graph = TaskGraph()
+        for name in names:
+            if args.validate_only:
+                graph.add(name, experiment_task(name))
+            else:
+                graph.add(
+                    name,
+                    sweep_payload(name),
+                    fingerprint=sweep_fingerprint(name),
+                    # Only validated successes are worth caching; a run
+                    # that completed with validation failures re-runs on
+                    # resume.
+                    checkpoint=lambda result: (
+                        {"validated": True, "rows": len(result.results)}
+                        if result.validated
+                        else None
+                    ),
+                    restore=sweep_restore(name),
+                )
+        return graph
+
+    def execute(resume: bool):
+        with RunStateStore(state_path, resume=resume) as store:
+            options = RunOptions(
+                run_state=store, artifact_store=artifact_store
+            )
+            return _scheduler_for(args.jobs).run(build_graph(), options=options)
+
+    def report(recap) -> int:
+        exit_code = 0
+        for name in names:
+            outcome = recap.outcome(name)
+            if outcome.ok:
+                result = outcome.value
+                status = "ok" if result.validated else "VALIDATION FAILED"
+                cached = (
+                    " (cached)"
+                    if outcome.restored or outcome.state is TaskState.CACHED
+                    else ""
+                )
+                print(
+                    f"-- {name}: {len(result.results)} result rows, "
+                    f"{status}{cached}"
+                )
+                for stage in result.degraded_stages:
+                    print(f"   degraded: optional stage {stage} failed")
+                for validation in result.validations:
+                    print("   " + validation.describe().replace("\n", "\n   "))
+                if not result.validated:
+                    exit_code = max(exit_code, 1)
+            elif isinstance(outcome.error, ValidationFailure):
+                print(f"-- {name}: VALIDATION FAILED (strict)")
+                print("   " + str(outcome.error).replace("\n", "\n   "))
                 exit_code = max(exit_code, 1)
-        elif isinstance(outcome.error, ValidationFailure):
-            print(f"-- {name}: VALIDATION FAILED (strict)")
-            print("   " + str(outcome.error).replace("\n", "\n   "))
-            exit_code = max(exit_code, 1)
-        elif isinstance(outcome.error, ReproError):
-            print(f"-- {name}: ERRORED ({outcome.error})")
-            exit_code = max(exit_code, 2)
-        else:
-            # A non-repro exception is a bug, not an experiment outcome.
-            raise outcome.error
-    return exit_code
+            elif isinstance(outcome.error, ReproError):
+                print(f"-- {name}: ERRORED ({outcome.error})")
+                exit_code = max(exit_code, 2)
+            else:
+                # A non-repro exception is a bug, not an experiment outcome.
+                raise outcome.error
+        return exit_code
+
+    recap = execute(args.resume)
+    exit_code = report(recap)
+    if not args.cache_check:
+        return exit_code
+
+    # Warm pass: same sweep again against the store the cold pass just
+    # filled.  The CI warm-cache job fails unless (almost) everything is
+    # served from cache and the materialized results are byte-identical.
+    def results_bytes() -> dict[str, bytes]:
+        snapshots = {}
+        for name in names:
+            path = repo.experiment_dir(name) / "results.csv"
+            snapshots[name] = path.read_bytes() if path.is_file() else b""
+        return snapshots
+
+    cold = results_bytes()
+    warm_recap = execute(resume=False)
+    exit_code = max(exit_code, report(warm_recap))
+    warm = results_bytes()
+    hits = sum(
+        1
+        for name in names
+        if warm_recap.outcome(name).state is TaskState.CACHED
+    )
+    rate = hits / len(names)
+    differing = sorted(name for name in names if cold[name] != warm[name])
+    if rate >= 0.9 and not differing and exit_code == 0:
+        print(
+            f"-- cache check: {hits}/{len(names)} experiments served "
+            "from cache; results identical"
+        )
+        return exit_code
+    reasons = [f"{hits}/{len(names)} cache hits"]
+    if differing:
+        reasons.append(f"results differ for {', '.join(differing)}")
+    print(f"-- cache check FAILED: {'; '.join(reasons)}")
+    return max(exit_code, 1)
 
 
 def _journal_events(args):
@@ -445,6 +590,57 @@ def _cmd_ci(args) -> int:
     return 0 if record.ok else 1
 
 
+def _cmd_cache(args) -> int:
+    """``popper cache stats|verify|gc``: artifact-store administration."""
+    repo = PopperRepository.open(args.repo)
+    store = repo.artifact_store
+    if args.subcommand == "stats":
+        stats = store.stats()
+        print(f"-- artifact cache ({store.root})")
+        print(
+            f"   objects: {stats['objects']} ({stats['bytes']} bytes, "
+            f"{stats['quarantined']} quarantined)"
+        )
+        print(f"   records: {stats['records']} across {stats['tasks']} tasks")
+        print(
+            f"   logical bytes: {stats['logical_bytes']} "
+            f"({stats['bytes_deduped']} deduped)"
+        )
+        vcs_stats = repo.vcs.store.cas.stats()
+        print(f"-- vcs object pool ({repo.vcs.store.root})")
+        print(
+            f"   objects: {vcs_stats['objects']} ({vcs_stats['bytes']} bytes, "
+            f"{vcs_stats['quarantined']} quarantined)"
+        )
+        return 0
+    if args.subcommand == "verify":
+        report = store.verify()
+        print(f"-- artifact cache: {report.healthy_objects} objects healthy")
+        for oid, referrers in sorted(report.corrupt.items()):
+            blame = "; ".join(referrers) or "unreferenced"
+            print(f"   corrupt (quarantined): {oid[:12]} <- {blame}")
+        vcs_bad = repo.vcs.fsck()
+        healthy_vcs = sum(1 for _ in repo.vcs.store.ids())
+        print(f"-- vcs object pool: {healthy_vcs} objects healthy")
+        if vcs_bad:
+            blame_map = repo.vcs.referrers(set(vcs_bad))
+            for oid in sorted(vcs_bad):
+                blame = "; ".join(blame_map.get(oid, [])) or "unreferenced"
+                print(f"   corrupt (quarantined): {oid[:12]} <- {blame}")
+        ok = report.ok and not vcs_bad
+        print(f"-- verify: {'clean' if ok else 'CORRUPTION FOUND'}")
+        return 0 if ok else 1
+    if args.subcommand == "gc":
+        gc = store.gc(keep_last=args.keep_last)
+        print(
+            f"-- gc: kept {args.keep_last} record(s) per task; removed "
+            f"{gc.records_removed} records, {gc.objects_removed} objects "
+            f"({gc.bytes_reclaimed} bytes reclaimed)"
+        )
+        return 0
+    raise PopperError(f"unknown cache subcommand {args.subcommand!r}")
+
+
 def _cmd_bundle(args) -> int:
     from repro.core.bundle import create_bundle
 
@@ -511,6 +707,7 @@ def main(argv: list[str] | None = None) -> int:
         "log": _cmd_log,
         "paper": _cmd_paper,
         "ci": _cmd_ci,
+        "cache": _cmd_cache,
         "bundle": _cmd_bundle,
         "unbundle": _cmd_unbundle,
         "notebooks": _cmd_notebooks,

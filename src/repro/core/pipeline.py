@@ -38,16 +38,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from pathlib import Path
+
 from repro.aver.evaluator import ValidationResult, check_all
 from repro.common import minyaml
 from repro.common.errors import PopperError, ValidationFailure
+from repro.common.hashing import sha256_text
 from repro.common.tables import MetricsTable
-from repro.core.baseline import check_baseline
-from repro.core.postprocess import run_postprocess
+from repro.core.baseline import BASELINE_FILE, check_baseline
+from repro.core.postprocess import PROCESS_SCRIPT, run_postprocess
 from repro.core.repo import PopperRepository
 from repro.core.runners import run_experiment_runner
 from repro.engine import (
     FaultPlan,
+    MemoizedPayload,
     RetryPolicy,
     RunOptions,
     RUN_STATE_FILE,
@@ -58,6 +62,7 @@ from repro.engine import (
     TaskState,
     task_fingerprint,
 )
+from repro.store import ArtifactStore
 from repro.monitor.journal import JOURNAL_FILE, RunJournal
 from repro.monitor.metrics import MetricStore
 from repro.monitor.tracing import Tracer, activate
@@ -115,6 +120,7 @@ class ExperimentPipeline:
         retry: RetryPolicy | None = None,
         timeout_s: float | None = None,
         faults: FaultPlan | None = None,
+        artifact_store: ArtifactStore | None = None,
     ) -> None:
         if experiment not in repo.config.experiments:
             raise PopperError(f"no such experiment: {experiment!r}")
@@ -131,6 +137,9 @@ class ExperimentPipeline:
         self.retry = retry
         self.timeout_s = timeout_s
         self.faults = faults
+        # Cross-run memoization: when set, cache-aware stages consult
+        # the store before executing and file their outputs after.
+        self.artifact_store = artifact_store
 
     @property
     def journal_path(self):
@@ -255,6 +264,7 @@ class ExperimentPipeline:
                     timeout_s=self.timeout_s,
                     faults=self.faults,
                     run_state=store,
+                    artifact_store=self.artifact_store,
                 )
                 with activate(tracer):
                     result = self._run_stages(
@@ -318,6 +328,18 @@ class ExperimentPipeline:
             )
         return table
 
+    def _file_digest(self, name: str) -> str:
+        """Content hash of an experiment file ('' when absent).
+
+        Folded into stage cache keys so editing ``process-result.py`` or
+        the analysis notebook invalidates exactly the stages that read
+        them.
+        """
+        path = self.directory / name
+        if not path.is_file():
+            return ""
+        return sha256_text(path.read_text(encoding="utf-8"))
+
     def stage_graph(self, variables: dict) -> TaskGraph:
         """Declare the lifecycle DAG for one run.
 
@@ -327,6 +349,15 @@ class ExperimentPipeline:
         independent — the engine may overlap them.  The ``run`` stage
         carries a checkpoint fingerprint over the experiment's variables,
         so an interrupted sweep resumes without re-executing it.
+
+        The artifact-producing stages (``baseline``, ``run``,
+        ``postprocess``, ``visualize``) are declared through
+        :class:`~repro.engine.MemoizedPayload`: when the pipeline holds
+        an artifact store, a stage whose cache key (variables plus the
+        content of the script it executes) matches a stored record is
+        materialized from the content pool instead of executed.
+        ``validate`` always re-evaluates — it is cheap and *is* the
+        verdict.
         """
         optional = self._optional_stages(variables)
         graph = TaskGraph()
@@ -335,13 +366,31 @@ class ExperimentPipeline:
         )
         run_deps = ("setup",)
         if "baseline" in variables:
+            seed = int(variables.get("seed", 42))
             graph.add(
                 "baseline",
-                lambda ctx: check_baseline(
-                    self.directory,
-                    variables["baseline"],
-                    seed=int(variables.get("seed", 42)),
-                    journal=self.tracer.journal,
+                MemoizedPayload(
+                    fn=lambda ctx: check_baseline(
+                        self.directory,
+                        variables["baseline"],
+                        seed=seed,
+                        journal=self.tracer.journal,
+                    ),
+                    key=task_fingerprint(
+                        f"{self.experiment}/baseline",
+                        {"spec": variables["baseline"], "seed": seed},
+                    ),
+                    root=self.directory,
+                    outputs=lambda value: {
+                        "profile": self.directory / BASELINE_FILE
+                    },
+                    meta=lambda value: {
+                        "fresh": bool(value[0]), "message": str(value[1])
+                    },
+                    restore=lambda meta: (
+                        bool(meta.get("fresh", False)),
+                        str(meta.get("message", "")),
+                    ),
                 ),
                 dependencies=("setup",),
                 optional="baseline" in optional,
@@ -349,7 +398,16 @@ class ExperimentPipeline:
             run_deps = ("baseline",)
         graph.add(
             "run",
-            lambda ctx: self.run_experiment(variables),
+            MemoizedPayload(
+                fn=lambda ctx: self.run_experiment(variables),
+                key=task_fingerprint(f"{self.experiment}/run", variables),
+                root=self.directory,
+                outputs=lambda table: {
+                    "results": self.directory / "results.csv"
+                },
+                meta=lambda table: {"rows": len(table)},
+                restore=self._restore_results,
+            ),
             dependencies=run_deps,
             fingerprint=task_fingerprint(f"{self.experiment}/run", variables),
             checkpoint=lambda table: {"rows": len(table)},
@@ -357,14 +415,47 @@ class ExperimentPipeline:
         )
         graph.add(
             "postprocess",
-            lambda ctx: run_postprocess(self.directory, ctx.result("run")),
+            MemoizedPayload(
+                fn=lambda ctx: run_postprocess(
+                    self.directory, ctx.result("run")
+                ),
+                key=task_fingerprint(
+                    f"{self.experiment}/postprocess",
+                    {
+                        "vars": variables,
+                        "script": self._file_digest(PROCESS_SCRIPT),
+                    },
+                ),
+                root=self.directory,
+                outputs=lambda figures: dict(figures),
+                meta=lambda figures: {"figures": sorted(figures)},
+                restore=lambda meta: {
+                    name: self.directory / f"{name}.csv"
+                    for name in meta.get("figures", [])
+                },
+            ),
             dependencies=("run",),
             optional="postprocess" in optional,
         )
         if (self.directory / NOTEBOOK_FILE).is_file():
             graph.add(
                 "visualize",
-                lambda ctx: self._run_notebook(ctx.result("run")),
+                MemoizedPayload(
+                    fn=lambda ctx: self._run_notebook(ctx.result("run")),
+                    key=task_fingerprint(
+                        f"{self.experiment}/visualize",
+                        {
+                            "vars": variables,
+                            "notebook": self._file_digest(NOTEBOOK_FILE),
+                        },
+                    ),
+                    root=self.directory,
+                    outputs=lambda value: {
+                        "figure": self.directory / "figure.svg"
+                    },
+                    meta=lambda value: {},
+                    restore=lambda meta: None,
+                ),
                 dependencies=("run",),
                 optional="visualize" in optional,
             )

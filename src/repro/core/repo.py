@@ -28,6 +28,7 @@ from repro.common.errors import PopperError
 from repro.common.fsutil import ensure_dir, write_text
 from repro.core.config import CONFIG_NAME, PopperConfig
 from repro.core.templates import get_template
+from repro.store import ArtifactStore
 from repro.vcs.repository import Repository
 
 __all__ = ["PopperRepository", "PAPER_TEMPLATES"]
@@ -61,15 +62,19 @@ PAPER_TEMPLATES: dict[str, dict[str, str]] = {
 
 DEFAULT_TRAVIS = """\
 # Integrity checks for this Popper repository (category-1 validation).
-# The matrix runs two jobs: a re-validation of stored results, and a
+# The matrix runs three jobs: a re-validation of stored results, a
 # chaos smoke job that re-executes every pipeline under injected
 # transient faults with retries enabled (the resilience layer's own
-# integrity check).  Env values must be single tokens (the CI env
-# parser splits on whitespace), hence the --chaos-smoke shorthand.
+# integrity check), and a warm-cache job that runs the sweep twice
+# against one artifact store and fails unless the second pass is served
+# (almost) entirely from cache with identical results.  Env values must
+# be single tokens (the CI env parser splits on whitespace), hence the
+# --chaos-smoke / --cache-check shorthands.
 language: generic
 env:
   - POPPER_RUN_MODE=--validate-only
   - POPPER_RUN_MODE=--chaos-smoke
+  - POPPER_RUN_MODE=--cache-check
 script:
   - popper check
   - popper run --all ${POPPER_RUN_MODE}
@@ -124,6 +129,21 @@ class PopperRepository:
     @property
     def paper_dir(self) -> Path:
         return self.root / "paper"
+
+    @property
+    def cache_dir(self) -> Path:
+        """Root of the repository's artifact cache (``.pvcs/cache``)."""
+        return self.vcs.meta / "cache"
+
+    @property
+    def artifact_store(self) -> ArtifactStore:
+        """The repository's content-addressed artifact store.
+
+        One store per repository: sweeps, single-experiment runs and CI
+        jobs running in checkouts of this repository all dedupe into the
+        same pool under ``.pvcs/cache/``.
+        """
+        return ArtifactStore(self.cache_dir)
 
     def experiments(self) -> list[str]:
         return sorted(self.config.experiments)

@@ -1,9 +1,16 @@
 """The data-package manager (``dpm``): publish, install, verify.
 
 A registry is a directory tree ``<root>/<name>/<version>/`` holding the
-descriptor plus resource files.  ``install`` copies a package into an
-experiment's ``datasets/`` folder and verifies every resource hash —
-a corrupted or tampered dataset is refused, never silently analyzed.
+package descriptors, backed by a content-addressed pool under
+``<root>/.store/``: a resource's sha256 *is* its object id, so
+publishing the same file into ten versions stores its bytes once
+(dedup), and every publish re-hashes the payload on ingest — a file
+that changes between hashing and filing is refused at publish time, not
+discovered at install time.  ``install`` materializes resources from
+the pool into an experiment's ``datasets/`` folder and verifies every
+hash — a corrupted or tampered dataset is refused, never silently
+analyzed.  Registries created before the pool existed (version
+directories holding flat resource copies) remain installable.
 """
 
 from __future__ import annotations
@@ -14,10 +21,14 @@ from pathlib import Path
 from repro.common.errors import DataPackageError, IntegrityError
 from repro.common.hashing import sha256_file
 from repro.datapkg.descriptor import Descriptor, Resource, parse_spec, version_key
+from repro.store import ContentStore
 
 __all__ = ["PackageRegistry", "install", "verify_tree"]
 
 DESCRIPTOR_NAME = "datapackage.json"
+
+#: Registry-internal content pool directory (not a package name).
+STORE_DIR = ".store"
 
 
 class PackageRegistry:
@@ -26,6 +37,10 @@ class PackageRegistry:
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.store = ContentStore(
+            self.root / STORE_DIR / "objects",
+            quarantine_dir=self.root / STORE_DIR / "quarantine",
+        )
 
     # -- publish ---------------------------------------------------------------
     def publish(
@@ -61,15 +76,27 @@ class PackageRegistry:
             raise DataPackageError(f"{descriptor.spec} already published")
         target.mkdir(parents=True)
         for resource in resources:
-            dest = target / resource.path
-            dest.parent.mkdir(parents=True, exist_ok=True)
-            shutil.copyfile(source / resource.path, dest)
+            # Ingest into the content pool: identical payloads (across
+            # resources, versions or packages) are stored once.  The
+            # pool re-hashes on ingest, so a payload that changed since
+            # the descriptor hashed it is caught *now*.
+            ingest = self.store.put_file(source / resource.path)
+            if ingest.oid != resource.sha256:
+                raise IntegrityError(
+                    f"{descriptor.spec}: {resource.path} changed while "
+                    f"publishing (descriptor {resource.sha256[:12]}, "
+                    f"ingested {ingest.oid[:12]})"
+                )
         (target / DESCRIPTOR_NAME).write_text(descriptor.to_json(), encoding="utf-8")
         return descriptor
 
     # -- query -------------------------------------------------------------------
     def packages(self) -> list[str]:
-        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+        return sorted(
+            p.name
+            for p in self.root.iterdir()
+            if p.is_dir() and not p.name.startswith(".")
+        )
 
     def versions(self, name: str) -> list[str]:
         base = self.root / name
@@ -94,7 +121,12 @@ class PackageRegistry:
 
     # -- install --------------------------------------------------------------------
     def install(self, spec: str, target_dir: str | Path) -> Descriptor:
-        """Copy a package into *target_dir* and verify every resource."""
+        """Materialize a package into *target_dir*; verify every resource.
+
+        Resources come out of the content pool (integrity-checked on
+        read); packages published before the pool existed fall back to
+        copying the flat files from the version directory.
+        """
         descriptor = self.resolve(spec)
         source = self.root / descriptor.name / descriptor.version
         target = Path(target_dir) / descriptor.name
@@ -104,7 +136,16 @@ class PackageRegistry:
         for resource in descriptor.resources:
             dest = target / resource.path
             dest.parent.mkdir(parents=True, exist_ok=True)
-            shutil.copyfile(source / resource.path, dest)
+            if self.store.contains(resource.sha256):
+                self.store.materialize(resource.sha256, dest)
+            else:
+                legacy = source / resource.path
+                if not legacy.is_file():
+                    raise IntegrityError(
+                        f"{descriptor.spec}: resource {resource.path} is in "
+                        "neither the content pool nor the version directory"
+                    )
+                shutil.copyfile(legacy, dest)
         (target / DESCRIPTOR_NAME).write_text(descriptor.to_json(), encoding="utf-8")
         verify_tree(target)
         return descriptor

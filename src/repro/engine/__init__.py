@@ -14,8 +14,17 @@ checkpoint/resume through a
 :class:`~repro.engine.runstate.RunStateStore`, and deterministic chaos
 testing through a :class:`~repro.engine.faults.FaultPlan`, all bundled
 into the scheduler's :class:`~repro.engine.scheduler.RunOptions`.
+
+Cross-run memoization (see ``docs/caching.md``) rides on the same
+bundle: a payload implementing
+:class:`~repro.engine.cache.CacheAwarePayload` (usually via
+:class:`~repro.engine.cache.MemoizedPayload`) is consulted against
+``RunOptions.artifact_store`` before executing; a hit materializes the
+stored outputs and completes the task as
+:attr:`~repro.engine.graph.TaskState.CACHED`.
 """
 
+from repro.engine.cache import CacheAwarePayload, MemoizedPayload
 from repro.engine.faults import FaultPlan, FaultSpec
 from repro.engine.graph import (
     GraphResult,
@@ -56,6 +65,8 @@ __all__ = [
     "call_with_timeout",
     "FaultPlan",
     "FaultSpec",
+    "CacheAwarePayload",
+    "MemoizedPayload",
     "RUN_STATE_FILE",
     "RunStateStore",
     "task_fingerprint",

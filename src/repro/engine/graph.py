@@ -43,6 +43,10 @@ class TaskState(str, enum.Enum):
     PENDING = "pending"
     RUNNING = "running"
     OK = "ok"
+    #: The task did not execute: its fingerprint hit the artifact index
+    #: and its outputs were materialized from the content store (see
+    #: :mod:`repro.engine.cache`).  Counts as success everywhere OK does.
+    CACHED = "cached"
     FAILED = "failed"
     SKIPPED = "skipped"
     #: An *optional* task failed: the run is degraded, not broken —
@@ -319,11 +323,13 @@ class TaskOutcome:
 
     @property
     def ok(self) -> bool:
-        return self.state is TaskState.OK
+        return self.state in (TaskState.OK, TaskState.CACHED)
 
     def describe(self) -> str:
+        if self.state is TaskState.CACHED:
+            return f"{self.task_id}: cached ({self.seconds:.3f}s)"
         if self.state is TaskState.OK:
-            suffix = " [cached]" if self.restored else (
+            suffix = " [restored]" if self.restored else (
                 f" [{self.attempts} attempts]" if self.attempts > 1 else ""
             )
             return f"{self.task_id}: ok ({self.seconds:.3f}s){suffix}"
@@ -348,9 +354,9 @@ class GraphResult:
 
     @property
     def ok(self) -> bool:
-        """True when every task is OK or DEGRADED (optional failure)."""
+        """True when every task is OK, CACHED or DEGRADED."""
         return all(
-            o.state in (TaskState.OK, TaskState.DEGRADED)
+            o.state in (TaskState.OK, TaskState.CACHED, TaskState.DEGRADED)
             for o in self.outcomes.values()
         )
 
@@ -374,6 +380,10 @@ class GraphResult:
         return self.ids(TaskState.DEGRADED)
 
     @property
+    def cached(self) -> list[str]:
+        return self.ids(TaskState.CACHED)
+
+    @property
     def aborted(self) -> list[str]:
         return self.ids(TaskState.ABORTED)
 
@@ -384,9 +394,9 @@ class GraphResult:
             raise EngineError(f"no outcome for task {task_id!r}") from None
 
     def value(self, task_id: str) -> Any:
-        """The value a task returned; raises unless the task is OK."""
+        """The value a task returned; raises unless the task is OK/CACHED."""
         outcome = self.outcome(task_id)
-        if outcome.state is not TaskState.OK:
+        if outcome.state not in (TaskState.OK, TaskState.CACHED):
             raise EngineError(
                 f"task {task_id!r} did not succeed: {outcome.describe()}"
             )
@@ -404,6 +414,8 @@ class GraphResult:
             f"{len(self.succeeded)} ok, {len(self.failed)} failed, "
             f"{len(self.skipped)} skipped"
         )
+        if self.cached:
+            counts += f", {len(self.cached)} cached"
         if self.degraded:
             counts += f", {len(self.degraded)} degraded"
         if self.aborted:

@@ -50,6 +50,7 @@ from dataclasses import dataclass
 from types import MappingProxyType
 
 from repro.common.errors import EngineError
+from repro.engine.cache import CacheAwarePayload
 from repro.engine.faults import FaultPlan
 from repro.engine.graph import (
     GraphResult,
@@ -62,6 +63,7 @@ from repro.engine.graph import (
 )
 from repro.engine.resilience import NO_RETRY, RetryPolicy, call_with_timeout
 from repro.engine.runstate import RunStateStore
+from repro.store import ArtifactStore
 from repro.monitor.tracing import Span, Tracer, activate, current_tracer
 
 __all__ = ["RunOptions", "Scheduler", "SerialScheduler", "ThreadedScheduler"]
@@ -77,13 +79,20 @@ class RunOptions:
     * ``faults`` — a :class:`FaultPlan` applied before every attempt;
     * ``run_state`` — a :class:`RunStateStore`; tasks carrying a
       ``fingerprint`` are checkpointed into it and, on resume, restored
-      from it instead of re-executing.
+      from it instead of re-executing;
+    * ``artifact_store`` — an :class:`~repro.store.ArtifactStore`; tasks
+      whose payload implements
+      :class:`~repro.engine.cache.CacheAwarePayload` consult its
+      artifact index before executing, and a fingerprint hit
+      materializes the recorded outputs instead of running the payload
+      (cross-run memoization; the task completes as ``CACHED``).
     """
 
     retry: RetryPolicy | None = None
     timeout_s: float | None = None
     faults: FaultPlan | None = None
     run_state: RunStateStore | None = None
+    artifact_store: ArtifactStore | None = None
 
 
 #: The zero-cost default: no retries, no deadline, no faults, no state.
@@ -153,13 +162,16 @@ class Scheduler:
             results={
                 dep: o.value
                 for dep, o in dep_outcomes.items()
-                if o.state is TaskState.OK
+                if o.state in (TaskState.OK, TaskState.CACHED)
             },
             states=MappingProxyType(
                 {dep: o.state for dep, o in dep_outcomes.items()}
             ),
         )
         journal = tracer.journal
+        cached = self._try_cache(task, options, journal)
+        if cached is not None:
+            return cached
         restored = self._try_restore(task, options, journal)
         if restored is not None:
             return restored
@@ -226,6 +238,7 @@ class Scheduler:
                 )
             self._record_state(task, outcome, options)
             raise
+        self._record_cache(task, outcome, options, journal)
         self._record_state(task, outcome, options)
         return outcome
 
@@ -289,6 +302,93 @@ class Scheduler:
         return call_with_timeout(guarded, timeout_s, label=f"task/{task.id}")
 
     @staticmethod
+    def _try_cache(
+        task: Task, options: RunOptions, journal
+    ) -> TaskOutcome | None:
+        """Complete the task from the artifact store, if its key hits.
+
+        Any store trouble — a missing or corrupt object, a restore
+        callback that cannot rebuild the value — silently degrades to a
+        miss: the payload executes normally and re-stores its outputs.
+        """
+        store = options.artifact_store
+        payload = task.payload
+        if store is None or not isinstance(payload, CacheAwarePayload):
+            return None
+        started = time.perf_counter()
+        try:
+            key = payload.cache_key()
+            record = store.lookup(key)
+            if record is None:
+                return None
+            restored_bytes = store.materialize(
+                record,
+                payload.cache_root(),
+                link=bool(getattr(payload, "link", False)),
+            )
+            value = payload.cache_restore(dict(record.meta))
+        except Exception:
+            return None
+        if journal is not None:
+            journal.event(
+                "cache",
+                task=task.id,
+                key=key,
+                hit=True,
+                bytes_saved=restored_bytes,
+            )
+        return TaskOutcome(
+            task_id=task.id,
+            state=TaskState.CACHED,
+            value=value,
+            seconds=time.perf_counter() - started,
+            detail=dict(record.meta),
+        )
+
+    @staticmethod
+    def _record_cache(
+        task: Task, outcome: TaskOutcome, options: RunOptions, journal
+    ) -> None:
+        """File a freshly-executed task's outputs into the artifact store.
+
+        ``cache_meta`` returning ``None`` vetoes caching (e.g. a run
+        whose validations failed must not be replayed on later runs).
+        Storage failures never fail the task itself.
+        """
+        store = options.artifact_store
+        payload = task.payload
+        if (
+            store is None
+            or outcome.state is not TaskState.OK
+            or outcome.restored
+            or not isinstance(payload, CacheAwarePayload)
+        ):
+            return
+        try:
+            meta = payload.cache_meta(outcome.value)
+            if meta is None:
+                return
+            key = payload.cache_key()
+            stored = store.store(
+                key,
+                task.id,
+                payload.cache_outputs(outcome.value),
+                payload.cache_root(),
+                meta=meta,
+            )
+        except Exception:
+            return
+        if journal is not None:
+            journal.event(
+                "cache",
+                task=task.id,
+                key=key,
+                hit=False,
+                bytes_stored=stored.bytes_stored,
+                bytes_deduped=stored.bytes_deduped,
+            )
+
+    @staticmethod
     def _try_restore(
         task: Task, options: RunOptions, journal
     ) -> TaskOutcome | None:
@@ -333,7 +433,12 @@ class Scheduler:
     ) -> None:
         """Checkpoint one finished outcome into the run-state store."""
         store = options.run_state
-        if store is None or not task.fingerprint or outcome.restored:
+        if (
+            store is None
+            or not task.fingerprint
+            or outcome.restored
+            or outcome.state is TaskState.CACHED
+        ):
             return
         detail = None
         cacheable = True

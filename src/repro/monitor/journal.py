@@ -48,6 +48,7 @@ EVENT_KINDS = (
     "attempt",
     "task_restored",
     "task_aborted",
+    "cache",
     "run_end",
 )
 

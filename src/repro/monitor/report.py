@@ -8,8 +8,9 @@ the span tree and produce
   seconds and share of the run),
 * the critical path — from each root, repeatedly descend into the
   slowest child — which names the chain of work that bounded the run,
-* verdict and metric counts, so ``popper trace`` answers "what happened
-  and where did the time go" without re-running anything.
+* cache, verdict and metric counts, so ``popper trace`` answers "what
+  happened, what was memoized and where did the time go" without
+  re-running anything.
 
 The per-stage table is also exposed as a
 :class:`~repro.common.tables.MetricsTable` so analysis scripts and
@@ -179,6 +180,17 @@ def render_report(events: list[dict[str, Any]]) -> str:
     baselines = [e for e in events if e["event"] == "baseline"]
     for event in baselines:
         lines.append(f"baseline: {event.get('message', event.get('machine', ''))}")
+    cache_events = [e for e in events if e["event"] == "cache"]
+    if cache_events:
+        hits = [e for e in cache_events if e.get("hit")]
+        misses = [e for e in cache_events if not e.get("hit")]
+        saved = sum(int(e.get("bytes_saved", 0)) for e in hits)
+        stored = sum(int(e.get("bytes_stored", 0)) for e in misses)
+        deduped = sum(int(e.get("bytes_deduped", 0)) for e in misses)
+        lines.append(
+            f"cache: {len(hits)} hits, {len(misses)} misses"
+            f" ({saved} bytes saved, {stored} stored, {deduped} deduped)"
+        )
     verdicts = [e for e in events if e["event"] == "aver_verdict"]
     if verdicts:
         passed = sum(1 for v in verdicts if v.get("passed"))

@@ -1,0 +1,37 @@
+"""One content-addressed artifact store for every substrate.
+
+``repro.store`` is the storage layer under the VCS object store, the
+data-package registry, CI workspaces and the engine's cross-run
+memoization cache:
+
+* :class:`~repro.store.cas.ContentStore` — the sharded, verifying,
+  deduplicating object pool (``objects/ab/cd...`` + ``quarantine/``);
+* :class:`~repro.store.index.ArtifactIndex` — task fingerprint →
+  output object ids + metadata;
+* :class:`~repro.store.artifacts.ArtifactStore` — the two combined,
+  with ``store``/``lookup``/``materialize`` memoization primitives and
+  ``verify``/``gc``/``stats`` administration.
+
+See ``docs/caching.md`` for the on-disk layout and the gc policy.
+"""
+
+from repro.store.artifacts import (
+    ArtifactStore,
+    GcReport,
+    StoreOutcome,
+    VerifyReport,
+)
+from repro.store.cas import ContentStore, IngestResult
+from repro.store.index import ArtifactIndex, ArtifactOutput, ArtifactRecord
+
+__all__ = [
+    "ArtifactIndex",
+    "ArtifactOutput",
+    "ArtifactRecord",
+    "ArtifactStore",
+    "ContentStore",
+    "GcReport",
+    "IngestResult",
+    "StoreOutcome",
+    "VerifyReport",
+]

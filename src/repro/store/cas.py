@@ -1,0 +1,269 @@
+"""The content-addressed object pool shared by every substrate.
+
+One implementation of "bytes filed under their SHA-256" backs the VCS
+object store, the artifact cache, and the data-package registry.  The
+layout mirrors git's: ``objects/ab/cdef...`` shards by the first two hex
+characters, writes are atomic and idempotent (a second write of the same
+content is a no-op, which is what makes the pool a *deduplicating*
+store), and reads verify that the stored buffer still hashes to the id
+it was filed under.
+
+Bit rot has a remediation path rather than a bare exception: a corrupt
+object is moved into the sibling ``quarantine/`` directory and the
+raised :class:`~repro.common.errors.CorruptObjectError` names the
+quarantined file, so ``popper cache verify`` can report it (with its
+referrers) and a re-run can repopulate the object.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.common.errors import CorruptObjectError, MissingObjectError, StoreError
+from repro.common.hashing import sha256_bytes
+from repro.common.fsutil import ensure_dir
+
+__all__ = ["IngestResult", "ContentStore"]
+
+_CHUNK = 1 << 20
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Outcome of filing one payload into the pool."""
+
+    oid: str
+    size: int
+    #: True when the object was already present (the write deduped).
+    deduped: bool
+
+
+class ContentStore:
+    """A sharded, verifying, deduplicating pool of immutable objects.
+
+    Safe for concurrent writers: every write lands under a unique
+    temporary name first and is published with ``os.replace``, so two
+    threads (or two sweeps sharing one cache) racing to store the same
+    content cannot interleave partial writes.
+    """
+
+    def __init__(
+        self,
+        objects_dir: str | Path,
+        quarantine_dir: str | Path | None = None,
+    ) -> None:
+        self.objects_dir = Path(objects_dir)
+        self.quarantine_dir = (
+            Path(quarantine_dir)
+            if quarantine_dir is not None
+            else self.objects_dir.parent / "quarantine"
+        )
+        ensure_dir(self.objects_dir)
+
+    # -- paths ----------------------------------------------------------------
+    def object_path(self, oid: str) -> Path:
+        if len(oid) != 64:
+            raise StoreError(f"not a full object id: {oid!r}")
+        return self.objects_dir / oid[:2] / oid[2:]
+
+    def quarantine_path(self, oid: str) -> Path:
+        return self.quarantine_dir / oid
+
+    # -- writing --------------------------------------------------------------
+    def _publish(self, tmp: Path, target: Path) -> None:
+        ensure_dir(target.parent)
+        os.replace(tmp, target)
+
+    def put_bytes(self, data: bytes) -> IngestResult:
+        """File a bytes payload; returns its id.  Idempotent."""
+        oid = sha256_bytes(data)
+        target = self.object_path(oid)
+        if target.exists():
+            return IngestResult(oid=oid, size=len(data), deduped=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".ingest-", dir=str(self.objects_dir)
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            self._publish(Path(tmp_name), target)
+        except BaseException:
+            Path(tmp_name).unlink(missing_ok=True)
+            raise
+        return IngestResult(oid=oid, size=len(data), deduped=False)
+
+    def put_file(self, path: str | Path) -> IngestResult:
+        """File a host file's contents, streamed and hashed in one pass."""
+        source = Path(path)
+        if not source.is_file():
+            raise StoreError(f"cannot ingest non-file: {source}")
+        digest = hashlib.sha256()
+        size = 0
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".ingest-", dir=str(self.objects_dir)
+        )
+        try:
+            with os.fdopen(fd, "wb") as out, source.open("rb") as handle:
+                while True:
+                    chunk = handle.read(_CHUNK)
+                    if not chunk:
+                        break
+                    digest.update(chunk)
+                    size += len(chunk)
+                    out.write(chunk)
+            oid = digest.hexdigest()
+            target = self.object_path(oid)
+            if target.exists():
+                Path(tmp_name).unlink(missing_ok=True)
+                return IngestResult(oid=oid, size=size, deduped=True)
+            self._publish(Path(tmp_name), target)
+        except BaseException:
+            Path(tmp_name).unlink(missing_ok=True)
+            raise
+        return IngestResult(oid=oid, size=size, deduped=False)
+
+    # -- reading --------------------------------------------------------------
+    def get_bytes(self, oid: str, verify: bool = True) -> bytes:
+        """Load an object, integrity-checked (quarantines on mismatch)."""
+        path = self.object_path(oid)
+        if not path.exists():
+            raise MissingObjectError(oid)
+        buffer = path.read_bytes()
+        if verify and sha256_bytes(buffer) != oid:
+            quarantined = self.quarantine(oid)
+            raise CorruptObjectError(oid, str(quarantined) if quarantined else None)
+        return buffer
+
+    def contains(self, oid: str) -> bool:
+        try:
+            return self.object_path(oid).exists()
+        except StoreError:
+            return False
+
+    def __contains__(self, oid: str) -> bool:
+        return self.contains(oid)
+
+    def size_of(self, oid: str) -> int:
+        path = self.object_path(oid)
+        if not path.exists():
+            raise MissingObjectError(oid)
+        return path.stat().st_size
+
+    def ids(self) -> Iterator[str]:
+        """All stored object ids (sorted, for determinism)."""
+        if not self.objects_dir.exists():
+            return
+        for shard in sorted(self.objects_dir.iterdir()):
+            if not shard.is_dir() or len(shard.name) != 2:
+                continue
+            for item in sorted(shard.iterdir()):
+                if len(shard.name + item.name) == 64:
+                    yield shard.name + item.name
+
+    # -- materialization ------------------------------------------------------
+    def materialize(
+        self,
+        oid: str,
+        dest: str | Path,
+        link: bool = False,
+        verify: bool = True,
+    ) -> int:
+        """Recreate an object's content at *dest*; returns bytes written.
+
+        ``link=True`` publishes a hardlink to the stored object instead
+        of copying (falling back to a copy when the filesystem refuses):
+        cheap, but only safe for read-only consumers — a consumer that
+        truncates the file in place would corrupt the pool.  Either way
+        the destination is replaced atomically, so a half-materialized
+        artifact is never observable.
+        """
+        data = self.get_bytes(oid, verify=verify) if verify else None
+        path = self.object_path(oid)
+        if not path.exists():
+            raise MissingObjectError(oid)
+        dest = Path(dest)
+        ensure_dir(dest.parent)
+        fd, tmp_name = tempfile.mkstemp(prefix=".mat-", dir=str(dest.parent))
+        tmp = Path(tmp_name)
+        try:
+            if link:
+                os.close(fd)
+                tmp.unlink()
+                try:
+                    os.link(path, tmp)
+                except OSError:
+                    shutil.copyfile(path, tmp)
+            elif data is not None:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+            else:
+                os.close(fd)
+                shutil.copyfile(path, tmp)
+            os.replace(tmp, dest)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        return path.stat().st_size
+
+    # -- integrity ------------------------------------------------------------
+    def quarantine(self, oid: str) -> Path | None:
+        """Move a (presumably corrupt) object out of the pool."""
+        path = self.object_path(oid)
+        if not path.exists():
+            return None
+        target = self.quarantine_path(oid)
+        ensure_dir(target.parent)
+        os.replace(path, target)
+        return target
+
+    def quarantined(self) -> list[str]:
+        """Object ids currently sitting in quarantine."""
+        if not self.quarantine_dir.is_dir():
+            return []
+        return sorted(p.name for p in self.quarantine_dir.iterdir() if p.is_file())
+
+    def verify_all(self) -> tuple[int, list[str]]:
+        """Re-hash every object; returns ``(healthy, quarantined-ids)``.
+
+        Corrupt objects are moved to quarantine as they are found, so a
+        single fsck pass both detects and contains the damage.
+        """
+        healthy = 0
+        corrupt: list[str] = []
+        for oid in list(self.ids()):
+            try:
+                self.get_bytes(oid)
+            except CorruptObjectError:
+                corrupt.append(oid)
+            except MissingObjectError:  # pragma: no cover - races only
+                corrupt.append(oid)
+            else:
+                healthy += 1
+        return healthy, corrupt
+
+    def delete(self, oid: str) -> bool:
+        """Remove an object (gc); True when something was deleted."""
+        path = self.object_path(oid)
+        if not path.exists():
+            return False
+        path.unlink()
+        return True
+
+    def stats(self) -> dict:
+        """Object count and total physical bytes in the pool."""
+        count = 0
+        total = 0
+        for oid in self.ids():
+            count += 1
+            total += self.object_path(oid).stat().st_size
+        return {
+            "objects": count,
+            "bytes": total,
+            "quarantined": len(self.quarantined()),
+        }

@@ -66,7 +66,9 @@ class Repository:
         self.meta = self.root / META_DIR
         if not self.meta.is_dir():
             raise VcsError(f"not a repository: {self.root}")
-        self.store = ObjectStore(self.meta / "objects")
+        self.store = ObjectStore(
+            self.meta / "objects", quarantine_dir=self.meta / "quarantine"
+        )
         self.refs = RefStore(self.meta)
         self.index = Index(self.meta / "index")
 
@@ -481,9 +483,14 @@ class Repository:
 
     # -- integrity ---------------------------------------------------------------------------------
     def fsck(self) -> list[str]:
-        """Verify every object; returns the ids that fail (empty == healthy)."""
+        """Verify every object; returns the ids that fail (empty == healthy).
+
+        Failing objects are quarantined by the pool as they are found
+        (the ids list is snapshotted first, since quarantining renames
+        files out from under the shard iteration).
+        """
         bad: list[str] = []
-        for oid in self.store.ids():
+        for oid in list(self.store.ids()):
             try:
                 self.store.get(oid)
             except VcsError:
@@ -491,3 +498,46 @@ class Repository:
             except ObjectNotFound:  # pragma: no cover - races only
                 bad.append(oid)
         return bad
+
+    def referrers(self, oids: set[str]) -> dict[str, list[str]]:
+        """Which commits (by subject) reach each of *oids*.
+
+        Walks every branch's history and each commit's tree; unreadable
+        (e.g. quarantined) trees are skipped — the commit that names
+        them directly is still reported.
+        """
+        found: dict[str, list[str]] = {oid: [] for oid in oids}
+        if not oids:
+            return found
+
+        def tree_oids(tree_oid: str) -> set[str]:
+            reached = {tree_oid}
+            try:
+                tree = self.store.get_tree(tree_oid)
+            except (VcsError, ObjectNotFound):
+                return reached
+            for entry in tree.entries:
+                if entry.is_dir:
+                    reached |= tree_oids(entry.oid)
+                else:
+                    reached.add(entry.oid)
+            return reached
+
+        for branch in self.refs.branches():
+            oid = self.refs.read_branch(branch)
+            seen: set[str] = set()
+            while oid and oid not in seen:
+                seen.add(oid)
+                try:
+                    commit = self.store.get_commit(oid)
+                except (VcsError, ObjectNotFound):
+                    if oid in found:
+                        found[oid].append(f"{branch} (unreadable commit)")
+                    break
+                subject = commit.message.splitlines()[0] if commit.message else ""
+                reached = {oid} | tree_oids(commit.tree)
+                label = f"{branch}@{oid[:12]} ({subject})"
+                for target in oids & reached:
+                    found[target].append(label)
+                oid = commit.parents[0] if commit.parents else None
+        return found

@@ -1,8 +1,13 @@
-"""On-disk content-addressed object store (``.pvcs/objects/ab/cd...``).
+"""VCS object store: a typed façade over the shared content pool.
 
-Objects are immutable: a write of an existing id is a no-op, and reads
-verify that the stored buffer still hashes to the id it was filed under
-(bit-rot detection).
+The sharded layout, atomic/idempotent writes and read-time integrity
+checks live in :class:`repro.store.cas.ContentStore`; this module adds
+what the VCS layer needs on top — (de)serialization of typed objects,
+prefix resolution, tree walking — and maps the storage-layer errors
+onto the VCS exception family.  A corrupt object is quarantined by the
+pool (``.pvcs/quarantine/``) before the error surfaces, so ``popper
+cache verify`` and :meth:`~repro.vcs.repository.Repository.fsck` can
+report it with referrers instead of tripping over it forever.
 """
 
 from __future__ import annotations
@@ -10,9 +15,15 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterator
 
-from repro.common.errors import ObjectNotFound, VcsError
-from repro.common.fsutil import atomic_write, ensure_dir
-from repro.common.hashing import sha256_bytes
+from repro.common.errors import (
+    CorruptObjectError,
+    MissingObjectError,
+    ObjectNotFound,
+    StoreError,
+    VcsError,
+)
+from repro.common.fsutil import atomic_write
+from repro.store.cas import ContentStore
 from repro.vcs.objects import AnyObject, Blob, Commit, Tag, Tree, deserialize, serialize
 
 __all__ = ["ObjectStore"]
@@ -21,54 +32,64 @@ __all__ = ["ObjectStore"]
 class ObjectStore:
     """Content-addressed storage rooted at a directory."""
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(
+        self, root: str | Path, quarantine_dir: str | Path | None = None
+    ) -> None:
         self.root = Path(root)
-        ensure_dir(self.root)
+        self.cas = ContentStore(
+            self.root,
+            quarantine_dir=(
+                Path(quarantine_dir)
+                if quarantine_dir is not None
+                else self.root / "quarantine"
+            ),
+        )
 
     # -- paths ----------------------------------------------------------------
     def _path(self, oid: str) -> Path:
-        if len(oid) != 64:
-            raise VcsError(f"not a full object id: {oid!r}")
-        return self.root / oid[:2] / oid[2:]
+        try:
+            return self.cas.object_path(oid)
+        except StoreError as exc:
+            raise VcsError(str(exc)) from exc
 
     # -- primitives -------------------------------------------------------------
     def put(self, obj: AnyObject) -> str:
-        """Store an object; returns its id.  Idempotent."""
+        """Store an object; returns its id.  Idempotent (dedupes)."""
         oid, buffer = serialize(obj)
-        path = self._path(oid)
-        if not path.exists():
-            atomic_write(path, buffer)
+        self.cas.put_bytes(buffer)
         return oid
 
     def get(self, oid: str) -> AnyObject:
-        """Load and integrity-check the object with id *oid*."""
-        path = self._path(oid)
-        if not path.exists():
-            raise ObjectNotFound(oid)
-        buffer = path.read_bytes()
-        if sha256_bytes(buffer) != oid:
-            raise VcsError(f"object {oid[:12]} is corrupt on disk")
+        """Load and integrity-check the object with id *oid*.
+
+        A failed integrity check quarantines the object and raises
+        :class:`VcsError`; a later re-add of the same content heals the
+        pool (same id, same path).
+        """
+        try:
+            buffer = self.cas.get_bytes(oid)
+        except MissingObjectError as exc:
+            raise ObjectNotFound(oid) from exc
+        except StoreError as exc:
+            # CorruptObjectError lands here too; the message carries
+            # "corrupt" plus the quarantine location.
+            raise VcsError(str(exc)) from exc
         return deserialize(buffer)
 
     def contains(self, oid: str) -> bool:
         """True if *oid* is stored."""
-        try:
-            return self._path(oid).exists()
-        except VcsError:
-            return False
+        return self.cas.contains(oid)
 
     def __contains__(self, oid: str) -> bool:
         return self.contains(oid)
 
     def ids(self) -> Iterator[str]:
-        """All stored object ids (unordered)."""
-        if not self.root.exists():
-            return
-        for shard in sorted(self.root.iterdir()):
-            if not shard.is_dir() or len(shard.name) != 2:
-                continue
-            for item in sorted(shard.iterdir()):
-                yield shard.name + item.name
+        """All stored object ids (sorted)."""
+        yield from self.cas.ids()
+
+    def quarantined(self) -> list[str]:
+        """Object ids moved aside by a failed integrity check."""
+        return self.cas.quarantined()
 
     def resolve_prefix(self, prefix: str) -> str:
         """Expand an abbreviated object id; errors if ambiguous/unknown."""
@@ -140,3 +161,18 @@ class ObjectStore:
                 raise VcsError(f"{'/'.join(parts[:i + 1])} is not a directory")
             current = entry.oid
         raise AssertionError("unreachable")
+
+    def checkout_tree(self, tree_oid: str, dest: str | Path) -> int:
+        """Write every file under a tree into *dest*; returns bytes written.
+
+        The one materialization path shared by working-copy checkouts
+        and CI job workspaces — payloads come out of the pool verified,
+        and each file lands atomically.
+        """
+        written = 0
+        dest = Path(dest)
+        for path, blob_oid in self.walk_tree(tree_oid):
+            data = self.get_blob(blob_oid).data
+            atomic_write(dest / path, data)
+            written += len(data)
+        return written

@@ -149,3 +149,66 @@ class TestInstallVerify:
         bare.mkdir()
         with pytest.raises(DataPackageError, match=DESCRIPTOR_NAME):
             verify_tree(bare)
+
+
+class TestContentPool:
+    def test_publish_dedupes_across_versions(self, registry, dataset_dir):
+        registry.publish(dataset_dir, "air", "1.0")
+        registry.publish(dataset_dir, "air", "1.1")
+        # Two versions of identical payloads: each file stored once.
+        assert registry.store.stats()["objects"] == 2
+        # Version directories hold only the descriptor, never payloads.
+        version_dir = registry.root / "air" / "1.0"
+        assert [p.name for p in version_dir.iterdir()] == [DESCRIPTOR_NAME]
+
+    def test_store_dir_is_not_a_package(self, registry, dataset_dir):
+        registry.publish(dataset_dir, "air", "1.0")
+        assert registry.packages() == ["air"]
+
+    def test_publish_detects_payload_change_mid_publish(
+        self, registry, dataset_dir, monkeypatch
+    ):
+        # Simulate a file whose bytes changed between descriptor hashing
+        # and pool ingest: the re-hash on ingest must refuse to publish.
+        real = registry.store.put_file
+
+        def racing_put_file(path):
+            path.write_text("mutated after hashing\n")
+            return real(path)
+
+        monkeypatch.setattr(registry.store, "put_file", racing_put_file)
+        with pytest.raises(IntegrityError, match="changed while"):
+            registry.publish(dataset_dir, "air", "1.0")
+
+    def test_install_materializes_from_pool(self, registry, dataset_dir, tmp_path):
+        registry.publish(dataset_dir, "air", "1.0")
+        descriptor = registry.install("air", tmp_path / "d")
+        # Installed files come out of the pool, not the version dir.
+        for resource in descriptor.resources:
+            assert registry.store.contains(resource.sha256)
+            assert (tmp_path / "d" / "air" / resource.path).is_file()
+
+    def test_legacy_registry_without_pool_installs(
+        self, registry, dataset_dir, tmp_path
+    ):
+        # A registry published before the content pool existed: flat
+        # resource copies in the version directory, no .store/ objects.
+        descriptor = registry.publish(dataset_dir, "air", "1.0")
+        version_dir = registry.root / "air" / "1.0"
+        for resource in descriptor.resources:
+            legacy = version_dir / resource.path
+            legacy.parent.mkdir(parents=True, exist_ok=True)
+            legacy.write_bytes((dataset_dir / resource.path).read_bytes())
+            registry.store.delete(resource.sha256)
+        installed = registry.install("air", tmp_path / "d")
+        assert installed.spec == "air@1.0"
+        assert (tmp_path / "d" / "air" / "air.csv").is_file()
+
+    def test_missing_everywhere_is_integrity_error(
+        self, registry, dataset_dir, tmp_path
+    ):
+        descriptor = registry.publish(dataset_dir, "air", "1.0")
+        for resource in descriptor.resources:
+            registry.store.delete(resource.sha256)
+        with pytest.raises(IntegrityError, match="neither"):
+            registry.install("air", tmp_path / "d")

@@ -131,11 +131,16 @@ class TestSweepResume:
         out = capsys.readouterr().out
         assert "-- one:" in out and "(cached)" not in out
 
-    def test_without_resume_state_is_discarded(self, repo_dir, capsys):
+    def test_warm_rerun_served_from_cache_unless_disabled(self, repo_dir, capsys):
+        # Run-state checkpoints are discarded without --resume, but the
+        # artifact store memoizes across runs: a warm second sweep is
+        # served from cache.  --no-cache forces a true re-execution.
         add_torpor(repo_dir, "one")
         assert main(["-C", str(repo_dir), "run", "--all"]) == 0
         capsys.readouterr()
         assert main(["-C", str(repo_dir), "run", "--all"]) == 0
+        assert "(cached)" in capsys.readouterr().out
+        assert main(["-C", str(repo_dir), "run", "--all", "--no-cache"]) == 0
         assert "(cached)" not in capsys.readouterr().out
 
 

@@ -1,0 +1,170 @@
+"""Tests for the artifact store: memoization records, fsck, gc."""
+
+import threading
+
+import pytest
+
+from repro.common.errors import StoreError
+from repro.store import ArtifactStore
+
+KEY_1 = "1" * 64
+KEY_2 = "2" * 64
+KEY_3 = "3" * 64
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "cache")
+
+
+@pytest.fixture
+def workdir(tmp_path):
+    root = tmp_path / "work"
+    root.mkdir()
+    return root
+
+
+def produce(root, name="results.csv", content="a,b\n1,2\n"):
+    path = root / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content)
+    return path
+
+
+class TestStoreAndMaterialize:
+    def test_round_trip_into_another_root(self, store, workdir, tmp_path):
+        path = produce(workdir)
+        outcome = store.store(
+            KEY_1, "exp/run", {"results": path}, root=workdir, meta={"rows": 1}
+        )
+        assert outcome.bytes_stored == path.stat().st_size
+        assert outcome.bytes_deduped == 0
+
+        record = store.lookup(KEY_1)
+        assert record is not None and record.meta == {"rows": 1}
+        other = tmp_path / "other-checkout"
+        restored = store.materialize(record, other)
+        assert restored == path.stat().st_size
+        assert (other / "results.csv").read_text() == path.read_text()
+
+    def test_identical_outputs_dedupe(self, store, workdir):
+        path = produce(workdir)
+        store.store(KEY_1, "exp-a/run", {"results": path}, root=workdir)
+        outcome = store.store(KEY_2, "exp-b/run", {"results": path}, root=workdir)
+        assert outcome.bytes_stored == 0
+        assert outcome.bytes_deduped == path.stat().st_size
+        assert store.cas.stats()["objects"] == 1
+
+    def test_output_outside_root_rejected(self, store, workdir, tmp_path):
+        stray = tmp_path / "outside.txt"
+        stray.write_text("x")
+        with pytest.raises(StoreError, match="outside the task root"):
+            store.store(KEY_1, "t", {"stray": stray}, root=workdir)
+
+    def test_lookup_misses_when_object_swept(self, store, workdir):
+        path = produce(workdir)
+        store.store(KEY_1, "t", {"results": path}, root=workdir)
+        record = store.index.lookup(KEY_1)
+        store.cas.delete(record.outputs[0].oid)
+        assert store.lookup(KEY_1) is None
+
+
+class TestVerify:
+    def test_clean_store(self, store, workdir):
+        store.store(KEY_1, "t", {"r": produce(workdir)}, root=workdir)
+        report = store.verify()
+        assert report.ok and report.healthy_objects == 1
+
+    def test_corruption_reported_with_referrers(self, store, workdir):
+        path = produce(workdir)
+        store.store(KEY_1, "exp/run", {"results": path}, root=workdir)
+        oid = store.index.lookup(KEY_1).outputs[0].oid
+        store.cas.object_path(oid).write_bytes(b"rot")
+        report = store.verify()
+        assert not report.ok
+        (blames,) = report.corrupt.values()
+        assert any("exp/run" in blame for blame in blames)
+        assert any("results.csv" in blame for blame in blames)
+        # Contained: the rotten object is in quarantine, not the pool.
+        assert oid in store.cas.quarantined()
+        # And the record no longer hits (the object is gone).
+        assert store.lookup(KEY_1) is None
+
+
+class TestGc:
+    def test_keeps_newest_record_per_task(self, store, workdir):
+        old = produce(workdir, content="old\n")
+        store.store(KEY_1, "exp/run", {"r": old}, root=workdir)
+        new = produce(workdir, content="new\n")
+        store.store(KEY_2, "exp/run", {"r": new}, root=workdir)
+
+        report = store.gc(keep_last=1)
+        assert report.records_removed == 1
+        assert report.objects_removed == 1
+        assert report.bytes_reclaimed == 4
+        # The latest run's artifacts always survive gc.
+        assert store.lookup(KEY_2) is not None
+        assert store.lookup(KEY_1) is None
+
+    def test_shared_objects_survive_while_referenced(self, store, workdir):
+        shared = produce(workdir, content="shared\n")
+        store.store(KEY_1, "exp-a/run", {"r": shared}, root=workdir)
+        store.store(KEY_2, "exp-b/run", {"r": shared}, root=workdir)
+        report = store.gc(keep_last=1)
+        # Both tasks' newest records reference the one object: kept.
+        assert report.objects_removed == 0
+        assert store.lookup(KEY_1) and store.lookup(KEY_2)
+
+    def test_keep_last_must_be_positive(self, store):
+        with pytest.raises(StoreError):
+            store.gc(keep_last=0)
+
+
+class TestStats:
+    def test_accounting(self, store, workdir):
+        path = produce(workdir)
+        store.store(KEY_1, "exp-a/run", {"r": path}, root=workdir)
+        store.store(KEY_2, "exp-b/run", {"r": path}, root=workdir)
+        stats = store.stats()
+        assert stats["objects"] == 1
+        assert stats["records"] == 2
+        assert stats["tasks"] == 2
+        assert stats["logical_bytes"] == 2 * path.stat().st_size
+        assert stats["bytes_deduped"] == path.stat().st_size
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_one_store(self, store, tmp_path):
+        """Two sweeps sharing one cache cannot corrupt the pool."""
+        errors = []
+
+        def writer(worker: int) -> None:
+            try:
+                root = tmp_path / f"writer-{worker}"
+                root.mkdir()
+                for i in range(20):
+                    # Half the payloads collide across workers (dedup
+                    # races), half are unique to the worker.
+                    content = f"shared-{i}\n" if i % 2 else f"w{worker}-{i}\n"
+                    path = produce(root, name=f"out-{i}.txt", content=content)
+                    key = f"{worker}{i:02d}".ljust(64, "0")
+                    store.store(key, f"task-{i}", {"out": path}, root=root)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(worker,)) for worker in (1, 2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        healthy, corrupt = store.cas.verify_all()
+        assert corrupt == []
+        # 10 shared + 2x10 unique payloads.
+        assert healthy == 30
+        strays = [
+            f for f in store.cas.objects_dir.iterdir() if f.is_file()
+        ]
+        assert strays == []

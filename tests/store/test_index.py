@@ -1,0 +1,71 @@
+"""Tests for the artifact index (fingerprint -> outputs + metadata)."""
+
+import pytest
+
+from repro.common.errors import StoreError
+from repro.store import ArtifactIndex, ArtifactOutput, ArtifactRecord
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+
+@pytest.fixture
+def index(tmp_path):
+    return ArtifactIndex(tmp_path / "index")
+
+
+def outputs(oid="c" * 64):
+    return (ArtifactOutput(name="results", path="results.csv", oid=oid, bytes=10),)
+
+
+class TestRoundTrip:
+    def test_record_and_lookup(self, index):
+        index.record(KEY_A, "exp/run", outputs(), meta={"rows": 3})
+        record = index.lookup(KEY_A)
+        assert record.task == "exp/run"
+        assert record.meta == {"rows": 3}
+        assert record.outputs[0].path == "results.csv"
+        assert record.total_bytes == 10
+        assert record.oids() == {"c" * 64}
+
+    def test_unknown_key_is_none(self, index):
+        assert index.lookup(KEY_A) is None
+
+    def test_rerecord_replaces(self, index):
+        index.record(KEY_A, "exp/run", outputs(), meta={"rows": 3})
+        index.record(KEY_A, "exp/run", outputs(), meta={"rows": 5})
+        assert index.lookup(KEY_A).meta == {"rows": 5}
+        assert len(index) == 1
+
+    def test_json_round_trip(self):
+        record = ArtifactRecord(
+            key=KEY_A, task="t", outputs=outputs(), meta={"x": 1}, seq=7
+        )
+        assert ArtifactRecord.from_json(record.to_json()) == record
+
+
+class TestRobustness:
+    def test_bad_fingerprint_rejected(self, index):
+        with pytest.raises(StoreError, match="fingerprint"):
+            index.lookup("../../etc/passwd")
+        with pytest.raises(StoreError, match="fingerprint"):
+            index.record("", "t", outputs())
+
+    def test_mangled_record_is_a_miss(self, index):
+        index.record(KEY_A, "t", outputs())
+        (index.root / f"{KEY_A}.json").write_text("{truncated", encoding="utf-8")
+        assert index.lookup(KEY_A) is None
+        assert index.entries() == []
+
+    def test_remove(self, index):
+        index.record(KEY_A, "t", outputs())
+        assert index.remove(KEY_A)
+        assert not index.remove(KEY_A)
+        assert index.lookup(KEY_A) is None
+
+
+class TestEntries:
+    def test_entries_oldest_first(self, index):
+        index.record(KEY_B, "t2", outputs())
+        index.record(KEY_A, "t1", outputs())
+        assert [r.key for r in index.entries()] == [KEY_B, KEY_A]

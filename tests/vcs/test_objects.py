@@ -123,6 +123,18 @@ class TestObjectStore:
         with pytest.raises(VcsError, match="corrupt"):
             store.get(oid)
 
+    def test_corrupt_object_moved_to_quarantine(self, tmp_path):
+        store = ObjectStore(tmp_path)
+        oid = store.put(Blob(b"good"))
+        store._path(oid).write_bytes(b"rotten")
+        with pytest.raises(VcsError, match="corrupt"):
+            store.get(oid)
+        # Bit rot is contained, not just reported: the object left the
+        # pool for quarantine/, where `popper cache verify` finds it.
+        assert oid not in store
+        assert store.quarantined() == [oid]
+        assert (tmp_path / "quarantine" / oid).read_bytes() == b"rotten"
+
     def test_typed_accessor_mismatch(self, tmp_path):
         store = ObjectStore(tmp_path)
         oid = store.put(Blob(b"x"))
