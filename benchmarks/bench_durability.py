@@ -1,0 +1,115 @@
+"""Durability overhead: what crash consistency costs per write.
+
+Measures the write primitives the crash-consistency layer hardened and
+records them to ``BENCH_durability.json`` at the repository root:
+
+* ``atomic_write`` — durable (fsync temp + parent directory) vs
+  non-durable (flush only, the ``durable=False`` hot path checkouts
+  use), microseconds per write;
+* ``journal_append`` — durable vs non-durable appends to one open
+  JSONL handle (run-state checkpoints default durable, journals flush
+  only);
+* ``repo_lock`` — one uncontended RepoLock acquire/release round trip,
+  the per-critical-section cost every store publish now pays.
+
+Payload sizes mirror the real call sites: refs and index records are
+tiny, journal lines are a few hundred bytes.  Run standalone
+(``python benchmarks/bench_durability.py``) or via pytest
+(``pytest benchmarks/bench_durability.py``).
+"""
+
+import json
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_durability.json"
+
+WRITES = 300
+PAYLOAD = b'{"task": "run", "outputs": ["results.csv"], "seconds": 1.25}\n' * 4
+LINE = json.dumps({"seq": 1, "event": "task_finished", "task": "exp-one"})
+
+
+def bench_atomic_write(base: Path, durable: bool) -> float:
+    from repro.common.fsutil import atomic_write
+
+    target = base / ("durable" if durable else "fast") / "record.json"
+    target.parent.mkdir(parents=True)
+    started = time.perf_counter()
+    for _ in range(WRITES):
+        atomic_write(target, PAYLOAD, durable=durable)
+    return (time.perf_counter() - started) / WRITES
+
+
+def bench_journal_append(base: Path, durable: bool) -> float:
+    from repro.common.fsutil import journal_append
+
+    path = base / f"journal-{'durable' if durable else 'fast'}.jsonl"
+    with open(path, "a", encoding="utf-8") as handle:
+        started = time.perf_counter()
+        for _ in range(WRITES):
+            journal_append(handle, LINE, durable=durable)
+        elapsed = time.perf_counter() - started
+    return elapsed / WRITES
+
+
+def bench_lock(base: Path) -> float:
+    from repro.common.locking import RepoLock
+
+    lock = RepoLock(base / "bench.lock", label="bench")
+    started = time.perf_counter()
+    for _ in range(WRITES):
+        with lock:
+            pass
+    return (time.perf_counter() - started) / WRITES
+
+
+def run_bench(base: Path) -> dict:
+    def mode(seconds_per_write, baseline=None):
+        entry = {"micros_per_write": round(seconds_per_write * 1e6, 1)}
+        if baseline:
+            entry["cost_vs_fast"] = round(seconds_per_write / baseline, 1)
+        return entry
+
+    aw_fast = bench_atomic_write(base, durable=False)
+    aw_durable = bench_atomic_write(base, durable=True)
+    ja_fast = bench_journal_append(base, durable=False)
+    ja_durable = bench_journal_append(base, durable=True)
+    lock_s = bench_lock(base)
+
+    report = {
+        "benchmark": "crash-consistency-durability",
+        "writes_per_mode": WRITES,
+        "modes": {
+            "atomic_write": {
+                "fast": mode(aw_fast),
+                "durable": mode(aw_durable, baseline=aw_fast),
+            },
+            "journal_append": {
+                "fast": mode(ja_fast),
+                "durable": mode(ja_durable, baseline=ja_fast),
+            },
+            "repo_lock_round_trip": mode(lock_s),
+        },
+    }
+    BENCH_FILE.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+def test_bench_durability(tmp_path):
+    report = run_bench(tmp_path)
+    modes = report["modes"]
+    assert modes["atomic_write"]["durable"]["micros_per_write"] > 0
+    assert modes["journal_append"]["fast"]["micros_per_write"] > 0
+    assert modes["repo_lock_round_trip"]["micros_per_write"] > 0
+    assert BENCH_FILE.is_file()
+
+
+if __name__ == "__main__":
+    import sys
+    import tempfile
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    with tempfile.TemporaryDirectory() as tmp:
+        out = run_bench(Path(tmp))
+    print(json.dumps(out, indent=2))

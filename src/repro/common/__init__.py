@@ -1,6 +1,15 @@
-"""Shared substrate-free utilities: YAML subset, hashing, tables, units, RNG."""
+"""Shared substrate-free utilities: YAML subset, hashing, tables, units,
+RNG, inter-process locking and crash injection."""
 
+from repro.common.crash import (
+    CrashPlan,
+    SimulatedCrash,
+    active_crash_plan,
+    crashpoint,
+    install_crash_plan,
+)
 from repro.common.errors import ReproError
+from repro.common.locking import LockInfo, RepoLock, ScopedLock
 from repro.common.hashing import sha256_bytes, sha256_file, sha256_text, short_id
 from repro.common.rng import SeedSequenceFactory, derive_rng, derive_seed
 from repro.common.tables import MetricsTable
@@ -14,6 +23,14 @@ from repro.common.units import (
 
 __all__ = [
     "ReproError",
+    "CrashPlan",
+    "SimulatedCrash",
+    "active_crash_plan",
+    "crashpoint",
+    "install_crash_plan",
+    "LockInfo",
+    "RepoLock",
+    "ScopedLock",
     "MetricsTable",
     "SeedSequenceFactory",
     "derive_rng",

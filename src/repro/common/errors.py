@@ -12,6 +12,8 @@ __all__ = [
     "ReproError",
     "TransientError",
     "YamlError",
+    "LockError",
+    "LockTimeout",
     "StoreError",
     "MissingObjectError",
     "CorruptObjectError",
@@ -72,6 +74,15 @@ class YamlError(ReproError):
         if line is not None:
             message = f"line {line}: {message}"
         super().__init__(message)
+
+
+class LockError(ReproError):
+    """Inter-process lock misuse or failure (see :mod:`repro.common.locking`)."""
+
+
+class LockTimeout(LockError, TransientError):
+    """A lock was not acquired within its deadline (the holder may well
+    release it; retrying is reasonable, hence transient)."""
 
 
 # --- store ------------------------------------------------------------------

@@ -15,8 +15,13 @@
 
 Additional verbs: ``check`` (compliance), ``run`` (pipeline),
 ``trace`` / ``log`` (render or dump a run's journal), ``cache
-stats|verify|gc`` (the artifact store), ``paper list|add|build``,
-``status``.
+stats|verify|gc`` (the artifact store), ``doctor`` (crash-debris scan
+and repair), ``paper list|add|build``, ``status``.
+
+Exit codes beyond the usual 0/1/2: an injected crash exits 70
+(:data:`~repro.common.crash.EXIT_CRASH`), SIGINT/SIGTERM drain the
+in-flight work and exit 130/143 (``128 + signum``) — both states are
+resumable with ``popper run --resume``.
 """
 
 from __future__ import annotations
@@ -117,6 +122,25 @@ def build_parser() -> argparse.ArgumentParser:
         "(single-token chaos job for CI env matrices)",
     )
     run.add_argument(
+        "--inject-crash",
+        default=None,
+        metavar="SPEC",
+        help="deterministic crash plan, e.g. 'at:cas.ingest.publish:1' "
+        "(modes: at/rate; crash points: see docs/robustness.md)",
+    )
+    run.add_argument(
+        "--crash-hard",
+        action="store_true",
+        help="injected crashes os._exit(70) instead of raising "
+        "(the honest kill -9; only with --inject-crash)",
+    )
+    run.add_argument(
+        "--crash-smoke",
+        action="store_true",
+        help="single-token CI job: seeded crash-injection run, popper "
+        "doctor repair, then a clean --resume re-run",
+    )
+    run.add_argument(
         "--no-cache",
         action="store_true",
         help="ignore the artifact store: execute every stage even when "
@@ -186,6 +210,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="records to keep per task, newest first (default 1)",
+    )
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="scan .pvcs/ for crash debris (stale locks, orphan temps, "
+        "torn journals, partial index records) and repair it",
+    )
+    doctor.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report findings without repairing anything",
+    )
+    doctor.add_argument(
+        "--tmp-age",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="minimum age before an orphan temp file is swept "
+        "(default 60s; younger temps may belong to a live writer)",
     )
 
     bundle = sub.add_parser(
@@ -272,13 +315,22 @@ def _cmd_run(args) -> int:
     chaos plan, and ``--resume`` restores experiments a previous
     (interrupted) sweep already completed from ``.pvcs/sweep-state.jsonl``.
     """
+    from repro.common.crash import (
+        EXIT_CRASH,
+        CrashPlan,
+        SimulatedCrash,
+        install_crash_plan,
+    )
     from repro.common.errors import ValidationFailure
     from repro.common.hashing import sha256_text
     from repro.common.rng import derive_seed
     from repro.engine import (
+        CancelToken,
         FaultPlan,
+        GracefulShutdown,
         MemoizedPayload,
         RetryPolicy,
+        RunCancelled,
         RunOptions,
         RunStateStore,
         TaskGraph,
@@ -327,10 +379,25 @@ def _cmd_run(args) -> int:
             "--cache-check exercises the artifact store; it cannot be "
             "combined with --no-cache or --validate-only"
         )
+    crash_spec = args.inject_crash
+    if args.crash_smoke:
+        if args.cache_check or args.validate_only or args.crash_hard:
+            raise PopperError(
+                "--crash-smoke orchestrates crash+doctor+resume in one "
+                "process; it cannot be combined with --cache-check, "
+                "--validate-only or --crash-hard"
+            )
+        crash_spec = crash_spec or "at:runstate.append.torn:1"
+    if args.crash_hard and not crash_spec:
+        raise PopperError("--crash-hard needs --inject-crash")
+    if crash_spec:
+        CrashPlan.parse(crash_spec, seed=args.fault_seed)  # validate early
     # Cross-run memoization is on by default; --no-cache executes every
     # stage, and --validate-only never touches the store.
     use_cache = not args.no_cache and not args.validate_only
     artifact_store = repo.artifact_store if use_cache else None
+
+    cancel = CancelToken()
 
     def experiment_task(name: str):
         def payload(ctx):
@@ -341,6 +408,7 @@ def _cmd_run(args) -> int:
                 timeout_s=args.task_timeout,
                 faults=fault_plan_for(name),
                 artifact_store=artifact_store,
+                cancel=cancel,
             )
             if args.validate_only:
                 return pipeline.validate_existing()
@@ -435,7 +503,9 @@ def _cmd_run(args) -> int:
     def execute(resume: bool):
         with RunStateStore(state_path, resume=resume) as store:
             options = RunOptions(
-                run_state=store, artifact_store=artifact_store
+                run_state=store,
+                artifact_store=artifact_store,
+                cancel=cancel,
             )
             return _scheduler_for(args.jobs).run(build_graph(), options=options)
 
@@ -473,47 +543,104 @@ def _cmd_run(args) -> int:
                 raise outcome.error
         return exit_code
 
-    recap = execute(args.resume)
-    exit_code = report(recap)
-    if not args.cache_check:
-        return exit_code
+    def drive() -> int:
+        recap = execute(args.resume)
+        exit_code = report(recap)
+        if not args.cache_check:
+            return exit_code
 
-    # Warm pass: same sweep again against the store the cold pass just
-    # filled.  The CI warm-cache job fails unless (almost) everything is
-    # served from cache and the materialized results are byte-identical.
-    def results_bytes() -> dict[str, bytes]:
-        snapshots = {}
-        for name in names:
-            path = repo.experiment_dir(name) / "results.csv"
-            snapshots[name] = path.read_bytes() if path.is_file() else b""
-        return snapshots
+        # Warm pass: same sweep again against the store the cold pass
+        # just filled.  The CI warm-cache job fails unless (almost)
+        # everything is served from cache with byte-identical results.
+        def results_bytes() -> dict[str, bytes]:
+            snapshots = {}
+            for name in names:
+                path = repo.experiment_dir(name) / "results.csv"
+                snapshots[name] = path.read_bytes() if path.is_file() else b""
+            return snapshots
 
-    cold = results_bytes()
-    warm_recap = execute(resume=False)
-    exit_code = max(exit_code, report(warm_recap))
-    warm = results_bytes()
-    hits = sum(
-        1
-        for name in names
-        if warm_recap.outcome(name).state is TaskState.CACHED
-    )
-    rate = hits / len(names)
-    differing = sorted(name for name in names if cold[name] != warm[name])
-    if rate >= 0.9 and not differing and exit_code == 0:
-        print(
-            f"-- cache check: {hits}/{len(names)} experiments served "
-            "from cache; results identical"
+        cold = results_bytes()
+        warm_recap = execute(resume=False)
+        exit_code = max(exit_code, report(warm_recap))
+        warm = results_bytes()
+        hits = sum(
+            1
+            for name in names
+            if warm_recap.outcome(name).state is TaskState.CACHED
         )
-        return exit_code
-    reasons = [f"{hits}/{len(names)} cache hits"]
-    if differing:
-        reasons.append(f"results differ for {', '.join(differing)}")
-    print(f"-- cache check FAILED: {'; '.join(reasons)}")
-    return max(exit_code, 1)
+        rate = hits / len(names)
+        differing = sorted(name for name in names if cold[name] != warm[name])
+        if rate >= 0.9 and not differing and exit_code == 0:
+            print(
+                f"-- cache check: {hits}/{len(names)} experiments served "
+                "from cache; results identical"
+            )
+            return exit_code
+        reasons = [f"{hits}/{len(names)} cache hits"]
+        if differing:
+            reasons.append(f"results differ for {', '.join(differing)}")
+        print(f"-- cache check FAILED: {'; '.join(reasons)}")
+        return max(exit_code, 1)
+
+    def drive_with_crashes() -> int:
+        """One sweep under the installed crash plan; 70 when it fires."""
+        plan = CrashPlan.parse(
+            crash_spec, seed=args.fault_seed, hard=args.crash_hard
+        )
+        previous = install_crash_plan(plan)
+        try:
+            return drive()
+        except SimulatedCrash as crash:
+            print(
+                f"-- simulated crash at {crash.point} (hit {crash.hit}); "
+                "run `popper doctor`, then `popper run --resume`"
+            )
+            return EXIT_CRASH
+        finally:
+            install_crash_plan(previous)
+
+    def crash_smoke() -> int:
+        """crash -> doctor -> resume, the single-token CI robustness job."""
+        from repro.store.doctor import diagnose, repair
+
+        code = drive_with_crashes()
+        if code != EXIT_CRASH:
+            print("-- crash smoke: plan never fired; nothing to recover")
+            return max(code, 1) if code else 1
+        doctor_report = repair(diagnose(repo.root, tmp_age_s=0.0))
+        print(doctor_report.describe(), end="")
+        if doctor_report.unrepaired:
+            print("-- crash smoke FAILED: doctor left damage unrepaired")
+            return 1
+        recap = execute(resume=True)
+        code = report(recap)
+        verify = repo.artifact_store.verify() if use_cache else None
+        if verify is not None and not verify.ok:
+            print("-- crash smoke FAILED: artifact store corrupt after resume")
+            return max(code, 1)
+        if code == 0:
+            print("-- crash smoke: crashed, repaired, resumed clean")
+        return code
+
+    guard = GracefulShutdown(cancel)
+    try:
+        with guard:
+            if args.crash_smoke:
+                return crash_smoke()
+            if crash_spec:
+                return drive_with_crashes()
+            return drive()
+    except RunCancelled as cancelled:
+        resume_hint = "--all" if args.all else " ".join(names)
+        print(
+            f"-- {cancelled}; completed tasks are checkpointed"
+            f" (resume with: popper run {resume_hint} --resume)"
+        )
+        return cancelled.exit_code if guard.exit_code == 0 else guard.exit_code
 
 
 def _journal_events(args):
-    from repro.monitor.journal import JOURNAL_FILE, read_journal
+    from repro.monitor.journal import JOURNAL_FILE, load_journal
 
     repo = PopperRepository.open(args.repo)
     if args.name not in repo.config.experiments:
@@ -523,20 +650,22 @@ def _journal_events(args):
         raise PopperError(
             f"{args.name}: no run journal yet; `popper run {args.name}` first"
         )
-    return read_journal(path)
+    return load_journal(path)
 
 
 def _cmd_trace(args) -> int:
     from repro.monitor.report import render_report
 
-    print(render_report(_journal_events(args)), end="")
+    events, skipped = _journal_events(args)
+    print(render_report(events, skipped=skipped), end="")
     return 0
 
 
 def _cmd_log(args) -> int:
     import json
 
-    for event in _journal_events(args):
+    events, skipped = _journal_events(args)
+    for event in events:
         if args.raw:
             print(json.dumps(event))
             continue
@@ -547,6 +676,8 @@ def _cmd_log(args) -> int:
             if k not in ("seq", "ts", "event", "attributes", "detail")
         )
         print(f"[{event.get('seq', '?'):>4}] {kind:<12} {detail}".rstrip())
+    if skipped and not args.raw:
+        print(f"-- {skipped} torn trailing line skipped (crashed append)")
     return 0
 
 
@@ -641,6 +772,24 @@ def _cmd_cache(args) -> int:
     raise PopperError(f"unknown cache subcommand {args.subcommand!r}")
 
 
+def _cmd_doctor(args) -> int:
+    """``popper doctor [--dry-run]``: crash-debris scan and repair.
+
+    Dry-run exits 1 when findings exist (so CI can gate on cleanliness);
+    a repair pass exits 1 only when damage could not be repaired.
+    """
+    from repro.store.doctor import diagnose, repair
+
+    repo = PopperRepository.open(args.repo)
+    report = diagnose(repo.root, tmp_age_s=args.tmp_age)
+    if not args.dry_run:
+        repair(report)
+    print(report.describe(), end="")
+    if args.dry_run:
+        return 0 if report.clean else 1
+    return 1 if report.unrepaired else 0
+
+
 def _cmd_bundle(args) -> int:
     from repro.core.bundle import create_bundle
 
@@ -708,6 +857,7 @@ def main(argv: list[str] | None = None) -> int:
         "paper": _cmd_paper,
         "ci": _cmd_ci,
         "cache": _cmd_cache,
+        "doctor": _cmd_doctor,
         "bundle": _cmd_bundle,
         "unbundle": _cmd_unbundle,
         "notebooks": _cmd_notebooks,

@@ -50,9 +50,11 @@ from repro.core.postprocess import PROCESS_SCRIPT, run_postprocess
 from repro.core.repo import PopperRepository
 from repro.core.runners import run_experiment_runner
 from repro.engine import (
+    CancelToken,
     FaultPlan,
     MemoizedPayload,
     RetryPolicy,
+    RunCancelled,
     RunOptions,
     RUN_STATE_FILE,
     RunStateStore,
@@ -121,6 +123,7 @@ class ExperimentPipeline:
         timeout_s: float | None = None,
         faults: FaultPlan | None = None,
         artifact_store: ArtifactStore | None = None,
+        cancel: CancelToken | None = None,
     ) -> None:
         if experiment not in repo.config.experiments:
             raise PopperError(f"no such experiment: {experiment!r}")
@@ -140,6 +143,9 @@ class ExperimentPipeline:
         # Cross-run memoization: when set, cache-aware stages consult
         # the store before executing and file their outputs after.
         self.artifact_store = artifact_store
+        # Cooperative shutdown: the scheduler checks this between
+        # stages and drains instead of dying mid-write.
+        self.cancel = cancel
 
     @property
     def journal_path(self):
@@ -265,6 +271,7 @@ class ExperimentPipeline:
                     faults=self.faults,
                     run_state=store,
                     artifact_store=self.artifact_store,
+                    cancel=self.cancel,
                 )
                 with activate(tracer):
                     result = self._run_stages(
@@ -274,6 +281,11 @@ class ExperimentPipeline:
             return result
         except ValidationFailure:
             status = "validation-failed"
+            raise
+        except RunCancelled:
+            # The drain finished — completed stages are checkpointed —
+            # so the journal records a clean cancellation, not a crash.
+            status = "cancelled"
             raise
         finally:
             tracer.journal = None

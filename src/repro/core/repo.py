@@ -62,19 +62,23 @@ PAPER_TEMPLATES: dict[str, dict[str, str]] = {
 
 DEFAULT_TRAVIS = """\
 # Integrity checks for this Popper repository (category-1 validation).
-# The matrix runs three jobs: a re-validation of stored results, a
+# The matrix runs four jobs: a re-validation of stored results, a
 # chaos smoke job that re-executes every pipeline under injected
 # transient faults with retries enabled (the resilience layer's own
-# integrity check), and a warm-cache job that runs the sweep twice
-# against one artifact store and fails unless the second pass is served
-# (almost) entirely from cache with identical results.  Env values must
-# be single tokens (the CI env parser splits on whitespace), hence the
-# --chaos-smoke / --cache-check shorthands.
+# integrity check), a warm-cache job that runs the sweep twice against
+# one artifact store and fails unless the second pass is served
+# (almost) entirely from cache with identical results, and a crash
+# smoke job that kills a seeded sweep mid-write, repairs the debris
+# with popper doctor and requires a clean --resume (the crash-
+# consistency layer's own integrity check).  Env values must be single
+# tokens (the CI env parser splits on whitespace), hence the
+# --chaos-smoke / --cache-check / --crash-smoke shorthands.
 language: generic
 env:
   - POPPER_RUN_MODE=--validate-only
   - POPPER_RUN_MODE=--chaos-smoke
   - POPPER_RUN_MODE=--cache-check
+  - POPPER_RUN_MODE=--crash-smoke
 script:
   - popper check
   - popper run --all ${POPPER_RUN_MODE}

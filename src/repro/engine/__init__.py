@@ -14,6 +14,10 @@ checkpoint/resume through a
 :class:`~repro.engine.runstate.RunStateStore`, and deterministic chaos
 testing through a :class:`~repro.engine.faults.FaultPlan`, all bundled
 into the scheduler's :class:`~repro.engine.scheduler.RunOptions`.
+Signal-safe shutdown (same doc) routes SIGINT/SIGTERM through a
+:class:`~repro.engine.shutdown.CancelToken` on ``RunOptions.cancel``:
+in-flight tasks drain and checkpoint, then the run raises
+:class:`~repro.engine.shutdown.RunCancelled`.
 
 Cross-run memoization (see ``docs/caching.md``) rides on the same
 bundle: a payload implementing
@@ -47,6 +51,13 @@ from repro.engine.scheduler import (
     SerialScheduler,
     ThreadedScheduler,
 )
+from repro.engine.shutdown import (
+    EXIT_SIGINT,
+    EXIT_SIGTERM,
+    CancelToken,
+    GracefulShutdown,
+    RunCancelled,
+)
 
 __all__ = [
     "GraphResult",
@@ -70,4 +81,9 @@ __all__ = [
     "RUN_STATE_FILE",
     "RunStateStore",
     "task_fingerprint",
+    "EXIT_SIGINT",
+    "EXIT_SIGTERM",
+    "CancelToken",
+    "GracefulShutdown",
+    "RunCancelled",
 ]

@@ -22,11 +22,14 @@ from __future__ import annotations
 
 import json
 import threading
+import warnings
 from pathlib import Path
 from typing import Any, IO
 
 from repro.common.errors import EngineError
+from repro.common.fsutil import journal_append
 from repro.common.hashing import sha256_text
+from repro.common.locking import RepoLock
 
 __all__ = ["RUN_STATE_FILE", "task_fingerprint", "RunStateStore"]
 
@@ -57,33 +60,59 @@ class RunStateStore:
     Constructing with ``resume=False`` (a fresh run) truncates any state
     a previous run left; ``resume=True`` loads the existing records
     (last record per fingerprint wins) and appends.  Writes are
-    lock-protected and flushed per record, mirroring
-    :class:`~repro.monitor.journal.RunJournal`.
+    lock-protected (both against sibling threads and, via a
+    :class:`~repro.common.locking.RepoLock`, against other processes
+    sharing the file) and land as single flushed — by default fsynced —
+    lines, so a crash can tear at most the trailing record.
+
+    A torn trailing line is exactly what a killed run leaves behind, so
+    the loader skips it with a warning and counts it in :attr:`skipped`;
+    garbage *before* the tail means the file was edited or corrupted and
+    still raises :class:`~repro.common.errors.EngineError`.
     """
 
-    def __init__(self, path: str | Path, resume: bool = False) -> None:
+    def __init__(
+        self, path: str | Path, resume: bool = False, durable: bool = True
+    ) -> None:
         self.path = Path(path)
         self.resume = bool(resume)
+        self.durable = bool(durable)
         self._lock = threading.Lock()
         self._records: dict[str, dict[str, Any]] = {}
+        #: Unparseable trailing lines skipped during load (0 or 1).
+        self.skipped = 0
         if self.resume and self.path.is_file():
-            for lineno, line in enumerate(
-                self.path.read_text(encoding="utf-8").splitlines(), start=1
-            ):
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+            last = len(lines)
+            for lineno, line in enumerate(lines, start=1):
                 if not line.strip():
                     continue
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError as exc:
+                    if lineno == last:
+                        warnings.warn(
+                            f"{self.path}: skipping torn trailing "
+                            f"run-state line {lineno} (crashed append); "
+                            "the interrupted task will re-run",
+                            stacklevel=2,
+                        )
+                        self.skipped += 1
+                        continue
                     raise EngineError(
                         f"{self.path}:{lineno}: bad run-state line: {exc}"
                     ) from exc
                 if isinstance(record, dict) and record.get("fingerprint"):
                     self._records[str(record["fingerprint"])] = record
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh: IO[str] | None = self.path.open(
-            "a" if self.resume else "w", encoding="utf-8"
+        self._iplock = RepoLock(
+            self.path.with_name(self.path.name + ".lock"), label="run-state"
         )
+        if not self.resume:
+            # Truncate separately, then append: an append-mode handle
+            # can never overwrite a concurrent writer's records mid-file.
+            self.path.write_text("", encoding="utf-8")
+        self._fh: IO[str] | None = self.path.open("a", encoding="utf-8")
 
     # -- reading -----------------------------------------------------------------
     def lookup(self, fingerprint: str) -> dict[str, Any] | None:
@@ -135,8 +164,13 @@ class RunStateStore:
         with self._lock:
             if self._fh is None:
                 raise EngineError(f"run-state store {self.path} is closed")
-            self._fh.write(json.dumps(record, sort_keys=False) + "\n")
-            self._fh.flush()
+            with self._iplock:
+                journal_append(
+                    self._fh,
+                    json.dumps(record, sort_keys=False),
+                    durable=self.durable,
+                    crash_label="runstate.append",
+                )
             self._records[fingerprint] = record
         return record
 

@@ -63,6 +63,7 @@ from repro.engine.graph import (
 )
 from repro.engine.resilience import NO_RETRY, RetryPolicy, call_with_timeout
 from repro.engine.runstate import RunStateStore
+from repro.engine.shutdown import CancelToken, RunCancelled
 from repro.store import ArtifactStore
 from repro.monitor.tracing import Span, Tracer, activate, current_tracer
 
@@ -85,7 +86,12 @@ class RunOptions:
       :class:`~repro.engine.cache.CacheAwarePayload` consult its
       artifact index before executing, and a fingerprint hit
       materializes the recorded outputs instead of running the payload
-      (cross-run memoization; the task completes as ``CACHED``).
+      (cross-run memoization; the task completes as ``CACHED``);
+    * ``cancel`` — a :class:`~repro.engine.shutdown.CancelToken`; the
+      schedulers check it between tasks, drain in-flight work (which
+      checkpoints normally) and raise
+      :class:`~repro.engine.shutdown.RunCancelled` once quiescent —
+      the cooperative half of signal-safe shutdown.
     """
 
     retry: RetryPolicy | None = None
@@ -93,6 +99,7 @@ class RunOptions:
     faults: FaultPlan | None = None
     run_state: RunStateStore | None = None
     artifact_store: ArtifactStore | None = None
+    cancel: CancelToken | None = None
 
 
 #: The zero-cost default: no retries, no deadline, no faults, no state.
@@ -497,6 +504,10 @@ class SerialScheduler(Scheduler):
         ready = ReadySet(graph)
         queue = ready.take_ready()
         while queue:
+            if options.cancel is not None:
+                # Between tasks is the safe stop point: everything that
+                # finished has checkpointed, nothing is mid-write.
+                options.cancel.raise_if_cancelled()
             task_id = queue.pop(0)
             outcome = self._run_task(
                 graph.task(task_id), result, tracer, parent, options
@@ -528,10 +539,16 @@ class ThreadedScheduler(Scheduler):
         if len(graph) == 0:
             return
         ready = ReadySet(graph)
+        cancel = options.cancel
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             running: dict[Future, str] = {}
 
             def submit(task_ids: list[str]) -> None:
+                if cancel is not None and cancel.cancelled:
+                    # Draining: in-flight tasks finish and checkpoint,
+                    # nothing new starts (unstarted tasks have no
+                    # run-state record, so --resume re-runs them).
+                    return
                 for tid in task_ids:
                     future = pool.submit(
                         self._run_task, graph.task(tid), result, tracer,
@@ -560,6 +577,8 @@ class ThreadedScheduler(Scheduler):
                 for future in running:
                     future.cancel()
                 raise
+        if cancel is not None:
+            cancel.raise_if_cancelled()
         if not ready.exhausted and not any(
             o.state is TaskState.ABORTED for o in result.outcomes.values()
         ):  # pragma: no cover - validate() prevents this

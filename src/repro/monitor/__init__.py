@@ -11,7 +11,13 @@ monitoring stack:
   per-run append-only JSONL journal and its renderer (``popper trace``).
 """
 
-from repro.monitor.journal import EVENT_KINDS, JOURNAL_FILE, RunJournal, read_journal
+from repro.monitor.journal import (
+    EVENT_KINDS,
+    JOURNAL_FILE,
+    RunJournal,
+    load_journal,
+    read_journal,
+)
 from repro.monitor.metrics import MetricStore, Sample, SeriesSummary
 from repro.monitor.report import (
     SpanRecord,
@@ -45,6 +51,7 @@ __all__ = [
     "JOURNAL_FILE",
     "EVENT_KINDS",
     "RunJournal",
+    "load_journal",
     "read_journal",
     # report
     "SpanRecord",

@@ -26,12 +26,20 @@ from __future__ import annotations
 import json
 import threading
 import time
+import warnings
 from pathlib import Path
 from typing import Any, Callable, IO
 
 from repro.common.errors import MonitorError
+from repro.common.fsutil import journal_append
 
-__all__ = ["JOURNAL_FILE", "EVENT_KINDS", "RunJournal", "read_journal"]
+__all__ = [
+    "JOURNAL_FILE",
+    "EVENT_KINDS",
+    "RunJournal",
+    "load_journal",
+    "read_journal",
+]
 
 #: Default journal file name inside an experiment directory.
 JOURNAL_FILE = "journal.jsonl"
@@ -89,15 +97,19 @@ class RunJournal:
         path: str | Path,
         fresh: bool = True,
         clock: Callable[[], float] = time.time,
+        durable: bool = False,
     ) -> None:
         self.path = Path(path)
         self._clock = clock
         self._seq = 0
         self._lock = threading.Lock()
+        self.durable = bool(durable)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh: IO[str] | None = self.path.open(
-            "w" if fresh else "a", encoding="utf-8"
-        )
+        if fresh:
+            # Truncate separately, then append: append-mode writes can
+            # only ever grow the file, never clobber another writer.
+            self.path.write_text("", encoding="utf-8")
+        self._fh: IO[str] | None = self.path.open("a", encoding="utf-8")
 
     # -- writing -----------------------------------------------------------------
     def event(self, kind: str, **fields: Any) -> dict[str, Any]:
@@ -112,8 +124,12 @@ class RunJournal:
                 raise MonitorError(f"journal {self.path} is closed")
             self._seq += 1
             record = {"seq": self._seq, "ts": self._clock(), **record}
-            self._fh.write(json.dumps(record, sort_keys=False) + "\n")
-            self._fh.flush()
+            journal_append(
+                self._fh,
+                json.dumps(record, sort_keys=False),
+                durable=self.durable,
+                crash_label="journal.append",
+            )
         return record
 
     def close(self) -> None:
@@ -132,22 +148,42 @@ class RunJournal:
         return self._seq
 
 
-def read_journal(path: str | Path) -> list[dict[str, Any]]:
-    """Parse a JSONL journal back into its event records, in order."""
+def load_journal(path: str | Path) -> tuple[list[dict[str, Any]], int]:
+    """Parse a JSONL journal; returns ``(events, torn-lines-skipped)``.
+
+    A journal's only legitimate damage is a torn *trailing* line — the
+    single write a crash interrupted — so that line is skipped with a
+    warning and counted.  Garbage anywhere else means the file was
+    edited or corrupted and raises :class:`MonitorError` as before.
+    """
     path = Path(path)
     if not path.is_file():
         raise MonitorError(f"no run journal at {path}")
     events: list[dict[str, Any]] = []
-    for lineno, line in enumerate(
-        path.read_text(encoding="utf-8").splitlines(), start=1
-    ):
+    skipped = 0
+    lines = path.read_text(encoding="utf-8").splitlines()
+    last = len(lines)
+    for lineno, line in enumerate(lines, start=1):
         if not line.strip():
             continue
         try:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
+            if lineno == last:
+                warnings.warn(
+                    f"{path}: skipping torn trailing journal line "
+                    f"{lineno} (crashed append)",
+                    stacklevel=2,
+                )
+                skipped += 1
+                continue
             raise MonitorError(f"{path}:{lineno}: bad journal line: {exc}") from exc
         if not isinstance(record, dict) or "event" not in record:
             raise MonitorError(f"{path}:{lineno}: journal line is not an event")
         events.append(record)
-    return events
+    return events, skipped
+
+
+def read_journal(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL journal back into its event records, in order."""
+    return load_journal(path)[0]

@@ -130,8 +130,13 @@ def _text_table(rows: list[tuple[str, ...]], header: tuple[str, ...]) -> list[st
     return lines
 
 
-def render_report(events: list[dict[str, Any]]) -> str:
-    """The human-readable report behind ``popper trace``."""
+def render_report(events: list[dict[str, Any]], skipped: int = 0) -> str:
+    """The human-readable report behind ``popper trace``.
+
+    *skipped* is the torn-trailing-line count from
+    :func:`~repro.monitor.journal.load_journal`; a non-zero value is
+    surfaced so a crashed run's trace says the record is incomplete.
+    """
     if not events:
         raise MonitorError("journal is empty; nothing to render")
 
@@ -149,6 +154,10 @@ def render_report(events: list[dict[str, Any]]) -> str:
     lines.append(
         f"status: {status}   spans: {spans}   wall: {_fmt_seconds(total)}"
     )
+    if skipped:
+        lines.append(
+            f"warning: {skipped} torn trailing line skipped (crashed append)"
+        )
     lines.append("")
 
     stages = stage_table(events)

@@ -10,9 +10,13 @@ memoization cache:
   output object ids + metadata;
 * :class:`~repro.store.artifacts.ArtifactStore` — the two combined,
   with ``store``/``lookup``/``materialize`` memoization primitives and
-  ``verify``/``gc``/``stats`` administration.
+  ``verify``/``gc``/``stats`` administration;
+* :mod:`~repro.store.doctor` — the crash-recovery scanner behind
+  ``popper doctor`` (stale locks, orphan temps, torn JSONL tails,
+  partial index records).
 
-See ``docs/caching.md`` for the on-disk layout and the gc policy.
+See ``docs/caching.md`` for the on-disk layout and the gc policy, and
+``docs/robustness.md`` for the crash-consistency story.
 """
 
 from repro.store.artifacts import (
@@ -22,6 +26,7 @@ from repro.store.artifacts import (
     VerifyReport,
 )
 from repro.store.cas import ContentStore, IngestResult
+from repro.store.doctor import DoctorReport, Finding, diagnose, repair
 from repro.store.index import ArtifactIndex, ArtifactOutput, ArtifactRecord
 
 __all__ = [
@@ -30,8 +35,12 @@ __all__ = [
     "ArtifactRecord",
     "ArtifactStore",
     "ContentStore",
+    "DoctorReport",
+    "Finding",
     "GcReport",
     "IngestResult",
     "StoreOutcome",
     "VerifyReport",
+    "diagnose",
+    "repair",
 ]

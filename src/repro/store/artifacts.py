@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Mapping
 
 from repro.common.errors import StoreError
+from repro.common.locking import ScopedLock
 from repro.store.cas import ContentStore
 from repro.store.index import ArtifactIndex, ArtifactOutput, ArtifactRecord
 
@@ -67,8 +68,15 @@ class ArtifactStore:
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
+        # One inter-process lock for the whole store: ``store()`` holds
+        # it across ingest + index publish (so a concurrent gc can never
+        # sweep objects between those two steps) and the pool re-enters
+        # it per object publish.  Lock file: <root>/locks/store.lock.
+        self.lock = ScopedLock(self.root, "store")
         self.cas = ContentStore(
-            self.root / "objects", quarantine_dir=self.root / "quarantine"
+            self.root / "objects",
+            quarantine_dir=self.root / "quarantine",
+            lock=self.lock,
         )
         self.index = ArtifactIndex(self.root / "index")
 
@@ -101,25 +109,26 @@ class ArtifactStore:
         recorded: list[ArtifactOutput] = []
         stored = 0
         deduped = 0
-        for name, path in sorted(outputs.items()):
-            path = Path(path)
-            try:
-                rel = path.resolve().relative_to(Path(root).resolve()).as_posix()
-            except ValueError as exc:
-                raise StoreError(
-                    f"output {name!r} ({path}) is outside the task root {root}"
-                ) from exc
-            ingest = self.cas.put_file(path)
-            recorded.append(
-                ArtifactOutput(
-                    name=name, path=rel, oid=ingest.oid, bytes=ingest.size
+        with self.lock:
+            for name, path in sorted(outputs.items()):
+                path = Path(path)
+                try:
+                    rel = path.resolve().relative_to(Path(root).resolve()).as_posix()
+                except ValueError as exc:
+                    raise StoreError(
+                        f"output {name!r} ({path}) is outside the task root {root}"
+                    ) from exc
+                ingest = self.cas.put_file(path)
+                recorded.append(
+                    ArtifactOutput(
+                        name=name, path=rel, oid=ingest.oid, bytes=ingest.size
+                    )
                 )
-            )
-            if ingest.deduped:
-                deduped += ingest.size
-            else:
-                stored += ingest.size
-        record = self.index.record(key, task, tuple(recorded), meta=meta)
+                if ingest.deduped:
+                    deduped += ingest.size
+                else:
+                    stored += ingest.size
+            record = self.index.record(key, task, tuple(recorded), meta=meta)
         return StoreOutcome(
             record=record, bytes_stored=stored, bytes_deduped=deduped
         )
@@ -165,6 +174,13 @@ class ArtifactStore:
         """
         if keep_last < 1:
             raise StoreError(f"gc keep_last must be >= 1, got {keep_last}")
+        # gc is the one operation that can *lose* a concurrent writer's
+        # work (sweeping objects between its ingest and its index
+        # publish), so it excludes publishes for its whole span.
+        with self.lock:
+            return self._gc_locked(keep_last)
+
+    def _gc_locked(self, keep_last: int) -> GcReport:
         by_task: dict[str, list[ArtifactRecord]] = {}
         for record in self.index.entries():  # oldest first
             by_task.setdefault(record.task, []).append(record)

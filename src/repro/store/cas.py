@@ -13,6 +13,14 @@ object is moved into the sibling ``quarantine/`` directory and the
 raised :class:`~repro.common.errors.CorruptObjectError` names the
 quarantined file, so ``popper cache verify`` can report it (with its
 referrers) and a re-run can repopulate the object.
+
+Crash consistency: an ingest fsyncs the temp file before publishing and
+the shard directory after (``durable=False`` opts hot disposable pools
+out), and the publish step runs under the pool's optional
+:class:`~repro.common.locking.RepoLock` so two *processes* sharing one
+cache serialize exactly the way two threads already did.  A crash
+mid-ingest leaves only an ``.ingest-*`` orphan temp — never a partial
+object — which ``popper doctor`` sweeps.
 """
 
 from __future__ import annotations
@@ -21,13 +29,16 @@ import hashlib
 import os
 import shutil
 import tempfile
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
 
+from repro.common.crash import SimulatedCrash, crashpoint
 from repro.common.errors import CorruptObjectError, MissingObjectError, StoreError
 from repro.common.hashing import sha256_bytes
-from repro.common.fsutil import ensure_dir
+from repro.common.fsutil import ensure_dir, fsync_path
+from repro.common.locking import RepoLock
 
 __all__ = ["IngestResult", "ContentStore"]
 
@@ -57,6 +68,8 @@ class ContentStore:
         self,
         objects_dir: str | Path,
         quarantine_dir: str | Path | None = None,
+        durable: bool = True,
+        lock: RepoLock | None = None,
     ) -> None:
         self.objects_dir = Path(objects_dir)
         self.quarantine_dir = (
@@ -64,7 +77,15 @@ class ContentStore:
             if quarantine_dir is not None
             else self.objects_dir.parent / "quarantine"
         )
+        #: fsync objects (and their shard dir) as they are published.
+        self.durable = bool(durable)
+        #: Optional inter-process lock serializing publishes across
+        #: processes sharing this pool (reentrant: safe to hold already).
+        self.lock = lock
         ensure_dir(self.objects_dir)
+
+    def _publish_guard(self):
+        return self.lock if self.lock is not None else nullcontext()
 
     # -- paths ----------------------------------------------------------------
     def object_path(self, oid: str) -> Path:
@@ -77,8 +98,13 @@ class ContentStore:
 
     # -- writing --------------------------------------------------------------
     def _publish(self, tmp: Path, target: Path) -> None:
-        ensure_dir(target.parent)
-        os.replace(tmp, target)
+        crashpoint("cas.ingest.tmp")
+        with self._publish_guard():
+            ensure_dir(target.parent)
+            os.replace(tmp, target)
+            if self.durable:
+                fsync_path(target.parent)
+        crashpoint("cas.ingest.publish")
 
     def put_bytes(self, data: bytes) -> IngestResult:
         """File a bytes payload; returns its id.  Idempotent."""
@@ -92,7 +118,13 @@ class ContentStore:
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(data)
+                if self.durable:
+                    handle.flush()
+                    os.fsync(handle.fileno())
             self._publish(Path(tmp_name), target)
+        except SimulatedCrash:
+            # An injected crash leaves the orphan temp a real kill would.
+            raise
         except BaseException:
             Path(tmp_name).unlink(missing_ok=True)
             raise
@@ -117,12 +149,17 @@ class ContentStore:
                     digest.update(chunk)
                     size += len(chunk)
                     out.write(chunk)
+                if self.durable:
+                    out.flush()
+                    os.fsync(out.fileno())
             oid = digest.hexdigest()
             target = self.object_path(oid)
             if target.exists():
                 Path(tmp_name).unlink(missing_ok=True)
                 return IngestResult(oid=oid, size=size, deduped=True)
             self._publish(Path(tmp_name), target)
+        except SimulatedCrash:
+            raise
         except BaseException:
             Path(tmp_name).unlink(missing_ok=True)
             raise

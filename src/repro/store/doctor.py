@@ -1,0 +1,339 @@
+"""``popper doctor``: scan ``.pvcs/`` for crash debris and repair it.
+
+Every write path in the toolchain is designed so that a crash — a kill
+signal, a power cut, an injected :class:`~repro.common.crash.CrashPlan`
+— leaves one of a small, known set of artifacts:
+
+========================  ========================================  ==============================
+debris                    produced by                               repair
+========================  ========================================  ==============================
+stale lock metadata       holder died while holding a RepoLock      truncate the lock file
+orphan temp file          crash between mkstemp and os.replace      unlink (content is elsewhere
+                                                                    or will be re-produced)
+torn JSONL tail           crash mid-append to a journal/run-state   truncate to the last complete
+                                                                    line (the interrupted task has
+                                                                    no record and simply re-runs)
+partial index record      crash mid-publish of an artifact record   unlink (equivalent to a miss)
+dangling index record     record published, objects swept/lost      unlink (lookup treats it as a
+                                                                    miss anyway; doctor tidies)
+quarantined object        read-time integrity check failed          report only (a re-run heals
+                                                                    the pool; see cache verify)
+========================  ========================================  ==============================
+
+Everything else on disk is either atomic (refs, config) or disposable
+(workspace checkouts), so this table is the complete recovery story:
+``popper doctor`` after *any* crash returns the repository to a state
+where ``popper run --resume`` completes correctly.
+
+``diagnose()`` only reports; ``repair()`` applies the table.  Both are
+deliberately independent of the higher-level stores — doctor must work
+precisely when the repository is too damaged for them to open.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.locking import LockInfo
+
+__all__ = ["Finding", "DoctorReport", "diagnose", "repair"]
+
+#: Temp-file prefixes the store layers create (mkstemp adds a random
+#: suffix).  ``atomic_write`` temps are ``.{name}.XXXXXXXX`` — covered
+#: by the "dotfile inside .pvcs" rule below.
+_TEMP_PREFIXES = (".ingest-", ".mat-")
+
+#: Directories whose *contents* are content-addressed payloads and must
+#: never be parsed, repaired or deleted by name-pattern heuristics.
+_OPAQUE_DIRS = {"objects", "quarantine"}
+
+_META_DIR = ".pvcs"
+
+
+@dataclass
+class Finding:
+    """One piece of crash debris (or unrepairable damage)."""
+
+    kind: str
+    path: Path
+    detail: str = ""
+    #: What repair() will do / did.  Empty means report-only.
+    action: str = ""
+    repaired: bool = False
+
+    def describe(self) -> str:
+        state = "repaired" if self.repaired else (
+            "repairable" if self.action else "report-only"
+        )
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"[{state}] {self.kind}: {self.path}{detail}"
+
+
+@dataclass
+class DoctorReport:
+    """Everything one doctor pass found (and possibly fixed)."""
+
+    root: Path
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def repairable(self) -> list[Finding]:
+        return [f for f in self.findings if f.action]
+
+    @property
+    def unrepaired(self) -> list[Finding]:
+        return [f for f in self.findings if f.action and not f.repaired]
+
+    def describe(self) -> str:
+        if self.clean:
+            return f"-- doctor: {self.root} is clean\n"
+        lines = [f"-- doctor: {len(self.findings)} finding(s) in {self.root}"]
+        for finding in self.findings:
+            lines.append("   " + finding.describe())
+        return "\n".join(lines) + "\n"
+
+
+def _in_opaque_dir(path: Path, root: Path) -> bool:
+    return bool(_OPAQUE_DIRS & set(path.relative_to(root).parts[:-1]))
+
+
+def _jsonl_repaired(raw: bytes) -> bytes | None:
+    """The content a torn JSONL file should be truncated to, or ``None``
+    when the tail is healthy.
+
+    A crashed append leaves dangling bytes after the last newline (a
+    single flushed write can only be cut short, never split across
+    lines); a newline-terminated final line that fails to parse is also
+    treated as torn for robustness.
+    """
+    cut = raw.rfind(b"\n")
+    tail = raw[cut + 1 :]
+    if tail.strip():
+        try:
+            json.loads(tail)
+        except (json.JSONDecodeError, ValueError):
+            return raw[: cut + 1]
+        # The record landed whole, only its terminator is missing (the
+        # write was cut exactly before the newline): keep it.
+        return raw + b"\n"
+    if cut >= 0:
+        head, _, last = raw[:cut].rpartition(b"\n")
+        if last.strip():
+            try:
+                json.loads(last)
+            except (json.JSONDecodeError, ValueError):
+                return raw[: len(head) + 1] if head else b""
+    return None
+
+
+def _iter_meta_files(root: Path):
+    """Every regular file under the repository's ``.pvcs`` trees."""
+    for meta in sorted(root.rglob(_META_DIR)):
+        if not meta.is_dir():
+            continue
+        for dirpath, dirnames, filenames in os.walk(meta):
+            dirnames.sort()
+            for name in sorted(filenames):
+                yield Path(dirpath) / name
+
+
+def _scan_locks(root: Path, findings: list[Finding]) -> None:
+    """Lock files whose recorded holder is dead: stale metadata.
+
+    With flock the kernel already released the lock — the metadata is
+    cosmetic but misleading ("held by pid N" for a pid that no longer
+    exists); in the O_EXCL fallback the file itself wedges writers, so
+    clearing it is load-bearing.
+    """
+    candidates = [
+        p for p in root.rglob("*.lock") if p.is_file() and _META_DIR in p.parts
+    ]
+    for path in sorted(candidates):
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        if not text.strip():
+            continue  # released cleanly; empty file is the normal state
+        info = LockInfo.from_json(text)
+        if info is None:
+            findings.append(
+                Finding(
+                    kind="stale-lock",
+                    path=path,
+                    detail="unreadable holder metadata",
+                    action="truncate",
+                )
+            )
+        elif not info.alive():
+            findings.append(
+                Finding(
+                    kind="stale-lock",
+                    path=path,
+                    detail=f"holder {info.describe()} is dead",
+                    action="truncate",
+                )
+            )
+
+
+def _scan_temps(root: Path, findings: list[Finding], tmp_age_s: float) -> None:
+    """Orphan temp files a crash left between mkstemp and publish."""
+    now = time.time()
+    for path in _iter_meta_files(root):
+        name = path.name
+        is_temp = name.startswith(_TEMP_PREFIXES) or (
+            name.startswith(".") and not name.endswith(".lock")
+        )
+        if not is_temp:
+            continue
+        try:
+            age = now - path.stat().st_mtime
+        except OSError:
+            continue
+        if age < tmp_age_s:
+            # Could belong to a live writer; the age gate keeps doctor
+            # safe to run next to an in-flight popper run.
+            continue
+        findings.append(
+            Finding(
+                kind="orphan-temp",
+                path=path,
+                detail=f"aged {age:.0f}s",
+                action="unlink",
+            )
+        )
+
+
+def _scan_jsonl(root: Path, findings: list[Finding]) -> None:
+    """Journals / run-state files with a torn trailing line."""
+    for path in sorted(root.rglob("*.jsonl")):
+        if not path.is_file() or _in_opaque_dir(path, root):
+            continue
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            continue
+        if not raw:
+            continue
+        repaired = _jsonl_repaired(raw)
+        if repaired is not None:
+            findings.append(
+                Finding(
+                    kind="torn-jsonl",
+                    path=path,
+                    detail=f"torn tail: {len(raw)} -> {len(repaired)} bytes",
+                    action="rewrite tail",
+                )
+            )
+
+
+def _scan_index(root: Path, findings: list[Finding]) -> None:
+    """Artifact-index records that are partial or reference lost objects."""
+    for index_dir in sorted(root.rglob(f"{_META_DIR}/cache/index")):
+        if not index_dir.is_dir():
+            continue
+        objects_dir = index_dir.parent / "objects"
+        for path in sorted(index_dir.glob("*.json")):
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+                if not isinstance(doc, dict) or "key" not in doc:
+                    raise ValueError("not a record")
+            except (OSError, ValueError, json.JSONDecodeError):
+                findings.append(
+                    Finding(
+                        kind="partial-index-record",
+                        path=path,
+                        detail="unparseable record",
+                        action="unlink",
+                    )
+                )
+                continue
+            missing = [
+                str(out.get("oid", ""))
+                for out in doc.get("outputs", [])
+                if isinstance(out, dict)
+                and len(str(out.get("oid", ""))) == 64
+                and not (
+                    objects_dir
+                    / str(out["oid"])[:2]
+                    / str(out["oid"])[2:]
+                ).is_file()
+            ]
+            if missing:
+                findings.append(
+                    Finding(
+                        kind="dangling-index-record",
+                        path=path,
+                        detail=f"references {len(missing)} missing object(s)",
+                        action="unlink",
+                    )
+                )
+
+
+def _scan_quarantine(root: Path, findings: list[Finding]) -> None:
+    for quarantine in sorted(root.rglob("quarantine")):
+        if not quarantine.is_dir() or _META_DIR not in quarantine.parts:
+            continue
+        for path in sorted(quarantine.iterdir()):
+            if path.is_file():
+                findings.append(
+                    Finding(
+                        kind="quarantined-object",
+                        path=path,
+                        detail="failed its integrity check; a re-run heals",
+                    )
+                )
+
+
+def diagnose(root: str | Path, tmp_age_s: float = 60.0) -> DoctorReport:
+    """Scan a repository for crash debris; never modifies anything.
+
+    *tmp_age_s* gates the orphan-temp scan: temps younger than this may
+    belong to a concurrent writer and are left alone.
+    """
+    root = Path(root)
+    report = DoctorReport(root=root)
+    if not root.is_dir():
+        return report
+    _scan_locks(root, report.findings)
+    _scan_temps(root, report.findings, tmp_age_s)
+    _scan_jsonl(root, report.findings)
+    _scan_index(root, report.findings)
+    _scan_quarantine(root, report.findings)
+    return report
+
+
+def repair(report: DoctorReport) -> DoctorReport:
+    """Apply each finding's repair action (idempotent; report-only
+    findings are left untouched)."""
+    for finding in report.findings:
+        if not finding.action or finding.repaired:
+            continue
+        try:
+            if finding.kind == "stale-lock":
+                with open(finding.path, "r+b") as handle:
+                    handle.truncate(0)
+            elif finding.kind in (
+                "orphan-temp",
+                "partial-index-record",
+                "dangling-index-record",
+            ):
+                finding.path.unlink(missing_ok=True)
+            elif finding.kind == "torn-jsonl":
+                raw = finding.path.read_bytes()
+                repaired_bytes = _jsonl_repaired(raw)
+                if repaired_bytes is not None:
+                    finding.path.write_bytes(repaired_bytes)
+            finding.repaired = True
+        except OSError:
+            finding.repaired = False
+    return report

@@ -4,6 +4,12 @@ Refs live under ``.pvcs/refs/heads/<branch>`` and ``.pvcs/refs/tags/<tag>``;
 ``HEAD`` is either symbolic (``ref: refs/heads/main``) or detached (a raw
 object id), matching git's model closely enough that users' intuitions
 carry over.
+
+Ref updates are the repository's commit points — losing one un-does a
+commit the user was told succeeded — so every write goes through
+:func:`~repro.common.fsutil.atomic_write` with durability on, under the
+repository-wide ``refs`` :class:`~repro.common.locking.ScopedLock` so
+two processes committing into one repo serialize their updates.
 """
 
 from __future__ import annotations
@@ -11,8 +17,10 @@ from __future__ import annotations
 import re
 from pathlib import Path
 
+from repro.common.crash import crashpoint
 from repro.common.errors import VcsError
-from repro.common.fsutil import ensure_dir
+from repro.common.fsutil import atomic_write, ensure_dir
+from repro.common.locking import ScopedLock
 
 __all__ = ["RefStore"]
 
@@ -30,8 +38,15 @@ class RefStore:
 
     def __init__(self, meta_dir: str | Path) -> None:
         self.meta = Path(meta_dir)
+        self.lock = ScopedLock(self.meta, "refs")
         ensure_dir(self.meta / "refs" / "heads")
         ensure_dir(self.meta / "refs" / "tags")
+
+    def _write_ref(self, path: Path, content: str) -> None:
+        """Publish one ref durably and atomically, under the refs lock."""
+        with self.lock:
+            crashpoint("refs.update")
+            atomic_write(path, content.encode("utf-8"))
 
     # -- HEAD -----------------------------------------------------------------
     @property
@@ -41,11 +56,11 @@ class RefStore:
     def set_head_branch(self, branch: str) -> None:
         """Point HEAD symbolically at a branch."""
         _check_name(branch)
-        self.head_path.write_text(f"ref: refs/heads/{branch}\n", encoding="utf-8")
+        self._write_ref(self.head_path, f"ref: refs/heads/{branch}\n")
 
     def set_head_detached(self, oid: str) -> None:
         """Detach HEAD onto a raw object id."""
-        self.head_path.write_text(oid + "\n", encoding="utf-8")
+        self._write_ref(self.head_path, oid + "\n")
 
     def head(self) -> tuple[str | None, str | None]:
         """Return ``(branch-name, commit-oid)``.
@@ -69,9 +84,7 @@ class RefStore:
         return self.meta / "refs" / "heads" / _check_name(name)
 
     def write_branch(self, name: str, oid: str) -> None:
-        path = self._branch_path(name)
-        ensure_dir(path.parent)
-        path.write_text(oid + "\n", encoding="utf-8")
+        self._write_ref(self._branch_path(name), oid + "\n")
 
     def read_branch(self, name: str) -> str | None:
         path = self._branch_path(name)
@@ -102,10 +115,11 @@ class RefStore:
 
     def write_tag(self, name: str, oid: str) -> None:
         path = self._tag_path(name)
-        if path.exists():
-            raise VcsError(f"tag already exists: {name!r}")
-        ensure_dir(path.parent)
-        path.write_text(oid + "\n", encoding="utf-8")
+        with self.lock:
+            if path.exists():
+                raise VcsError(f"tag already exists: {name!r}")
+            crashpoint("refs.update")
+            atomic_write(path, (oid + "\n").encode("utf-8"))
 
     def read_tag(self, name: str) -> str | None:
         path = self._tag_path(name)

@@ -173,6 +173,9 @@ class ObjectStore:
         dest = Path(dest)
         for path, blob_oid in self.walk_tree(tree_oid):
             data = self.get_blob(blob_oid).data
-            atomic_write(dest / path, data)
+            # Checkouts are rebuildable from the pool, so skip the
+            # per-file fsync tax — durability matters for the metadata
+            # that *references* content, not the scratch materialization.
+            atomic_write(dest / path, data, durable=False)
             written += len(data)
         return written

@@ -1,0 +1,124 @@
+"""Deterministic crash injection: plan grammar, hit counting, seeding,
+and the process-wide install hook."""
+
+import pytest
+
+from repro.common.crash import (
+    EXIT_CRASH,
+    CrashPlan,
+    SimulatedCrash,
+    active_crash_plan,
+    crashpoint,
+    install_crash_plan,
+)
+from repro.common.errors import EngineError
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_plan():
+    """Crash plans are process-global; never leak one across tests."""
+    yield
+    install_crash_plan(None)
+
+
+class TestGrammar:
+    def test_parse_round_trips(self):
+        plan = CrashPlan.parse("at:cas.*:2, rate:refs.update:0.5")
+        assert plan.describe() == "at:cas.*:2,rate:refs.update:0.5"
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",
+            "at:cas.ingest.tmp",  # missing arg
+            "boom:cas.*:1",  # unknown mode
+            "at::1",  # empty glob
+            "at:cas.*:zero",  # non-numeric
+            "at:cas.*:0",  # 'at' needs >= 1
+            "at:cas.*:1.5",  # 'at' needs an integer
+            "rate:cas.*:1.5",  # rate outside [0, 1]
+        ],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(EngineError):
+            CrashPlan.parse(spec)
+
+
+class TestAtClauses:
+    def test_nth_hit_crashes(self):
+        plan = CrashPlan.parse("at:cas.ingest.tmp:3")
+        plan.check("cas.ingest.tmp")
+        plan.check("cas.ingest.tmp")
+        with pytest.raises(SimulatedCrash) as excinfo:
+            plan.check("cas.ingest.tmp")
+        assert excinfo.value.point == "cas.ingest.tmp"
+        assert excinfo.value.hit == 3
+
+    def test_glob_matches_site_family(self):
+        plan = CrashPlan.parse("at:cas.*:1")
+        plan.check("refs.update")  # no match, no count
+        with pytest.raises(SimulatedCrash):
+            plan.check("cas.ingest.publish")
+
+    def test_simulated_crash_evades_except_exception(self):
+        """Recovery paths catch Exception; an injected kill must not be
+        absorbed by them, exactly like a real one would not be."""
+        assert not issubclass(SimulatedCrash, Exception)
+        plan = CrashPlan.parse("at:x:1")
+        with pytest.raises(SimulatedCrash):
+            try:
+                plan.check("x")
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("SimulatedCrash was absorbed by except Exception")
+
+
+class TestRateClauses:
+    def collect(self, seed):
+        plan = CrashPlan.parse("rate:site:0.5", seed=seed)
+        fired = []
+        for hit in range(40):
+            try:
+                plan.check("site")
+            except SimulatedCrash:
+                fired.append(hit)
+        return fired
+
+    def test_same_seed_same_crashes(self):
+        assert self.collect(7) == self.collect(7)
+
+    def test_different_seed_different_crashes(self):
+        assert self.collect(7) != self.collect(8)
+
+    def test_rate_zero_never_fires(self):
+        plan = CrashPlan.parse("rate:site:0")
+        for _ in range(50):
+            plan.check("site")
+
+    def test_rate_one_always_fires(self):
+        plan = CrashPlan.parse("rate:site:1")
+        with pytest.raises(SimulatedCrash):
+            plan.check("site")
+
+
+class TestInstall:
+    def test_crashpoint_is_noop_without_plan(self):
+        assert active_crash_plan() is None
+        crashpoint("cas.ingest.tmp")  # must not raise
+
+    def test_install_returns_previous_for_restore(self):
+        first = CrashPlan.parse("at:a:1")
+        second = CrashPlan.parse("at:b:1")
+        assert install_crash_plan(first) is None
+        assert install_crash_plan(second) is first
+        assert install_crash_plan(None) is second
+        assert active_crash_plan() is None
+
+    def test_installed_plan_fires_through_crashpoint(self):
+        install_crash_plan(CrashPlan.parse("at:site:1"))
+        with pytest.raises(SimulatedCrash):
+            crashpoint("site")
+
+    def test_exit_code_is_sysexits_software(self):
+        # 70 is EX_SOFTWARE; the CLI contract tested end to end in
+        # tests/integration/test_crash_recovery.py.
+        assert EXIT_CRASH == 70

@@ -1,0 +1,141 @@
+"""Inter-process locking: RepoLock semantics, holder metadata, the
+ScopedLock naming convention."""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.common.errors import LockError, LockTimeout
+from repro.common.locking import LockInfo, RepoLock, ScopedLock
+
+
+class TestAcquireRelease:
+    def test_context_manager_round_trip(self, tmp_path):
+        lock = RepoLock(tmp_path / "x.lock")
+        assert not lock.held
+        with lock:
+            assert lock.held
+        assert not lock.held
+
+    def test_release_clears_metadata(self, tmp_path):
+        """An empty lock file is the 'released cleanly' marker doctor
+        trusts; holder metadata must not outlive the hold."""
+        lock = RepoLock(tmp_path / "x.lock", label="unit")
+        with lock:
+            assert lock.holder() is not None
+        assert (tmp_path / "x.lock").read_bytes() == b""
+        assert lock.holder() is None
+
+    def test_release_without_acquire_raises(self, tmp_path):
+        lock = RepoLock(tmp_path / "x.lock")
+        with pytest.raises(LockError, match="not held"):
+            lock.release()
+
+    def test_reentrant_per_instance(self, tmp_path):
+        lock = RepoLock(tmp_path / "x.lock")
+        with lock:
+            with lock:
+                assert lock.held
+            # Inner release must not drop the outer hold.
+            assert lock.held
+        assert not lock.held
+
+    def test_creates_parent_directories(self, tmp_path):
+        lock = RepoLock(tmp_path / "a" / "b" / "x.lock")
+        with lock:
+            assert lock.path.is_file()
+
+
+class TestHolderMetadata:
+    def test_holder_names_this_process(self, tmp_path):
+        lock = RepoLock(tmp_path / "x.lock", label="sweeper")
+        with lock:
+            info = lock.holder()
+            assert info is not None
+            assert info.pid == os.getpid()
+            assert info.label == "sweeper"
+            assert info.host == os.uname().nodename
+            assert info.alive()
+
+    def test_dead_holder_is_not_alive(self, tmp_path):
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        info = LockInfo(pid=proc.pid, host=os.uname().nodename, label="", created=1.0)
+        assert not info.alive()
+
+    def test_foreign_host_assumed_alive(self):
+        info = LockInfo(pid=1, host="some-other-box", label="", created=1.0)
+        assert info.alive()
+
+    def test_from_json_rejects_garbage(self):
+        assert LockInfo.from_json("not json") is None
+        assert LockInfo.from_json(json.dumps({"host": "x"})) is None
+        info = LockInfo.from_json(json.dumps({"pid": 7}))
+        assert info is not None and info.pid == 7
+
+
+class TestContention:
+    def test_second_instance_times_out_and_names_holder(self, tmp_path):
+        path = tmp_path / "x.lock"
+        held = RepoLock(path, label="first")
+        other = RepoLock(path, label="second", timeout_s=0.1, poll_s=0.01)
+        with held:
+            with pytest.raises(LockTimeout, match="held by pid"):
+                other.acquire()
+        # Once the first holder lets go the same instance succeeds.
+        with other:
+            assert other.held
+
+    def test_blocked_thread_proceeds_after_release(self, tmp_path):
+        path = tmp_path / "x.lock"
+        order = []
+        first = RepoLock(path)
+        second = RepoLock(path, poll_s=0.005)
+        first.acquire()
+
+        def contender():
+            with second:
+                order.append("second")
+
+        thread = threading.Thread(target=contender)
+        thread.start()
+        order.append("first")
+        first.release()
+        thread.join(timeout=5)
+        assert order == ["first", "second"]
+
+    def test_exclusion_against_another_process(self, tmp_path):
+        """A child process cannot take the lock while we hold it."""
+        path = tmp_path / "x.lock"
+        probe = (
+            "import sys\n"
+            "from repro.common.errors import LockTimeout\n"
+            "from repro.common.locking import RepoLock\n"
+            "lock = RepoLock(sys.argv[1], timeout_s=0.2, poll_s=0.01)\n"
+            "try:\n"
+            "    lock.acquire()\n"
+            "except LockTimeout:\n"
+            "    sys.exit(9)\n"
+            "sys.exit(0)\n"
+        )
+        with RepoLock(path):
+            held = subprocess.run([sys.executable, "-c", probe, str(path)])
+            assert held.returncode == 9
+        free = subprocess.run([sys.executable, "-c", probe, str(path)])
+        assert free.returncode == 0
+
+
+class TestScopedLock:
+    def test_layout_is_locks_directory(self, tmp_path):
+        lock = ScopedLock(tmp_path / ".pvcs", "store")
+        assert lock.path == tmp_path / ".pvcs" / "locks" / "store.lock"
+        assert lock.label == "store"
+
+    @pytest.mark.parametrize("scope", ["", "a/b", ".hidden"])
+    def test_bad_scopes_rejected(self, tmp_path, scope):
+        with pytest.raises(LockError, match="bad lock scope"):
+            ScopedLock(tmp_path / ".pvcs", scope)

@@ -73,10 +73,24 @@ class TestRunStateStore:
         store.close()
 
     def test_bad_line_rejected_on_resume(self, tmp_path):
+        # Garbage before the tail cannot come from a crashed append:
+        # the store stays strict about it.
         path = tmp_path / "run-state.jsonl"
-        path.write_text("not json\n")
+        good = json.dumps({"fingerprint": "f1", "state": "ok"})
+        path.write_text(f"not json\n{good}\n")
         with pytest.raises(EngineError, match="bad run-state"):
             RunStateStore(path, resume=True)
+
+    def test_torn_trailing_line_skipped_on_resume(self, tmp_path):
+        path = tmp_path / "run-state.jsonl"
+        good = json.dumps({"fingerprint": "f1", "state": "ok"})
+        path.write_text(f'{good}\n{{"fingerprint": "f2", "sta')
+        with pytest.warns(UserWarning, match="torn trailing"):
+            store = RunStateStore(path, resume=True)
+        assert store.lookup("f1") is not None
+        assert store.lookup("f2") is None
+        assert store.skipped == 1
+        store.close()
 
 
 @pytest.mark.parametrize("scheduler", BACKENDS, ids=BACKEND_IDS)

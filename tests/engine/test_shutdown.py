@@ -1,0 +1,154 @@
+"""Signal-safe shutdown: the cancel token, the signal guard, and the
+schedulers' drain-then-raise contract."""
+
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.engine import (
+    EXIT_SIGINT,
+    EXIT_SIGTERM,
+    CancelToken,
+    GracefulShutdown,
+    RunCancelled,
+    RunOptions,
+    SerialScheduler,
+    TaskGraph,
+    ThreadedScheduler,
+)
+
+BACKENDS = [SerialScheduler(), ThreadedScheduler(max_workers=2)]
+BACKEND_IDS = ["serial", "threaded"]
+
+
+class TestCancelToken:
+    def test_starts_clear(self):
+        token = CancelToken()
+        assert not token.cancelled
+        assert token.signum is None
+        token.raise_if_cancelled()  # no-op while clear
+
+    def test_first_signal_wins(self):
+        token = CancelToken()
+        token.cancel(signal.SIGTERM)
+        token.cancel(signal.SIGINT)
+        assert token.cancelled
+        assert token.signum == signal.SIGTERM
+
+    def test_raise_carries_signal(self):
+        token = CancelToken()
+        token.cancel(signal.SIGTERM)
+        with pytest.raises(RunCancelled) as excinfo:
+            token.raise_if_cancelled()
+        assert excinfo.value.signum == signal.SIGTERM
+        assert "SIGTERM" in str(excinfo.value)
+
+
+class TestRunCancelled:
+    def test_exit_codes_follow_128_plus_signum(self):
+        assert RunCancelled(signal.SIGINT).exit_code == EXIT_SIGINT == 130
+        assert RunCancelled(signal.SIGTERM).exit_code == EXIT_SIGTERM == 143
+
+    def test_programmatic_cancel_defaults_to_sigint_code(self):
+        assert RunCancelled().exit_code == EXIT_SIGINT
+
+    def test_not_absorbed_by_except_exception(self):
+        """Payload retry loops catch Exception; a shutdown request must
+        sail through them."""
+        assert not issubclass(RunCancelled, Exception)
+
+
+class TestGracefulShutdown:
+    def test_signal_sets_token_instead_of_raising(self):
+        token = CancelToken()
+        with GracefulShutdown(token) as guard:
+            assert guard.installed
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert token.cancelled
+            assert token.signum == signal.SIGTERM
+        assert guard.exit_code == EXIT_SIGTERM
+
+    def test_previous_handlers_restored_on_exit(self):
+        before = {s: signal.getsignal(s) for s in GracefulShutdown.SIGNALS}
+        with GracefulShutdown():
+            assert signal.getsignal(signal.SIGTERM) != before[signal.SIGTERM]
+        for signum, handler in before.items():
+            assert signal.getsignal(signum) == handler
+
+    def test_second_signal_escalates_to_default(self):
+        """The first signal drains; the second means it — the guard
+        falls back to the default disposition (KeyboardInterrupt for
+        SIGINT), so a wedged payload can still be killed."""
+        token = CancelToken()
+        with pytest.raises(KeyboardInterrupt):
+            with GracefulShutdown(token):
+                os.kill(os.getpid(), signal.SIGINT)
+                assert token.cancelled
+                os.kill(os.getpid(), signal.SIGINT)
+        assert token.signum == signal.SIGINT
+
+    def test_worker_thread_degrades_to_noop(self):
+        """signal.signal is illegal off the main thread; the CI executor
+        runs popper mains on worker threads, so the guard must degrade
+        instead of blowing up."""
+        outcome = {}
+
+        def run():
+            token = CancelToken()
+            with GracefulShutdown(token) as guard:
+                outcome["installed"] = guard.installed
+                token.cancel(signal.SIGTERM)
+                outcome["exit_code"] = guard.exit_code
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        thread.join(timeout=5)
+        assert outcome == {"installed": False, "exit_code": EXIT_SIGTERM}
+
+    def test_exit_code_zero_when_never_signalled(self):
+        with GracefulShutdown() as guard:
+            pass
+        assert guard.exit_code == 0
+
+
+@pytest.mark.parametrize("scheduler", BACKENDS, ids=BACKEND_IDS)
+class TestSchedulerDrain:
+    def test_cancelled_before_start_runs_nothing(self, scheduler):
+        token = CancelToken()
+        token.cancel(signal.SIGTERM)
+        ran = []
+        graph = TaskGraph()
+        graph.add("a", lambda ctx: ran.append("a"))
+        with pytest.raises(RunCancelled) as excinfo:
+            scheduler.run(graph, options=RunOptions(cancel=token))
+        assert ran == []
+        assert excinfo.value.exit_code == EXIT_SIGTERM
+
+    def test_in_flight_task_drains_then_no_new_work_starts(self, scheduler):
+        """Cancellation lands mid-task: that task completes (and would
+        checkpoint); its downstream never starts."""
+        token = CancelToken()
+        ran = []
+
+        def first(ctx):
+            ran.append("a")
+            token.cancel(signal.SIGINT)
+            return "A"
+
+        graph = TaskGraph()
+        graph.add("a", first)
+        graph.add("b", lambda ctx: ran.append("b"), dependencies=("a",))
+        graph.add("c", lambda ctx: ran.append("c"), dependencies=("b",))
+        with pytest.raises(RunCancelled) as excinfo:
+            scheduler.run(graph, options=RunOptions(cancel=token))
+        assert ran == ["a"]
+        assert excinfo.value.exit_code == EXIT_SIGINT
+
+    def test_uncancelled_run_unaffected(self, scheduler):
+        token = CancelToken()
+        graph = TaskGraph()
+        graph.add("a", lambda ctx: "A")
+        recap = scheduler.run(graph, options=RunOptions(cancel=token))
+        assert recap.ok

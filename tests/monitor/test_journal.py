@@ -73,10 +73,23 @@ class TestJournal:
     def test_read_missing_or_corrupt(self, tmp_path):
         with pytest.raises(MonitorError):
             read_journal(tmp_path / "ghost.jsonl")
+        # Garbage *before* the tail means the file was edited: strict.
         bad = tmp_path / "bad.jsonl"
-        bad.write_text('{"event": "ok"}\nnot json\n')
+        bad.write_text('{"event": "ok"}\nnot json\n{"event": "late"}\n')
         with pytest.raises(MonitorError):
             read_journal(bad)
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        from repro.monitor.journal import load_journal
+
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text('{"event": "ok"}\n{"event": "run_e')
+        with pytest.warns(UserWarning, match="torn trailing"):
+            events, skipped = load_journal(torn)
+        assert [e["event"] for e in events] == ["ok"]
+        assert skipped == 1
+        with pytest.warns(UserWarning):
+            assert read_journal(torn) == events
 
 
 def _traced_journal(tmp_path) -> list[dict]:
