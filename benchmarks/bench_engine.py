@@ -1,18 +1,23 @@
-"""Engine throughput: the four-experiment sweep, serial vs threaded.
+"""Engine throughput: the four-experiment sweep across all backends.
 
 Runs the four paper experiments (`gassyfs`, `torpor`,
-`mpi-comm-variability`, `jupyter-bww`) through ``popper run --all`` with
-``-j 1`` and ``-j 4`` and records wall seconds per mode plus the speedup
-to ``BENCH_engine.json`` at the repository root — the repo's
-perf-trajectory data point for the execution engine.
+`mpi-comm-variability`, `jupyter-bww`) through ``popper run --all``
+three ways — serial (``-j 1``), threaded (``-j 4``) and process
+(``--backend process -j 4``) — and records wall seconds plus a
+per-mode ``speedup_vs_serial`` to ``BENCH_engine.json`` at the
+repository root — the repo's perf-trajectory data point for the
+execution engine.
 
-Also asserts the engine's correctness contract while it is at it: both
-modes must produce byte-identical ``results.csv`` files.
+Also asserts the engine's correctness contract while it is at it: all
+three modes must produce byte-identical ``results.csv`` files.
 
-The speedup is hardware-dependent: the experiment payloads are
-CPU-bound Python, so on a single-core host (or any host, under the GIL)
-the threaded sweep's benefit is bounded; ``cpu_count`` is recorded
-alongside the timings so the number can be read in context.
+The speedups are hardware-dependent: the experiment payloads are
+CPU-bound Python, so threading is GIL-bounded everywhere and the
+process backend only wins on a multi-core host (it clamps its pool to
+``cpu_count``, so on one core it degenerates to serial plus fork
+overhead).  ``cpu_count`` and each parallel mode's requested vs
+effective worker counts are recorded alongside the timings so the
+numbers can be read in context.
 
 Run standalone (``python benchmarks/bench_engine.py``) or via pytest
 (``pytest benchmarks/bench_engine.py``).
@@ -43,6 +48,13 @@ EXPERIMENTS = {
     "exp-bww": ("jupyter-bww", {"seed": 7}),
 }
 
+#: (mode name, extra ``popper run`` arguments) for each backend.
+MODES = [
+    ("serial_j1", ["-j", "1"]),
+    ("threaded_j4", ["-j", "4"]),
+    ("process_j4", ["--backend", "process", "-j", "4"]),
+]
+
 
 def build_repo(root: Path):
     from repro.common import minyaml
@@ -61,38 +73,57 @@ def build_repo(root: Path):
     return repo
 
 
-def sweep(repo, jobs: int) -> float:
+def sweep(repo, extra_args: list[str]) -> float:
     """Run the full sweep; returns wall seconds (exit code must be 0)."""
     from repro.core.cli import main
 
     started = time.perf_counter()
-    code = main(["-C", str(repo.root), "run", "--all", "-j", str(jobs)])
+    code = main(["-C", str(repo.root), "run", "--all", *extra_args])
     seconds = time.perf_counter() - started
-    assert code == 0, f"sweep with -j {jobs} exited {code}"
+    assert code == 0, f"sweep with {extra_args} exited {code}"
     return seconds
 
 
 def run_bench(base: Path) -> dict:
-    serial_repo = build_repo(base / "serial")
-    threaded_repo = build_repo(base / "threaded")
+    cpus = os.cpu_count() or 1
+    repos = {mode: build_repo(base / mode) for mode, _ in MODES}
+    seconds = {
+        mode: sweep(repos[mode], extra) for mode, extra in MODES
+    }
 
-    serial_s = sweep(serial_repo, jobs=1)
-    threaded_s = sweep(threaded_repo, jobs=4)
-
+    reference = None
     for experiment in EXPERIMENTS:
-        a = (serial_repo.experiment_dir(experiment) / "results.csv").read_bytes()
-        b = (threaded_repo.experiment_dir(experiment) / "results.csv").read_bytes()
-        assert a == b, f"{experiment}: -j 1 and -j 4 results differ"
+        blobs = {
+            mode: (
+                repos[mode].experiment_dir(experiment) / "results.csv"
+            ).read_bytes()
+            for mode, _ in MODES
+        }
+        reference = blobs["serial_j1"]
+        for mode, blob in blobs.items():
+            assert blob == reference, f"{experiment}: {mode} results differ"
+    assert reference is not None
+
+    serial_s = seconds["serial_j1"]
+    modes = {"serial_j1": {"wall_seconds": round(serial_s, 4)}}
+    for mode, requested in (("threaded_j4", 4), ("process_j4", 4)):
+        wall = seconds[mode]
+        modes[mode] = {
+            "wall_seconds": round(wall, 4),
+            "speedup_vs_serial": round(serial_s / wall, 3) if wall else None,
+            "workers_requested": requested,
+            # Threading never clamps (oversubscription just time-shares
+            # the GIL); the process pool clamps to the core count.
+            "workers_effective": (
+                min(requested, cpus) if mode == "process_j4" else requested
+            ),
+        }
 
     report = {
         "benchmark": "engine-sweep",
         "experiments": sorted(EXPERIMENTS),
-        "modes": {
-            "serial_j1": {"wall_seconds": round(serial_s, 4)},
-            "threaded_j4": {"wall_seconds": round(threaded_s, 4)},
-        },
-        "speedup": round(serial_s / threaded_s, 3) if threaded_s else None,
-        "cpu_count": os.cpu_count(),
+        "modes": modes,
+        "cpu_count": cpus,
         "results_identical": True,
     }
     BENCH_FILE.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -102,8 +133,9 @@ def run_bench(base: Path) -> dict:
 def test_bench_engine_sweep(tmp_path):
     report = run_bench(tmp_path)
     assert report["results_identical"]
-    assert report["modes"]["serial_j1"]["wall_seconds"] > 0
-    assert report["modes"]["threaded_j4"]["wall_seconds"] > 0
+    for mode, _ in MODES:
+        assert report["modes"][mode]["wall_seconds"] > 0
+    assert report["modes"]["process_j4"]["workers_effective"] >= 1
     assert BENCH_FILE.is_file()
 
 

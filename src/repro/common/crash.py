@@ -78,6 +78,13 @@ class SimulatedCrash(BaseException):
         self.hit = hit
         super().__init__(f"simulated crash at {point} (hit {hit})")
 
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the formatted
+        # message) into ``__init__``, which takes (point, hit) — so a
+        # crash raised inside a worker process could not be rebuilt by
+        # the parent without this.
+        return (SimulatedCrash, (self.point, self.hit))
+
 
 @dataclass(frozen=True)
 class CrashSpec:
@@ -146,6 +153,17 @@ class CrashPlan:
 
     def describe(self) -> str:
         return ",".join(f"{s.mode}:{s.target}:{s.arg:g}" for s in self.specs)
+
+    def __getstate__(self) -> dict:
+        # The lock cannot cross a process boundary; counters ship as a
+        # snapshot (each worker counts its own hits from there on).
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def _bump(self, index: int, point: str) -> int:
         with self._lock:

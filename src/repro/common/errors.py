@@ -39,6 +39,8 @@ __all__ = [
     "TaskTimeoutError",
     "InjectedFault",
     "TransientInjectedFault",
+    "UnpicklablePayloadError",
+    "WorkerCrashError",
     "GassyFSError",
     "FSError",
     "MPIError",
@@ -222,6 +224,27 @@ class InjectedFault(EngineError):
 
 class TransientInjectedFault(InjectedFault, TransientError):
     """An injected fault modeling a transient (retry should clear it)."""
+
+
+class UnpicklablePayloadError(EngineError):
+    """A payload (or its value) cannot cross a process boundary.
+
+    The process scheduler audits every payload before spawning workers;
+    a closure, lambda or otherwise unpicklable payload raises this (or,
+    with a fallback configured, demotes the run to an in-process
+    backend).  Also raised for a task whose *return value* cannot be
+    pickled back to the parent — the task executed, but its result
+    cannot reach dependents, so it is reported as failed.
+    """
+
+
+class WorkerCrashError(EngineError):
+    """A worker process died without reporting its task's outcome.
+
+    The parent notices the dead worker (non-zero exit, no ``done``
+    record) and fails the in-flight task with this error; downstream
+    tasks are skipped as for any failure.
+    """
 
 
 # --- gassyfs ----------------------------------------------------------------

@@ -85,11 +85,15 @@ class PopperExecutor:
         )
 
 
-def make_ci_server(popper_repo, jobs: int = 1) -> "CIServer":
+def make_ci_server(popper_repo, jobs: int = 1, backend: str = "auto") -> "CIServer":
     """A CI server for a Popper repository with the integrated executor.
 
-    *jobs* bounds how many matrix jobs run concurrently (``popper ci -j``).
+    *jobs* bounds how many matrix jobs run concurrently (``popper ci
+    -j``); *backend* picks the scheduler for the job graph (``popper ci
+    --backend``).
     """
     from repro.ci.runner import CIServer
 
-    return CIServer(popper_repo.vcs, executor=PopperExecutor(), jobs=jobs)
+    return CIServer(
+        popper_repo.vcs, executor=PopperExecutor(), jobs=jobs, backend=backend
+    )

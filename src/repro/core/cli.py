@@ -83,6 +83,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run up to N independent experiments concurrently (default 1)",
     )
     run.add_argument(
+        "--backend",
+        choices=("auto", "serial", "threaded", "process"),
+        default="auto",
+        help="execution backend: serial, threaded (overlaps I/O), or "
+        "process (worker processes, true multi-core; payloads must be "
+        "pickle-safe).  auto = threaded when -j > 1 (default)",
+    )
+    run.add_argument(
+        "--process-smoke",
+        action="store_true",
+        help="shorthand for --backend process -j 2 (single-token "
+        "process-backend job for CI env matrices)",
+    )
+    run.add_argument(
         "--resume",
         action="store_true",
         help="skip experiments already completed by an interrupted sweep",
@@ -183,6 +197,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="run up to N matrix jobs concurrently (default 1)",
+    )
+    ci.add_argument(
+        "--backend",
+        choices=("auto", "serial", "threaded", "process"),
+        default="auto",
+        help="scheduler backend for the matrix jobs (the CI executor "
+        "runs popper in-process, so process demotes itself to threaded "
+        "for the job graph; experiments inside a job may still use it)",
     )
     ci.add_argument(
         "--resume",
@@ -293,12 +315,22 @@ def _cmd_check(args) -> int:
     return 0 if report.compliant else 1
 
 
-def _scheduler_for(jobs: int):
-    from repro.engine import SerialScheduler, ThreadedScheduler
+def _scheduler_for(backend: str, jobs: int):
+    """Resolve ``--backend``/``-j`` into a scheduler; print any warning.
+
+    Returns ``(scheduler, effective_workers)``.  Asking for more workers
+    than CPU cores warns (and, for the process backend, clamps) instead
+    of silently oversubscribing — see
+    :func:`repro.engine.resolve_backend` for the policy.
+    """
+    from repro.engine import resolve_backend
 
     if jobs < 1:
         raise PopperError(f"--jobs must be >= 1, got {jobs}")
-    return ThreadedScheduler(max_workers=jobs) if jobs > 1 else SerialScheduler()
+    scheduler, workers, warning = resolve_backend(backend, jobs)
+    if warning:
+        print(f"-- {warning}", file=sys.stderr)
+    return scheduler, workers
 
 
 def _cmd_run(args) -> int:
@@ -323,13 +355,12 @@ def _cmd_run(args) -> int:
     )
     from repro.common.errors import ValidationFailure
     from repro.common.hashing import sha256_text
-    from repro.common.rng import derive_seed
+    from repro.core.sweep import SweepExperimentJob
     from repro.engine import (
         CancelToken,
         FaultPlan,
         GracefulShutdown,
         MemoizedPayload,
-        RetryPolicy,
         RunCancelled,
         RunOptions,
         RunStateStore,
@@ -356,23 +387,15 @@ def _cmd_run(args) -> int:
         fault_spec = fault_spec or "flaky:run:2"
     if retries < 0:
         raise PopperError(f"--retries must be >= 0, got {retries}")
-    retry = (
-        RetryPolicy(max_attempts=retries + 1, seed=args.fault_seed)
-        if retries
-        else None
-    )
     if fault_spec:
         FaultPlan.parse(fault_spec, seed=args.fault_seed)  # validate early
 
-    def fault_plan_for(name: str):
-        # One plan per experiment: stage ids ("run", "setup") repeat
-        # across experiments, and sharing one plan's counters would let
-        # the first experiment consume every injected failure.
-        if not fault_spec:
-            return None
-        return FaultPlan.parse(
-            fault_spec, seed=derive_seed(args.fault_seed, "faults", name)
-        )
+    backend = args.backend
+    jobs = args.jobs
+    if args.process_smoke:
+        backend = "process"
+        jobs = max(jobs, 2)
+    scheduler, workers = _scheduler_for(backend, jobs)
 
     if args.cache_check and (args.no_cache or args.validate_only):
         raise PopperError(
@@ -400,21 +423,23 @@ def _cmd_run(args) -> int:
     cancel = CancelToken()
 
     def experiment_task(name: str):
-        def payload(ctx):
-            pipeline = ExperimentPipeline(
-                repo,
-                name,
-                retry=retry,
-                timeout_s=args.task_timeout,
-                faults=fault_plan_for(name),
-                artifact_store=artifact_store,
-                cancel=cancel,
-            )
-            if args.validate_only:
-                return pipeline.validate_existing()
-            return pipeline.run(strict=args.strict, resume=args.resume)
-
-        return payload
+        # Plain data rather than a closure, so the process backend can
+        # ship it to a worker; bound to the open repo and cancel token
+        # for the in-process backends (dropped on pickle).
+        return SweepExperimentJob(
+            repo_root=str(repo.root),
+            name=name,
+            strict=args.strict,
+            resume=args.resume,
+            validate_only=args.validate_only,
+            retries=retries,
+            task_timeout=args.task_timeout,
+            fault_spec=fault_spec,
+            fault_seed=args.fault_seed,
+            use_cache=use_cache,
+            backend=scheduler.backend,
+            workers=workers,
+        ).bind(repo=repo, cancel=cancel)
 
     def sweep_fingerprint(name: str) -> str:
         # Covers the experiment's parameters: editing vars.yml
@@ -507,7 +532,7 @@ def _cmd_run(args) -> int:
                 artifact_store=artifact_store,
                 cancel=cancel,
             )
-            return _scheduler_for(args.jobs).run(build_graph(), options=options)
+            return scheduler.run(build_graph(), options=options)
 
     def report(recap) -> int:
         exit_code = 0
@@ -703,7 +728,7 @@ def _cmd_ci(args) -> int:
     from repro.core.ci_integration import make_ci_server
 
     repo = PopperRepository.open(args.repo)
-    server = make_ci_server(repo, jobs=args.jobs)
+    server = make_ci_server(repo, jobs=args.jobs, backend=args.backend)
     record = server.trigger(args.ref, resume=args.resume)
     print(f"-- build #{record.number} on {record.commit[:12]}: {record.status.value}")
     for job in record.jobs:

@@ -124,6 +124,7 @@ class ExperimentPipeline:
         faults: FaultPlan | None = None,
         artifact_store: ArtifactStore | None = None,
         cancel: CancelToken | None = None,
+        run_meta: dict | None = None,
     ) -> None:
         if experiment not in repo.config.experiments:
             raise PopperError(f"no such experiment: {experiment!r}")
@@ -146,6 +147,9 @@ class ExperimentPipeline:
         # Cooperative shutdown: the scheduler checks this between
         # stages and drains instead of dying mid-write.
         self.cancel = cancel
+        # Extra fields for the journal's run_start header — the sweep
+        # layer records which backend and worker count drove this run.
+        self.run_meta = dict(run_meta) if run_meta else {}
 
     @property
     def journal_path(self):
@@ -260,7 +264,12 @@ class ExperimentPipeline:
         journal = RunJournal(self.journal_path, fresh=not resume)
         tracer = self.tracer
         tracer.journal = journal
-        journal.event("run_start", experiment=self.experiment, resume=resume)
+        journal.event(
+            "run_start",
+            experiment=self.experiment,
+            resume=resume,
+            **self.run_meta,
+        )
         status = "error"
         prior_roots = len(tracer.roots())
         try:

@@ -62,23 +62,27 @@ PAPER_TEMPLATES: dict[str, dict[str, str]] = {
 
 DEFAULT_TRAVIS = """\
 # Integrity checks for this Popper repository (category-1 validation).
-# The matrix runs four jobs: a re-validation of stored results, a
+# The matrix runs five jobs: a re-validation of stored results, a
 # chaos smoke job that re-executes every pipeline under injected
 # transient faults with retries enabled (the resilience layer's own
 # integrity check), a warm-cache job that runs the sweep twice against
 # one artifact store and fails unless the second pass is served
-# (almost) entirely from cache with identical results, and a crash
-# smoke job that kills a seeded sweep mid-write, repairs the debris
-# with popper doctor and requires a clean --resume (the crash-
-# consistency layer's own integrity check).  Env values must be single
-# tokens (the CI env parser splits on whitespace), hence the
-# --chaos-smoke / --cache-check / --crash-smoke shorthands.
+# (almost) entirely from cache with identical results, a crash smoke
+# job that kills a seeded sweep mid-write, repairs the debris with
+# popper doctor and requires a clean --resume (the crash-consistency
+# layer's own integrity check), and a process-backend job that runs
+# the sweep on worker processes (--backend process -j 2) so the
+# multi-core execution path is exercised on every build.  Env values
+# must be single tokens (the CI env parser splits on whitespace),
+# hence the --chaos-smoke / --cache-check / --crash-smoke /
+# --process-smoke shorthands.
 language: generic
 env:
   - POPPER_RUN_MODE=--validate-only
   - POPPER_RUN_MODE=--chaos-smoke
   - POPPER_RUN_MODE=--cache-check
   - POPPER_RUN_MODE=--crash-smoke
+  - POPPER_RUN_MODE=--process-smoke
 script:
   - popper check
   - popper run --all ${POPPER_RUN_MODE}

@@ -5,8 +5,12 @@ playbook host fan-out all declare their work as a
 :class:`~repro.engine.graph.TaskGraph` and hand it to a
 :class:`~repro.engine.scheduler.Scheduler` —
 :class:`~repro.engine.scheduler.SerialScheduler` for deterministic
-debugging or :class:`~repro.engine.scheduler.ThreadedScheduler` for
-parallel execution.  See ``docs/engine.md``.
+debugging, :class:`~repro.engine.scheduler.ThreadedScheduler` for
+I/O-overlapping parallelism, or
+:class:`~repro.engine.procsched.ProcessScheduler` for true multi-core
+execution of pickle-safe payloads
+(:func:`~repro.engine.scheduler.resolve_backend` picks one from
+``--backend``/``-j``).  See ``docs/engine.md``.
 
 The resilience layer (see ``docs/robustness.md``) rides on top:
 :class:`~repro.engine.resilience.RetryPolicy` and per-task deadlines,
@@ -45,11 +49,14 @@ from repro.engine.runstate import (
     RunStateStore,
     task_fingerprint,
 )
+from repro.engine.procsched import ProcessScheduler, audit_pickle_safety
 from repro.engine.scheduler import (
+    BACKENDS,
     RunOptions,
     Scheduler,
     SerialScheduler,
     ThreadedScheduler,
+    resolve_backend,
 )
 from repro.engine.shutdown import (
     EXIT_SIGINT,
@@ -67,10 +74,14 @@ __all__ = [
     "TaskGraph",
     "TaskOutcome",
     "TaskState",
+    "BACKENDS",
     "RunOptions",
     "Scheduler",
     "SerialScheduler",
     "ThreadedScheduler",
+    "ProcessScheduler",
+    "audit_pickle_safety",
+    "resolve_backend",
     "RetryPolicy",
     "NO_RETRY",
     "call_with_timeout",

@@ -118,6 +118,19 @@ class FaultPlan:
             for s in self.specs
         )
 
+    def __getstate__(self) -> dict:
+        # The lock cannot cross a process boundary; counters ship as a
+        # snapshot.  Each task runs all of its attempts inside a single
+        # worker, and counters are keyed per task, so per-job snapshots
+        # observe the same deterministic sequence a shared plan would.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def _bump(self, index: int, task_id: str) -> int:
         with self._lock:
             key = (index, task_id)

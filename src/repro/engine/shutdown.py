@@ -62,6 +62,12 @@ class RunCancelled(BaseException):
         super().__init__(f"run cancelled by {name}")
         self.signum = signum
 
+    def __reduce__(self):
+        # Default exception pickling replays the formatted message into
+        # ``__init__(signum)``; spell out the real constructor argument
+        # so a cancellation can cross a process boundary intact.
+        return (RunCancelled, (self.signum,))
+
     @property
     def exit_code(self) -> int:
         """The conventional shell exit code for this cancellation."""

@@ -39,6 +39,7 @@ __all__ = [
     "RunJournal",
     "load_journal",
     "read_journal",
+    "replay_events",
 ]
 
 #: Default journal file name inside an experiment directory.
@@ -57,6 +58,7 @@ EVENT_KINDS = (
     "task_restored",
     "task_aborted",
     "cache",
+    "scheduler_fallback",
     "run_end",
 )
 
@@ -187,3 +189,42 @@ def load_journal(path: str | Path) -> tuple[list[dict[str, Any]], int]:
 def read_journal(path: str | Path) -> list[dict[str, Any]]:
     """Parse a JSONL journal back into its event records, in order."""
     return load_journal(path)[0]
+
+
+def replay_events(
+    journal: RunJournal,
+    events: list[dict[str, Any]],
+    span_id_map: dict[int, int] | None = None,
+    default_parent_id: int | None = None,
+    **extra_fields: Any,
+) -> int:
+    """Re-emit *events* (from another journal) into *journal*.
+
+    The workhorse of journal-shard merging: each worker process of the
+    process scheduler journals into its own shard file, and at join the
+    parent replays every shard's events into the run's real journal.
+    Replayed events get a fresh monotonic ``seq`` from the target journal
+    but keep their original ``ts`` (wall-clock time is meaningful across
+    processes; ``seq`` is not).  ``span_id_map`` remaps shard-local
+    ``span_id``/``parent_id`` values into the target's id space; a
+    ``parent_id`` with no mapping (a shard-root span) is re-parented to
+    ``default_parent_id``.  ``extra_fields`` (e.g. ``worker=3``) are
+    stamped onto every replayed event.  Returns the number of events
+    written.
+    """
+    span_id_map = span_id_map or {}
+    written = 0
+    for event in events:
+        fields = {k: v for k, v in event.items() if k not in ("seq", "event")}
+        if "span_id" in fields and fields["span_id"] in span_id_map:
+            fields["span_id"] = span_id_map[fields["span_id"]]
+        if "parent_id" in fields:
+            fields["parent_id"] = span_id_map.get(
+                fields["parent_id"], default_parent_id
+            )
+        fields.update(extra_fields)
+        # ``ts`` survives because explicit fields override the target
+        # journal's clock stamp; ``seq`` is always freshly assigned.
+        journal.event(event.get("event", "?"), **fields)
+        written += 1
+    return written

@@ -1,0 +1,245 @@
+"""The process backend must not change results: ``-j 1`` serial and
+``--backend process -j 4`` are bit-identical.
+
+Same contract as ``test_parallel_determinism``, one layer further out:
+worker *processes* instead of worker threads.  The sweep payloads cross
+a pickle boundary, execute under fork, and journal into per-worker
+shards that are merged back into one tree — none of which may leak into
+``results.csv``, the validation verdicts, or journal well-formedness.
+Also covers the operational surface the backend adds: the run-journal
+header naming backend and worker count, worker-count clamping, the
+``--process-smoke`` CI shorthand, and SIGTERM drain + resume.
+"""
+
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.ci.config import CIConfig
+from repro.core.cli import main
+from repro.core.repo import DEFAULT_TRAVIS
+from repro.core.sweep import SweepExperimentJob
+from repro.engine import EXIT_SIGTERM
+from repro.monitor.journal import read_journal
+from tests.integration.test_parallel_determinism import EXPERIMENTS, build_repo
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture(scope="module")
+def sweeps(tmp_path_factory):
+    """Run the identical repository serially and on worker processes."""
+    serial = build_repo(tmp_path_factory.mktemp("proc-det") / "serial")
+    process = build_repo(tmp_path_factory.mktemp("proc-det") / "process")
+    assert main(["-C", str(serial.root), "run", "--all", "-j", "1"]) == 0
+    assert (
+        main(
+            [
+                "-C",
+                str(process.root),
+                "run",
+                "--all",
+                "--backend",
+                "process",
+                "-j",
+                "4",
+            ]
+        )
+        == 0
+    )
+    return serial, process
+
+
+@pytest.mark.parametrize("experiment", sorted(EXPERIMENTS))
+def test_results_csv_byte_identical(sweeps, experiment):
+    serial, process = sweeps
+    serial_csv = (serial.experiment_dir(experiment) / "results.csv").read_bytes()
+    process_csv = (
+        process.experiment_dir(experiment) / "results.csv"
+    ).read_bytes()
+    assert serial_csv == process_csv
+
+
+@pytest.mark.parametrize("experiment", sorted(EXPERIMENTS))
+def test_validation_verdicts_identical(sweeps, experiment):
+    serial, process = sweeps
+    serial_report = (
+        serial.experiment_dir(experiment) / "validation_report.txt"
+    ).read_text()
+    process_report = (
+        process.experiment_dir(experiment) / "validation_report.txt"
+    ).read_text()
+    assert serial_report == process_report
+    assert "ALL VALIDATIONS PASSED" in process_report
+
+
+@pytest.mark.parametrize("experiment", sorted(EXPERIMENTS))
+def test_journal_header_names_backend_and_workers(sweeps, experiment):
+    """The run journal records who executed it: backend + worker count."""
+    _, process = sweeps
+    events = read_journal(process.experiment_dir(experiment) / "journal.jsonl")
+    assert events[0]["event"] == "run_start"
+    assert events[0]["backend"] == "process"
+    assert events[0]["workers"] >= 1
+    assert events[-1]["event"] == "run_end"
+    assert events[-1]["status"] == "ok"
+    seqs = [e["seq"] for e in events]
+    assert seqs == list(range(1, len(events) + 1))
+    span_ends = {e["name"] for e in events if e["event"] == "span_end"}
+    assert {"task/setup", "task/run", "task/validate"} <= span_ends
+    assert f"pipeline/run/{experiment}" in span_ends
+
+
+def test_trace_renders_critical_path_after_process_run(sweeps, capsys):
+    _, process = sweeps
+    assert main(["-C", str(process.root), "trace", "exp-torpor"]) == 0
+    out = capsys.readouterr().out
+    assert "critical path:" in out
+    assert "pipeline/run/exp-torpor" in out
+
+
+def test_sweep_payloads_are_pickle_safe():
+    """The job the CLI ships to workers survives the boundary by design:
+    ``bind()`` attaches the live repository and cancel token, pickling
+    drops them, and the worker re-opens the repo from its path."""
+    job = SweepExperimentJob(
+        repo_root="/tmp/nowhere", name="exp", backend="process", workers=2
+    ).bind(repo=object(), cancel=object())
+    clone = pickle.loads(pickle.dumps(job))
+    assert clone.repo_root == "/tmp/nowhere"
+    assert clone.name == "exp"
+    assert not hasattr(clone, "_repo")
+    assert not hasattr(clone, "_cancel")
+
+
+def test_oversubscribed_process_pool_clamps_with_warning(tmp_path, capsys):
+    repo_dir = tmp_path / "clamped-repo"
+    repo_dir.mkdir()
+    assert main(["-C", str(repo_dir), "init"]) == 0
+    assert main(["-C", str(repo_dir), "add", "torpor", "one"]) == 0
+    (repo_dir / "experiments" / "one" / "vars.yml").write_text(
+        "runner: torpor-variability\nruns: 2\nseed: 11\n"
+    )
+    cpus = os.cpu_count() or 1
+    capsys.readouterr()
+    args = ["-C", str(repo_dir), "run", "--all", "--backend", "process"]
+    assert main([*args, "-j", str(cpus + 7)]) == 0
+    err = capsys.readouterr().err
+    assert "clamping" in err
+    events = read_journal(repo_dir / "experiments" / "one" / "journal.jsonl")
+    assert events[0]["backend"] == "process"
+    assert events[0]["workers"] == cpus
+
+
+def test_process_smoke_is_process_backend_with_two_jobs(tmp_path, capsys):
+    repo_dir = tmp_path / "smoke-repo"
+    repo_dir.mkdir()
+    assert main(["-C", str(repo_dir), "init"]) == 0
+    assert main(["-C", str(repo_dir), "add", "torpor", "one"]) == 0
+    (repo_dir / "experiments" / "one" / "vars.yml").write_text(
+        "runner: torpor-variability\nruns: 2\nseed: 11\n"
+    )
+    assert main(["-C", str(repo_dir), "run", "--all", "--process-smoke"]) == 0
+    events = read_journal(repo_dir / "experiments" / "one" / "journal.jsonl")
+    assert events[0]["backend"] == "process"
+
+
+def test_default_ci_matrix_includes_a_process_backend_job():
+    config = CIConfig.from_yaml(DEFAULT_TRAVIS)
+    modes = [env.get("POPPER_RUN_MODE") for env in config.expand_matrix()]
+    assert "--process-smoke" in modes
+    assert len(modes) == 5
+
+
+#: Child harness: slow down one torpor run *inside a worker process* so
+#: the SIGTERM lands in the parent while that experiment is in flight.
+#: The monkeypatch happens before the pool forks, so workers inherit it;
+#: each worker counts its own calls, hence ``-j 2`` keeps at least one
+#: worker on its second (slowed) experiment.
+SLOW_RUN = (
+    "import sys, time\n"
+    "from pathlib import Path\n"
+    "import repro.core.runners as runners\n"
+    "real = runners.EXPERIMENT_RUNNERS['torpor-variability']\n"
+    "calls = []\n"
+    "def slow(variables):\n"
+    "    calls.append(1)\n"
+    "    if len(calls) == 2:\n"
+    "        Path(sys.argv[2]).touch()\n"
+    "        time.sleep(3.0)\n"
+    "    return real(variables)\n"
+    "runners.EXPERIMENT_RUNNERS['torpor-variability'] = slow\n"
+    "from repro.core.cli import main\n"
+    "sys.exit(main(['-C', sys.argv[1], 'run', '--all',\n"
+    "               '--backend', 'process', '-j', '2']))\n"
+)
+
+
+def _make_repo(path, names):
+    path.mkdir()
+    assert main(["-C", str(path), "init"]) == 0
+    for name in names:
+        assert main(["-C", str(path), "add", "torpor", name]) == 0
+        (path / "experiments" / name / "vars.yml").write_text(
+            "runner: torpor-variability\nruns: 2\nseed: 11\n"
+        )
+    return path
+
+
+class TestSignalledProcessSweep:
+    def test_sigterm_drains_workers_and_resumes(self, tmp_path, capsys):
+        """SIGTERM mid-sweep under the process backend: in-flight worker
+        payloads drain (whole-experiment granularity — workers see no
+        cancel token), the exit code is 143, and ``--resume`` serves the
+        checkpointed experiments from cache."""
+        repo_dir = _make_repo(
+            tmp_path / "signalled-repo", names=("one", "two", "three")
+        )
+        marker = tmp_path / "started"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", SLOW_RUN, str(repo_dir), str(marker)],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        deadline = time.monotonic() + 60
+        while not marker.exists():
+            assert time.monotonic() < deadline, "runner never started"
+            assert proc.poll() is None, "sweep died before being signalled"
+            time.sleep(0.02)
+        time.sleep(0.2)  # land the signal mid-payload, not mid-startup
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == EXIT_SIGTERM, out
+        assert "completed tasks are checkpointed" in out
+        assert "resume with: popper run --all --resume" in out
+
+        # At least the first experiment completed and checkpointed
+        # before the signal landed (exact coverage depends on how many
+        # workers the host's cpu count allowed).
+        states = {}
+        state_file = repo_dir / ".pvcs" / "sweep-state.jsonl"
+        for line in state_file.read_text().splitlines():
+            record = json.loads(line)
+            states[record["task"]] = record["state"]
+        assert states.get("one") == "ok"
+
+        # The resume serves checkpointed work from cache and completes
+        # the rest; results land for every experiment.
+        assert main(["-C", str(repo_dir), "run", "--all", "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        for name in ("one", "two", "three"):
+            assert (repo_dir / "experiments" / name / "results.csv").is_file()
+        assert "(cached)" in resumed.split("-- two:")[0]
+        capsys.readouterr()
+        assert main(["-C", str(repo_dir), "cache", "verify"]) == 0
