@@ -20,7 +20,7 @@ next to ``results.csv``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable, Mapping
 
 import numpy as np
 
@@ -42,7 +42,14 @@ from repro.aver.parser import parse_statement
 from repro.common.errors import AverEvalError
 from repro.common.tables import MetricsTable
 
-__all__ = ["GroupResult", "ValidationResult", "evaluate_statement", "check", "check_all"]
+__all__ = [
+    "ContextFunction",
+    "GroupResult",
+    "ValidationResult",
+    "evaluate_statement",
+    "check",
+    "check_all",
+]
 
 
 @dataclass(frozen=True)
@@ -80,11 +87,28 @@ class ValidationResult:
         return "\n".join(lines)
 
 
-class _Evaluator:
-    """Evaluates one expression against one group of rows."""
+#: A contextual function: called with ``(name, unevaluated_args, evaluator)``
+#: so it can inspect the raw AST (e.g. read a Column's *name* for a history
+#: lookup) and still evaluate arguments against the current group.
+ContextFunction = Callable[[str, tuple, "_Evaluator"], Any]
 
-    def __init__(self, group: MetricsTable) -> None:
+
+class _Evaluator:
+    """Evaluates one expression against one group of rows.
+
+    *context* maps function names to :data:`ContextFunction`\\ s bound to
+    run state (e.g. ``no_regression`` bound to a profile history by
+    :class:`repro.check.context.RegressionContext`); they shadow the
+    stateless :data:`~repro.aver.functions.FUNCTIONS` builtins.
+    """
+
+    def __init__(
+        self,
+        group: MetricsTable,
+        context: Mapping[str, ContextFunction] | None = None,
+    ) -> None:
         self.group = group
+        self.context = dict(context or {})
 
     def eval(self, node: Expr) -> Any:
         method = getattr(self, f"_eval_{type(node).__name__.lower()}", None)
@@ -117,6 +141,8 @@ class _Evaluator:
     def _eval_funccall(self, node: FuncCall) -> Any:
         if node.name == "count" and not node.args:
             return float(len(self.group))
+        if node.name in self.context:
+            return self.context[node.name](node.name, node.args, self)
         fn = FUNCTIONS.get(node.name)
         if fn is None:
             raise AverEvalError(
@@ -246,9 +272,15 @@ def _groups_for(
 
 
 def evaluate_statement(
-    statement: Statement, table: MetricsTable
+    statement: Statement,
+    table: MetricsTable,
+    context: Mapping[str, ContextFunction] | None = None,
 ) -> ValidationResult:
-    """Evaluate a parsed statement against a results table."""
+    """Evaluate a parsed statement against a results table.
+
+    *context* supplies run-state-bound functions (see
+    :class:`_Evaluator`); stateless validations pass nothing.
+    """
     if len(table) == 0:
         raise AverEvalError("results table is empty")
     group_results: list[GroupResult] = []
@@ -262,7 +294,7 @@ def evaluate_statement(
             )
             continue
         try:
-            verdict = _Evaluator(group).eval(statement.expectation)
+            verdict = _Evaluator(group, context=context).eval(statement.expectation)
         except AverEvalError as exc:
             group_results.append(
                 GroupResult(binding=binding, passed=False, detail=str(exc))
@@ -281,12 +313,20 @@ def evaluate_statement(
     return ValidationResult(statement=statement, groups=tuple(group_results))
 
 
-def check(source: str, table: MetricsTable) -> ValidationResult:
+def check(
+    source: str,
+    table: MetricsTable,
+    context: Mapping[str, ContextFunction] | None = None,
+) -> ValidationResult:
     """Parse and evaluate one statement."""
-    return evaluate_statement(parse_statement(source), table)
+    return evaluate_statement(parse_statement(source), table, context=context)
 
 
-def check_all(sources: list[str] | str, table: MetricsTable) -> list[ValidationResult]:
+def check_all(
+    sources: list[str] | str,
+    table: MetricsTable,
+    context: Mapping[str, ContextFunction] | None = None,
+) -> list[ValidationResult]:
     """Evaluate many statements (a ``validations.aver`` file's worth)."""
     from repro.aver.parser import parse_file_text
 
@@ -294,4 +334,4 @@ def check_all(sources: list[str] | str, table: MetricsTable) -> list[ValidationR
         statements = parse_file_text(sources)
     else:
         statements = [parse_statement(s) for s in sources]
-    return [evaluate_statement(s, table) for s in statements]
+    return [evaluate_statement(s, table, context=context) for s in statements]

@@ -176,8 +176,27 @@ def _fn_scaling_exp(name: str, args: list[Any]) -> float:
     return scaling_exponent(x, y)
 
 
+def _fn_no_regression(name: str, args: list[Any]) -> bool:
+    """``no_regression(metric)``: the candidate series for *metric* shows
+    no firm degradation against the commit-attached baseline profiles.
+
+    The real implementation needs run state (a profile history and the
+    current commit), so it is bound per run by
+    :class:`repro.check.context.RegressionContext` and passed to the
+    evaluator as a contextual function.  This registry entry exists so
+    the name parses everywhere and fails with an explanation — rather
+    than "unknown function" — when evaluated without that context.
+    """
+    raise AverEvalError(
+        f"{name}() needs a regression context (commit-attached profile "
+        "history); it is available when validations run through the "
+        "pipeline, not in standalone evaluation"
+    )
+
+
 FUNCTIONS: dict[str, Callable[[str, list[Any]], Any]] = {
     "scaling_exp": _fn_scaling_exp,
+    "no_regression": _fn_no_regression,
     "sublinear": _fn_sublinear,
     "superlinear": _fn_superlinear,
     "linear": _fn_linear,

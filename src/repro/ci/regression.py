@@ -1,29 +1,48 @@
-"""Automated performance-regression testing.
+"""Automated performance-regression testing — the CI-facing adapter.
 
 The paper calls out that performance regression testing "is usually an
 ad-hoc activity but can be automated ... using statistical techniques".
-This module implements the statistical gate: compare the current commit's
-runtime samples against a baseline window using a robust effect-size
-estimate (median ratio) plus a Mann-Whitney U significance test, so that
-ordinary run-to-run noise does not page anyone but a genuine slowdown
-does.
+The statistics now live in :mod:`repro.check` (a pluggable detector
+suite shared with Aver's ``no_regression`` builtin and ``popper perf``);
+this module keeps the CI-shaped surface on top of it:
+
+* :class:`RegressionGate` — the historical pass/fail gate.  Its verdict
+  is exactly the average-amount detector's (median-ratio threshold plus
+  Mann-Whitney U significance, both required), so CI semantics are
+  unchanged; the full suite's graded verdicts ride along on the report
+  for richer output.
+* :class:`PerformanceHistory` — the flat rolling-window baseline,
+  superseded by the commit-attached
+  :class:`~repro.check.profiles.ProfileHistory` but kept for gate-only
+  consumers, now with durable persistence.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
+import json
 import numpy as np
-from scipy import stats as sps
 
+from repro.check.detectors import Degradation, PerformanceChange
+from repro.check.suite import DetectorSuite, default_suite
 from repro.common.errors import CIError
+from repro.common.fsutil import atomic_write
 
 __all__ = ["RegressionReport", "RegressionGate", "PerformanceHistory"]
+
+_HISTORY_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
 class RegressionReport:
-    """Verdict on one metric comparison."""
+    """Verdict on one metric comparison.
+
+    ``regressed``/``ratio``/``p_value`` keep the historical gate
+    meaning; ``degradations`` carries every detector's graded verdict
+    and ``confidence`` the gating detector's confidence rating.
+    """
 
     metric: str
     regressed: bool
@@ -32,6 +51,8 @@ class RegressionReport:
     baseline_median: float
     current_median: float
     threshold: float
+    confidence: float = 0.0
+    degradations: tuple[Degradation, ...] = ()
 
     def __str__(self) -> str:
         verdict = "REGRESSION" if self.regressed else "ok"
@@ -40,14 +61,22 @@ class RegressionReport:
             f"(p={self.p_value:.4f}, threshold=+{self.threshold:.0%})"
         )
 
+    def describe(self) -> str:
+        """The one-line verdict plus each detector's graded opinion."""
+        lines = [str(self)]
+        lines.extend(f"  {d}" for d in self.degradations)
+        return "\n".join(lines)
+
 
 class RegressionGate:
     """Detects slowdowns beyond *threshold* with significance *alpha*.
 
-    A regression is flagged only when BOTH hold: the median slowdown
-    exceeds the threshold, and the distribution shift is statistically
-    significant — protecting against both "tiny but significant" and
-    "large but noise" false alarms.
+    A thin adapter over :func:`repro.check.suite.default_suite`: the
+    pass/fail verdict is the average-amount detector's firm-degradation
+    classification (a regression is flagged only when BOTH hold — the
+    median slowdown exceeds the threshold, and the distribution shift
+    is statistically significant), while the remaining detectors
+    contribute advisory verdicts on the report.
     """
 
     def __init__(
@@ -65,6 +94,12 @@ class RegressionGate:
         self.alpha = alpha
         self.higher_is_worse = higher_is_worse
         self.min_samples = min_samples
+        self.suite: DetectorSuite = default_suite(
+            threshold=threshold,
+            alpha=alpha,
+            higher_is_worse=higher_is_worse,
+            min_samples=min_samples,
+        )
 
     def check(
         self,
@@ -83,35 +118,23 @@ class RegressionGate:
         if np.any(baseline <= 0) or np.any(current <= 0):
             raise CIError("runtime samples must be positive")
 
+        verdicts = self.suite.compare_samples(baseline, current, metric=metric)
+        gating = next(v for v in verdicts if v.detector == "average-amount")
+        if gating.change is PerformanceChange.UNKNOWN:
+            raise CIError(f"regression gate could not judge: {gating.detail}")
+
         baseline_median = float(np.median(baseline))
         current_median = float(np.median(current))
-        ratio = current_median / baseline_median
-
-        if self.higher_is_worse:
-            effect = ratio - 1.0
-            alternative = "greater"
-        else:
-            effect = 1.0 - ratio
-            alternative = "less"
-
-        if np.all(baseline == baseline[0]) and np.all(current == current[0]):
-            # Degenerate zero-variance case: decide on effect size alone.
-            p_value = 0.0 if effect > 0 else 1.0
-        else:
-            _, p_value = sps.mannwhitneyu(
-                current, baseline, alternative=alternative
-            )
-            p_value = float(p_value)
-
-        regressed = effect > self.threshold and p_value < self.alpha
         return RegressionReport(
             metric=metric,
-            regressed=bool(regressed),
-            ratio=ratio,
-            p_value=p_value,
+            regressed=gating.change is PerformanceChange.DEGRADATION,
+            ratio=current_median / baseline_median,
+            p_value=max(0.0, 1.0 - gating.confidence),
             baseline_median=baseline_median,
             current_median=current_median,
             threshold=self.threshold,
+            confidence=gating.confidence,
+            degradations=tuple(verdicts),
         )
 
 
@@ -121,6 +144,12 @@ class PerformanceHistory:
 
     Keeps a rolling baseline window of the last *window* healthy commits;
     a new commit is judged against the pooled baseline samples.
+
+    Superseded by :class:`repro.check.profiles.ProfileHistory` (which
+    attaches profiles to the actual commit graph) but retained for
+    gate-only consumers; :meth:`save`/:meth:`load` persist the window
+    under the durable-write contract, with a one-shot fallback for the
+    legacy raw-JSON format.
     """
 
     metric: str = "runtime"
@@ -148,3 +177,60 @@ class PerformanceHistory:
         if not report.regressed:
             self.record(commit, samples)
         return report
+
+    # -- persistence -------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist the window atomically and durably (crash leaves the
+        old file or the new one, never a torn mix)."""
+        payload = {
+            "version": _HISTORY_FORMAT_VERSION,
+            "metric": self.metric,
+            "window": self.window,
+            "commits": [
+                [commit, [float(v) for v in samples]]
+                for commit, samples in self._commits
+            ],
+        }
+        data = json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        atomic_write(path, data.encode("utf-8"), durable=True)
+
+    @classmethod
+    def load(
+        cls, path: str | Path, gate: RegressionGate | None = None
+    ) -> "PerformanceHistory":
+        """Load a saved window.
+
+        Reads the versioned format written by :meth:`save`; a payload
+        without a ``version`` field is parsed once through the legacy
+        raw format (a plain ``{commit: [samples, ...]}`` mapping from
+        the pre-durable writer) so existing ``.pvcs`` state keeps
+        loading — the next :meth:`save` rewrites it versioned.
+        """
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CIError(f"unreadable performance history at {path}: {exc}") from exc
+        history = cls(gate=gate or RegressionGate())
+        if isinstance(payload, dict) and "version" in payload:
+            if payload["version"] != _HISTORY_FORMAT_VERSION:
+                raise CIError(
+                    f"unsupported performance-history version: {payload['version']!r}"
+                )
+            history.metric = str(payload.get("metric", history.metric))
+            history.window = int(payload.get("window", history.window))
+            entries = [
+                (str(commit), samples) for commit, samples in payload.get("commits", [])
+            ]
+        elif isinstance(payload, dict):
+            # Legacy format: {commit: [samples]} with no envelope.
+            entries = [(str(c), v) for c, v in payload.items()]
+        else:
+            raise CIError(f"malformed performance history at {path}")
+        for commit, samples in entries:
+            try:
+                history.record(commit, [float(v) for v in samples])
+            except (TypeError, ValueError) as exc:
+                raise CIError(
+                    f"malformed samples for commit {commit!r} in {path}"
+                ) from exc
+        return history

@@ -94,17 +94,32 @@ class JobResult:
 
 @dataclass
 class BuildRecord:
-    """One triggered build (all matrix jobs for one commit)."""
+    """One triggered build (all matrix jobs for one commit).
+
+    ``perf`` carries the degradation-detector verdicts comparing this
+    commit's attached profile against the pooled baseline of prior
+    commits — advisory only (empty when no profiles exist; never flips
+    the build status).
+    """
 
     number: int
     commit: str
     status: BuildStatus
     jobs: list[JobResult]
     duration_s: float = 0.0
+    perf: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return self.status == BuildStatus.PASSED
+
+    @property
+    def perf_regressed(self) -> bool:
+        """Any firm degradation verdict among the perf comparisons."""
+        return any(
+            getattr(v, "change", None) is not None and v.regressed
+            for v in self.perf
+        )
 
 
 Executor = Callable[[str, dict[str, str], Path], ExecResult]
@@ -288,17 +303,52 @@ class CIServer:
             if all(j.ok for j in jobs)
             else BuildStatus.FAILED
         )
+        perf = self._perf_verdicts(commit) if status is BuildStatus.PASSED else []
         record = BuildRecord(
             number=number,
             commit=commit,
             status=status,
             jobs=jobs,
             duration_s=time.perf_counter() - started,
+            perf=perf,
         )
         self.history.append(record)
+        for verdict in perf:
+            journal.event(
+                "degradation",
+                metric=verdict.metric,
+                detector=verdict.detector,
+                change=verdict.change.value,
+                rate=verdict.rate,
+                confidence=verdict.confidence,
+            )
         journal.event("run_end", status=status.value, duration_s=record.duration_s)
         journal.close()
         return record
+
+    def _perf_verdicts(self, commit: str) -> list:
+        """Advisory degradation verdicts for a passed build.
+
+        Compares *commit*'s attached profile (``.pvcs/profiles/``)
+        against the pooled baseline of its first-parent ancestors via
+        the shared detector suite.  Builds of unprofiled commits — the
+        common case for repositories not using performance profiles —
+        return an empty list at the cost of one ``exists`` check.
+        """
+        from repro.check.profiles import ProfileHistory
+        from repro.check.suite import default_suite
+
+        history = ProfileHistory(self.repo.meta)
+        candidate = history.get(commit)
+        if candidate is None or not candidate.series:
+            return []
+        prior = [
+            entry.oid for entry in self.repo.log(commit) if entry.oid != commit
+        ]
+        baseline = history.baseline_for(list(reversed(prior)))
+        if baseline is None:
+            return []
+        return default_suite().compare_series(baseline.series, candidate.series)
 
     def _checkout(self, commit: str, workspace: Path) -> Path:
         rmtree_quiet(workspace)

@@ -167,6 +167,11 @@ class CIError(ReproError):
     """Continuous-integration substrate failure."""
 
 
+# --- check ------------------------------------------------------------------
+class CheckError(ReproError):
+    """Degradation-check subsystem failure (detectors, profiles, history)."""
+
+
 # --- datapkg ----------------------------------------------------------------
 class DataPackageError(ReproError):
     """Dataset-management substrate failure."""

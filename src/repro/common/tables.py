@@ -287,3 +287,37 @@ class MetricsTable:
     def to_records(self) -> list[dict[str, Any]]:
         """All rows as independent dicts."""
         return [dict(row) for row in self._rows]
+
+    def to_text(self) -> str:
+        """Render as an aligned plain-text table (header + rows).
+
+        The terminal-facing sibling of :meth:`to_csv`: columns are
+        padded to their widest cell, floats print with 4 significant
+        digits, None prints empty.  Used by ``popper perf`` and friends
+        for verdict tables.
+        """
+
+        def fmt(value: Any) -> str:
+            if value is None:
+                return ""
+            if isinstance(value, bool):
+                return str(value)
+            if isinstance(value, float):
+                return f"{value:.4g}"
+            return str(value)
+
+        rendered = [[fmt(row[c]) for c in self.columns] for row in self._rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in rendered))
+            if rendered
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.columns)).rstrip()
+        ]
+        for cells in rendered:
+            lines.append(
+                "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+            )
+        return "\n".join(lines) + "\n"

@@ -167,6 +167,39 @@ def build_parser() -> argparse.ArgumentParser:
         "unless the warm pass is >=90%% cache hits with identical "
         "results (single-token warm-cache job for CI env matrices)",
     )
+    run.add_argument(
+        "--perf-smoke",
+        action="store_true",
+        help="run the degradation-detector suite over a synthetic "
+        "two-commit profile history before the sweep and fail unless "
+        "the injected slowdown is caught (single-token perf job for "
+        "CI env matrices)",
+    )
+
+    perf = sub.add_parser(
+        "perf",
+        help="compare two commits' performance profiles with the "
+        "degradation-detector suite",
+    )
+    perf.add_argument("rev1", help="baseline commit/branch/tag")
+    perf.add_argument(
+        "rev2",
+        nargs="?",
+        default="HEAD",
+        help="candidate commit/branch/tag (default HEAD)",
+    )
+    perf.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        metavar="R",
+        help="relative degradation threshold (default 0.10 = 10%%)",
+    )
+    perf.add_argument(
+        "--all-verdicts",
+        action="store_true",
+        help="print every detector verdict, not only suspicious ones",
+    )
 
     trace = sub.add_parser(
         "trace", help="render an experiment's run journal (timings, critical path)"
@@ -370,6 +403,20 @@ def _cmd_run(args) -> int:
     )
 
     repo = PopperRepository.open(args.repo)
+
+    if args.perf_smoke:
+        # The synthetic detector check runs first (and even with no
+        # experiments registered): it validates the degradation
+        # subsystem itself, independent of this repository's content.
+        from repro.check.smoke import perf_smoke
+        from repro.common.errors import CheckError
+
+        try:
+            print("-- " + perf_smoke())
+        except CheckError as exc:
+            print(f"-- perf smoke FAILED: {exc}")
+            return 1
+
     names = list(args.names)
     if args.all:
         names = repo.experiments()
@@ -690,6 +737,17 @@ def _cmd_log(args) -> int:
     import json
 
     events, skipped = _journal_events(args)
+    if not args.raw:
+        run_start = next(
+            (e for e in events if e.get("event") == "run_start"), None
+        )
+        if run_start is not None:
+            header = f"-- run: {run_start.get('experiment', '?')}"
+            if run_start.get("backend"):
+                header += f"   backend: {run_start['backend']}"
+                if run_start.get("workers"):
+                    header += f" ({run_start['workers']} workers)"
+            print(header)
     for event in events:
         if args.raw:
             print(json.dumps(event))
@@ -703,6 +761,96 @@ def _cmd_log(args) -> int:
         print(f"[{event.get('seq', '?'):>4}] {kind:<12} {detail}".rstrip())
     if skipped and not args.raw:
         print(f"-- {skipped} torn trailing line skipped (crashed append)")
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    """``popper perf <rev1> [rev2]``: detector verdicts between commits.
+
+    Loads the commit-attached profiles of both revisions from
+    ``.pvcs/profiles/``, runs the four-detector suite over every shared
+    series, and prints the verdict table.  Exit status: 0 when no firm
+    degradation, 1 when at least one detector is certain, 2 on usage
+    errors (unknown revision, missing profile).
+    """
+    from repro.check import DetectorSuite, PerformanceChange, default_suite
+    from repro.common.errors import CheckError, ObjectNotFound, VcsError
+
+    repo = PopperRepository.open(args.repo)
+
+    def resolve(ref: str) -> str:
+        try:
+            return repo.vcs.resolve(ref)
+        except ObjectNotFound as exc:
+            raise PopperError(
+                f"popper perf: unknown revision {ref!r} "
+                "(no branch, tag, or commit prefix matches)"
+            ) from exc
+        except VcsError as exc:
+            raise PopperError(
+                f"popper perf: cannot resolve revision {ref!r}: {exc}"
+            ) from exc
+
+    old = resolve(args.rev1)
+    new = resolve(args.rev2)
+    history = repo.profile_history
+    try:
+        baseline = history.require(old)
+        candidate = history.require(new)
+    except CheckError as exc:
+        profiled = history.commits()
+        hint = (
+            "profiled commits: "
+            + ", ".join(c[:12] for c in profiled[-5:])
+            if profiled
+            else "no commits have profiles yet"
+        )
+        raise PopperError(f"popper perf: {exc} ({hint})") from exc
+
+    suite = default_suite(threshold=args.threshold)
+    verdicts = suite.compare_series(baseline.series, candidate.series)
+    span = ""
+    try:
+        between = repo.vcs.commits_between(old, new)
+        span = f" ({len(between)} commit{'s' if len(between) != 1 else ''} apart)"
+    except VcsError:
+        pass  # unrelated revisions still compare profile-to-profile
+    print(f"== perf: {old[:12]} -> {new[:12]}{span}")
+
+    shown = verdicts
+    if not args.all_verdicts:
+        quiet = (
+            PerformanceChange.NO_CHANGE,
+            PerformanceChange.OPTIMIZATION,
+            PerformanceChange.MAYBE_OPTIMIZATION,
+            PerformanceChange.UNKNOWN,
+        )
+        shown = [v for v in verdicts if v.change not in quiet]
+        unknown = sum(
+            1 for v in verdicts if v.change is PerformanceChange.UNKNOWN
+        )
+        hidden = len(verdicts) - len(shown) - unknown
+        if unknown:
+            print(
+                f"-- {unknown} series not comparable "
+                "(missing from one profile or too few samples)"
+            )
+        if hidden:
+            print(f"-- {hidden} unremarkable verdicts hidden (--all-verdicts shows them)")
+    if shown:
+        print(DetectorSuite.to_table(shown).to_text(), end="")
+    firm = [v for v in verdicts if v.change is PerformanceChange.DEGRADATION]
+    maybes = [
+        v for v in verdicts if v.change is PerformanceChange.MAYBE_DEGRADATION
+    ]
+    if firm:
+        metrics = sorted({v.metric for v in firm})
+        print(f"-- DEGRADATION in {len(metrics)} metric(s): {', '.join(metrics)}")
+        return 1
+    if maybes:
+        print(f"-- no firm degradation ({len(maybes)} maybe-verdicts above)")
+    else:
+        print("-- no degradation detected")
     return 0
 
 
@@ -742,6 +890,18 @@ def _cmd_ci(args) -> int:
             print(f"     [{marker}] {step.phase}: {step.command}")
             if not step.ok and step.stderr.strip():
                 print("          " + step.stderr.strip().splitlines()[0])
+    if record.perf:
+        from repro.check import PerformanceChange
+
+        firm = [
+            v for v in record.perf if v.change is PerformanceChange.DEGRADATION
+        ]
+        print(
+            f"-- perf: {len(record.perf)} detector verdicts vs baseline, "
+            f"{len(firm)} firm degradation(s)"
+        )
+        for verdict in firm:
+            print(f"   {verdict}")
     print(f"-- {server.badge()}")
     return 0 if record.ok else 1
 
@@ -877,6 +1037,7 @@ def main(argv: list[str] | None = None) -> int:
         "rm": _cmd_rm,
         "check": _cmd_check,
         "run": _cmd_run,
+        "perf": _cmd_perf,
         "trace": _cmd_trace,
         "log": _cmd_log,
         "paper": _cmd_paper,

@@ -242,12 +242,37 @@ class ExperimentPipeline:
             )
 
     def run_validation(self, table: MetricsTable) -> list[ValidationResult]:
-        """Evaluate ``validations.aver``; persist the report."""
+        """Evaluate ``validations.aver``; persist the report.
+
+        Statements run with a :class:`~repro.check.context.RegressionContext`
+        bound to the repository's profile history, so ``expect
+        no_regression(metric)`` judges the current results against the
+        pooled baseline of prior commits (vacuously passing on a history
+        with no baseline yet).
+        """
         path = self.directory / "validations.aver"
         if not path.is_file():
             return []
-        results = check_all(path.read_text(encoding="utf-8"), table)
-        return results
+        context = self._regression_context()
+        functions = context.functions() if context is not None else None
+        self._last_regression_context = context
+        return check_all(path.read_text(encoding="utf-8"), table, context=functions)
+
+    def _regression_context(self):
+        """Bind ``no_regression`` to the prior commits' pooled profiles."""
+        from repro.check.context import RegressionContext
+
+        try:
+            head = self.repo.vcs.head_commit()
+        except Exception:
+            return None
+        if head is None:
+            return None
+        prior = [
+            entry.oid for entry in self.repo.vcs.log("HEAD") if entry.oid != head
+        ]
+        baseline = self.repo.profile_history.baseline_for(list(reversed(prior)))
+        return RegressionContext(baseline, experiment=self.experiment)
 
     # -- the whole pipeline -------------------------------------------------------------
     def run(self, strict: bool = False, resume: bool = False) -> ExperimentResult:
@@ -553,6 +578,24 @@ class ExperimentPipeline:
                     value=seconds,
                     labels=labels,
                 )
+        context = getattr(self, "_last_regression_context", None)
+        if context is not None and journal is not None:
+            for verdict in context.verdicts:
+                journal.event(
+                    "degradation",
+                    metric=verdict.metric,
+                    detector=verdict.detector,
+                    change=verdict.change.value,
+                    rate=verdict.rate,
+                    confidence=verdict.confidence,
+                )
+            for note in context.notes:
+                journal.event("degradation", note=note)
+        if result.validated:
+            # A healthy run's profile joins the baseline history (a
+            # regressed/failed run must not poison future baselines —
+            # the same rule the old rolling window applied).
+            self._attach_profile(result, journal)
         if strict and not result.validated:
             raise ValidationFailure(
                 f"{self.experiment}: domain-specific validations failed:\n"
@@ -560,8 +603,63 @@ class ExperimentPipeline:
             )
         return result
 
+    def _attach_profile(self, result: ExperimentResult, journal) -> None:
+        """Attach this run's performance profile to the HEAD commit.
+
+        Harvests stage timings from the metric store and numeric result
+        columns from the results table (keys
+        ``<experiment>/stage/<stage>`` and ``<experiment>/results/<col>``
+        — the keys ``no_regression`` and ``popper perf`` resolve).
+        Attachment failures are journaled, not raised: a completed run
+        is worth more than its profile.
+        """
+        from repro.check.profiles import harvest_profile
+        from repro.common.errors import ReproError
+
+        try:
+            head = self.repo.vcs.head_commit()
+        except Exception:
+            return
+        if head is None:
+            return
+        try:
+            profile = harvest_profile(
+                head,
+                store=self.metrics,
+                meta={"experiment": self.experiment, **self.run_meta},
+            )
+            for column in result.results.columns:
+                try:
+                    values = result.results.numeric(column)
+                except (TypeError, ValueError, KeyError):
+                    continue  # string column: nothing to profile
+                key = f"{self.experiment}/results/{column}"
+                profile.series.setdefault(key, []).extend(
+                    float(v) for v in values
+                )
+            path = self.repo.profile_history.attach(profile)
+            if journal is not None:
+                journal.event(
+                    "profile_attached",
+                    commit=head,
+                    series=len(profile.series),
+                    path=str(path),
+                )
+        except ReproError as exc:
+            if journal is not None:
+                journal.event("profile_error", error=str(exc))
+
     def validate_existing(self) -> ExperimentResult:
-        """Re-validate a stored ``results.csv`` without re-running."""
+        """Re-validate a stored ``results.csv`` without re-running.
+
+        A validated result still attaches its result-column series to
+        HEAD: cache-restored runs (the common case for commits that do
+        not touch ``vars.yml``) are byte-identical replays, so their
+        results are a legitimate performance claim for the new commit —
+        without this, only cache-miss commits would ever be profiled
+        and ``popper perf`` would have nothing to compare.  Stage
+        timings are not harvested here (nothing was timed).
+        """
         path = self.directory / "results.csv"
         if not path.is_file():
             raise PopperError(
@@ -569,6 +667,9 @@ class ExperimentPipeline:
             )
         table = MetricsTable.load_csv(path)
         validations = self.run_validation(table)
-        return ExperimentResult(
+        result = ExperimentResult(
             experiment=self.experiment, results=table, validations=validations
         )
+        if result.validated:
+            self._attach_profile(result, None)
+        return result

@@ -62,7 +62,7 @@ PAPER_TEMPLATES: dict[str, dict[str, str]] = {
 
 DEFAULT_TRAVIS = """\
 # Integrity checks for this Popper repository (category-1 validation).
-# The matrix runs five jobs: a re-validation of stored results, a
+# The matrix runs six jobs: a re-validation of stored results, a
 # chaos smoke job that re-executes every pipeline under injected
 # transient faults with retries enabled (the resilience layer's own
 # integrity check), a warm-cache job that runs the sweep twice against
@@ -70,12 +70,15 @@ DEFAULT_TRAVIS = """\
 # (almost) entirely from cache with identical results, a crash smoke
 # job that kills a seeded sweep mid-write, repairs the debris with
 # popper doctor and requires a clean --resume (the crash-consistency
-# layer's own integrity check), and a process-backend job that runs
+# layer's own integrity check), a process-backend job that runs
 # the sweep on worker processes (--backend process -j 2) so the
-# multi-core execution path is exercised on every build.  Env values
-# must be single tokens (the CI env parser splits on whitespace),
-# hence the --chaos-smoke / --cache-check / --crash-smoke /
-# --process-smoke shorthands.
+# multi-core execution path is exercised on every build, and a perf
+# smoke job that drives the degradation-detector suite over a
+# synthetic two-commit profile history and fails unless the injected
+# slowdown is caught (the regression layer's own integrity check).
+# Env values must be single tokens (the CI env parser splits on
+# whitespace), hence the --chaos-smoke / --cache-check /
+# --crash-smoke / --process-smoke / --perf-smoke shorthands.
 language: generic
 env:
   - POPPER_RUN_MODE=--validate-only
@@ -83,6 +86,7 @@ env:
   - POPPER_RUN_MODE=--cache-check
   - POPPER_RUN_MODE=--crash-smoke
   - POPPER_RUN_MODE=--process-smoke
+  - POPPER_RUN_MODE=--perf-smoke
 script:
   - popper check
   - popper run --all ${POPPER_RUN_MODE}
@@ -152,6 +156,18 @@ class PopperRepository:
         same pool under ``.pvcs/cache/``.
         """
         return ArtifactStore(self.cache_dir)
+
+    @property
+    def profile_history(self):
+        """Commit-attached performance profiles (``.pvcs/profiles/``).
+
+        Successful runs attach their stage timings and result columns
+        here; the regression detectors (CI gate, Aver ``no_regression``,
+        ``popper perf``) read baselines back out of it.
+        """
+        from repro.check.profiles import ProfileHistory
+
+        return ProfileHistory(self.vcs.meta)
 
     def experiments(self) -> list[str]:
         return sorted(self.config.experiments)

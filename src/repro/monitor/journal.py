@@ -59,6 +59,9 @@ EVENT_KINDS = (
     "task_aborted",
     "cache",
     "scheduler_fallback",
+    "degradation",
+    "profile_attached",
+    "profile_error",
     "run_end",
 )
 

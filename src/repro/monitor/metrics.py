@@ -177,6 +177,24 @@ class MetricStore:
             p95=float(np.percentile(values, 95)),
         )
 
+    def series(
+        self, metric: str | None = None
+    ) -> dict[tuple[str, tuple[tuple[str, str], ...]], list[float]]:
+        """Raw sample values per distinct ``(metric, labels)`` series.
+
+        The exact-grouping companion to :meth:`summaries` that keeps the
+        samples themselves: degradation detection needs whole series,
+        not their summaries, so this is what profile harvesting
+        (:mod:`repro.check.profiles`) reads.  Keys are sorted (metric
+        name, then label tuple); values preserve recording order.
+        """
+        groups: dict[tuple[str, tuple[tuple[str, str], ...]], list[float]] = {}
+        for sample in self._samples:
+            if metric is not None and sample.metric != metric:
+                continue
+            groups.setdefault((sample.metric, sample.labels), []).append(sample.value)
+        return dict(sorted(groups.items()))
+
     def summaries(self, metric: str | None = None) -> list[SeriesSummary]:
         """One :class:`SeriesSummary` per distinct ``(metric, labels)`` series.
 

@@ -151,9 +151,17 @@ def render_report(events: list[dict[str, Any]], skipped: int = 0) -> str:
 
     lines = [f"== run journal: {subject} " + "=" * max(0, 46 - len(str(subject)))]
     spans = sum(1 for e in events if e["event"] == "span_end")
-    lines.append(
-        f"status: {status}   spans: {spans}   wall: {_fmt_seconds(total)}"
-    )
+    header = f"status: {status}   spans: {spans}   wall: {_fmt_seconds(total)}"
+    # Surface which execution backend drove the run (recorded in the
+    # run_start header by the sweep layer) — essential context when
+    # comparing timings across runs.
+    backend = (run_start or {}).get("backend")
+    if backend:
+        workers = (run_start or {}).get("workers")
+        header += f"   backend: {backend}"
+        if workers:
+            header += f" ({workers} workers)"
+    lines.append(header)
     if skipped:
         lines.append(
             f"warning: {skipped} torn trailing line skipped (crashed append)"
@@ -204,6 +212,15 @@ def render_report(events: list[dict[str, Any]], skipped: int = 0) -> str:
     if verdicts:
         passed = sum(1 for v in verdicts if v.get("passed"))
         lines.append(f"validations: {passed} passed, {len(verdicts) - passed} failed")
+    degradations = [
+        e for e in events if e["event"] == "degradation" and e.get("change")
+    ]
+    if degradations:
+        firm = sum(1 for d in degradations if d.get("change") == "degradation")
+        lines.append(
+            f"degradation checks: {len(degradations)} detector verdicts, "
+            f"{firm} firm"
+        )
     metrics = sum(1 for e in events if e["event"] == "metric")
     if metrics:
         lines.append(f"metric samples: {metrics}")

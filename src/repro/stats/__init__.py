@@ -26,3 +26,13 @@ __all__ = [
 from repro.stats.numerical import NumericalReport, check_numerical, digest_output  # noqa: E402
 
 __all__ += ["NumericalReport", "check_numerical", "digest_output"]
+
+from repro.stats.models import (  # noqa: E402
+    MODEL_KINDS,
+    ModelFit,
+    fit_best_model,
+    fit_model,
+    model_integral,
+)
+
+__all__ += ["MODEL_KINDS", "ModelFit", "fit_model", "fit_best_model", "model_integral"]

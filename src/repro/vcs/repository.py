@@ -230,6 +230,30 @@ class Repository:
             oid = commit.parents[0] if commit.parents else None
         return entries
 
+    def commits_between(self, old: str, new: str = "HEAD") -> list[str]:
+        """First-parent commit ids from *old* (exclusive) to *new* (inclusive).
+
+        Returned oldest-first — the natural axis for a performance
+        history walk.  Raises :class:`VcsError` when *old* is not an
+        ancestor of *new* on the first-parent chain (the range is then
+        not a line and a profile comparison over it is meaningless).
+        """
+        old_oid = self.resolve(old)
+        new_oid = self.resolve(new)
+        if old_oid == new_oid:
+            return []
+        span: list[str] = []
+        oid: str | None = new_oid
+        while oid is not None:
+            if oid == old_oid:
+                return list(reversed(span))
+            span.append(oid)
+            commit = self.store.get_commit(oid)
+            oid = commit.parents[0] if commit.parents else None
+        raise VcsError(
+            f"{old!r} is not a first-parent ancestor of {new!r}"
+        )
+
     def resolve(self, ref: str) -> str:
         """Resolve HEAD / branch / tag / oid-prefix to a commit id."""
         if ref == "HEAD":

@@ -1,0 +1,145 @@
+"""Aver's ``no_regression(metric)`` bound to a profile baseline."""
+
+import pytest
+
+from repro.aver.evaluator import check
+from repro.check.context import RegressionContext
+from repro.check.profiles import Profile
+from repro.common.errors import AverEvalError
+from repro.common.rng import derive_rng
+from repro.common.tables import MetricsTable
+
+
+def noisy(mean, n=10, label="x"):
+    rng = derive_rng(13, "check-context", label, str(mean))
+    return [float(v) for v in mean * (1.0 + 0.03 * rng.standard_normal(n))]
+
+
+def results_table(values):
+    table = MetricsTable(["run", "runtime_s"])
+    for i, value in enumerate(values):
+        table.append({"run": i, "runtime_s": value})
+    return table
+
+
+def baseline_profile(values, key="one/results/runtime_s"):
+    return Profile("baseline", series={key: values})
+
+
+class TestNoRegressionBuiltin:
+    def test_clean_run_passes(self):
+        context = RegressionContext(
+            baseline_profile(noisy(10.0, label="b")), experiment="one"
+        )
+        result = check(
+            "expect no_regression(runtime_s)",
+            results_table(noisy(10.0, label="c")),
+            context=context.functions(),
+        )
+        assert result.passed
+        assert context.verdicts  # the suite actually ran
+
+    def test_firm_degradation_fails_the_assertion(self):
+        context = RegressionContext(
+            baseline_profile(noisy(10.0, label="b2")), experiment="one"
+        )
+        result = check(
+            "expect no_regression(runtime_s)",
+            results_table(noisy(14.0, label="slow")),
+            context=context.functions(),
+        )
+        assert not result.passed
+        assert any(v.regressed for v in context.verdicts)
+
+    def test_no_baseline_is_a_vacuous_pass(self):
+        context = RegressionContext(None, experiment="one")
+        result = check(
+            "expect no_regression(runtime_s)",
+            results_table(noisy(10.0, label="v")),
+            context=context.functions(),
+        )
+        assert result.passed
+        assert context.verdicts == []
+        assert any("vacuous" in note for note in context.notes)
+
+    def test_metric_name_as_string_argument(self):
+        context = RegressionContext(
+            baseline_profile(noisy(10.0, label="b3")), experiment="one"
+        )
+        result = check(
+            'expect no_regression("runtime_s")',
+            results_table(noisy(10.0, label="c3")),
+            context=context.functions(),
+        )
+        assert result.passed
+
+    def test_exact_series_key_wins_over_scoped(self):
+        profile = Profile(
+            "baseline",
+            series={
+                "runtime_s": noisy(10.0, label="exact"),
+                "one/results/runtime_s": noisy(99.0, label="scoped"),
+            },
+        )
+        context = RegressionContext(profile, experiment="one")
+        result = check(
+            "expect no_regression(runtime_s)",
+            results_table(noisy(10.0, label="c4")),
+            context=context.functions(),
+        )
+        assert result.passed  # judged against the exact key, not the 99s
+
+    def test_suffix_match_pools_across_experiments(self):
+        profile = Profile(
+            "baseline",
+            series={"other/results/runtime_s": noisy(10.0, label="pool")},
+        )
+        context = RegressionContext(profile, experiment="one")
+        result = check(
+            "expect no_regression(runtime_s)",
+            results_table(noisy(14.0, label="c5")),
+            context=context.functions(),
+        )
+        assert not result.passed
+
+    def test_metric_missing_from_baseline_is_vacuous_with_note(self):
+        context = RegressionContext(
+            baseline_profile(noisy(10.0, label="b6"), key="one/results/other"),
+            experiment="one",
+        )
+        result = check(
+            "expect no_regression(runtime_s)",
+            results_table(noisy(10.0, label="c6")),
+            context=context.functions(),
+        )
+        assert result.passed
+        assert any("vacuous" in note for note in context.notes)
+
+    def test_non_numeric_column_errors_cleanly(self):
+        table = MetricsTable(["name", "runtime_s"])
+        table.append({"name": "a", "runtime_s": 1.0})
+        table.append({"name": "b", "runtime_s": 2.0})
+        table.append({"name": "c", "runtime_s": 3.0})
+        context = RegressionContext(
+            baseline_profile(noisy(10.0, label="b7")), experiment="one"
+        )
+        result = check(
+            "expect no_regression(name)", table, context=context.functions()
+        )
+        assert not result.passed
+        assert "not numeric" in result.groups[0].detail
+
+    def test_wrong_arity_rejected(self):
+        context = RegressionContext(None)
+        with pytest.raises(AverEvalError):
+            context._no_regression("no_regression", (), None)
+
+
+def test_standalone_no_regression_explains_missing_context():
+    """Without a pipeline run there is no history; the stateless FUNCTIONS
+    entry must say so instead of silently passing."""
+    result = check(
+        "expect no_regression(runtime_s)", results_table(noisy(10.0, label="s"))
+    )
+    assert not result.passed
+    assert "context" in result.groups[0].detail

@@ -201,3 +201,60 @@ class TestPerformanceHistory:
     def test_empty_baseline_rejected(self):
         with pytest.raises(CIError):
             PerformanceHistory().baseline
+
+
+class TestPerformanceHistoryPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        history = PerformanceHistory(metric="latency", window=3)
+        history.record("c1", [10.0, 10.2, 9.8])
+        history.record("c2", [10.1, 9.9, 10.0])
+        path = tmp_path / "history.json"
+        history.save(path)
+        loaded = PerformanceHistory.load(path)
+        assert loaded.metric == "latency"
+        assert loaded.window == 3
+        np.testing.assert_array_equal(loaded.baseline, history.baseline)
+
+    def test_save_is_versioned_and_terminated(self, tmp_path):
+        import json
+
+        history = PerformanceHistory()
+        history.record("c1", [1.0, 2.0, 3.0])
+        path = tmp_path / "history.json"
+        history.save(path)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text)["version"] == 1
+
+    def test_legacy_raw_mapping_still_loads(self, tmp_path):
+        """The pre-durable writer stored a bare {commit: [samples]} dict;
+        one-shot fallback keeps old .pvcs state loading."""
+        import json
+
+        path = tmp_path / "legacy.json"
+        path.write_text(
+            json.dumps({"c1": [10.0, 10.1, 9.9], "c2": [10.2, 9.8, 10.0]})
+        )
+        loaded = PerformanceHistory.load(path)
+        assert loaded.baseline.size == 6
+        # the next save rewrites versioned
+        loaded.save(path)
+        assert json.loads(path.read_text())["version"] == 1
+
+    def test_unreadable_or_malformed_errors(self, tmp_path):
+        with pytest.raises(CIError):
+            PerformanceHistory.load(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        with pytest.raises(CIError):
+            PerformanceHistory.load(bad)
+        torn = tmp_path / "torn.json"
+        torn.write_text('{"c1": ["not-a-num')
+        with pytest.raises(CIError):
+            PerformanceHistory.load(torn)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text('{"version": 99, "commits": []}')
+        with pytest.raises(CIError):
+            PerformanceHistory.load(path)

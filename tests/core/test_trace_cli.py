@@ -124,6 +124,23 @@ class TestTraceCli:
         assert "run_start" in out and "run_end" in out
         assert "name=stub/work" in out
 
+    def test_trace_header_names_backend_and_workers(self, repo, capsys):
+        """The run header answers "who executed this?" without digging
+        through raw events."""
+        self.run_myexp(repo)
+        capsys.readouterr()
+        assert main(["-C", str(repo.root), "trace", "myexp"]) == 0
+        out = capsys.readouterr().out
+        assert "backend: serial (1 workers)" in out.splitlines()[1]
+        assert "status: ok" in out.splitlines()[1]
+
+    def test_log_header_names_backend_and_workers(self, repo, capsys):
+        self.run_myexp(repo)
+        capsys.readouterr()
+        assert main(["-C", str(repo.root), "log", "myexp"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("-- run: myexp   backend: serial (1 workers)")
+
     def test_log_raw_is_jsonl(self, repo, capsys):
         import json
 

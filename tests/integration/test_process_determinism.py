@@ -155,7 +155,8 @@ def test_default_ci_matrix_includes_a_process_backend_job():
     config = CIConfig.from_yaml(DEFAULT_TRAVIS)
     modes = [env.get("POPPER_RUN_MODE") for env in config.expand_matrix()]
     assert "--process-smoke" in modes
-    assert len(modes) == 5
+    assert "--perf-smoke" in modes
+    assert len(modes) == 6
 
 
 #: Child harness: slow down one torpor run *inside a worker process* so

@@ -122,3 +122,65 @@ class TestExport:
         a.merge(b)
         assert len(a) == 2
         assert a.metrics() == ["m"]
+
+    def test_merge_pools_colliding_label_series(self):
+        """Same (metric, labels) series on both sides: samples pool into
+        one series rather than shadowing each other."""
+        a = MetricStore()
+        b = MetricStore()
+        a.record("time", 1.0, labels={"stage": "run"})
+        a.record("time", 9.0, labels={"stage": "setup"})
+        b.record("time", 2.0, labels={"stage": "run"})
+        b.record("time", 3.0, labels={"stage": "run", "host": "n1"})
+        a.merge(b)
+        merged = a.series("time")
+        assert merged[("time", (("stage", "run"),))] == [1.0, 2.0]
+        assert merged[("time", (("stage", "setup"),))] == [9.0]
+        # the extra label makes a distinct series, not a collision
+        assert merged[("time", (("host", "n1"), ("stage", "run")))] == [3.0]
+        assert len(a) == 4
+
+    def test_merge_keeps_clock_monotone_across_stores(self):
+        a = MetricStore()
+        b = MetricStore()
+        b.record("m", 1.0, timestamp=50.0)
+        a.record("m", 2.0)
+        a.merge(b)
+        after = a.record("m", 3.0)
+        assert after.timestamp > 50.0
+
+    def test_summaries_ordering_is_stable_under_recording_order(self):
+        """summaries() sorts by (metric, labels), so two stores fed the
+        same samples in different orders summarize identically."""
+        forward = MetricStore()
+        backward = MetricStore()
+        samples = [
+            ("zeta", 1.0, {"node": "n1"}),
+            ("alpha", 2.0, {"node": "n0"}),
+            ("alpha", 4.0, {"node": "n0"}),
+            ("alpha", 3.0, None),
+        ]
+        for metric, value, labels in samples:
+            forward.record(metric, value, labels=labels)
+        for metric, value, labels in reversed(samples):
+            backward.record(metric, value, labels=labels)
+        key = lambda s: (s.metric, s.labels, s.count, s.mean)  # noqa: E731
+        assert [key(s) for s in forward.summaries()] == [
+            key(s) for s in backward.summaries()
+        ]
+        assert [(s.metric, dict(s.labels)) for s in forward.summaries()] == [
+            ("alpha", {}),
+            ("alpha", {"node": "n0"}),
+            ("zeta", {"node": "n1"}),
+        ]
+
+    def test_series_preserves_recording_order_within_a_key(self):
+        store = MetricStore()
+        for value in (3.0, 1.0, 2.0):
+            store.record("m", value, labels={"k": "v"})
+        store.record("other", 9.0)
+        assert store.series("m") == {("m", (("k", "v"),)): [3.0, 1.0, 2.0]}
+        assert list(store.series()) == [
+            ("m", (("k", "v"),)),
+            ("other", ()),
+        ]

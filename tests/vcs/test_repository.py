@@ -117,6 +117,26 @@ class TestCommitFlow:
         oid = repo.commit("c")
         assert repo.resolve(oid[:12]) == oid
 
+    def test_commits_between_walks_first_parent_oldest_first(self, repo):
+        oids = []
+        for i in range(4):
+            write(repo, "f", str(i))
+            repo.add("f")
+            oids.append(repo.commit(f"c{i}"))
+        assert repo.commits_between(oids[0]) == oids[1:]
+        assert repo.commits_between(oids[1], oids[2]) == [oids[2]]
+        assert repo.commits_between(oids[3], oids[3]) == []
+
+    def test_commits_between_rejects_non_ancestor(self, repo):
+        write(repo, "f", "x")
+        repo.add("f")
+        first = repo.commit("c1")
+        write(repo, "f", "y")
+        repo.add("f")
+        second = repo.commit("c2")
+        with pytest.raises(VcsError):
+            repo.commits_between(second, first)
+
 
 class TestBranchesAndTags:
     def test_branch_and_checkout(self, repo):
