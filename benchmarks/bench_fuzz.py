@@ -1,0 +1,135 @@
+"""Scenario-fuzzer throughput and memoization characterization.
+
+Measures what ``popper fuzz`` costs and what the feedback loop buys,
+recording the result to ``BENCH_fuzz.json`` at the repository root:
+
+* variants/second end-to-end (mutation + sandbox materialization +
+  pipeline execution + oracle + coverage bookkeeping),
+* the artifact-cache hit rate *across mutants* — most mutations leave
+  most stages' inputs untouched, so the memoized DAG engine should
+  serve a growing share of stage executions from cache as the campaign
+  proceeds,
+* the corpus and coverage growth curve per round — coverage-guided
+  generation should keep finding novelty early and saturate later.
+
+Run standalone (``python benchmarks/bench_fuzz.py``) or via pytest
+(``pytest benchmarks/bench_fuzz.py``).
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import save_figure_data
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_fuzz.json"
+
+SEED = 1234
+ROUNDS = 4
+ITERATIONS_PER_ROUND = 6
+
+
+def _fresh_repo(base: Path):
+    from repro.common import minyaml
+    from repro.core.repo import PopperRepository
+
+    repo = PopperRepository.init(base / "repo")
+    repo.add_experiment("torpor", "bench")
+    vars_path = repo.experiment_dir("bench") / "vars.yml"
+    doc = minyaml.load_file(vars_path)
+    doc["runs"] = 2  # keep each sandboxed pipeline run cheap
+    minyaml.dump_file(doc, vars_path)
+    return repo
+
+
+def run_bench() -> dict:
+    from repro.fuzz import FuzzCampaign
+
+    rounds = []
+    executed = hits = misses = 0
+    with tempfile.TemporaryDirectory(prefix="bench-fuzz-") as scratch:
+        repo = _fresh_repo(Path(scratch))
+        started = time.perf_counter()
+        for rnd in range(ROUNDS):
+            campaign = FuzzCampaign(
+                repo,
+                seed=SEED + rnd,
+                iterations=ITERATIONS_PER_ROUND,
+                do_minimize=False,
+            )
+            report = campaign.run()
+            executed += report.executed
+            hits += report.cache_hits
+            misses += report.cache_misses
+            total = report.cache_hits + report.cache_misses
+            rounds.append(
+                {
+                    "round": rnd,
+                    "executed": report.executed,
+                    "duplicates": report.duplicates,
+                    "novel_keys": report.novel_keys,
+                    "coverage_size": report.coverage_size,
+                    "corpus_size": report.corpus_size,
+                    "cache_hit_rate": report.cache_hits / total if total else 0.0,
+                }
+            )
+        elapsed = time.perf_counter() - started
+
+    overall = hits + misses
+    report = {
+        "benchmark": "scenario-fuzzer",
+        "seed": SEED,
+        "rounds": ROUNDS,
+        "iterations_per_round": ITERATIONS_PER_ROUND,
+        "variants_executed": executed,
+        "wall_seconds": round(elapsed, 3),
+        "variants_per_sec": round(executed / elapsed, 2) if elapsed else 0.0,
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_rate_across_mutants": round(hits / overall, 3)
+        if overall
+        else 0.0,
+        "growth": rounds,
+    }
+    BENCH_FILE.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    save_figure_data(_growth_table(rounds), "table_fuzz_growth")
+    return report
+
+
+def _growth_table(rounds):
+    from repro.common.tables import MetricsTable
+
+    table = MetricsTable(
+        ["round", "executed", "novel_keys", "coverage_size", "corpus_size",
+         "cache_hit_rate"]
+    )
+    for row in rounds:
+        table.append({k: row[k] for k in table.columns})
+    return table
+
+
+def test_bench_fuzz_campaign():
+    report = run_bench()
+    assert report["variants_executed"] > 0
+    assert report["variants_per_sec"] > 0
+    growth = report["growth"]
+    # coverage and corpus are cumulative across rounds (persistent
+    # .pvcs/fuzz/ state): the curves never go backwards
+    for a, b in zip(growth, growth[1:]):
+        assert b["coverage_size"] >= a["coverage_size"]
+        assert b["corpus_size"] >= a["corpus_size"]
+    # the first round discovers the baseline behaviours
+    assert growth[0]["novel_keys"] > 0
+    # memoization pays across mutants: once the store is warm, some
+    # stage executions are served from cache
+    assert report["cache_hits"] > 0
+    assert BENCH_FILE.is_file()
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    print(json.dumps(run_bench(), indent=2))

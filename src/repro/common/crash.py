@@ -36,6 +36,7 @@ half-published index records, stale locks — and repairs it.
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 from dataclasses import dataclass
@@ -115,6 +116,8 @@ def _parse_clause(clause: str) -> CrashSpec:
         raise EngineError(
             f"crash clause {clause!r}: bad numeric arg {raw!r}"
         ) from None
+    if not math.isfinite(arg):
+        raise EngineError(f"crash clause {clause!r}: arg must be finite")
     if mode == "at" and (arg < 1 or arg != int(arg)):
         raise EngineError(f"crash clause {clause!r}: 'at' needs an int >= 1")
     if mode == "rate" and not 0 <= arg <= 1:

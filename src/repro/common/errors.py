@@ -41,6 +41,7 @@ __all__ = [
     "TransientInjectedFault",
     "UnpicklablePayloadError",
     "WorkerCrashError",
+    "FuzzError",
     "GassyFSError",
     "FSError",
     "MPIError",
@@ -250,6 +251,11 @@ class WorkerCrashError(EngineError):
     record) and fails the in-flight task with this error; downstream
     tasks are skipped as for any failure.
     """
+
+
+# --- fuzz -------------------------------------------------------------------
+class FuzzError(ReproError):
+    """Scenario-fuzzing subsystem failure (campaign, corpus, minimizer)."""
 
 
 # --- gassyfs ----------------------------------------------------------------

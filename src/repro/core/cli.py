@@ -27,6 +27,7 @@ resumable with ``popper run --resume``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.common.errors import PopperError, ReproError
@@ -127,7 +128,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=42,
         metavar="SEED",
-        help="seed for injected-fault determinism (default 42)",
+        help="seed for injected-fault determinism (default 42; "
+        "superseded by --seed)",
+    )
+    run.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="one seed for every injection surface (fault plan, crash "
+        "plan, fuzz randomizer); overrides --fault-seed and the "
+        "POPPER_SEED environment variable, and is recorded in the "
+        "run_start journal header",
     )
     run.add_argument(
         "--chaos-smoke",
@@ -175,6 +187,56 @@ def build_parser() -> argparse.ArgumentParser:
         "the injected slowdown is caught (single-token perf job for "
         "CI env matrices)",
     )
+    run.add_argument(
+        "--fuzz-smoke",
+        action="store_true",
+        help="run a seeded end-to-end scenario-fuzz check in a scratch "
+        "repository before the sweep: at least one variant must be "
+        "generated, executed and scored, and a planted known-bad "
+        "variant must be caught by the oracle and minimized to a "
+        "runnable reproducer (single-token fuzz job for CI env "
+        "matrices)",
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided scenario fuzzing: mutate experiment "
+        "inputs, execute variants in sandbox repos, keep and minimize "
+        "the interesting ones under .pvcs/fuzz/",
+    )
+    fuzz.add_argument(
+        "names", nargs="*", help="experiments to fuzz (default: all)"
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="campaign seed (default: POPPER_SEED env var, then 42); "
+        "the same seed and --iterations reproduce the corpus, the "
+        "coverage map and every minimized reproducer byte for byte",
+    )
+    fuzz.add_argument(
+        "--iterations",
+        "-n",
+        type=int,
+        default=16,
+        metavar="K",
+        help="variants to generate (default 16)",
+    )
+    fuzz.add_argument(
+        "--max-stack",
+        type=int,
+        default=3,
+        metavar="M",
+        help="maximum mutations stacked per variant (default 3)",
+    )
+    fuzz.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="skip delta-debugging failing variants into minimal "
+        "reproducers",
+    )
 
     perf = sub.add_parser(
         "perf",
@@ -204,7 +266,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace", help="render an experiment's run journal (timings, critical path)"
     )
-    trace.add_argument("name", help="experiment whose last run to inspect")
+    trace.add_argument(
+        "name", nargs="?", help="experiment whose last run to inspect"
+    )
+    trace.add_argument(
+        "--fuzz",
+        action="store_true",
+        help="summarize the last fuzz campaign's journal "
+        "(.pvcs/fuzz/journal.jsonl) instead of an experiment run",
+    )
 
     log = sub.add_parser(
         "log", help="print an experiment's run journal events"
@@ -243,6 +313,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="skip matrix jobs already green for the same commit and env",
+    )
+    ci.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="export POPPER_SEED to every matrix job so in-process "
+        "popper runs (fault/crash plans, fuzz smoke) share one seed",
     )
 
     cache = sub.add_parser(
@@ -366,6 +444,24 @@ def _scheduler_for(backend: str, jobs: int):
     return scheduler, workers
 
 
+def _effective_seed(args) -> int:
+    """One seed for every injection surface: ``--seed`` wins, then the
+    ``POPPER_SEED`` environment variable (how ``popper ci --seed``
+    reaches in-process matrix jobs), then ``--fault-seed`` (default 42)."""
+    explicit = getattr(args, "seed", None)
+    if explicit is not None:
+        return int(explicit)
+    env = os.environ.get("POPPER_SEED")
+    if env is not None:
+        try:
+            return int(env)
+        except ValueError:
+            raise PopperError(
+                f"POPPER_SEED must be an integer, got {env!r}"
+            ) from None
+    return int(getattr(args, "fault_seed", 42))
+
+
 def _cmd_run(args) -> int:
     """Run experiments as independent nodes of a task graph.
 
@@ -417,6 +513,21 @@ def _cmd_run(args) -> int:
             print(f"-- perf smoke FAILED: {exc}")
             return 1
 
+    seed = _effective_seed(args)
+    if args.fuzz_smoke:
+        # Like --perf-smoke: a scratch-repository self-check that runs
+        # before (and even without) this repository's experiments.  It
+        # proves the fuzz loop generates, executes, scores, catches a
+        # planted known-bad variant and minimizes it to a reproducer.
+        from repro.common.errors import FuzzError
+        from repro.fuzz import fuzz_smoke
+
+        try:
+            print("-- " + fuzz_smoke())
+        except FuzzError as exc:
+            print(f"-- fuzz smoke FAILED: {exc}")
+            return 1
+
     names = list(args.names)
     if args.all:
         names = repo.experiments()
@@ -435,7 +546,7 @@ def _cmd_run(args) -> int:
     if retries < 0:
         raise PopperError(f"--retries must be >= 0, got {retries}")
     if fault_spec:
-        FaultPlan.parse(fault_spec, seed=args.fault_seed)  # validate early
+        FaultPlan.parse(fault_spec, seed=seed)  # validate early
 
     backend = args.backend
     jobs = args.jobs
@@ -461,7 +572,7 @@ def _cmd_run(args) -> int:
     if args.crash_hard and not crash_spec:
         raise PopperError("--crash-hard needs --inject-crash")
     if crash_spec:
-        CrashPlan.parse(crash_spec, seed=args.fault_seed)  # validate early
+        CrashPlan.parse(crash_spec, seed=seed)  # validate early
     # Cross-run memoization is on by default; --no-cache executes every
     # stage, and --validate-only never touches the store.
     use_cache = not args.no_cache and not args.validate_only
@@ -482,7 +593,7 @@ def _cmd_run(args) -> int:
             retries=retries,
             task_timeout=args.task_timeout,
             fault_spec=fault_spec,
-            fault_seed=args.fault_seed,
+            fault_seed=seed,
             use_cache=use_cache,
             backend=scheduler.backend,
             workers=workers,
@@ -657,7 +768,7 @@ def _cmd_run(args) -> int:
     def drive_with_crashes() -> int:
         """One sweep under the installed crash plan; 70 when it fires."""
         plan = CrashPlan.parse(
-            crash_spec, seed=args.fault_seed, hard=args.crash_hard
+            crash_spec, seed=seed, hard=args.crash_hard
         )
         previous = install_crash_plan(plan)
         try:
@@ -726,8 +837,24 @@ def _journal_events(args):
 
 
 def _cmd_trace(args) -> int:
-    from repro.monitor.report import render_report
+    from repro.monitor.report import render_fuzz_summary, render_report
 
+    if args.fuzz:
+        from repro.fuzz import FUZZ_DIR
+        from repro.monitor.journal import load_journal
+
+        repo = PopperRepository.open(args.repo)
+        path = repo.vcs.meta / FUZZ_DIR / "journal.jsonl"
+        if not path.is_file():
+            raise PopperError(
+                "no fuzz campaign journal yet; `popper fuzz` first"
+            )
+        events, skipped = load_journal(path)
+        print(render_fuzz_summary(events, skipped=skipped), end="")
+        return 0
+    if not args.name:
+        print("popper trace: name an experiment (or use --fuzz)", file=sys.stderr)
+        return 2
     events, skipped = _journal_events(args)
     print(render_report(events, skipped=skipped), end="")
     return 0
@@ -877,7 +1004,19 @@ def _cmd_ci(args) -> int:
 
     repo = PopperRepository.open(args.repo)
     server = make_ci_server(repo, jobs=args.jobs, backend=args.backend)
-    record = server.trigger(args.ref, resume=args.resume)
+    # Matrix jobs run `popper run ...` in-process; exporting POPPER_SEED
+    # is how one `--seed` reaches every job's fault/crash/fuzz surfaces.
+    previous = os.environ.get("POPPER_SEED")
+    if args.seed is not None:
+        os.environ["POPPER_SEED"] = str(args.seed)
+    try:
+        record = server.trigger(args.ref, resume=args.resume)
+    finally:
+        if args.seed is not None:
+            if previous is None:
+                os.environ.pop("POPPER_SEED", None)
+            else:
+                os.environ["POPPER_SEED"] = previous
     print(f"-- build #{record.number} on {record.commit[:12]}: {record.status.value}")
     for job in record.jobs:
         env = " ".join(f"{k}={v}" for k, v in job.env.items()) or "<default env>"
@@ -904,6 +1043,37 @@ def _cmd_ci(args) -> int:
             print(f"   {verdict}")
     print(f"-- {server.badge()}")
     return 0 if record.ok else 1
+
+
+def _cmd_fuzz(args) -> int:
+    """``popper fuzz``: a seeded coverage-guided campaign over this
+    repository's experiments.  Exit 1 when failing variants were found
+    (their minimized reproducers are under ``.pvcs/fuzz/repro/``)."""
+    from repro.fuzz import FUZZ_DIR, FuzzCampaign
+    from repro.monitor.journal import RunJournal
+
+    repo = PopperRepository.open(args.repo)
+    campaign = FuzzCampaign(
+        repo,
+        seed=_effective_seed(args),
+        iterations=args.iterations,
+        experiments=args.names or None,
+        max_stack=args.max_stack,
+        do_minimize=not args.no_minimize,
+    )
+    journal = RunJournal(repo.vcs.meta / FUZZ_DIR / "journal.jsonl")
+    try:
+        report = campaign.run(journal=journal)
+    finally:
+        journal.close()
+    print(report.describe(), end="")
+    if report.failures:
+        print(
+            f"-- {report.failures} failing variant(s); reproducers under "
+            f"{campaign.state_root / 'repro'}"
+        )
+        return 1
+    return 0
 
 
 def _cmd_cache(args) -> int:
@@ -1037,6 +1207,7 @@ def main(argv: list[str] | None = None) -> int:
         "rm": _cmd_rm,
         "check": _cmd_check,
         "run": _cmd_run,
+        "fuzz": _cmd_fuzz,
         "perf": _cmd_perf,
         "trace": _cmd_trace,
         "log": _cmd_log,

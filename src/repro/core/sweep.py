@@ -99,7 +99,13 @@ class SweepExperimentJob:
             faults=self._fault_plan(),
             artifact_store=repo.artifact_store if self.use_cache else None,
             cancel=getattr(self, "_cancel", None),
-            run_meta={"backend": self.backend, "workers": self.workers},
+            run_meta={
+                "backend": self.backend,
+                "workers": self.workers,
+                # The effective injection seed, so any run's journal
+                # header says how to reproduce its fault/crash schedule.
+                "seed": self.fault_seed,
+            },
         )
         if self.validate_only:
             return pipeline.validate_existing()

@@ -30,6 +30,7 @@ wraps a live connection behind N unreachable attempts; see
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from dataclasses import dataclass
@@ -82,6 +83,8 @@ def _parse_clause(clause: str) -> FaultSpec:
         raise EngineError(
             f"fault clause {clause!r}: bad numeric arg {parts[2]!r}"
         ) from None
+    if not math.isfinite(arg):
+        raise EngineError(f"fault clause {clause!r}: arg must be finite")
     if arg < 0:
         raise EngineError(f"fault clause {clause!r}: arg must be >= 0")
     if mode == "rate" and arg > 1:

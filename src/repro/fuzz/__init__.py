@@ -1,0 +1,50 @@
+"""Coverage-guided scenario fuzzing with Aver as the property oracle.
+
+``popper fuzz`` mutates experiment inputs — ``vars.yml`` parameter
+spaces, pipeline stage lists, ``.travis.yml`` env matrices, inventories,
+and FaultPlan/CrashPlan injection grammars — executes each variant
+through the real memoized DAG engine in a sandbox repository, scores it
+by behavioural novelty plus an interestingness oracle, keeps a corpus of
+interesting variants under ``.pvcs/fuzz/``, and delta-debugs failures
+down to minimal runnable reproducers.  See ``docs/robustness.md``.
+"""
+
+from repro.fuzz.campaign import FuzzCampaign, FuzzReport
+from repro.fuzz.corpus import Corpus, CorpusEntry, FUZZ_DIR
+from repro.fuzz.coverage import CoverageMap, coverage_keys_from_events
+from repro.fuzz.executor import ExecutionResult, VariantRunner
+from repro.fuzz.minimize import MinimizationResult, minimize
+from repro.fuzz.mutators import (
+    MUTATION_RULES,
+    Mutation,
+    apply_chain,
+    apply_mutation,
+    generate_mutation,
+)
+from repro.fuzz.oracle import Observation, OracleVerdict, judge
+from repro.fuzz.scenario import Scenario
+from repro.fuzz.smoke import fuzz_smoke
+
+__all__ = [
+    "Corpus",
+    "CorpusEntry",
+    "CoverageMap",
+    "ExecutionResult",
+    "FUZZ_DIR",
+    "FuzzCampaign",
+    "FuzzReport",
+    "MinimizationResult",
+    "MUTATION_RULES",
+    "Mutation",
+    "Observation",
+    "OracleVerdict",
+    "Scenario",
+    "VariantRunner",
+    "apply_chain",
+    "apply_mutation",
+    "coverage_keys_from_events",
+    "fuzz_smoke",
+    "generate_mutation",
+    "judge",
+    "minimize",
+]

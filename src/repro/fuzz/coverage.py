@@ -1,0 +1,112 @@
+"""The fuzzer's novelty signal: a persistent behaviour-coverage map.
+
+Coverage here is *behavioural*, not line-based: every executed variant
+is reduced to a set of coverage keys describing what the toolchain did —
+journal event kinds seen, task states reached, normalized stage/span
+shapes, crashpoints hit, Aver verdicts, doctor finding kinds, detector
+degradation verdicts, CI matrix widths, and the outcome class itself.
+A variant that lights up a key no earlier variant produced is *novel*
+and earns a place in the corpus even when the oracle calls it boring.
+
+The map persists as ``.pvcs/fuzz/coverage.jsonl`` under the same
+durable-append / torn-tail-tolerant contract as every other JSONL file
+in the store: one flushed ``journal_append`` per record, readers skip a
+torn trailing line, and ``popper doctor`` truncates the tear.  Records
+carry no timestamps — two campaigns with the same seed write identical
+maps, which the determinism acceptance test diffs byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.common.fsutil import ensure_dir, journal_append
+
+__all__ = ["CoverageMap", "coverage_keys_from_events"]
+
+
+def coverage_keys_from_events(events: list[dict], experiment: str) -> set[str]:
+    """Distill journal events into coverage keys.
+
+    Experiment-specific names are normalized (the experiment name maps to
+    ``<exp>``) so two variants of different seeds that drive the same
+    machinery count as the same behaviour.
+    """
+    keys: set[str] = set()
+    for event in events:
+        kind = event.get("event")
+        if not kind:
+            continue
+        keys.add(f"event:{kind}")
+        task = event.get("task") or event.get("stage")
+        if isinstance(task, str):
+            shape = task.replace(experiment, "<exp>")
+            state = event.get("state") or event.get("status")
+            if state:
+                keys.add(f"task:{shape}:{state}")
+        if kind == "cache" and "hit" in event:
+            keys.add(f"cache:{'hit' if event['hit'] else 'miss'}")
+        if kind == "degradation":
+            change = event.get("change") or event.get("verdict")
+            if change:
+                keys.add(f"degradation:{change}")
+    return keys
+
+
+class CoverageMap:
+    """Set-of-keys coverage with durable JSONL persistence."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._keys: set[str] = set()
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.is_file():
+            return
+        raw = self.path.read_text(encoding="utf-8")
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail (or mid-file tear doctor will cut)
+            if isinstance(record, dict):
+                self._keys.update(str(k) for k in record.get("keys", ()))
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._keys
+
+    def keys(self) -> set[str]:
+        return set(self._keys)
+
+    def novel(self, keys: set[str]) -> set[str]:
+        """The subset of *keys* this map has never seen."""
+        return set(keys) - self._keys
+
+    def observe(self, variant: str, keys: set[str]) -> set[str]:
+        """Record a variant's keys; returns (and persists) the novel ones.
+
+        Only novel keys are appended, so the file grows with discovered
+        behaviour, not with iterations.
+        """
+        fresh = self.novel(keys)
+        if not fresh:
+            return fresh
+        self._keys.update(fresh)
+        ensure_dir(self.path.parent)
+        record = {"variant": variant, "keys": sorted(fresh)}
+        with open(self.path, "a", encoding="utf-8") as handle:
+            journal_append(
+                handle,
+                json.dumps(record, sort_keys=True),
+                durable=True,
+                crash_label="fuzz.coverage",
+            )
+        return fresh

@@ -1,0 +1,121 @@
+"""Delta-debugging minimizer: shrink a failing variant's mutation chain.
+
+A corpus entry records the exact chain of mutations that turned a seed
+scenario into a failing variant.  Because :func:`~repro.fuzz.mutators
+.apply_mutation` is pure, any *subset* of that chain is replayable — the
+classic ddmin algorithm applies directly: drop chunks of the chain,
+re-execute the resulting scenario through the sandbox runner, and keep
+the reduction whenever the oracle still reports the original failure
+kinds.  The result is a 1-minimal chain (no single mutation can be
+removed) whose scenario is stored as a runnable reproducer.
+
+Everything is deterministic: the subset order is fixed, execution is
+seeded, and results are cached per chain so no subset runs twice.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.fuzz.executor import VariantRunner
+from repro.fuzz.mutators import Mutation, apply_chain
+from repro.fuzz.oracle import OracleVerdict, judge
+from repro.fuzz.scenario import Scenario
+
+__all__ = ["MinimizationResult", "minimize"]
+
+
+@dataclass(frozen=True)
+class MinimizationResult:
+    """A 1-minimal reproducer for one failing variant."""
+
+    scenario: Scenario
+    chain: tuple[Mutation, ...]
+    verdict: OracleVerdict
+    executions: int
+
+    @property
+    def variant(self) -> str:
+        return self.scenario.fingerprint()
+
+
+def _chunks(chain: tuple[Mutation, ...], n: int) -> list[tuple[Mutation, ...]]:
+    size, rem = divmod(len(chain), n)
+    out, start = [], 0
+    for i in range(n):
+        end = start + size + (1 if i < rem else 0)
+        if end > start:
+            out.append(chain[start:end])
+        start = end
+    return out
+
+
+def minimize(
+    seed_scenario: Scenario,
+    chain: tuple[Mutation, ...] | list[Mutation],
+    runner: VariantRunner,
+    target_kinds: tuple[str, ...],
+) -> MinimizationResult:
+    """ddmin over *chain*: the smallest subset still producing every
+    kind in *target_kinds* (judged by re-executing the variant)."""
+    chain = tuple(chain)
+    target = set(target_kinds) - {"clean", "rejected"}
+    cache: dict[str, OracleVerdict] = {}
+    executions = 0
+
+    def verdict_of(candidate: tuple[Mutation, ...]) -> OracleVerdict:
+        nonlocal executions
+        key = json.dumps([m.to_json() for m in candidate], sort_keys=True)
+        if key not in cache:
+            scenario = apply_chain(seed_scenario, list(candidate))
+            result = runner.run(scenario)
+            executions += 1
+            cache[key] = judge(result.observation)
+        return cache[key]
+
+    def still_fails(candidate: tuple[Mutation, ...]) -> bool:
+        return target <= set(verdict_of(candidate).kinds)
+
+    # The empty chain failing means the seed itself fails — minimal.
+    if target and still_fails(()):
+        return MinimizationResult(
+            scenario=seed_scenario,
+            chain=(),
+            verdict=verdict_of(()),
+            executions=executions,
+        )
+
+    n = 2
+    while len(chain) >= 2:
+        reduced = False
+        for i in range(len(_chunks(chain, n))):
+            candidate = _drop_chunk(chain, n, i)
+            if still_fails(candidate):
+                chain = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(chain):
+                break
+            n = min(len(chain), n * 2)
+
+    return MinimizationResult(
+        scenario=apply_chain(seed_scenario, list(chain)),
+        chain=chain,
+        verdict=verdict_of(chain),
+        executions=executions,
+    )
+
+
+def _drop_chunk(
+    chain: tuple[Mutation, ...], n: int, index: int
+) -> tuple[Mutation, ...]:
+    """The chain with its *index*-th of *n* chunks removed (by position)."""
+    pieces = _chunks(chain, n)
+    out: list[Mutation] = []
+    for i, piece in enumerate(pieces):
+        if i != index:
+            out.extend(piece)
+    return tuple(out)

@@ -1,0 +1,132 @@
+"""The interestingness oracle: is a variant's behaviour a finding?
+
+The fuzzer does not get an exit status from a subprocess — variants run
+in-process through the real pipeline — so the oracle classifies the
+richer record the executor collects:
+
+===================  =======================================================
+verdict kind         what it means
+===================  =======================================================
+``escape``           a non-``ReproError`` exception escaped the toolchain —
+                     the contract every parser/engine layer promises never
+                     to break; always a failure
+``aver-fail``        the experiment ran but its Aver assertions (the
+                     property oracle of the Popper convention) rejected the
+                     results
+``doctor``           ``popper doctor`` found repairable debris after a
+                     *non-crash* run — state the toolchain should never
+                     leave behind
+``crash-debris``     an injected crash left damage the doctor could
+                     diagnose but not fully repair
+``degradation``      the regression-detector suite returned a firm
+                     degradation verdict (suspicious, not failing)
+``rejected``         the toolchain refused the input with a clean
+                     ``ReproError`` — the *correct* response to garbage
+``clean``            ran to completion, validations passed
+===================  =======================================================
+
+Severity folds the kinds down to one of ``failure`` / ``suspicious`` /
+``boring``: failures enter the corpus and are minimized; suspicious
+variants enter the corpus; boring ones survive only on novel coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Observation", "OracleVerdict", "judge"]
+
+SEVERITY_FAILURE = "failure"
+SEVERITY_SUSPICIOUS = "suspicious"
+SEVERITY_BORING = "boring"
+
+_FAILURE_KINDS = {"escape", "aver-fail", "doctor", "crash-debris"}
+_SUSPICIOUS_KINDS = {"degradation"}
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """What the oracle concluded about one executed variant."""
+
+    kinds: tuple[str, ...]
+    severity: str
+    detail: str = ""
+
+    @property
+    def interesting(self) -> bool:
+        return self.severity in (SEVERITY_FAILURE, SEVERITY_SUSPICIOUS)
+
+    def to_json(self) -> dict:
+        return {
+            "kinds": list(self.kinds),
+            "severity": self.severity,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "OracleVerdict":
+        return cls(
+            kinds=tuple(payload.get("kinds", ())),
+            severity=str(payload.get("severity", SEVERITY_BORING)),
+            detail=str(payload.get("detail", "")),
+        )
+
+
+def _severity(kinds: set[str]) -> str:
+    if kinds & _FAILURE_KINDS:
+        return SEVERITY_FAILURE
+    if kinds & _SUSPICIOUS_KINDS:
+        return SEVERITY_SUSPICIOUS
+    return SEVERITY_BORING
+
+
+@dataclass
+class Observation:
+    """The executor's raw record of one variant run (oracle input)."""
+
+    outcome: str = "ok"  # ok | validation-failed | rejected | crash | escape
+    detail: str = ""
+    aver_passed: bool | None = None
+    doctor_kinds: tuple[str, ...] = ()
+    doctor_repaired: bool = True
+    degradations: tuple[str, ...] = ()
+
+
+def judge(observation: Observation) -> OracleVerdict:
+    """Fold an executor observation into an :class:`OracleVerdict`."""
+    kinds: set[str] = set()
+    details: list[str] = []
+    if observation.outcome == "escape":
+        kinds.add("escape")
+        details.append(observation.detail)
+    elif observation.outcome == "rejected":
+        kinds.add("rejected")
+    if observation.aver_passed is False:
+        kinds.add("aver-fail")
+        details.append(observation.detail or "aver assertions rejected results")
+    if observation.doctor_kinds:
+        if observation.outcome == "crash":
+            if not observation.doctor_repaired:
+                kinds.add("crash-debris")
+                details.append(
+                    "unrepaired debris after crash: "
+                    + ",".join(observation.doctor_kinds)
+                )
+        else:
+            kinds.add("doctor")
+            details.append(
+                "doctor findings after clean run: "
+                + ",".join(observation.doctor_kinds)
+            )
+    for change in observation.degradations:
+        if change == "degradation":
+            kinds.add("degradation")
+            details.append("detector suite reports degradation")
+            break
+    if not kinds:
+        kinds.add("clean" if observation.outcome != "crash" else "crash")
+    return OracleVerdict(
+        kinds=tuple(sorted(kinds)),
+        severity=_severity(kinds),
+        detail="; ".join(d for d in details if d),
+    )

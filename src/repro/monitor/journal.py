@@ -62,6 +62,8 @@ EVENT_KINDS = (
     "degradation",
     "profile_attached",
     "profile_error",
+    "fuzz_variant",
+    "fuzz_minimized",
     "run_end",
 )
 

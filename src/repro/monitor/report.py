@@ -31,6 +31,7 @@ __all__ = [
     "stage_table",
     "critical_path",
     "render_report",
+    "render_fuzz_summary",
 ]
 
 
@@ -224,4 +225,87 @@ def render_report(events: list[dict[str, Any]], skipped: int = 0) -> str:
     metrics = sum(1 for e in events if e["event"] == "metric")
     if metrics:
         lines.append(f"metric samples: {metrics}")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_fuzz_summary(events: list[dict[str, Any]], skipped: int = 0) -> str:
+    """The report behind ``popper trace --fuzz``: what the last fuzz
+    campaign generated, how each variant was judged, and which failures
+    were delta-debugged into minimal reproducers."""
+    if not events:
+        raise MonitorError("fuzz journal is empty; nothing to render")
+
+    run_start = next((e for e in events if e["event"] == "run_start"), None)
+    variants = [e for e in events if e["event"] == "fuzz_variant"]
+    minimized = [e for e in events if e["event"] == "fuzz_minimized"]
+
+    lines = ["== fuzz campaign " + "=" * 46]
+    if run_start is not None:
+        lines.append(
+            f"seed: {run_start.get('seed', '?')}   "
+            f"iterations: {run_start.get('iterations', '?')}   "
+            f"experiments: {', '.join(run_start.get('experiments') or []) or '?'}"
+        )
+    if skipped:
+        lines.append(
+            f"warning: {skipped} torn trailing line skipped (crashed append)"
+        )
+    lines.append("")
+
+    if variants:
+        outcomes: dict[str, int] = {}
+        severities: dict[str, int] = {}
+        novel = 0
+        for event in variants:
+            outcome = str(event.get("outcome", "?"))
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+            severity = str(event.get("severity", "?"))
+            severities[severity] = severities.get(severity, 0) + 1
+            novel += int(event.get("novel", 0))
+        lines.append(
+            f"variants: {len(variants)} executed, "
+            f"{novel} novel coverage key(s)"
+        )
+        lines.append(
+            "outcomes: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(outcomes.items()))
+        )
+        lines.append(
+            "verdicts: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(severities.items()))
+        )
+        rows = [
+            (
+                str(event.get("variant", ""))[:16],
+                str(event.get("outcome", "?")),
+                str(event.get("severity", "?")),
+                "/".join(event.get("kinds") or []) or "-",
+                str(event.get("chain", "?")),
+                str(event.get("novel", 0)),
+            )
+            for event in variants
+            if event.get("severity") != "boring" or int(event.get("novel", 0))
+        ]
+        if rows:
+            lines.append("")
+            lines.extend(
+                _text_table(
+                    rows,
+                    ("variant", "outcome", "severity", "kinds", "chain", "novel"),
+                )
+            )
+    else:
+        lines.append("variants: none recorded")
+
+    if minimized:
+        lines.append("")
+        lines.append("minimized reproducers:")
+        for event in minimized:
+            lines.append(
+                f"  {str(event.get('variant', ''))[:16]} -> "
+                f"{str(event.get('minimal', ''))[:16]} "
+                f"(chain {event.get('chain', '?')} -> "
+                f"{event.get('minimal_chain', '?')}, "
+                f"{event.get('executions', '?')} execution(s))"
+            )
     return "\n".join(lines).rstrip() + "\n"

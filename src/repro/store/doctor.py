@@ -18,6 +18,11 @@ dangling index record     record published, objects swept/lost      unlink (look
                                                                     miss anyway; doctor tidies)
 quarantined object        read-time integrity check failed          report only (a re-run heals
                                                                     the pool; see cache verify)
+stale fuzz sandbox        fuzz campaign killed mid-variant          remove the tree (sandboxes
+                          (``.pvcs/fuzz/work/``)                    are disposable scratch repos)
+partial corpus entry      crash between a fuzz corpus entry's       remove the tree (meta.json is
+                          files and its ``meta.json``               published last; nothing
+                                                                    admitted is lost)
 ========================  ========================================  ==============================
 
 Everything else on disk is either atomic (refs, config) or disposable
@@ -35,6 +40,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import shutil
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -279,6 +285,54 @@ def _scan_index(root: Path, findings: list[Finding]) -> None:
                 )
 
 
+def _scan_fuzz(root: Path, findings: list[Finding], tmp_age_s: float) -> None:
+    """Debris a killed fuzz campaign leaves under ``.pvcs/fuzz/``.
+
+    Sandboxes in ``work/`` are per-variant scratch repositories the
+    runner removes after each execution — any that survive are stale
+    (age-gated like temps, so doctor is safe next to a live campaign).
+    Corpus/reproducer variant directories publish ``meta.json`` last; a
+    directory without one is a partial admission with no index record.
+    """
+    now = time.time()
+    for fuzz_dir in sorted(root.rglob(f"{_META_DIR}/fuzz")):
+        if not fuzz_dir.is_dir():
+            continue
+        work = fuzz_dir / "work"
+        if work.is_dir():
+            for sandbox in sorted(work.iterdir()):
+                if not sandbox.is_dir():
+                    continue
+                try:
+                    age = now - sandbox.stat().st_mtime
+                except OSError:
+                    continue
+                if age < tmp_age_s:
+                    continue
+                findings.append(
+                    Finding(
+                        kind="stale-fuzz-sandbox",
+                        path=sandbox,
+                        detail=f"aged {age:.0f}s",
+                        action="remove tree",
+                    )
+                )
+        for corpus_name in ("corpus", "repro"):
+            corpus_dir = fuzz_dir / corpus_name
+            if not corpus_dir.is_dir():
+                continue
+            for variant in sorted(corpus_dir.iterdir()):
+                if variant.is_dir() and not (variant / "meta.json").is_file():
+                    findings.append(
+                        Finding(
+                            kind="partial-corpus-entry",
+                            path=variant,
+                            detail="missing meta.json",
+                            action="remove tree",
+                        )
+                    )
+
+
 def _scan_quarantine(root: Path, findings: list[Finding]) -> None:
     for quarantine in sorted(root.rglob("quarantine")):
         if not quarantine.is_dir() or _META_DIR not in quarantine.parts:
@@ -308,6 +362,7 @@ def diagnose(root: str | Path, tmp_age_s: float = 60.0) -> DoctorReport:
     _scan_temps(root, report.findings, tmp_age_s)
     _scan_jsonl(root, report.findings)
     _scan_index(root, report.findings)
+    _scan_fuzz(root, report.findings, tmp_age_s)
     _scan_quarantine(root, report.findings)
     return report
 
@@ -333,6 +388,8 @@ def repair(report: DoctorReport) -> DoctorReport:
                 repaired_bytes = _jsonl_repaired(raw)
                 if repaired_bytes is not None:
                     finding.path.write_bytes(repaired_bytes)
+            elif finding.kind in ("stale-fuzz-sandbox", "partial-corpus-entry"):
+                shutil.rmtree(finding.path, ignore_errors=True)
             finding.repaired = True
         except OSError:
             finding.repaired = False

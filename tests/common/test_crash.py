@@ -43,6 +43,34 @@ class TestGrammar:
         with pytest.raises(EngineError):
             CrashPlan.parse(spec)
 
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "at:cas.*:nan",  # float('nan') parses; int(nan) explodes
+            "at:cas.*:inf",  # OverflowError path
+            "at:cas.*:-inf",
+            "rate:cas.*:nan",
+            "rate:cas.*:inf",
+            ":::",
+            "at:cas.*:1:extra",
+            "at : cas.* : ∞",
+            "at:cas.*:0x10",
+            "at:cas.*:1e309",  # overflows to inf after float()
+            "\x00at:cas.*:1",
+        ],
+    )
+    def test_adversarial_specs_never_traceback(self, spec):
+        # The fuzzer feeds these verbatim: every garbled spec must be
+        # refused with a clean EngineError, never a ValueError /
+        # OverflowError escaping the parser.
+        with pytest.raises(EngineError):
+            CrashPlan.parse(spec)
+
+    def test_describe_parse_round_trip_is_stable(self):
+        plan = CrashPlan.parse("at:cas.*:2, rate:refs.update:0.25")
+        again = CrashPlan.parse(plan.describe())
+        assert again.describe() == plan.describe()
+
 
 class TestAtClauses:
     def test_nth_hit_crashes(self):

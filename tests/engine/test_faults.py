@@ -36,6 +36,33 @@ class TestSpecParsing:
             with pytest.raises(EngineError):
                 FaultPlan.parse(bad)
 
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "flaky:run:nan",  # parses as float but cannot count attempts
+            "flaky:run:inf",
+            "delay:setup:nan",
+            "delay:setup:inf",
+            "rate:exp-*:nan",
+            ":::",
+            "flaky:run:2:extra",
+            "flaky : run : ∞",
+            "delay:setup:1e309",  # overflows to inf after float()
+            "\x00flaky:run:2",
+        ],
+    )
+    def test_adversarial_specs_never_traceback(self, spec):
+        # Fuzzer-grade garbage: a garbled spec must be refused with a
+        # clean EngineError at parse time — never an exception at
+        # injection time deep inside a running sweep.
+        with pytest.raises(EngineError):
+            FaultPlan.parse(spec)
+
+    def test_describe_parse_round_trip_is_stable(self):
+        plan = FaultPlan.parse("flaky:run:2, delay:setup:0.5, rate:exp-*:0.25")
+        again = FaultPlan.parse(plan.describe())
+        assert again.describe() == plan.describe()
+
     def test_glob_matching(self):
         plan = FaultPlan.parse("fail:exp-*")
         spec = plan.specs[0]

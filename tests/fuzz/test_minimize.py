@@ -1,0 +1,79 @@
+"""ddmin over mutation chains, driven by a stub runner (no sandboxes)."""
+
+from repro.fuzz.executor import ExecutionResult
+from repro.fuzz.minimize import minimize
+from repro.fuzz.mutators import Mutation
+from repro.fuzz.oracle import Observation
+from repro.fuzz.scenario import Scenario
+
+SEED = Scenario(
+    name="exp",
+    files={
+        "vars.yml": "runner: torpor\nruns: 3\n",
+        "validations.aver": "expect speedup > 1\n",
+    },
+)
+
+GUILTY = Mutation("aver-rewrite", {"find": "> 1", "replace": "> 1000"})
+
+
+def innocent(i):
+    return Mutation("seed-set", {"value": 100 + i})
+
+
+class StubRunner:
+    """Judges a scenario failing iff the guilty rewrite is present."""
+
+    def __init__(self):
+        self.executions = 0
+
+    def run(self, scenario):
+        self.executions += 1
+        bad = "> 1000" in scenario.files.get("validations.aver", "")
+        observation = Observation(
+            outcome="validation-failed" if bad else "ok",
+            aver_passed=not bad,
+        )
+        return ExecutionResult(
+            variant=scenario.fingerprint(),
+            outcome=observation.outcome,
+            detail="",
+            coverage=set(),
+            observation=observation,
+        )
+
+
+class TestDdmin:
+    def test_shrinks_to_single_guilty_mutation(self):
+        chain = [innocent(0), innocent(1), GUILTY, innocent(2), innocent(3)]
+        result = minimize(SEED, chain, StubRunner(), ("aver-fail",))
+        assert [m.rule for m in result.chain] == ["aver-rewrite"]
+        assert "aver-fail" in result.verdict.kinds
+
+    def test_result_is_one_minimal(self):
+        chain = [innocent(0), GUILTY]
+        runner = StubRunner()
+        result = minimize(SEED, chain, runner, ("aver-fail",))
+        assert len(result.chain) == 1
+        # Removing the survivor must lose the failure.
+        clean = minimize(SEED, [], runner, ("aver-fail",))
+        assert "aver-fail" not in clean.verdict.kinds
+
+    def test_verdict_cache_avoids_duplicate_executions(self):
+        chain = [innocent(i) for i in range(6)] + [GUILTY]
+        runner = StubRunner()
+        minimize(SEED, chain, runner, ("aver-fail",))
+        # ddmin probes subsets; the cache must keep executions well
+        # under the worst-case number of candidate evaluations.
+        assert runner.executions <= 2 ** len(chain) / 4
+
+    def test_already_minimal_chain_is_kept(self):
+        result = minimize(SEED, [GUILTY], StubRunner(), ("aver-fail",))
+        assert result.chain == (GUILTY,)
+
+    def test_minimization_is_deterministic(self):
+        chain = [innocent(0), GUILTY, innocent(1)]
+        a = minimize(SEED, chain, StubRunner(), ("aver-fail",))
+        b = minimize(SEED, chain, StubRunner(), ("aver-fail",))
+        assert a.variant == b.variant
+        assert a.chain == b.chain

@@ -1,0 +1,89 @@
+"""The interestingness oracle's classification table."""
+
+from repro.fuzz.oracle import (
+    Observation,
+    OracleVerdict,
+    SEVERITY_BORING,
+    SEVERITY_FAILURE,
+    SEVERITY_SUSPICIOUS,
+    judge,
+)
+
+
+class TestFailures:
+    def test_escape_is_failure(self):
+        v = judge(Observation(outcome="escape", detail="KeyError: 'x'"))
+        assert v.severity == SEVERITY_FAILURE
+        assert "escape" in v.kinds
+        assert "KeyError" in v.detail
+
+    def test_aver_fail_is_failure(self):
+        v = judge(Observation(outcome="validation-failed", aver_passed=False))
+        assert v.severity == SEVERITY_FAILURE
+        assert "aver-fail" in v.kinds
+
+    def test_doctor_findings_after_clean_run_are_failure(self):
+        v = judge(Observation(outcome="ok", doctor_kinds=("torn-jsonl",)))
+        assert v.severity == SEVERITY_FAILURE
+        assert "doctor" in v.kinds
+
+    def test_unrepaired_crash_debris_is_failure(self):
+        v = judge(
+            Observation(
+                outcome="crash",
+                doctor_kinds=("stale-lock",),
+                doctor_repaired=False,
+            )
+        )
+        assert v.severity == SEVERITY_FAILURE
+        assert "crash-debris" in v.kinds
+
+
+class TestNonFailures:
+    def test_clean_run_is_boring(self):
+        v = judge(Observation(outcome="ok", aver_passed=True))
+        assert v.severity == SEVERITY_BORING
+        assert v.kinds == ("clean",)
+        assert not v.interesting
+
+    def test_clean_rejection_is_boring(self):
+        # A garbled spec rejected with a ReproError is the toolchain
+        # working as designed — never a finding.
+        v = judge(Observation(outcome="rejected"))
+        assert v.severity == SEVERITY_BORING
+        assert "rejected" in v.kinds
+
+    def test_repaired_crash_is_boring(self):
+        v = judge(
+            Observation(
+                outcome="crash",
+                doctor_kinds=("torn-jsonl",),
+                doctor_repaired=True,
+            )
+        )
+        assert v.severity == SEVERITY_BORING
+
+    def test_degradation_is_suspicious(self):
+        v = judge(Observation(outcome="ok", degradations=("degradation",)))
+        assert v.severity == SEVERITY_SUSPICIOUS
+        assert v.interesting
+
+    def test_non_firm_degradation_ignored(self):
+        v = judge(Observation(outcome="ok", degradations=("maybe",)))
+        assert v.severity == SEVERITY_BORING
+
+
+class TestVerdictRecord:
+    def test_json_round_trip(self):
+        v = judge(Observation(outcome="escape", detail="boom"))
+        assert OracleVerdict.from_json(v.to_json()) == v
+
+    def test_compound_failure_lists_every_kind(self):
+        v = judge(
+            Observation(
+                outcome="escape",
+                aver_passed=False,
+                doctor_kinds=("orphan-temp",),
+            )
+        )
+        assert set(v.kinds) >= {"escape", "aver-fail", "doctor"}
