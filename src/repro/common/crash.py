@@ -11,6 +11,13 @@ storage stack calls :func:`crashpoint` with a dotted site name::
     refs.update             about to replace a ref file
     runstate.append.torn    half a run-state record flushed to disk
     journal.append.torn     half a journal event flushed to disk
+    runstate.append.window  a group-commit window about to land (the
+                            buffered records are lost whole, no tear)
+    journal.append.window   same, for the run journal's writer
+    fuzz.coverage.window / fuzz.coverage.torn  the coverage map's writer
+    fuzz.corpus.window / fuzz.corpus.torn      the corpus index's writer
+    pack.write.tmp          packfile temp durable, rename not yet issued
+    pack.publish            pack renamed in, index not yet written
     fsutil.atomic_write.tmp     temp file durable, rename not yet issued
     fsutil.atomic_write.rename  renamed, parent directory not yet fsynced
 

@@ -197,6 +197,14 @@ def build_parser() -> argparse.ArgumentParser:
         "runnable reproducer (single-token fuzz job for CI env "
         "matrices)",
     )
+    run.add_argument(
+        "--store-smoke",
+        action="store_true",
+        help="run a scratch-pool packed-store check before the sweep: "
+        "ingest, repack, byte-identical reads, then an injected "
+        "pack-publish crash repaired by popper doctor (single-token "
+        "storage job for CI env matrices)",
+    )
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -343,6 +351,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="records to keep per task, newest first (default 1)",
+    )
+    cache_repack = cache_sub.add_parser(
+        "repack",
+        help="fold loose objects (and old packs) into one fresh packfile "
+        "per pool; reads stay byte-identical, fsyncs drop to one per pack",
+    )
+    cache_repack.add_argument(
+        "--min-objects",
+        type=int,
+        default=2,
+        metavar="N",
+        help="skip pools holding fewer than N objects (default 2)",
+    )
+    cache_repack.add_argument(
+        "--no-delta",
+        action="store_true",
+        help="store whole (zlib) payloads only; skip affix-delta encoding",
     )
 
     doctor = sub.add_parser(
@@ -526,6 +551,20 @@ def _cmd_run(args) -> int:
             print("-- " + fuzz_smoke())
         except FuzzError as exc:
             print(f"-- fuzz smoke FAILED: {exc}")
+            return 1
+
+    if args.store_smoke:
+        # A scratch-pool self-check of the packed store: ingest, repack,
+        # byte-identical reads, then an injected pack-publish crash that
+        # popper doctor must repair.  Runs before (and even without)
+        # this repository's experiments.
+        from repro.common.errors import StoreError
+        from repro.store.smoke import store_smoke
+
+        try:
+            print("-- " + store_smoke())
+        except StoreError as exc:
+            print(f"-- store smoke FAILED: {exc}")
             return 1
 
     names = list(args.names)
@@ -1087,10 +1126,18 @@ def _cmd_cache(args) -> int:
             f"   objects: {stats['objects']} ({stats['bytes']} bytes, "
             f"{stats['quarantined']} quarantined)"
         )
+        print(
+            f"   loose: {stats['loose_objects']} "
+            f"({stats['loose_bytes']} bytes); "
+            f"packed: {stats['packed_objects']} "
+            f"({stats['packed_bytes']} bytes in {stats['pack_files']} "
+            f"pack(s), {stats['pack_deltas']} delta-encoded)"
+        )
         print(f"   records: {stats['records']} across {stats['tasks']} tasks")
         print(
             f"   logical bytes: {stats['logical_bytes']} "
-            f"({stats['bytes_deduped']} deduped)"
+            f"({stats['bytes_deduped']} deduped, "
+            f"{stats['dedup_ratio']:.2f}x dedup ratio incl. pack deltas)"
         )
         vcs_stats = repo.vcs.store.cas.stats()
         print(f"-- vcs object pool ({repo.vcs.store.root})")
@@ -1098,6 +1145,25 @@ def _cmd_cache(args) -> int:
             f"   objects: {vcs_stats['objects']} ({vcs_stats['bytes']} bytes, "
             f"{vcs_stats['quarantined']} quarantined)"
         )
+        print(
+            f"   loose: {vcs_stats['loose_objects']} "
+            f"({vcs_stats['loose_bytes']} bytes); "
+            f"packed: {vcs_stats['packed_objects']} "
+            f"({vcs_stats['packed_bytes']} bytes in "
+            f"{vcs_stats['pack_files']} pack(s), "
+            f"{vcs_stats['pack_deltas']} delta-encoded)"
+        )
+        return 0
+    if args.subcommand == "repack":
+        delta = not args.no_delta
+        report = store.repack(min_objects=args.min_objects, delta=delta)
+        print(f"-- artifact cache ({store.root})")
+        print("   " + report.describe().replace("\n", "\n   ").rstrip())
+        vcs_report = repo.vcs.store.cas.repack(
+            min_objects=args.min_objects, delta=delta
+        )
+        print(f"-- vcs object pool ({repo.vcs.store.root})")
+        print("   " + vcs_report.describe().replace("\n", "\n   ").rstrip())
         return 0
     if args.subcommand == "verify":
         report = store.verify()

@@ -62,7 +62,7 @@ PAPER_TEMPLATES: dict[str, dict[str, str]] = {
 
 DEFAULT_TRAVIS = """\
 # Integrity checks for this Popper repository (category-1 validation).
-# The matrix runs seven jobs: a re-validation of stored results, a
+# The matrix runs eight jobs: a re-validation of stored results, a
 # chaos smoke job that re-executes every pipeline under injected
 # transient faults with retries enabled (the resilience layer's own
 # integrity check), a warm-cache job that runs the sweep twice against
@@ -79,11 +79,14 @@ DEFAULT_TRAVIS = """\
 # and a fuzz smoke job that runs a fixed-seed scenario-fuzz campaign
 # in a scratch repository and fails unless a planted known-bad
 # variant is caught by the oracle and minimized to a runnable
-# reproducer (the fuzzing layer's own integrity check).
+# reproducer (the fuzzing layer's own integrity check), and a store
+# smoke job that packs a scratch object pool, demands byte-identical
+# reads, and repairs an injected pack-publish crash with popper doctor
+# (the storage layer's own integrity check).
 # Env values must be single tokens (the CI env parser splits on
 # whitespace), hence the --chaos-smoke / --cache-check /
-# --crash-smoke / --process-smoke / --perf-smoke / --fuzz-smoke
-# shorthands.
+# --crash-smoke / --process-smoke / --perf-smoke / --fuzz-smoke /
+# --store-smoke shorthands.
 language: generic
 env:
   - POPPER_RUN_MODE=--validate-only
@@ -93,6 +96,7 @@ env:
   - POPPER_RUN_MODE=--process-smoke
   - POPPER_RUN_MODE=--perf-smoke
   - POPPER_RUN_MODE=--fuzz-smoke
+  - POPPER_RUN_MODE=--store-smoke
 script:
   - popper check
   - popper run --all ${POPPER_RUN_MODE}

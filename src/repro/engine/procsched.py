@@ -575,18 +575,22 @@ class ProcessScheduler(Scheduler):
                         keys.append((index, sid))
             base = tracer.reserve_span_ids(len(keys))
             id_map = {key: base + i for i, key in enumerate(keys)}
-            for index, events in slices:
-                local = {
-                    sid: gid for (w, sid), gid in id_map.items() if w == index
-                }
-                replay_events(
-                    journal,
-                    events,
-                    span_id_map=local,
-                    default_parent_id=parent_id,
-                    worker=index,
-                )
-                self._graft_spans(tracer, events, local, parent_id)
+            # One batched group-commit writer for the whole replay: the
+            # merge appends thousands of events and should pay one write
+            # per window, not one write+flush per replayed line.
+            with journal.batched():
+                for index, events in slices:
+                    local = {
+                        sid: gid for (w, sid), gid in id_map.items() if w == index
+                    }
+                    replay_events(
+                        journal,
+                        events,
+                        span_id_map=local,
+                        default_parent_id=parent_id,
+                        worker=index,
+                    )
+                    self._graft_spans(tracer, events, local, parent_id)
 
         try:
             for _ in range(min(self.max_workers, len(graph))):

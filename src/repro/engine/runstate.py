@@ -24,10 +24,10 @@ import json
 import threading
 import warnings
 from pathlib import Path
-from typing import Any, IO
+from typing import Any
 
 from repro.common.errors import EngineError
-from repro.common.fsutil import journal_append
+from repro.common.groupcommit import GroupCommitWriter
 from repro.common.hashing import sha256_text
 from repro.common.locking import RepoLock
 
@@ -62,8 +62,14 @@ class RunStateStore:
     (last record per fingerprint wins) and appends.  Writes are
     lock-protected (both against sibling threads and, via a
     :class:`~repro.common.locking.RepoLock`, against other processes
-    sharing the file) and land as single flushed — by default fsynced —
-    lines, so a crash can tear at most the trailing record.
+    sharing the file) and land as single flushed lines through a
+    :class:`~repro.common.groupcommit.GroupCommitWriter`: every record
+    survives a process kill the moment :meth:`record` returns, while
+    the durable (machine-crash) fsync barrier is group-committed — one
+    fsync per bounded window instead of one per record, committed
+    explicitly on :meth:`flush`/:meth:`close`.  A power cut can lose at
+    most the last unsynced window of records (those tasks simply
+    re-run on resume) and can tear at most the trailing record.
 
     A torn trailing line is exactly what a killed run leaves behind, so
     the loader skips it with a warning and counts it in :attr:`skipped`;
@@ -108,11 +114,14 @@ class RunStateStore:
         self._iplock = RepoLock(
             self.path.with_name(self.path.name + ".lock"), label="run-state"
         )
-        if not self.resume:
-            # Truncate separately, then append: an append-mode handle
-            # can never overwrite a concurrent writer's records mid-file.
-            self.path.write_text("", encoding="utf-8")
-        self._fh: IO[str] | None = self.path.open("a", encoding="utf-8")
+        # fresh=True truncates separately, then appends: an append-mode
+        # handle can never overwrite a concurrent writer's records.
+        self._writer: GroupCommitWriter | None = GroupCommitWriter(
+            self.path,
+            durable=self.durable,
+            fresh=not self.resume,
+            crash_label="runstate.append",
+        )
 
     # -- reading -----------------------------------------------------------------
     def lookup(self, fingerprint: str) -> dict[str, Any] | None:
@@ -162,23 +171,24 @@ class RunStateStore:
         if error:
             record["error"] = error
         with self._lock:
-            if self._fh is None:
+            if self._writer is None:
                 raise EngineError(f"run-state store {self.path} is closed")
             with self._iplock:
-                journal_append(
-                    self._fh,
-                    json.dumps(record, sort_keys=False),
-                    durable=self.durable,
-                    crash_label="runstate.append",
-                )
+                self._writer.append(json.dumps(record, sort_keys=False))
             self._records[fingerprint] = record
         return record
 
+    def flush(self) -> None:
+        """Commit the open group-commit window (fsync when durable)."""
+        with self._lock:
+            if self._writer is not None:
+                self._writer.flush()
+
     def close(self) -> None:
         with self._lock:
-            if self._fh is not None:
-                self._fh.close()
-                self._fh = None
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
 
     def __enter__(self) -> "RunStateStore":
         return self

@@ -153,6 +153,17 @@ class FuzzCampaign:
 
     # -- the loop ------------------------------------------------------------
     def run(self, journal: RunJournal | None = None) -> FuzzReport:
+        try:
+            return self._run(journal)
+        finally:
+            # Commit the persistent group-commit writers: the coverage
+            # map and corpus indexes batched their fsyncs across the
+            # campaign's whole append loop.
+            self.coverage.close()
+            self.corpus.close()
+            self.reproducers.close()
+
+    def _run(self, journal: RunJournal | None = None) -> FuzzReport:
         report = FuzzReport(seed=self.seed, iterations=self.iterations)
         seen: set[str] = set(
             record.get("variant", "") for record in self.corpus.index_records()

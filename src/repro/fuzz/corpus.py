@@ -13,10 +13,11 @@ Layout under the host repository's ``.pvcs/fuzz/``::
 Every file is content-derived — variant ids are scenario fingerprints
 and no record carries a timestamp — so two campaigns with the same seed
 produce byte-identical corpus trees (the determinism acceptance test
-diffs them).  ``meta.json`` lands via ``atomic_write`` and the index via
-``journal_append``, the same durable-write contract as the rest of the
-store; ``popper doctor`` knows how to repair a torn index and sweep a
-variant directory whose ``meta.json`` never landed.
+diffs them).  ``meta.json`` lands via ``atomic_write`` and the index
+through one persistent group-commit writer (admission loops used to
+reopen and fsync the index per entry), the same durable-write contract
+as the rest of the store; ``popper doctor`` knows how to repair a torn
+index and sweep a variant directory whose ``meta.json`` never landed.
 """
 
 from __future__ import annotations
@@ -26,7 +27,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.common.errors import FuzzError
-from repro.common.fsutil import atomic_write, ensure_dir, journal_append
+from repro.common.fsutil import atomic_write, ensure_dir
+from repro.common.groupcommit import GroupCommitWriter
 from repro.fuzz.mutators import Mutation
 from repro.fuzz.oracle import OracleVerdict
 from repro.fuzz.scenario import Scenario
@@ -89,6 +91,7 @@ class Corpus:
         self.root = Path(root)
         self.index_path = self.root.parent / index_name
         self.directory = self.root
+        self._writer: GroupCommitWriter | None = None
 
     # -- writes --------------------------------------------------------------
     def add(self, entry: CorpusEntry) -> Path:
@@ -102,7 +105,6 @@ class Corpus:
             target / META_FILE,
             json.dumps(entry.to_json(), sort_keys=True, indent=1).encode("utf-8"),
         )
-        ensure_dir(self.index_path.parent)
         record = {
             "variant": entry.variant,
             "severity": entry.verdict.severity,
@@ -110,14 +112,23 @@ class Corpus:
             "outcome": entry.outcome,
             "novel": list(entry.novel),
         }
-        with open(self.index_path, "a", encoding="utf-8") as handle:
-            journal_append(
-                handle,
-                json.dumps(record, sort_keys=True),
-                durable=True,
-                crash_label="fuzz.corpus",
+        if self._writer is None or self._writer.closed:
+            self._writer = GroupCommitWriter(
+                self.index_path, durable=True, crash_label="fuzz.corpus"
             )
+        self._writer.append(json.dumps(record, sort_keys=True))
         return target
+
+    def flush(self) -> None:
+        """Commit the index writer's open window."""
+        if self._writer is not None and not self._writer.closed:
+            self._writer.flush()
+
+    def close(self) -> None:
+        """Commit and release the persistent index writer."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
 
     # -- reads ---------------------------------------------------------------
     def variants(self) -> list[str]:

@@ -10,10 +10,16 @@ and earns a place in the corpus even when the oracle calls it boring.
 
 The map persists as ``.pvcs/fuzz/coverage.jsonl`` under the same
 durable-append / torn-tail-tolerant contract as every other JSONL file
-in the store: one flushed ``journal_append`` per record, readers skip a
-torn trailing line, and ``popper doctor`` truncates the tear.  Records
-carry no timestamps — two campaigns with the same seed write identical
-maps, which the determinism acceptance test diffs byte for byte.
+in the store — but through one persistent
+:class:`~repro.common.groupcommit.GroupCommitWriter` rather than a
+file open + fsync per record: the campaign's harvest loop appends
+thousands of records, and group commit amortizes the durability
+barrier across bounded windows (committed on :meth:`CoverageMap.flush`
+/ :meth:`CoverageMap.close`, which the campaign calls at exit).
+Readers skip a torn trailing line and ``popper doctor`` truncates the
+tear.  Records carry no timestamps — two campaigns with the same seed
+write identical maps, which the determinism acceptance test diffs byte
+for byte.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.common.fsutil import ensure_dir, journal_append
+from repro.common.groupcommit import GroupCommitWriter
 
 __all__ = ["CoverageMap", "coverage_keys_from_events"]
 
@@ -60,6 +66,7 @@ class CoverageMap:
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._keys: set[str] = set()
+        self._writer: GroupCommitWriter | None = None
         self._load()
 
     def _load(self) -> None:
@@ -100,13 +107,24 @@ class CoverageMap:
         if not fresh:
             return fresh
         self._keys.update(fresh)
-        ensure_dir(self.path.parent)
-        record = {"variant": variant, "keys": sorted(fresh)}
-        with open(self.path, "a", encoding="utf-8") as handle:
-            journal_append(
-                handle,
-                json.dumps(record, sort_keys=True),
-                durable=True,
-                crash_label="fuzz.coverage",
+        if self._writer is None or self._writer.closed:
+            # One writer for the campaign's whole harvest loop — the
+            # old open+fsync per record priced every novel variant at a
+            # full durability barrier.
+            self._writer = GroupCommitWriter(
+                self.path, durable=True, crash_label="fuzz.coverage"
             )
+        record = {"variant": variant, "keys": sorted(fresh)}
+        self._writer.append(json.dumps(record, sort_keys=True))
         return fresh
+
+    def flush(self) -> None:
+        """Commit the open group-commit window to disk."""
+        if self._writer is not None and not self._writer.closed:
+            self._writer.flush()
+
+    def close(self) -> None:
+        """Commit and release the persistent writer (campaign exit)."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None

@@ -28,10 +28,10 @@ import threading
 import time
 import warnings
 from pathlib import Path
-from typing import Any, Callable, IO
+from typing import Any, Callable
 
 from repro.common.errors import MonitorError
-from repro.common.fsutil import journal_append
+from repro.common.groupcommit import GroupCommitWriter
 
 __all__ = [
     "JOURNAL_FILE",
@@ -85,8 +85,14 @@ def _jsonable(value: Any) -> Any:
         return repr(value)
 
 
+#: Event kinds that commit the journal's group-commit window when they
+#: land: the run/span boundaries after which a reader (or a durability
+#: contract) expects everything earlier to be on disk.
+FLUSH_KINDS = frozenset({"run_start", "span_end", "run_end"})
+
+
 class RunJournal:
-    """Appends events to one JSONL file, flushing after every line.
+    """Appends events to one JSONL file through a group-commit writer.
 
     A journal is *per run*: constructing one truncates any journal a
     previous run left at the same path (pass ``fresh=False`` to resume
@@ -97,6 +103,14 @@ class RunJournal:
     tasks (pipeline stages, CI jobs) on worker threads that share one
     run's journal, and each event must land as one intact line with a
     unique ``seq``.
+
+    Durability is group-committed: every event is written and flushed
+    as it happens (a killed run keeps its record up to the failure
+    point), but durable journals fsync once per bounded window rather
+    than per event, with an explicit commit at span/run boundaries
+    (:data:`FLUSH_KINDS`) and on :meth:`close`.  Bulk replays (journal
+    shard merges) wrap themselves in :meth:`batched` to also batch the
+    write syscalls.
     """
 
     def __init__(
@@ -111,12 +125,12 @@ class RunJournal:
         self._seq = 0
         self._lock = threading.Lock()
         self.durable = bool(durable)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        if fresh:
-            # Truncate separately, then append: append-mode writes can
-            # only ever grow the file, never clobber another writer.
-            self.path.write_text("", encoding="utf-8")
-        self._fh: IO[str] | None = self.path.open("a", encoding="utf-8")
+        self._writer: GroupCommitWriter | None = GroupCommitWriter(
+            self.path,
+            durable=self.durable,
+            fresh=fresh,
+            crash_label="journal.append",
+        )
 
     # -- writing -----------------------------------------------------------------
     def event(self, kind: str, **fields: Any) -> dict[str, Any]:
@@ -127,23 +141,39 @@ class RunJournal:
         for key, value in fields.items():
             record[key] = _jsonable(value)
         with self._lock:
-            if self._fh is None:
+            if self._writer is None:
                 raise MonitorError(f"journal {self.path} is closed")
             self._seq += 1
             record = {"seq": self._seq, "ts": self._clock(), **record}
-            journal_append(
-                self._fh,
-                json.dumps(record, sort_keys=False),
-                durable=self.durable,
-                crash_label="journal.append",
-            )
+            self._writer.append(json.dumps(record, sort_keys=False))
+            # Inside a batched bulk replay the window bounds govern; a
+            # boundary flush per replayed span would defeat the batch.
+            if kind in FLUSH_KINDS and not self._writer.in_batch:
+                self._writer.flush()
         return record
+
+    def flush(self) -> None:
+        """Commit the open group-commit window (fsync when durable)."""
+        with self._lock:
+            if self._writer is not None:
+                self._writer.flush()
+
+    def batched(self):
+        """Context manager batching a bulk append loop's writes.
+
+        Used by the journal-shard merge of the process scheduler, which
+        replays thousands of worker events through :meth:`event`.
+        """
+        with self._lock:
+            if self._writer is None:
+                raise MonitorError(f"journal {self.path} is closed")
+            return self._writer.batched()
 
     def close(self) -> None:
         with self._lock:
-            if self._fh is not None:
-                self._fh.close()
-                self._fh = None
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
 
     def __enter__(self) -> "RunJournal":
         return self

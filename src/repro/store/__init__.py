@@ -11,12 +11,16 @@ memoization cache:
 * :class:`~repro.store.artifacts.ArtifactStore` — the two combined,
   with ``store``/``lookup``/``materialize`` memoization primitives and
   ``verify``/``gc``/``stats`` administration;
+* :mod:`~repro.store.pack` — packfiles: many small cold objects folded
+  into one indexed, checksummed, optionally delta-compressed file
+  (``objects/pack/``; see ``popper cache repack``);
 * :mod:`~repro.store.doctor` — the crash-recovery scanner behind
   ``popper doctor`` (stale locks, orphan temps, torn JSONL tails,
-  partial index records).
+  partial index records, crashed repacks).
 
-See ``docs/caching.md`` for the on-disk layout and the gc policy, and
-``docs/robustness.md`` for the crash-consistency story.
+See ``docs/caching.md`` for the on-disk layout, the gc policy and the
+pack format, and ``docs/robustness.md`` for the crash-consistency
+story.
 """
 
 from repro.store.artifacts import (
@@ -25,9 +29,10 @@ from repro.store.artifacts import (
     StoreOutcome,
     VerifyReport,
 )
-from repro.store.cas import ContentStore, IngestResult
+from repro.store.cas import ContentStore, IngestResult, RepackReport
 from repro.store.doctor import DoctorReport, Finding, diagnose, repair
 from repro.store.index import ArtifactIndex, ArtifactOutput, ArtifactRecord
+from repro.store.pack import PackError, PackReader, rebuild_index, write_pack
 
 __all__ = [
     "ArtifactIndex",
@@ -39,8 +44,13 @@ __all__ = [
     "Finding",
     "GcReport",
     "IngestResult",
+    "PackError",
+    "PackReader",
+    "RepackReport",
     "StoreOutcome",
     "VerifyReport",
     "diagnose",
+    "rebuild_index",
     "repair",
+    "write_pack",
 ]

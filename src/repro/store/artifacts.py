@@ -196,28 +196,59 @@ class ArtifactStore:
                 removed_records += 1
         removed_objects = 0
         reclaimed = 0
-        for oid in list(self.cas.ids()):
+        for oid in list(self.cas.loose_ids()):
             if oid in referenced:
                 continue
             size = self.cas.object_path(oid).stat().st_size
             if self.cas.delete(oid):
                 removed_objects += 1
                 reclaimed += size
+        # Packs are immutable, so collection is all-or-nothing per pack:
+        # a pack nothing references any more is dropped whole; one with
+        # a single live object survives intact (the next repack folds
+        # the survivors into a fresh pack and the garbage goes then).
+        for reader in list(self.cas.pack_readers(refresh=True)):
+            packed = list(reader.ids())
+            if any(oid in referenced for oid in packed):
+                continue
+            removed_objects += sum(
+                1
+                for oid in packed
+                if not self.cas.object_path(oid).exists()
+            )
+            reclaimed += self.cas.drop_pack(reader)
         return GcReport(
             records_removed=removed_records,
             objects_removed=removed_objects,
             bytes_reclaimed=reclaimed,
         )
 
+    def repack(self, min_objects: int = 2, delta: bool = True):
+        """Fold the pool's loose tail (and old packs) into one pack.
+
+        Holds the store lock for the whole fold — a repack moves every
+        object, so it excludes concurrent publishes the way gc does.
+        """
+        with self.lock:
+            return self.cas.repack(min_objects=min_objects, delta=delta)
+
     def stats(self) -> dict:
-        """Pool + index accounting for ``popper cache stats``."""
+        """Pool + index accounting for ``popper cache stats``.
+
+        ``bytes_deduped`` measures logical-over-physical saving from
+        *both* content dedup and pack delta compression: ``logical``
+        counts every recorded output at full size, ``bytes`` is what
+        the disk actually holds (loose files + pack files).
+        """
         pool = self.cas.stats()
         records = self.index.entries()
         logical = sum(record.total_bytes for record in records)
+        physical = pool["bytes"]
         return {
             **pool,
             "records": len(records),
             "tasks": len({record.task for record in records}),
             "logical_bytes": logical,
-            "bytes_deduped": max(0, logical - pool["bytes"]),
+            "bytes_deduped": max(0, logical - physical),
+            "dedup_ratio": (logical / physical) if physical else 1.0,
         }

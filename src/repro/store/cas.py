@@ -21,6 +21,14 @@ out), and the publish step runs under the pool's optional
 cache serialize exactly the way two threads already did.  A crash
 mid-ingest leaves only an ``.ingest-*`` orphan temp — never a partial
 object — which ``popper doctor`` sweeps.
+
+Packs: cold objects can be folded into packfiles under
+``objects/pack/`` (see :mod:`repro.store.pack` and :meth:`ContentStore.repack`).
+Reads consult the pack indexes before the loose shards, so callers
+never notice whether an object is loose or packed; ingest still lands
+loose (packs are immutable), and a repack folds the accumulated loose
+tail into a fresh pack.  Shard iteration skips ``pack/`` naturally —
+shard directories are exactly two hex characters.
 """
 
 from __future__ import annotations
@@ -39,8 +47,9 @@ from repro.common.errors import CorruptObjectError, MissingObjectError, StoreErr
 from repro.common.hashing import sha256_bytes
 from repro.common.fsutil import ensure_dir, fsync_path
 from repro.common.locking import RepoLock
+from repro.store.pack import PACK_DIR, PackError, PackReader, write_pack
 
-__all__ = ["IngestResult", "ContentStore"]
+__all__ = ["IngestResult", "RepackReport", "ContentStore"]
 
 _CHUNK = 1 << 20
 
@@ -53,6 +62,39 @@ class IngestResult:
     size: int
     #: True when the object was already present (the write deduped).
     deduped: bool
+
+
+@dataclass(frozen=True)
+class RepackReport:
+    """What one :meth:`ContentStore.repack` pass did."""
+
+    objects: int
+    loose_folded: int
+    packs_folded: int
+    deltas: int
+    bytes_before: int
+    bytes_after: int
+    pack: str = ""
+
+    @property
+    def noop(self) -> bool:
+        return not self.pack
+
+    def describe(self) -> str:
+        if self.noop:
+            return (
+                f"-- repack: nothing to do "
+                f"({self.objects} object(s) already packed)\n"
+            )
+        saved = self.bytes_before - self.bytes_after
+        return (
+            f"-- repack: {self.objects} object(s) -> {self.pack}\n"
+            f"   folded {self.loose_folded} loose object(s) and "
+            f"{self.packs_folded} old pack(s)\n"
+            f"   {self.deltas} delta-encoded; "
+            f"{self.bytes_before} -> {self.bytes_after} bytes "
+            f"({saved:+d} reclaimed)\n"
+        )
 
 
 class ContentStore:
@@ -83,9 +125,65 @@ class ContentStore:
         #: processes sharing this pool (reentrant: safe to hold already).
         self.lock = lock
         ensure_dir(self.objects_dir)
+        self.packs_dir = self.objects_dir / PACK_DIR
+        #: Lazily-built map of idx basename -> PackReader.  Invalidated
+        #: by repack and refreshed on a lookup miss, so another process
+        #: publishing a pack is picked up without restarting.
+        self._pack_cache: dict[str, PackReader] | None = None
 
     def _publish_guard(self):
         return self.lock if self.lock is not None else nullcontext()
+
+    # -- packs ----------------------------------------------------------------
+    def _invalidate_packs(self) -> None:
+        self._pack_cache = None
+
+    def pack_readers(self, refresh: bool = False) -> list[PackReader]:
+        """Readers for every well-formed published pack (sorted by name).
+
+        A pack whose index is unreadable is skipped here — ``popper
+        doctor`` owns repairing it — so a half-published pack never
+        breaks reads (the loose copies it would have folded still exist
+        until the repack sweep that follows index publication).
+        """
+        if self._pack_cache is None or refresh:
+            cache: dict[str, PackReader] = {}
+            if self.packs_dir.is_dir():
+                for idx in sorted(self.packs_dir.glob("*.idx")):
+                    try:
+                        cache[idx.name] = PackReader(idx)
+                    except PackError:
+                        continue
+                    if not cache[idx.name].pack_path.is_file():
+                        del cache[idx.name]
+            self._pack_cache = cache
+        return [self._pack_cache[name] for name in sorted(self._pack_cache)]
+
+    def _pack_for(self, oid: str) -> PackReader | None:
+        for reader in self.pack_readers():
+            if oid in reader:
+                return reader
+        if self._pack_cache is not None and self.packs_dir.is_dir():
+            # Miss against the cached view: another process may have
+            # published a pack since we scanned.  One rescan, then give up.
+            known = len(self._pack_cache)
+            fresh = len(list(self.packs_dir.glob("*.idx")))
+            if fresh != known:
+                for reader in self.pack_readers(refresh=True):
+                    if oid in reader:
+                        return reader
+        return None
+
+    def quarantine_pack(self, reader: PackReader) -> Path:
+        """Move a corrupt pack (and its index) out of the pool."""
+        ensure_dir(self.quarantine_dir)
+        target = self.quarantine_dir / reader.pack_path.name
+        os.replace(reader.pack_path, target)
+        idx_target = self.quarantine_dir / reader.idx_path.name
+        if reader.idx_path.is_file():
+            os.replace(reader.idx_path, idx_target)
+        self._invalidate_packs()
+        return target
 
     # -- paths ----------------------------------------------------------------
     def object_path(self, oid: str) -> Path:
@@ -167,7 +265,23 @@ class ContentStore:
 
     # -- reading --------------------------------------------------------------
     def get_bytes(self, oid: str, verify: bool = True) -> bytes:
-        """Load an object, integrity-checked (quarantines on mismatch)."""
+        """Load an object, integrity-checked (quarantines on mismatch).
+
+        Packs are consulted before the loose shards.  A packed object
+        that fails its hash quarantines the *whole pack* (one corrupt
+        file taints every delta chain through it) and the read falls
+        back to a loose copy when one survives.
+        """
+        if len(oid) != 64:
+            raise StoreError(f"not a full object id: {oid!r}")
+        reader = self._pack_for(oid)
+        if reader is not None:
+            try:
+                return reader.get_bytes(oid, verify=verify)
+            except (PackError, CorruptObjectError):
+                quarantined = self.quarantine_pack(reader)
+                if not self.object_path(oid).exists():
+                    raise CorruptObjectError(oid, str(quarantined)) from None
         path = self.object_path(oid)
         if not path.exists():
             raise MissingObjectError(oid)
@@ -179,21 +293,26 @@ class ContentStore:
 
     def contains(self, oid: str) -> bool:
         try:
-            return self.object_path(oid).exists()
+            if self.object_path(oid).exists():
+                return True
         except StoreError:
             return False
+        return self._pack_for(oid) is not None
 
     def __contains__(self, oid: str) -> bool:
         return self.contains(oid)
 
     def size_of(self, oid: str) -> int:
         path = self.object_path(oid)
-        if not path.exists():
-            raise MissingObjectError(oid)
-        return path.stat().st_size
+        if path.exists():
+            return path.stat().st_size
+        reader = self._pack_for(oid)
+        if reader is not None:
+            return reader.size_of(oid)
+        raise MissingObjectError(oid)
 
-    def ids(self) -> Iterator[str]:
-        """All stored object ids (sorted, for determinism)."""
+    def loose_ids(self) -> Iterator[str]:
+        """Ids of loose (shard-file) objects only, sorted."""
         if not self.objects_dir.exists():
             return
         for shard in sorted(self.objects_dir.iterdir()):
@@ -202,6 +321,19 @@ class ContentStore:
             for item in sorted(shard.iterdir()):
                 if len(shard.name + item.name) == 64:
                     yield shard.name + item.name
+
+    def packed_ids(self) -> Iterator[str]:
+        """Ids reachable through pack indexes, sorted and deduplicated."""
+        seen: set[str] = set()
+        for reader in self.pack_readers():
+            seen.update(reader.ids())
+        yield from sorted(seen)
+
+    def ids(self) -> Iterator[str]:
+        """All stored object ids — loose and packed (sorted, deduped)."""
+        seen = set(self.loose_ids())
+        seen.update(self.packed_ids())
+        yield from sorted(seen)
 
     # -- materialization ------------------------------------------------------
     def materialize(
@@ -219,17 +351,24 @@ class ContentStore:
         truncates the file in place would corrupt the pool.  Either way
         the destination is replaced atomically, so a half-materialized
         artifact is never observable.
+
+        A packed object materializes by extraction (``link`` degrades
+        to a copy — there is no loose file to hardlink).
         """
-        data = self.get_bytes(oid, verify=verify) if verify else None
         path = self.object_path(oid)
-        if not path.exists():
-            raise MissingObjectError(oid)
+        loose = path.exists()
+        if loose and not verify:
+            data = None
+        else:
+            # Loose+verify, or packed either way: one verified read.
+            data = self.get_bytes(oid, verify=verify)
+            loose = path.exists()  # pack quarantine may have fallen back
         dest = Path(dest)
         ensure_dir(dest.parent)
         fd, tmp_name = tempfile.mkstemp(prefix=".mat-", dir=str(dest.parent))
         tmp = Path(tmp_name)
         try:
-            if link:
+            if link and loose:
                 os.close(fd)
                 tmp.unlink()
                 try:
@@ -246,7 +385,7 @@ class ContentStore:
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise
-        return path.stat().st_size
+        return path.stat().st_size if loose else len(data)
 
     # -- integrity ------------------------------------------------------------
     def quarantine(self, oid: str) -> Path | None:
@@ -268,39 +407,153 @@ class ContentStore:
     def verify_all(self) -> tuple[int, list[str]]:
         """Re-hash every object; returns ``(healthy, quarantined-ids)``.
 
-        Corrupt objects are moved to quarantine as they are found, so a
-        single fsck pass both detects and contains the damage.
+        Corrupt loose objects are quarantined individually.  A pack
+        with any failing object is quarantined whole (pack + index) and
+        every object it held that has no surviving loose copy is
+        reported corrupt.
         """
         healthy = 0
         corrupt: list[str] = []
-        for oid in list(self.ids()):
-            try:
-                self.get_bytes(oid)
-            except CorruptObjectError:
-                corrupt.append(oid)
-            except MissingObjectError:  # pragma: no cover - races only
-                corrupt.append(oid)
+        for reader in list(self.pack_readers(refresh=True)):
+            bad = reader.verify()
+            if bad:
+                self.quarantine_pack(reader)
+                for oid in reader.ids():
+                    if not self.object_path(oid).exists():
+                        corrupt.append(oid)
             else:
+                healthy += len(reader)
+        packed = set(self.packed_ids())
+        for oid in list(self.loose_ids()):
+            try:
+                path = self.object_path(oid)
+                buffer = path.read_bytes()
+                if sha256_bytes(buffer) != oid:
+                    self.quarantine(oid)
+                    corrupt.append(oid)
+                    continue
+            except OSError:  # pragma: no cover - races only
+                corrupt.append(oid)
+                continue
+            if oid not in packed:
                 healthy += 1
-        return healthy, corrupt
+        return healthy, sorted(set(corrupt))
 
     def delete(self, oid: str) -> bool:
-        """Remove an object (gc); True when something was deleted."""
+        """Remove a *loose* object (gc); True when something was deleted.
+
+        Packed objects are immutable; pack-level collection happens by
+        dropping a whole pack once nothing references it (see
+        :meth:`~repro.store.artifacts.ArtifactStore.gc`).
+        """
         path = self.object_path(oid)
         if not path.exists():
             return False
         path.unlink()
         return True
 
+    def drop_pack(self, reader: PackReader) -> int:
+        """Unlink a whole pack (gc); returns physical bytes reclaimed.
+
+        Pack first, index second — a crash between the two leaves a
+        dangling index, which the doctor knows to sweep (the reverse
+        order would leave an unindexed pack, a *repairable* state we
+        reserve for publish crashes).
+        """
+        reclaimed = reader.packed_bytes
+        try:
+            reclaimed += reader.idx_path.stat().st_size
+        except OSError:
+            pass
+        reader.pack_path.unlink(missing_ok=True)
+        reader.idx_path.unlink(missing_ok=True)
+        self._invalidate_packs()
+        return reclaimed
+
     def stats(self) -> dict:
-        """Object count and total physical bytes in the pool."""
-        count = 0
-        total = 0
-        for oid in self.ids():
-            count += 1
-            total += self.object_path(oid).stat().st_size
+        """Loose/packed object counts and physical byte accounting."""
+        loose = list(self.loose_ids())
+        loose_bytes = sum(self.object_path(oid).stat().st_size for oid in loose)
+        readers = self.pack_readers(refresh=True)
+        packed = set(self.packed_ids())
+        packed_bytes = sum(reader.packed_bytes for reader in readers)
+        packed_logical = 0
+        deltas = 0
+        for reader in readers:
+            packed_logical += sum(reader.size_of(oid) for oid in reader.ids())
+            deltas += reader.delta_count()
         return {
-            "objects": count,
-            "bytes": total,
+            "objects": len(packed | set(loose)),
+            "bytes": loose_bytes + packed_bytes,
             "quarantined": len(self.quarantined()),
+            "loose_objects": len(loose),
+            "loose_bytes": loose_bytes,
+            "packed_objects": len(packed),
+            "packed_bytes": packed_bytes,
+            "packed_logical_bytes": packed_logical,
+            "pack_files": len(readers),
+            "pack_deltas": deltas,
         }
+
+    # -- repacking ------------------------------------------------------------
+    def repack(
+        self, min_objects: int = 2, delta: bool = True
+    ) -> RepackReport:
+        """Fold every loose object and existing pack into one fresh pack.
+
+        Steps, in crash-safe order: materialize every object (verified),
+        publish the new pack + index (``pack.write.tmp`` /
+        ``pack.publish`` crashpoints), then sweep the old packs and the
+        loose copies.  A crash anywhere leaves every object readable —
+        the sweep only removes copies the new pack already serves.
+        """
+        with self._publish_guard():
+            return self._repack_locked(min_objects, delta)
+
+    def _repack_locked(self, min_objects: int, delta: bool) -> RepackReport:
+        readers = self.pack_readers(refresh=True)
+        loose = list(self.loose_ids())
+        objects: dict[str, bytes] = {}
+        for reader in readers:
+            for oid in reader.ids():
+                objects[oid] = reader.get_bytes(oid)
+        for oid in loose:
+            objects[oid] = self.get_bytes(oid)
+        already_packed = not loose and len(readers) == 1
+        if len(objects) < max(2, min_objects) or already_packed:
+            return RepackReport(
+                objects=len(objects),
+                loose_folded=0,
+                packs_folded=0,
+                deltas=0,
+                bytes_before=0,
+                bytes_after=0,
+            )
+        bytes_before = sum(
+            self.object_path(oid).stat().st_size for oid in loose
+        ) + sum(reader.packed_bytes for reader in readers)
+        pack_path, idx_path = write_pack(
+            objects, self.packs_dir, delta=delta, durable=self.durable
+        )
+        if self.durable:
+            fsync_path(self.packs_dir)
+        self._invalidate_packs()
+        new_reader = PackReader(idx_path)
+        # Sweep: old packs first (pack before idx), then loose copies.
+        for reader in readers:
+            if reader.pack_path != pack_path:
+                self.drop_pack(reader)
+        for oid in loose:
+            self.delete(oid)
+        self._invalidate_packs()
+        return RepackReport(
+            objects=len(objects),
+            loose_folded=len(loose),
+            packs_folded=sum(
+                1 for r in readers if r.pack_path != pack_path
+            ),
+            deltas=new_reader.delta_count(),
+            bytes_before=bytes_before,
+            bytes_after=new_reader.packed_bytes,
+            pack=pack_path.name,
+        )

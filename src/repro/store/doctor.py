@@ -23,6 +23,15 @@ stale fuzz sandbox        fuzz campaign killed mid-variant          remove the t
 partial corpus entry      crash between a fuzz corpus entry's       remove the tree (meta.json is
                           files and its ``meta.json``               published last; nothing
                                                                     admitted is lost)
+unindexed pack            crash between pack publish and index      rebuild the index from the
+                          write (``pack.publish``)                  self-describing pack (unlink
+                                                                    if its checksum fails — the
+                                                                    loose copies still exist)
+dangling pack index       pack swept, index unlink crashed          unlink (nothing references a
+                                                                    pack that is gone)
+truncated pack            pack body fails its trailer checksum      quarantine pack + index (the
+                                                                    referenced records then show
+                                                                    up dangling and re-run)
 ========================  ========================================  ==============================
 
 Everything else on disk is either atomic (refs, config) or disposable
@@ -32,7 +41,9 @@ where ``popper run --resume`` completes correctly.
 
 ``diagnose()`` only reports; ``repair()`` applies the table.  Both are
 deliberately independent of the higher-level stores — doctor must work
-precisely when the repository is too damaged for them to open.
+precisely when the repository is too damaged for them to open.  (The
+one exception is :mod:`repro.store.pack`, whose parser depends only on
+``repro.common`` and is exactly what pack repair needs.)
 """
 
 from __future__ import annotations
@@ -46,13 +57,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.common.locking import LockInfo
+from repro.store.pack import PACK_DIR, PackError, _scan_pack, rebuild_index
 
 __all__ = ["Finding", "DoctorReport", "diagnose", "repair"]
 
 #: Temp-file prefixes the store layers create (mkstemp adds a random
 #: suffix).  ``atomic_write`` temps are ``.{name}.XXXXXXXX`` — covered
 #: by the "dotfile inside .pvcs" rule below.
-_TEMP_PREFIXES = (".ingest-", ".mat-")
+_TEMP_PREFIXES = (".ingest-", ".mat-", ".pack-tmp-")
 
 #: Directories whose *contents* are content-addressed payloads and must
 #: never be parsed, repaired or deleted by name-pattern heuristics.
@@ -242,12 +254,36 @@ def _scan_jsonl(root: Path, findings: list[Finding]) -> None:
             )
 
 
+def _packed_oids(objects_dir: Path) -> set[str]:
+    """Object ids reachable through the pool's pack indexes.
+
+    Reads the ``.idx`` JSON directly (no ContentStore) so the dangling-
+    record scan stays honest after a repack moved objects out of the
+    loose shards.  Unreadable indexes contribute nothing — their packs
+    are handled by the pack scan.
+    """
+    oids: set[str] = set()
+    pack_dir = objects_dir / PACK_DIR
+    if not pack_dir.is_dir():
+        return oids
+    for idx in sorted(pack_dir.glob("*.idx")):
+        if not (pack_dir / idx.name).with_suffix(".pack").is_file():
+            continue
+        try:
+            doc = json.loads(idx.read_text(encoding="utf-8"))
+            oids.update(str(oid) for oid in doc.get("objects", {}))
+        except (OSError, ValueError, json.JSONDecodeError):
+            continue
+    return oids
+
+
 def _scan_index(root: Path, findings: list[Finding]) -> None:
     """Artifact-index records that are partial or reference lost objects."""
     for index_dir in sorted(root.rglob(f"{_META_DIR}/cache/index")):
         if not index_dir.is_dir():
             continue
         objects_dir = index_dir.parent / "objects"
+        packed = _packed_oids(objects_dir)
         for path in sorted(index_dir.glob("*.json")):
             try:
                 doc = json.loads(path.read_text(encoding="utf-8"))
@@ -268,6 +304,7 @@ def _scan_index(root: Path, findings: list[Finding]) -> None:
                 for out in doc.get("outputs", [])
                 if isinstance(out, dict)
                 and len(str(out.get("oid", ""))) == 64
+                and str(out["oid"]) not in packed
                 and not (
                     objects_dir
                     / str(out["oid"])[:2]
@@ -333,6 +370,58 @@ def _scan_fuzz(root: Path, findings: list[Finding], tmp_age_s: float) -> None:
                     )
 
 
+def _scan_packs(root: Path, findings: list[Finding]) -> None:
+    """Packfile debris: the three states a crashed repack can leave.
+
+    A pack without an index is a publish that never finished — the pack
+    is self-describing, so the index rebuilds from it (the temp-file
+    stage is covered by the orphan-temp scan).  An index without a pack
+    is the tail of an interrupted sweep (packs are unlinked pack-first).
+    A pack whose body fails its trailer checksum is truncated bit rot;
+    quarantining it surfaces the loss through the dangling-record scan.
+    """
+    for pack_dir in sorted(root.rglob(PACK_DIR)):
+        if (
+            not pack_dir.is_dir()
+            or _META_DIR not in pack_dir.parts
+            or pack_dir.parent.name != "objects"
+        ):
+            continue
+        for pack in sorted(pack_dir.glob("*.pack")):
+            idx = pack.with_suffix(".idx")
+            try:
+                _scan_pack(pack)
+            except PackError as exc:
+                findings.append(
+                    Finding(
+                        kind="truncated-pack",
+                        path=pack,
+                        detail=str(exc),
+                        action="quarantine pack",
+                    )
+                )
+                continue
+            if not idx.is_file():
+                findings.append(
+                    Finding(
+                        kind="unindexed-pack",
+                        path=pack,
+                        detail="published without its index",
+                        action="rebuild index",
+                    )
+                )
+        for idx in sorted(pack_dir.glob("*.idx")):
+            if not idx.with_suffix(".pack").is_file():
+                findings.append(
+                    Finding(
+                        kind="dangling-pack-index",
+                        path=idx,
+                        detail="its pack is gone",
+                        action="unlink",
+                    )
+                )
+
+
 def _scan_quarantine(root: Path, findings: list[Finding]) -> None:
     for quarantine in sorted(root.rglob("quarantine")):
         if not quarantine.is_dir() or _META_DIR not in quarantine.parts:
@@ -361,6 +450,7 @@ def diagnose(root: str | Path, tmp_age_s: float = 60.0) -> DoctorReport:
     _scan_locks(root, report.findings)
     _scan_temps(root, report.findings, tmp_age_s)
     _scan_jsonl(root, report.findings)
+    _scan_packs(root, report.findings)
     _scan_index(root, report.findings)
     _scan_fuzz(root, report.findings, tmp_age_s)
     _scan_quarantine(root, report.findings)
@@ -390,6 +480,26 @@ def repair(report: DoctorReport) -> DoctorReport:
                     finding.path.write_bytes(repaired_bytes)
             elif finding.kind in ("stale-fuzz-sandbox", "partial-corpus-entry"):
                 shutil.rmtree(finding.path, ignore_errors=True)
+            elif finding.kind == "unindexed-pack":
+                try:
+                    rebuild_index(finding.path)
+                except PackError:
+                    # Self-check failed after all: the pack is not
+                    # trustworthy and the loose copies it would have
+                    # folded still exist (the sweep never ran).
+                    finding.path.unlink(missing_ok=True)
+            elif finding.kind == "dangling-pack-index":
+                finding.path.unlink(missing_ok=True)
+            elif finding.kind == "truncated-pack":
+                objects_dir = finding.path.parent.parent
+                quarantine = objects_dir.parent / "quarantine"
+                if (objects_dir / "quarantine").is_dir():
+                    quarantine = objects_dir / "quarantine"
+                quarantine.mkdir(parents=True, exist_ok=True)
+                os.replace(finding.path, quarantine / finding.path.name)
+                idx = finding.path.with_suffix(".idx")
+                if idx.is_file():
+                    os.replace(idx, quarantine / idx.name)
             finding.repaired = True
         except OSError:
             finding.repaired = False

@@ -37,6 +37,10 @@ RUN_CRASH_POINTS = [
     "index.record",
     "runstate.append.torn",
     "journal.append.torn",
+    # Group-commit windows: the crash fires before the window's bytes
+    # land, losing the buffered event(s) whole — never a torn prefix.
+    "runstate.append.window",
+    "journal.append.window",
     "fsutil.atomic_write.tmp",
     "fsutil.atomic_write.rename",
 ]
@@ -90,8 +94,8 @@ class TestCrashDoctorResume:
     def test_every_point_in_one_unlucky_run(
         self, repo_dir, control_results, capsys
     ):
-        """Crash, repair and re-crash at the next point, seven runs in a
-        row — recovery composes."""
+        """Crash, repair and re-crash at the next point, once per
+        registered point — recovery composes."""
         args = ["-C", str(repo_dir)]
         for hit, point in enumerate(RUN_CRASH_POINTS, start=1):
             code = main(
@@ -104,6 +108,65 @@ class TestCrashDoctorResume:
         assert results.read_bytes() == control_results
         capsys.readouterr()
         assert main([*args, "cache", "verify"]) == 0
+
+
+class TestPackCrashRecovery:
+    """The two mid-packfile hazards: crash during the pack temp write
+    and between pack publish and index write.  Both must be repairable
+    by popper doctor with a byte-identical warm run afterwards."""
+
+    @pytest.mark.parametrize("point", ["pack.write.tmp", "pack.publish"])
+    def test_repack_crash_doctor_rerun_is_byte_identical(
+        self, repo_dir, control_results, point, capsys
+    ):
+        args = ["-C", str(repo_dir)]
+        assert main([*args, "run", "--all"]) == 0
+        results = repo_dir / "experiments" / "one" / "results.csv"
+        assert results.read_bytes() == control_results
+
+        store = PopperRepository.open(repo_dir).artifact_store
+        install_crash_plan(CrashPlan.parse(f"at:{point}:1"))
+        try:
+            with pytest.raises(SimulatedCrash):
+                store.repack()
+        finally:
+            install_crash_plan(None)
+
+        assert main([*args, "doctor", "--tmp-age", "0"]) == 0
+        assert main([*args, "doctor", "--dry-run", "--tmp-age", "0"]) == 0
+        capsys.readouterr()
+        assert main([*args, "cache", "verify"]) == 0
+
+        # The warm re-run serves from the (possibly packed) store and
+        # reproduces the control bytes exactly.
+        results.unlink()
+        assert main([*args, "run", "--all"]) == 0
+        assert results.read_bytes() == control_results
+
+
+class TestRepackedWarmRun:
+    def test_warm_run_from_a_fully_packed_store_is_byte_identical(
+        self, repo_dir, capsys
+    ):
+        args = ["-C", str(repo_dir)]
+        assert main([*args, "run", "--all"]) == 0
+        results = repo_dir / "experiments" / "one" / "results.csv"
+        control = results.read_bytes()
+
+        assert main([*args, "cache", "repack"]) == 0
+        store = PopperRepository.open(repo_dir).artifact_store
+        stats = store.stats()
+        assert stats["loose_objects"] == 0
+        assert stats["packed_objects"] > 0
+
+        results.unlink()
+        capsys.readouterr()
+        assert main([*args, "run", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "(cached)" in out  # served from the packed store
+        assert results.read_bytes() == control
+        assert main([*args, "cache", "verify"]) == 0
+        assert main([*args, "doctor", "--dry-run", "--tmp-age", "0"]) == 0
 
 
 class TestRefsCrash:
