@@ -1,0 +1,183 @@
+"""Service-core benchmark: what ``popper serve`` costs per request.
+
+Drives a real daemon — HTTP API thread, background scheduler tick,
+worker processes — against a scratch repository and records the
+service-level numbers to ``BENCH_serve.json`` at the repository root:
+
+* ``cold_seconds`` — one uncached experiment run through the full
+  submit -> queue -> worker -> artifact-pool path;
+* ``warm_latency_ms`` — p50/p99 submit-to-done round trip for
+  cache-served submissions (the request never touches a worker);
+* ``warm_qps`` — sustained cache-served submissions per second over a
+  timed window;
+* ``saturation`` — a burst of cold submissions against a small queue
+  bound: how many were accepted (202), how many shed (429), whether a
+  cache-served request still succeeded mid-saturation (the
+  degrade-to-cache-only contract), and — the invariant the queue
+  exists for — that *every accepted job completed*; none lost.
+
+Run standalone (``python benchmarks/bench_serve.py``) or via pytest
+(``pytest benchmarks/bench_serve.py``).
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_serve.json"
+
+WARM_REQUESTS = 40
+QPS_WINDOW_S = 1.0
+BURST_EXPERIMENTS = 4
+BURST_PER_EXPERIMENT = 3
+
+
+def _post_job(api: str, experiment: str) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        f"{api}/v1/jobs",
+        data=json.dumps({"experiment": experiment}).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read() or b"{}")
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(int(len(ordered) * q), len(ordered) - 1)
+    return ordered[index]
+
+
+def _make_repo(base: Path):
+    from repro.common import minyaml
+    from repro.core.repo import PopperRepository
+
+    repo = PopperRepository.init(base / "repo")
+    names = ["bench"] + [f"burst-{i}" for i in range(BURST_EXPERIMENTS)]
+    for name in names:
+        repo.add_experiment("torpor", name)
+        vars_path = repo.experiment_dir(name) / "vars.yml"
+        doc = minyaml.load_file(vars_path)
+        doc["runs"] = 2  # keep each cold pipeline run cheap
+        minyaml.dump_file(doc, vars_path)
+    return repo
+
+
+def run_bench(base: Path) -> dict:
+    from repro.serve import PopperServer
+
+    repo = _make_repo(Path(base))
+    daemon = PopperServer(repo, workers=2, max_queue=BURST_EXPERIMENTS)
+    report: dict = {"benchmark": "serve-service-core"}
+    try:
+        daemon.start(api=True, loop=True)
+        api = f"http://127.0.0.1:{daemon.port}"
+
+        # Cold path: submit -> queue -> worker -> pool, end to end.
+        started = time.perf_counter()
+        status, doc = _post_job(api, "bench")
+        assert status == 202, f"cold submit answered {status}"
+        job_id = doc["id"]
+        while daemon.queue.get(job_id).state not in ("done", "dead"):
+            time.sleep(0.02)
+        report["cold_seconds"] = round(time.perf_counter() - started, 3)
+        assert daemon.queue.get(job_id).state == "done"
+
+        # Warm path: every request is served from the artifact pool at
+        # admission; the round trip *is* the submit-to-done latency.
+        latencies = []
+        for _ in range(WARM_REQUESTS):
+            started = time.perf_counter()
+            status, doc = _post_job(api, "bench")
+            latencies.append((time.perf_counter() - started) * 1e3)
+            assert status == 200 and doc["cached"], "warm request missed cache"
+        report["warm_latency_ms"] = {
+            "requests": WARM_REQUESTS,
+            "p50": round(_percentile(latencies, 0.50), 2),
+            "p99": round(_percentile(latencies, 0.99), 2),
+        }
+
+        deadline = time.perf_counter() + QPS_WINDOW_S
+        served = 0
+        while time.perf_counter() < deadline:
+            status, _ = _post_job(api, "bench")
+            assert status == 200
+            served += 1
+        report["warm_qps"] = round(served / QPS_WINDOW_S, 1)
+
+        # Saturation: burst more cold jobs than the queue bound admits.
+        accepted: list[str] = []
+        shed = 0
+        for round_no in range(BURST_PER_EXPERIMENT):
+            for i in range(BURST_EXPERIMENTS):
+                status, doc = _post_job(api, f"burst-{i}")
+                if status == 202:
+                    accepted.append(doc["id"])
+                elif status == 429:
+                    shed += 1
+                else:
+                    raise AssertionError(
+                        f"burst submit answered {status}: {doc}"
+                    )
+        # Degradation contract: cache-servable work still succeeds
+        # while the queue is at its bound.
+        status, doc = _post_job(api, "bench")
+        mid_saturation_ok = status == 200 and bool(doc.get("cached"))
+
+        # The durability invariant: every accepted job completes.
+        deadline = time.monotonic() + 120
+        lost: list[str] = []
+        while time.monotonic() < deadline:
+            states = {j: daemon.queue.get(j).state for j in accepted}
+            if all(s in ("done", "dead") for s in states.values()):
+                lost = [j for j, s in states.items() if s != "done"]
+                break
+            time.sleep(0.05)
+        else:
+            raise AssertionError("accepted burst jobs never settled")
+
+        report["saturation"] = {
+            "queue_bound": BURST_EXPERIMENTS,
+            "submitted": BURST_EXPERIMENTS * BURST_PER_EXPERIMENT,
+            "accepted": len(accepted),
+            "shed_429": shed,
+            "cache_served_mid_saturation": mid_saturation_ok,
+            "accepted_jobs_lost": len(lost),
+        }
+        report["queue_stats"] = daemon.stats()
+    finally:
+        daemon.drain()
+
+    BENCH_FILE.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+def test_bench_serve(tmp_path):
+    report = run_bench(tmp_path)
+    assert report["cold_seconds"] > 0
+    warm = report["warm_latency_ms"]
+    assert 0 < warm["p50"] <= warm["p99"]
+    assert report["warm_qps"] > 0
+    saturated = report["saturation"]
+    assert saturated["accepted"] >= 1
+    assert saturated["shed_429"] >= 1, "the queue bound never shed load"
+    assert saturated["cache_served_mid_saturation"]
+    assert saturated["accepted_jobs_lost"] == 0, "an accepted job was lost"
+    assert BENCH_FILE.is_file()
+
+
+if __name__ == "__main__":
+    import sys
+    import tempfile
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    with tempfile.TemporaryDirectory() as tmp:
+        out = run_bench(Path(tmp))
+    print(json.dumps(out, indent=2))

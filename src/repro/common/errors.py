@@ -42,6 +42,11 @@ __all__ = [
     "UnpicklablePayloadError",
     "WorkerCrashError",
     "FuzzError",
+    "ServeError",
+    "QueueFullError",
+    "BadJobError",
+    "UnknownJobError",
+    "DrainingError",
     "GassyFSError",
     "FSError",
     "MPIError",
@@ -256,6 +261,30 @@ class WorkerCrashError(EngineError):
 # --- fuzz -------------------------------------------------------------------
 class FuzzError(ReproError):
     """Scenario-fuzzing subsystem failure (campaign, corpus, minimizer)."""
+
+
+# --- serve ------------------------------------------------------------------
+class ServeError(ReproError):
+    """Job-queue service failure (queue, worker pool, HTTP API)."""
+
+
+class QueueFullError(ServeError, TransientError):
+    """The job queue is at its admission bound (HTTP 429; the client
+    should back off and retry — transient by construction)."""
+
+
+class BadJobError(ServeError):
+    """A job submission is malformed (bad JSON, bogus tenant, wrong
+    types) and was rejected at admission (HTTP 400/422)."""
+
+
+class UnknownJobError(ServeError):
+    """A job id that the queue has no record of (HTTP 404)."""
+
+
+class DrainingError(ServeError, TransientError):
+    """The daemon is draining and not admitting work (HTTP 503; a
+    restarted daemon will accept the retry)."""
 
 
 # --- gassyfs ----------------------------------------------------------------

@@ -205,6 +205,58 @@ def build_parser() -> argparse.ArgumentParser:
         "pack-publish crash repaired by popper doctor (single-token "
         "storage job for CI env matrices)",
     )
+    run.add_argument(
+        "--serve-smoke",
+        action="store_true",
+        help="run a scratch-daemon service check before the sweep: "
+        "bring up popper serve, reject adversarial requests cleanly, "
+        "run a job cold then cache-served, kill -9 a worker mid-job "
+        "and require recovery, then drain and doctor clean "
+        "(single-token service job for CI env matrices)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the job-queue daemon: a local HTTP API accepting "
+        "experiment runs into a crash-tolerant persistent queue "
+        "(.pvcs/queue/) executed by supervised worker processes",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes executing queued jobs (default 2)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        metavar="M",
+        help="admission bound on queued+leased jobs; submissions over "
+        "it are shed with HTTP 429 while cache-servable ones still "
+        "succeed (default 16)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1 — local only)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8999,
+        metavar="P",
+        help="port to bind; 0 picks a free one (default 8999)",
+    )
+    serve.add_argument(
+        "--lease",
+        type=float,
+        default=15.0,
+        metavar="S",
+        help="job lease seconds before an unheartbeated job is "
+        "requeued (default 15)",
+    )
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -282,6 +334,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="summarize the last fuzz campaign's journal "
         "(.pvcs/fuzz/journal.jsonl) instead of an experiment run",
+    )
+    trace.add_argument(
+        "--serve",
+        action="store_true",
+        help="summarize the serve queue's journal "
+        "(.pvcs/queue/journal.jsonl) instead of an experiment run",
     )
 
     log = sub.add_parser(
@@ -565,6 +623,20 @@ def _cmd_run(args) -> int:
             print("-- " + store_smoke())
         except StoreError as exc:
             print(f"-- store smoke FAILED: {exc}")
+            return 1
+
+    if args.serve_smoke:
+        # A scratch-daemon self-check of the service core: adversarial
+        # requests rejected cleanly, cold + cache-served runs, a worker
+        # killed -9 mid-job recovered, drain + doctor clean.  Runs
+        # before (and even without) this repository's experiments.
+        from repro.common.errors import ServeError
+        from repro.serve import serve_smoke
+
+        try:
+            print("-- " + serve_smoke())
+        except ServeError as exc:
+            print(f"-- serve smoke FAILED: {exc}")
             return 1
 
     names = list(args.names)
@@ -875,9 +947,68 @@ def _journal_events(args):
     return load_journal(path)
 
 
+def _cmd_serve(args) -> int:
+    """``popper serve``: the crash-tolerant job-queue daemon.
+
+    Foreground until SIGINT/SIGTERM, then a graceful drain: admission
+    stops (503), leased jobs finish, the queue journal checkpoints, and
+    the process exits 130/143 — every accepted job either completed or
+    survives in ``.pvcs/queue/`` for the next daemon to re-admit.
+    """
+    from repro.engine import CancelToken, GracefulShutdown
+    from repro.serve import PopperServer
+
+    repo = PopperRepository.open(args.repo)
+    daemon = PopperServer(
+        repo,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        host=args.host,
+        port=args.port,
+        lease_s=args.lease,
+    )
+    cancel = CancelToken()
+    try:
+        with GracefulShutdown(cancel) as guard:
+            daemon.start()
+            print(
+                f"-- popper serve on http://{daemon.host}:{daemon.port} "
+                f"({args.workers} worker(s), queue bound {args.max_queue})"
+            )
+            print(
+                '   POST /v1/jobs {"experiment": NAME} to submit; '
+                "GET /healthz; Ctrl-C drains"
+            )
+            daemon.run_until(cancel)
+            print("-- draining: finishing leased jobs, checkpointing the queue")
+    finally:
+        daemon.drain()
+    stats = daemon.queue.stats()
+    print(
+        f"-- served {stats['states']['done']} job(s) "
+        f"({stats['cache_served']} cache-served, {stats['shed']} shed); "
+        f"{stats['states']['queued']} left queued for the next daemon"
+    )
+    return guard.exit_code
+
+
 def _cmd_trace(args) -> int:
     from repro.monitor.report import render_fuzz_summary, render_report
 
+    if args.serve:
+        from repro.monitor.journal import load_journal
+        from repro.monitor.report import render_serve_summary
+        from repro.serve import QUEUE_DIR
+
+        repo = PopperRepository.open(args.repo)
+        path = repo.vcs.meta / QUEUE_DIR / "journal.jsonl"
+        if not path.is_file():
+            raise PopperError(
+                "no serve queue journal yet; `popper serve` first"
+            )
+        events, skipped = load_journal(path)
+        print(render_serve_summary(events, skipped=skipped), end="")
+        return 0
     if args.fuzz:
         from repro.fuzz import FUZZ_DIR
         from repro.monitor.journal import load_journal
@@ -1273,6 +1404,7 @@ def main(argv: list[str] | None = None) -> int:
         "rm": _cmd_rm,
         "check": _cmd_check,
         "run": _cmd_run,
+        "serve": _cmd_serve,
         "fuzz": _cmd_fuzz,
         "perf": _cmd_perf,
         "trace": _cmd_trace,

@@ -62,7 +62,7 @@ PAPER_TEMPLATES: dict[str, dict[str, str]] = {
 
 DEFAULT_TRAVIS = """\
 # Integrity checks for this Popper repository (category-1 validation).
-# The matrix runs eight jobs: a re-validation of stored results, a
+# The matrix runs nine jobs: a re-validation of stored results, a
 # chaos smoke job that re-executes every pipeline under injected
 # transient faults with retries enabled (the resilience layer's own
 # integrity check), a warm-cache job that runs the sweep twice against
@@ -82,11 +82,15 @@ DEFAULT_TRAVIS = """\
 # reproducer (the fuzzing layer's own integrity check), and a store
 # smoke job that packs a scratch object pool, demands byte-identical
 # reads, and repairs an injected pack-publish crash with popper doctor
-# (the storage layer's own integrity check).
+# (the storage layer's own integrity check), and a serve smoke job
+# that brings up the popper serve daemon against a scratch repository,
+# rejects adversarial requests cleanly, runs a job cold then from
+# cache, kills a worker -9 mid-job and requires the job to recover,
+# then drains gracefully (the service layer's own integrity check).
 # Env values must be single tokens (the CI env parser splits on
 # whitespace), hence the --chaos-smoke / --cache-check /
 # --crash-smoke / --process-smoke / --perf-smoke / --fuzz-smoke /
-# --store-smoke shorthands.
+# --store-smoke / --serve-smoke shorthands.
 language: generic
 env:
   - POPPER_RUN_MODE=--validate-only
@@ -97,6 +101,7 @@ env:
   - POPPER_RUN_MODE=--perf-smoke
   - POPPER_RUN_MODE=--fuzz-smoke
   - POPPER_RUN_MODE=--store-smoke
+  - POPPER_RUN_MODE=--serve-smoke
 script:
   - popper check
   - popper run --all ${POPPER_RUN_MODE}

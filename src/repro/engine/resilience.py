@@ -48,6 +48,16 @@ class RetryPolicy:
     bit-identical.  ``retry_on`` is the exception branch considered
     retryable; the default is exactly the
     :class:`~repro.common.errors.TransientError` branch.
+
+    ``max_delay_s`` is the hard ceiling on the *returned* delay.  It
+    differs from ``max_backoff_s`` in two ways: the jitter stretch is
+    applied after the ``max_backoff_s`` cap (so a jittered delay can
+    exceed it by up to the jitter fraction), and for very large attempt
+    counts the uncapped exponent itself overflows a float.  Callers
+    that loop indefinitely over one policy — the serve queue requeues a
+    job on every lease expiry — set ``max_delay_s`` to bound the sleep
+    no matter the attempt number; ``None`` (the default) preserves the
+    historical jitter-above-cap behaviour.
     """
 
     max_attempts: int = 3
@@ -57,6 +67,7 @@ class RetryPolicy:
     jitter: float = 0.1
     seed: int = 42
     retry_on: tuple[type[BaseException], ...] = (TransientError,)
+    max_delay_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -67,6 +78,10 @@ class RetryPolicy:
             raise EngineError("backoff parameters must be non-negative")
         if self.jitter < 0:
             raise EngineError(f"jitter must be non-negative, got {self.jitter}")
+        if self.max_delay_s is not None and self.max_delay_s < 0:
+            raise EngineError(
+                f"max_delay_s must be non-negative, got {self.max_delay_s}"
+            )
 
     def retryable(self, error: BaseException) -> bool:
         """Whether *error* is worth another attempt under this policy."""
@@ -78,16 +93,22 @@ class RetryPolicy:
         Deterministic: the same (seed, task, attempt) always yields the
         same delay, which is what keeps retried runs bit-identical.
         """
-        base = min(
-            self.backoff_s * self.multiplier ** (attempt - 1),
-            self.max_backoff_s,
-        )
+        try:
+            grown = self.backoff_s * self.multiplier ** (attempt - 1)
+        except OverflowError:
+            # 2.0 ** ~1025 overflows a float; the cap would win anyway.
+            grown = float("inf")
+        base = min(grown, self.max_backoff_s)
         if base <= 0:
             return 0.0
         if self.jitter <= 0:
-            return base
-        rng = derive_rng(self.seed, "retry", task_id, attempt)
-        return base * (1.0 + self.jitter * float(rng.random()))
+            delay = base
+        else:
+            rng = derive_rng(self.seed, "retry", task_id, attempt)
+            delay = base * (1.0 + self.jitter * float(rng.random()))
+        if self.max_delay_s is not None:
+            delay = min(delay, self.max_delay_s)
+        return delay
 
 
 #: The fail-stop policy: one attempt, no backoff (the engine's default).

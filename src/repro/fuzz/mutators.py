@@ -37,6 +37,7 @@ __all__ = [
     "apply_mutation",
     "apply_chain",
     "generate_mutation",
+    "generate_serve_payload",
 ]
 
 
@@ -89,11 +90,12 @@ _FAULT_CLAUSES = (
     "rate:{t}:1", "rate:{t}:0",
 )
 
-#: The eight wired crashpoints plus globs over them.
+#: The wired crashpoints plus globs over them.
 _CRASH_TARGETS = (
     "cas.ingest.tmp", "cas.ingest.publish", "index.record", "refs.update",
     "runstate.append.torn", "journal.append.torn", "fsutil.atomic_write.tmp",
-    "fsutil.atomic_write.rename", "cas.*", "*.torn", "fsutil.*", "*",
+    "fsutil.atomic_write.rename", "queue.claim", "queue.publish",
+    "cas.*", "queue.*", "*.torn", "fsutil.*", "*",
 )
 _CRASH_CLAUSES = ("at:{t}:1", "at:{t}:2", "at:{t}:3", "rate:{t}:0.5",
                   "rate:{t}:1")
@@ -422,3 +424,80 @@ def generate_mutation(scenario: Scenario, rng) -> Mutation:
         mutation = MUTATION_RULES[rule][1](scenario, rng)
         if mutation is not None:
             return mutation
+
+
+# ---------------------------------------------------------------------------
+# Serve-API payload grammar (adversarial HTTP bodies)
+# ---------------------------------------------------------------------------
+
+#: Experiment names a hostile or confused client might submit.
+_SERVE_EXPERIMENTS = (
+    "alpha", "exp", "", " ", "../../etc/passwd", "exp\x00null",
+    "e" * 200, "ëxpérïment", "exp;rm -rf /", "None", "..",
+)
+
+#: Tenant ids probing the ``TENANT_RE`` admission gate.
+_SERVE_TENANTS = (
+    "default", "tenant-1", "", " ", "../x", "t/t", "a" * 64, "a" * 65,
+    ".leading-dot", "ünïcode", "-dash-first",
+)
+
+#: Structurally broken bodies: each must get a clean 400, never a 500.
+_SERVE_BROKEN_BODIES = (
+    b"", b"{", b"{not json", b"[1, 2, 3]", b'"just a string"', b"42",
+    b"null", b"true", b'{"experiment": }', b"\xff\xfe not utf-8",
+    b'{"experiment": "a"' + b" " * 512,  # truncated object, padded
+    b"[" * 600 + b"]" * 600,             # deeply nested, still valid JSON
+)
+
+
+def generate_serve_payload(rng) -> bytes:
+    """Draw one adversarial ``POST /v1/jobs`` body from the seeded *rng*.
+
+    The grammar mixes structurally broken bodies with well-formed JSON
+    whose *fields* are hostile: wrong types, bogus tenants, path-shaped
+    experiment names, and oversized padding that trips the 64 KiB
+    admission bound.  The serve API's contract — checked by the
+    adversarial tests — is a clean 4xx JSON error for every one of
+    these, never a traceback and never a 500.  Deterministic: the same
+    rng state yields the same byte sequence.
+    """
+    import json
+
+    shape = int(rng.integers(6))
+    if shape == 0:
+        return bytes(_pick(rng, _SERVE_BROKEN_BODIES))
+    if shape == 1:
+        # Well-formed JSON, wrong field types.
+        experiment = _pick(
+            rng, (42, None, True, ["alpha"], {"name": "alpha"}, 1.5)
+        )
+        return json.dumps({"experiment": experiment}).encode("utf-8")
+    if shape == 2:
+        # Hostile tenant against the admission regex.
+        return json.dumps(
+            {
+                "experiment": _pick(rng, _SERVE_EXPERIMENTS),
+                "tenant": _pick(rng, _SERVE_TENANTS),
+            }
+        ).encode("utf-8")
+    if shape == 3:
+        # Unknown / path-shaped experiment names, tenant omitted.
+        return json.dumps(
+            {"experiment": _pick(rng, _SERVE_EXPERIMENTS)}
+        ).encode("utf-8")
+    if shape == 4:
+        # Oversized body: valid JSON padded past the 64 KiB bound.
+        pad = "x" * int(rng.integers(65_536, 80_000))
+        return json.dumps(
+            {"experiment": "alpha", "padding": pad}
+        ).encode("utf-8")
+    # Extra unknown fields riding along a plausible submission.
+    return json.dumps(
+        {
+            "experiment": _pick(rng, _SERVE_EXPERIMENTS),
+            "tenant": "default",
+            "priority": int(rng.integers(-5, 5)),
+            "unknown": {"nested": [None, {}]},
+        }
+    ).encode("utf-8")

@@ -64,6 +64,15 @@ EVENT_KINDS = (
     "profile_error",
     "fuzz_variant",
     "fuzz_minimized",
+    # serve: the persistent job queue's state machine (see docs/serve.md)
+    "job_submitted",
+    "job_leased",
+    "job_heartbeat",
+    "job_done",
+    "job_failed",
+    "job_requeued",
+    "job_dead",
+    "job_shed",
     "run_end",
 )
 
@@ -119,17 +128,22 @@ class RunJournal:
         fresh: bool = True,
         clock: Callable[[], float] = time.time,
         durable: bool = False,
+        crash_label: str = "journal.append",
+        start_seq: int = 0,
     ) -> None:
         self.path = Path(path)
         self._clock = clock
-        self._seq = 0
+        # ``start_seq`` lets a journal that survives process restarts
+        # (``fresh=False``, e.g. the serve queue's) continue its
+        # monotonic sequence instead of restarting at 1.
+        self._seq = int(start_seq)
         self._lock = threading.Lock()
         self.durable = bool(durable)
         self._writer: GroupCommitWriter | None = GroupCommitWriter(
             self.path,
             durable=self.durable,
             fresh=fresh,
-            crash_label="journal.append",
+            crash_label=crash_label,
         )
 
     # -- writing -----------------------------------------------------------------

@@ -32,7 +32,26 @@ __all__ = [
     "critical_path",
     "render_report",
     "render_fuzz_summary",
+    "render_serve_summary",
 ]
+
+#: Kinds :func:`render_report` gives dedicated treatment; anything else
+#: (a newer toolchain's journal, a serve queue event in a merged file)
+#: is summarized generically rather than dropped or crashed on — the
+#: journal format is an open set and the renderer must outlive it.
+_HANDLED_KINDS = frozenset(
+    {
+        "run_start",
+        "run_end",
+        "span_start",
+        "span_end",
+        "baseline",
+        "cache",
+        "aver_verdict",
+        "degradation",
+        "metric",
+    }
+)
 
 
 @dataclass
@@ -141,8 +160,8 @@ def render_report(events: list[dict[str, Any]], skipped: int = 0) -> str:
     if not events:
         raise MonitorError("journal is empty; nothing to render")
 
-    run_start = next((e for e in events if e["event"] == "run_start"), None)
-    run_end = next((e for e in events if e["event"] == "run_end"), None)
+    run_start = next((e for e in events if e.get("event") == "run_start"), None)
+    run_end = next((e for e in events if e.get("event") == "run_end"), None)
     roots = spans_from_events(events)
     subject = (run_start or {}).get("experiment") or (
         roots[0].name if roots else "<unknown>"
@@ -151,7 +170,7 @@ def render_report(events: list[dict[str, Any]], skipped: int = 0) -> str:
     total = sum(r.duration for r in roots)
 
     lines = [f"== run journal: {subject} " + "=" * max(0, 46 - len(str(subject)))]
-    spans = sum(1 for e in events if e["event"] == "span_end")
+    spans = sum(1 for e in events if e.get("event") == "span_end")
     header = f"status: {status}   spans: {spans}   wall: {_fmt_seconds(total)}"
     # Surface which execution backend drove the run (recorded in the
     # run_start header by the sweep layer) — essential context when
@@ -195,10 +214,10 @@ def render_report(events: list[dict[str, Any]], skipped: int = 0) -> str:
             )
         lines.append("")
 
-    baselines = [e for e in events if e["event"] == "baseline"]
+    baselines = [e for e in events if e.get("event") == "baseline"]
     for event in baselines:
         lines.append(f"baseline: {event.get('message', event.get('machine', ''))}")
-    cache_events = [e for e in events if e["event"] == "cache"]
+    cache_events = [e for e in events if e.get("event") == "cache"]
     if cache_events:
         hits = [e for e in cache_events if e.get("hit")]
         misses = [e for e in cache_events if not e.get("hit")]
@@ -209,12 +228,12 @@ def render_report(events: list[dict[str, Any]], skipped: int = 0) -> str:
             f"cache: {len(hits)} hits, {len(misses)} misses"
             f" ({saved} bytes saved, {stored} stored, {deduped} deduped)"
         )
-    verdicts = [e for e in events if e["event"] == "aver_verdict"]
+    verdicts = [e for e in events if e.get("event") == "aver_verdict"]
     if verdicts:
         passed = sum(1 for v in verdicts if v.get("passed"))
         lines.append(f"validations: {passed} passed, {len(verdicts) - passed} failed")
     degradations = [
-        e for e in events if e["event"] == "degradation" and e.get("change")
+        e for e in events if e.get("event") == "degradation" and e.get("change")
     ]
     if degradations:
         firm = sum(1 for d in degradations if d.get("change") == "degradation")
@@ -222,9 +241,19 @@ def render_report(events: list[dict[str, Any]], skipped: int = 0) -> str:
             f"degradation checks: {len(degradations)} detector verdicts, "
             f"{firm} firm"
         )
-    metrics = sum(1 for e in events if e["event"] == "metric")
+    metrics = sum(1 for e in events if e.get("event") == "metric")
     if metrics:
         lines.append(f"metric samples: {metrics}")
+    other: dict[str, int] = {}
+    for event in events:
+        kind = str(event.get("event", "?"))
+        if kind not in _HANDLED_KINDS:
+            other[kind] = other.get(kind, 0) + 1
+    if other:
+        lines.append(
+            "other events: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(other.items()))
+        )
     return "\n".join(lines).rstrip() + "\n"
 
 
@@ -235,9 +264,9 @@ def render_fuzz_summary(events: list[dict[str, Any]], skipped: int = 0) -> str:
     if not events:
         raise MonitorError("fuzz journal is empty; nothing to render")
 
-    run_start = next((e for e in events if e["event"] == "run_start"), None)
-    variants = [e for e in events if e["event"] == "fuzz_variant"]
-    minimized = [e for e in events if e["event"] == "fuzz_minimized"]
+    run_start = next((e for e in events if e.get("event") == "run_start"), None)
+    variants = [e for e in events if e.get("event") == "fuzz_variant"]
+    minimized = [e for e in events if e.get("event") == "fuzz_minimized"]
 
     lines = ["== fuzz campaign " + "=" * 46]
     if run_start is not None:
@@ -307,5 +336,59 @@ def render_fuzz_summary(events: list[dict[str, Any]], skipped: int = 0) -> str:
                 f"(chain {event.get('chain', '?')} -> "
                 f"{event.get('minimal_chain', '?')}, "
                 f"{event.get('executions', '?')} execution(s))"
+            )
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_serve_summary(events: list[dict[str, Any]], skipped: int = 0) -> str:
+    """The report behind ``popper trace --serve``: the queue journal's
+    state machine summarized — admissions, completions (and how many
+    were cache-served), requeues by reason, dead letters, shed load."""
+    if not events:
+        raise MonitorError("serve queue journal is empty; nothing to render")
+
+    by_kind: dict[str, list[dict[str, Any]]] = {}
+    for event in events:
+        by_kind.setdefault(str(event.get("event", "?")), []).append(event)
+
+    submitted = by_kind.get("job_submitted", [])
+    done = by_kind.get("job_done", [])
+    requeued = by_kind.get("job_requeued", [])
+    dead = by_kind.get("job_dead", [])
+    shed = by_kind.get("job_shed", [])
+
+    lines = ["== serve queue " + "=" * 48]
+    tenants = sorted({str(e.get("tenant", "default")) for e in submitted})
+    lines.append(
+        f"submitted: {len(submitted)}   done: {len(done)} "
+        f"({sum(1 for e in done if e.get('cached'))} cache-served)   "
+        f"dead: {len(dead)}   shed: {len(shed)}"
+    )
+    if tenants:
+        lines.append(f"tenants: {', '.join(tenants)}")
+    if skipped:
+        lines.append(
+            f"warning: {skipped} torn trailing line skipped (crashed append)"
+        )
+    if requeued:
+        reasons: dict[str, int] = {}
+        for event in requeued:
+            reason = str(event.get("reason", "?"))
+            reasons[reason] = reasons.get(reason, 0) + 1
+        lines.append(
+            "requeues: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(reasons.items()))
+        )
+    busy = sum(float(e.get("seconds", 0.0)) for e in done)
+    if done:
+        lines.append(f"worker seconds: {busy:.3f}")
+    if dead:
+        lines.append("")
+        lines.append("dead letters:")
+        for event in dead:
+            lines.append(
+                f"  {event.get('job', '?')} after "
+                f"{event.get('attempts', '?')} attempt(s): "
+                f"{str(event.get('error', ''))[:60]}"
             )
     return "\n".join(lines).rstrip() + "\n"

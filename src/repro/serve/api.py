@@ -1,0 +1,205 @@
+"""The local HTTP/JSON API of ``popper serve`` (stdlib ``http.server``).
+
+Routes (all responses are JSON)::
+
+    GET  /healthz            liveness: 200 while the daemon runs
+    GET  /readyz             readiness: 200 accepting, 503 draining or
+                             saturated (load balancers stop sending)
+    POST /v1/jobs            submit {"experiment": ..., "tenant": ...}
+                             -> 202 accepted / 200 cache-served
+    GET  /v1/jobs            recent jobs (newest first, capped)
+    GET  /v1/jobs/<id>       one job's state-machine view
+    GET  /v1/stats           queue + pool counters
+    GET  /v1/cache/stats     the shared artifact pool's accounting
+
+Robustness-first request handling: the fuzz grammar in
+:mod:`repro.fuzz.mutators` (``generate_serve_payload``) throws malformed
+JSON, oversized bodies and bogus tenant ids at this surface, and the
+contract is a *clean* 4xx JSON error for every one of them — never a
+traceback, never a 500 for client-controlled input:
+
+* missing ``Content-Length``  -> 411
+* body over ``MAX_BODY_BYTES`` -> 413 (read is bounded; a lying header
+  cannot buffer more than the cap)
+* undecodable / non-object JSON, bad field types, bogus tenant -> 400
+* well-formed but unknown experiment -> 422
+* queue at its bound -> 429 with ``Retry-After``
+* draining -> 503
+
+Unexpected server-side failures do return 500, with a generic body (no
+internals leak).  The server is a ``ThreadingHTTPServer``; every
+mutation goes through the :class:`~repro.serve.queue.JobQueue`'s lock.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.common.errors import (
+    BadJobError,
+    DrainingError,
+    QueueFullError,
+    ReproError,
+    UnknownJobError,
+)
+
+__all__ = ["MAX_BODY_BYTES", "TENANT_RE", "make_server"]
+
+#: Admission bound on request bodies (a submission is a few dozen bytes).
+MAX_BODY_BYTES = 64 * 1024
+
+#: Tenant ids: short, printable, path-safe (they land in journal fields).
+TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+#: How many jobs ``GET /v1/jobs`` returns (newest first).
+_LIST_CAP = 200
+
+
+class _ApiError(Exception):
+    """Internal: carries an HTTP status to the response writer."""
+
+    def __init__(self, status: int, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+def parse_submission(raw: bytes) -> tuple[str, str]:
+    """Validate a job-submission body; returns ``(experiment, tenant)``.
+
+    Raises :class:`_ApiError` with a 4xx status for every malformed
+    shape the adversarial grammar generates.
+    """
+    try:
+        doc = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _ApiError(400, f"body is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise _ApiError(400, "body must be a JSON object")
+    experiment = doc.get("experiment")
+    if not isinstance(experiment, str) or not experiment.strip():
+        raise _ApiError(400, "'experiment' must be a non-empty string")
+    tenant = doc.get("tenant", "default")
+    if not isinstance(tenant, str) or not TENANT_RE.fullmatch(tenant):
+        raise _ApiError(
+            400,
+            "'tenant' must match [A-Za-z0-9][A-Za-z0-9_.-]{0,63}",
+        )
+    return experiment.strip(), tenant
+
+
+def make_server(daemon, host: str = "127.0.0.1", port: int = 0):
+    """A :class:`ThreadingHTTPServer` bound to *daemon*'s service layer."""
+
+    class Handler(BaseHTTPRequestHandler):
+        # One connection per request: no keep-alive state to corrupt.
+        server_version = "popper-serve"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib name
+            pass  # the journal is the record; stderr stays quiet
+
+        # -- plumbing ---------------------------------------------------------
+        def _send(self, status: int, payload: dict, retry_after=None) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if retry_after is not None:
+                self.send_header("Retry-After", f"{retry_after:.0f}")
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _read_body(self) -> bytes:
+            length = self.headers.get("Content-Length")
+            if length is None:
+                raise _ApiError(411, "Content-Length required")
+            try:
+                length = int(length)
+            except ValueError:
+                raise _ApiError(400, "Content-Length is not an integer")
+            if length < 0:
+                raise _ApiError(400, "Content-Length is negative")
+            if length > MAX_BODY_BYTES:
+                raise _ApiError(
+                    413, f"body exceeds the {MAX_BODY_BYTES}-byte bound"
+                )
+            # Bounded read: a lying header cannot make us buffer more.
+            return self.rfile.read(length)
+
+        def _dispatch(self, handler) -> None:
+            try:
+                status, payload, retry_after = handler()
+            except _ApiError as exc:
+                status, payload, retry_after = (
+                    exc.status,
+                    {"error": str(exc)},
+                    exc.retry_after,
+                )
+            except QueueFullError as exc:
+                status, payload, retry_after = 429, {"error": str(exc)}, 1.0
+            except DrainingError as exc:
+                status, payload, retry_after = 503, {"error": str(exc)}, 5.0
+            except UnknownJobError as exc:
+                status, payload, retry_after = 404, {"error": str(exc)}, None
+            except BadJobError as exc:
+                status, payload, retry_after = 422, {"error": str(exc)}, None
+            except ReproError as exc:
+                # A substrate error on client input is still the client's
+                # 4xx, reported cleanly (the contract the fuzz grammar
+                # checks); it is never a traceback.
+                status, payload, retry_after = 400, {"error": str(exc)}, None
+            except Exception:
+                status, payload, retry_after = (
+                    500,
+                    {"error": "internal server error"},
+                    None,
+                )
+            try:
+                self._send(status, payload, retry_after)
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # client went away; nothing to clean up
+
+        # -- routes -----------------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+            def handler():
+                path = self.path.split("?", 1)[0].rstrip("/") or "/"
+                if path == "/healthz":
+                    return 200, daemon.health(), None
+                if path == "/readyz":
+                    ready, payload = daemon.ready()
+                    return (200 if ready else 503), payload, None
+                if path == "/v1/jobs":
+                    jobs = sorted(
+                        daemon.queue.jobs.values(),
+                        key=lambda j: j.id,
+                        reverse=True,
+                    )[:_LIST_CAP]
+                    return 200, {"jobs": [j.to_json() for j in jobs]}, None
+                if path.startswith("/v1/jobs/"):
+                    job_id = path[len("/v1/jobs/") :]
+                    return 200, daemon.queue.get(job_id).to_json(), None
+                if path == "/v1/stats":
+                    return 200, daemon.stats(), None
+                if path == "/v1/cache/stats":
+                    return 200, daemon.cache_stats(), None
+                raise _ApiError(404, f"no such resource: {path}")
+
+            self._dispatch(handler)
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+            def handler():
+                path = self.path.split("?", 1)[0].rstrip("/")
+                if path == "/v1/jobs":
+                    experiment, tenant = parse_submission(self._read_body())
+                    job = daemon.submit(experiment, tenant=tenant)
+                    status = 200 if job.state == "done" else 202
+                    return status, job.to_json(), None
+                raise _ApiError(404, f"no such resource: {path}")
+
+            self._dispatch(handler)
+
+    server = ThreadingHTTPServer((host, port), Handler)
+    server.daemon_threads = True
+    return server

@@ -32,6 +32,12 @@ dangling pack index       pack swept, index unlink crashed          unlink (noth
 truncated pack            pack body fails its trailer checksum      quarantine pack + index (the
                                                                     referenced records then show
                                                                     up dangling and re-run)
+stale queue lease         serve daemon (or its host) died while     unlink (the queue journal is
+                          holding a job lease                       the truth; recovery re-leases
+                          (``.pvcs/queue/leases/``)                 from the journal alone)
+partial queue result      crash mid-write of a job result file      unlink (the completed journal
+                          (``.pvcs/queue/results/``)                record keeps the job done; an
+                                                                    incomplete one re-runs it)
 ========================  ========================================  ==============================
 
 Everything else on disk is either atomic (refs, config) or disposable
@@ -422,6 +428,74 @@ def _scan_packs(root: Path, findings: list[Finding]) -> None:
                 )
 
 
+def _scan_queue(root: Path, findings: list[Finding]) -> None:
+    """Debris a crashed ``popper serve`` daemon leaves under
+    ``.pvcs/queue/``.
+
+    The queue journal is the single source of truth, so every side file
+    is reconstructible and safe to drop: a lease marker whose recorded
+    holder pid is dead (or whose JSON never finished landing) belongs
+    to a daemon that is gone — recovery re-leases from the journal and
+    never reads the marker.  A result file that does not parse is the
+    half of a ``queue.publish`` crash that lost the race: either the
+    ``job_done`` record landed (the job is done regardless) or it did
+    not (the lease expires and the job re-runs).  Live-pid leases are
+    left strictly alone, so doctor is safe to run next to a serving
+    daemon.
+    """
+    for queue_dir in sorted(root.rglob(f"{_META_DIR}/queue")):
+        if not queue_dir.is_dir():
+            continue
+        leases = queue_dir / "leases"
+        if leases.is_dir():
+            for path in sorted(leases.glob("*.json")):
+                try:
+                    doc = json.loads(path.read_text(encoding="utf-8"))
+                    pid = int(doc.get("pid", 0))
+                except (OSError, ValueError, json.JSONDecodeError, TypeError):
+                    findings.append(
+                        Finding(
+                            kind="stale-queue-lease",
+                            path=path,
+                            detail="unreadable lease marker",
+                            action="unlink",
+                        )
+                    )
+                    continue
+                if pid > 0:
+                    try:
+                        os.kill(pid, 0)
+                        continue  # the holder is alive; not our business
+                    except ProcessLookupError:
+                        pass
+                    except PermissionError:
+                        continue  # alive under another uid
+                findings.append(
+                    Finding(
+                        kind="stale-queue-lease",
+                        path=path,
+                        detail=f"holder pid {pid} is dead",
+                        action="unlink",
+                    )
+                )
+        results = queue_dir / "results"
+        if results.is_dir():
+            for path in sorted(results.glob("*.json")):
+                try:
+                    doc = json.loads(path.read_text(encoding="utf-8"))
+                    if not isinstance(doc, dict) or "job" not in doc:
+                        raise ValueError("not a result record")
+                except (OSError, ValueError, json.JSONDecodeError):
+                    findings.append(
+                        Finding(
+                            kind="partial-queue-result",
+                            path=path,
+                            detail="unparseable result record",
+                            action="unlink",
+                        )
+                    )
+
+
 def _scan_quarantine(root: Path, findings: list[Finding]) -> None:
     for quarantine in sorted(root.rglob("quarantine")):
         if not quarantine.is_dir() or _META_DIR not in quarantine.parts:
@@ -453,6 +527,7 @@ def diagnose(root: str | Path, tmp_age_s: float = 60.0) -> DoctorReport:
     _scan_packs(root, report.findings)
     _scan_index(root, report.findings)
     _scan_fuzz(root, report.findings, tmp_age_s)
+    _scan_queue(root, report.findings)
     _scan_quarantine(root, report.findings)
     return report
 
@@ -471,6 +546,8 @@ def repair(report: DoctorReport) -> DoctorReport:
                 "orphan-temp",
                 "partial-index-record",
                 "dangling-index-record",
+                "stale-queue-lease",
+                "partial-queue-result",
             ):
                 finding.path.unlink(missing_ok=True)
             elif finding.kind == "torn-jsonl":

@@ -207,3 +207,49 @@ class TestAbortAccounting:
         graph.add("victim", lambda ctx: (_ for _ in ()).throw(KeyboardInterrupt))
         with pytest.raises(KeyboardInterrupt):
             ThreadedScheduler(max_workers=2).run(graph)
+
+
+class TestMaxDelayCap:
+    """``max_delay_s``: the post-jitter ceiling the serve queue leans on."""
+
+    def test_caps_the_jittered_delay(self):
+        uncapped = RetryPolicy(
+            backoff_s=1.0, multiplier=2.0, max_backoff_s=4.0, jitter=0.5
+        )
+        capped = RetryPolicy(
+            backoff_s=1.0,
+            multiplier=2.0,
+            max_backoff_s=4.0,
+            jitter=0.5,
+            max_delay_s=4.0,
+        )
+        # Jitter stretches *above* max_backoff_s; max_delay_s does not let it.
+        assert uncapped.delay_s("t", 5) > 4.0
+        assert capped.delay_s("t", 5) == 4.0
+
+    def test_huge_attempt_numbers_do_not_overflow(self):
+        policy = RetryPolicy(
+            backoff_s=0.05, multiplier=2.0, max_backoff_s=1.0, max_delay_s=1.0
+        )
+        # 2.0 ** 2000 overflows a float; the caps must still win.
+        for attempt in (1025, 2000, 10**6):
+            assert policy.delay_s("t", attempt) <= 1.0
+
+    def test_none_preserves_the_historical_behaviour(self):
+        with_cap = RetryPolicy(jitter=0.5, max_delay_s=None)
+        without = RetryPolicy(jitter=0.5)
+        for attempt in (1, 3, 7):
+            assert with_cap.delay_s("t", attempt) == without.delay_s("t", attempt)
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(EngineError, match="max_delay_s"):
+            RetryPolicy(max_delay_s=-1.0)
+
+    def test_requeue_policy_is_bounded(self):
+        from repro.serve.queue import REQUEUE_POLICY
+
+        assert REQUEUE_POLICY.max_delay_s is not None
+        assert all(
+            REQUEUE_POLICY.delay_s("job-000000", n) <= REQUEUE_POLICY.max_delay_s
+            for n in range(1, 50)
+        )

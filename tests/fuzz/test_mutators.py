@@ -10,6 +10,7 @@ from repro.fuzz.mutators import (
     apply_chain,
     apply_mutation,
     generate_mutation,
+    generate_serve_payload,
 )
 from repro.fuzz.scenario import Scenario
 
@@ -124,3 +125,44 @@ class TestScenario:
     def test_bad_record_raises_cleanly(self):
         with pytest.raises(FuzzError):
             Scenario.from_json({"nonsense": True})
+
+
+class TestServePayloadGrammar:
+    def test_deterministic_for_one_seed(self):
+        first = [
+            generate_serve_payload(derive_rng(9, "serve")) for _ in range(1)
+        ]
+        for _ in range(3):
+            again = generate_serve_payload(derive_rng(9, "serve"))
+            assert again == first[0]
+
+    def test_streams_differ_across_seeds(self):
+        a = [generate_serve_payload(derive_rng(1, "serve")) for _ in range(8)]
+        b = [generate_serve_payload(derive_rng(2, "serve")) for _ in range(8)]
+        assert a != b
+
+    def test_total_and_byte_typed(self):
+        rng = derive_rng(5, "serve")
+        payloads = [generate_serve_payload(rng) for _ in range(200)]
+        assert all(isinstance(p, bytes) for p in payloads)
+        # The grammar mixes shapes: some payloads must not even decode,
+        # and the oversized shape must trip the 64 KiB admission bound.
+        from repro.serve import MAX_BODY_BYTES
+
+        def decodes(p):
+            try:
+                p.decode("utf-8")
+                return True
+            except UnicodeDecodeError:
+                return False
+
+        assert any(not decodes(p) for p in payloads)
+        assert any(len(p) > MAX_BODY_BYTES for p in payloads)
+        assert any(len(p) <= MAX_BODY_BYTES for p in payloads)
+
+    def test_crash_grammar_covers_the_queue_sites(self):
+        from repro.fuzz.mutators import _CRASH_TARGETS
+
+        assert "queue.claim" in _CRASH_TARGETS
+        assert "queue.publish" in _CRASH_TARGETS
+        assert "queue.*" in _CRASH_TARGETS

@@ -124,4 +124,4 @@ def test_default_matrix_includes_fuzz_smoke():
     config = CIConfig.from_yaml(DEFAULT_TRAVIS)
     modes = [env.get("POPPER_RUN_MODE") for env in config.expand_matrix()]
     assert "--fuzz-smoke" in modes
-    assert len(modes) == 8
+    assert len(modes) == 9

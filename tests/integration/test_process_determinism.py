@@ -156,7 +156,7 @@ def test_default_ci_matrix_includes_a_process_backend_job():
     modes = [env.get("POPPER_RUN_MODE") for env in config.expand_matrix()]
     assert "--process-smoke" in modes
     assert "--perf-smoke" in modes
-    assert len(modes) == 8
+    assert len(modes) == 9
 
 
 #: Child harness: slow down one torpor run *inside a worker process* so

@@ -1,0 +1,84 @@
+"""Forward-compatible rendering: unknown journal kinds and the serve
+queue summary behind ``popper trace --serve``."""
+
+import pytest
+
+from repro.common.errors import MonitorError
+from repro.monitor.report import render_report, render_serve_summary
+
+
+def run_events(extra=()):
+    events = [
+        {"seq": 1, "ts": 1.0, "event": "run_start", "experiment": "myexp"},
+        {"seq": 2, "ts": 2.0, "event": "span_start", "span_id": 1, "name": "run"},
+        {"seq": 3, "ts": 5.0, "event": "span_end", "span_id": 1, "status": "ok"},
+        {"seq": 4, "ts": 6.0, "event": "run_end", "status": "ok"},
+    ]
+    events.extend(extra)
+    return events
+
+
+def queue_events():
+    return [
+        {"seq": 1, "event": "job_submitted", "job": "job-000000",
+         "experiment": "a", "tenant": "alice"},
+        {"seq": 2, "event": "job_leased", "job": "job-000000", "attempt": 1},
+        {"seq": 3, "event": "job_failed", "job": "job-000000", "error": "boom"},
+        {"seq": 4, "event": "job_requeued", "job": "job-000000",
+         "reason": "failed"},
+        {"seq": 5, "event": "job_leased", "job": "job-000000", "attempt": 2},
+        {"seq": 6, "event": "job_done", "job": "job-000000", "cached": False,
+         "seconds": 1.5},
+        {"seq": 7, "event": "job_submitted", "job": "job-000001",
+         "experiment": "a", "tenant": "bob"},
+        {"seq": 8, "event": "job_done", "job": "job-000001", "cached": True,
+         "seconds": 0.0},
+        {"seq": 9, "event": "job_shed", "tenant": "bob", "experiment": "a"},
+        {"seq": 10, "event": "job_submitted", "job": "job-000002",
+         "experiment": "b", "tenant": "bob"},
+        {"seq": 11, "event": "job_requeued", "job": "job-000002",
+         "reason": "lease-expired"},
+        {"seq": 12, "event": "job_dead", "job": "job-000002", "attempts": 4,
+         "error": "worker died mid-job"},
+    ]
+
+
+class TestUnknownKinds:
+    def test_render_report_summarizes_them_generically(self):
+        extra = [
+            {"seq": 5, "ts": 7.0, "event": "job_submitted", "job": "j"},
+            {"seq": 6, "ts": 8.0, "event": "job_submitted", "job": "k"},
+            {"seq": 7, "ts": 9.0, "event": "telemetry_v9", "x": 1},
+        ]
+        report = render_report(run_events(extra))
+        assert "status: ok" in report
+        assert "other events: job_submitted=2, telemetry_v9=1" in report
+
+    def test_known_only_journal_has_no_other_line(self):
+        assert "other events" not in render_report(run_events())
+
+    def test_events_without_a_kind_do_not_crash(self):
+        report = render_report(run_events([{"seq": 9, "ts": 9.0, "x": 1}]))
+        assert "other events: ?=1" in report
+
+
+class TestServeSummary:
+    def test_counts_and_sections(self):
+        report = render_serve_summary(queue_events())
+        assert "== serve queue" in report
+        assert "submitted: 3" in report
+        assert "done: 2 (1 cache-served)" in report
+        assert "dead: 1" in report and "shed: 1" in report
+        assert "tenants: alice, bob" in report
+        assert "requeues: failed=1, lease-expired=1" in report
+        assert "worker seconds: 1.500" in report
+        assert "dead letters:" in report
+        assert "job-000002 after 4 attempt(s): worker died mid-job" in report
+
+    def test_torn_tail_is_surfaced(self):
+        report = render_serve_summary(queue_events(), skipped=1)
+        assert "1 torn trailing line skipped" in report
+
+    def test_empty_journal_rejected(self):
+        with pytest.raises(MonitorError):
+            render_serve_summary([])

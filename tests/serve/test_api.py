@@ -1,0 +1,194 @@
+"""The HTTP/JSON surface: clean 4xx for every adversarial input."""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.common.rng import derive_rng
+from repro.core.repo import PopperRepository
+from repro.fuzz.mutators import generate_serve_payload
+from repro.serve import PopperServer, make_server
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    """A daemon with the API up but no worker pool or scheduler loop.
+
+    Submissions queue and sit there — exactly what contract tests need:
+    deterministic admission behavior with no execution racing it.
+    """
+    base = tmp_path_factory.mktemp("serve-api")
+    repo = PopperRepository.init(base / "repo")
+    repo.add_experiment("torpor", "alpha")
+    daemon = PopperServer(repo, workers=1, max_queue=3, durable=False)
+    httpd = make_server(daemon, "127.0.0.1", 0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield daemon, httpd.server_address[1]
+    httpd.shutdown()
+    httpd.server_close()
+    daemon.queue.close()
+
+
+def request(port, method, path, body=None, headers=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        raw = response.read()
+        try:
+            doc = json.loads(raw)
+        except json.JSONDecodeError:
+            doc = {"_raw": raw.decode("utf-8", "replace")}
+        return response.status, dict(response.headers), doc
+    finally:
+        conn.close()
+
+
+def post_job(port, body, headers=None):
+    headers = {"Content-Type": "application/json", **(headers or {})}
+    return request(port, "POST", "/v1/jobs", body=body, headers=headers)
+
+
+class TestReadSurface:
+    def test_healthz(self, service):
+        daemon, port = service
+        status, _, doc = request(port, "GET", "/healthz")
+        assert status == 200
+        assert doc["status"] == "ok" and doc["workers"] == 1
+
+    def test_readyz_reports_capacity(self, service):
+        _, port = service
+        status, _, doc = request(port, "GET", "/readyz")
+        assert status == 200 and doc["ready"]
+
+    def test_job_listing_and_lookup(self, service):
+        daemon, port = service
+        job = daemon.queue.submit("alpha", cached_meta={"rows": 1})
+        status, _, doc = request(port, "GET", "/v1/jobs")
+        assert status == 200
+        assert job.id in [j["id"] for j in doc["jobs"]]
+        status, _, doc = request(port, "GET", f"/v1/jobs/{job.id}")
+        assert status == 200 and doc["state"] == "done"
+
+    def test_unknown_job_404(self, service):
+        _, port = service
+        status, _, doc = request(port, "GET", "/v1/jobs/job-999999")
+        assert status == 404 and "error" in doc
+
+    def test_unknown_route_404(self, service):
+        _, port = service
+        for method, path in (("GET", "/v2/nope"), ("POST", "/v1/other")):
+            status, _, doc = request(
+                port, method, path, body=b"{}" if method == "POST" else None
+            )
+            assert status == 404 and "error" in doc
+
+    def test_stats_and_cache_stats(self, service):
+        _, port = service
+        status, _, doc = request(port, "GET", "/v1/stats")
+        assert status == 200 and "depth" in doc and "workers" in doc
+        status, _, doc = request(port, "GET", "/v1/cache/stats")
+        assert status == 200
+
+
+class TestSubmissionContract:
+    def test_accepted_submission_is_202(self, service):
+        daemon, port = service
+        status, _, doc = post_job(port, b'{"experiment": "alpha"}')
+        assert status == 202
+        assert daemon.queue.get(doc["id"]).state == "queued"
+
+    def test_garbage_json_400(self, service):
+        _, port = service
+        for body in (b"{not json", b"", b"\xff\xfe\x00", b'"a string"', b"[1]"):
+            status, _, doc = post_job(port, body)
+            assert status == 400 and "error" in doc
+
+    def test_bad_field_types_400(self, service):
+        _, port = service
+        for body in (
+            b'{"experiment": 7}',
+            b'{"experiment": null}',
+            b'{"experiment": "  "}',
+            b'{"experiment": "alpha", "tenant": 3}',
+        ):
+            status, _, doc = post_job(port, body)
+            assert status == 400 and "error" in doc
+
+    def test_hostile_tenant_400(self, service):
+        _, port = service
+        for tenant in ("../x", "", "a" * 65, ".dot", "-dash", "sp ace"):
+            body = json.dumps({"experiment": "alpha", "tenant": tenant})
+            status, _, doc = post_job(port, body.encode("utf-8"))
+            assert status == 400, f"tenant {tenant!r} answered {status}"
+
+    def test_unknown_experiment_422(self, service):
+        _, port = service
+        status, _, doc = post_job(port, b'{"experiment": "no-such"}')
+        assert status == 422 and "error" in doc
+
+    def test_missing_content_length_411(self, service):
+        _, port = service
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            conn.putrequest("POST", "/v1/jobs", skip_accept_encoding=True)
+            conn.putheader("Content-Type", "application/json")
+            conn.endheaders()  # no body, no Content-Length
+            response = conn.getresponse()
+            assert response.status == 411
+        finally:
+            conn.close()
+
+    def test_oversized_body_413(self, service):
+        _, port = service
+        body = b'{"experiment": "' + b"a" * 70_000 + b'"}'
+        status, _, doc = post_job(port, body)
+        assert status == 413 and "error" in doc
+
+    def test_full_queue_429_with_retry_after(self, service):
+        daemon, port = service
+        admitted = []
+        while daemon.queue.depth() < daemon.queue.max_depth:
+            status, _, doc = post_job(port, b'{"experiment": "alpha"}')
+            assert status == 202
+            admitted.append(doc["id"])
+        status, headers, doc = post_job(port, b'{"experiment": "alpha"}')
+        assert status == 429 and "error" in doc
+        assert headers.get("Retry-After")
+        # Put the fixture queue back the way we found it.
+        for job_id in admitted:
+            daemon.queue.jobs.pop(job_id)
+
+    def test_draining_503_with_retry_after(self, service):
+        daemon, port = service
+        daemon.draining = True
+        try:
+            status, headers, doc = post_job(port, b'{"experiment": "alpha"}')
+            assert status == 503 and "error" in doc
+            assert headers.get("Retry-After")
+            status, _, doc = request(port, "GET", "/readyz")
+            assert status == 503 and not doc["ready"]
+        finally:
+            daemon.draining = False
+
+
+class TestAdversarialGrammar:
+    def test_fuzzed_payloads_never_500(self, service):
+        """The fuzz grammar's whole corpus gets a clean verdict: some
+        shapes are valid submissions (2xx), everything else a 4xx —
+        never a traceback, never a 5xx."""
+        daemon, port = service
+        rng = derive_rng(1234, "serve-api")
+        for i in range(120):
+            payload = generate_serve_payload(rng)
+            status, _, doc = post_job(port, payload)
+            assert status < 500, f"payload {i} answered {status}: {doc}"
+            if status >= 400:
+                assert "error" in doc
+        # Keep the shared fixture queue empty for later tests.
+        for job_id, job in list(daemon.queue.jobs.items()):
+            if job.state == "queued":
+                daemon.queue.jobs.pop(job_id)

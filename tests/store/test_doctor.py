@@ -217,3 +217,63 @@ class TestReportShape:
         assert report.repairable and report.unrepaired == report.repairable
         repair(report)
         assert report.unrepaired == []
+
+
+class TestQueueDebris:
+    """Leases and results a crashed `popper serve` daemon leaves behind."""
+
+    @pytest.fixture
+    def queue_dir(self, root):
+        queue = root / ".pvcs" / "queue"
+        (queue / "leases").mkdir(parents=True)
+        (queue / "results").mkdir(parents=True)
+        return queue
+
+    def lease(self, queue_dir, job, pid):
+        path = queue_dir / "leases" / f"{job}.json"
+        path.write_text(
+            json.dumps({"job": job, "pid": pid, "deadline": 1.0}),
+            encoding="utf-8",
+        )
+        return path
+
+    def test_dead_holder_lease_unlinked(self, queue_dir, root):
+        path = self.lease(queue_dir, "job-000000", dead_pid())
+        report = diagnose(root)
+        assert kinds(report) == ["stale-queue-lease"]
+        repaired = repair(report)
+        assert not repaired.unrepaired
+        assert not path.exists()
+
+    def test_live_holder_lease_untouched(self, queue_dir, root):
+        # Our own pid: a daemon is "serving" right now.
+        path = self.lease(queue_dir, "job-000000", os.getpid())
+        assert diagnose(root).clean
+        assert path.exists()
+
+    def test_unreadable_lease_unlinked(self, queue_dir, root):
+        path = queue_dir / "leases" / "job-000001.json"
+        path.write_text('{"job": "job-000001", "pid":', encoding="utf-8")
+        report = repair(diagnose(root))
+        assert not report.unrepaired
+        assert not path.exists()
+
+    def test_partial_result_unlinked(self, queue_dir, root):
+        torn = queue_dir / "results" / "job-000000.json"
+        torn.write_text('{"job": "job-000000", "meta"', encoding="utf-8")
+        wrong = queue_dir / "results" / "job-000001.json"
+        wrong.write_text('{"unrelated": true}', encoding="utf-8")
+        report = diagnose(root)
+        assert kinds(report) == ["partial-queue-result"] * 2
+        repaired = repair(report)
+        assert not repaired.unrepaired
+        assert not torn.exists() and not wrong.exists()
+
+    def test_healthy_queue_state_not_flagged(self, queue_dir, root):
+        good = queue_dir / "results" / "job-000000.json"
+        good.write_text(
+            json.dumps({"job": "job-000000", "meta": {"rows": 1}}),
+            encoding="utf-8",
+        )
+        assert diagnose(root).clean
+        assert good.exists()

@@ -294,4 +294,4 @@ class TestCliSurface:
         config = CIConfig.from_yaml(DEFAULT_TRAVIS)
         modes = [env.get("POPPER_RUN_MODE") for env in config.expand_matrix()]
         assert "--store-smoke" in modes
-        assert len(modes) == 8
+        assert len(modes) == 9
